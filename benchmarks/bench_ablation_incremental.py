@@ -1,0 +1,76 @@
+"""Ablation — incremental vs joint co-design exploration.
+
+The paper's "key to our approach" sentence: incremental exploration
+(domain layer first, then platform knobs) versus searching the joint
+14-dimensional space at once.  At equal evaluation budgets the
+factorised search should find the triply-constrained (accurate +
+real-time + 1 W) point more reliably.
+"""
+
+from repro.core import format_table
+from repro.hypermapper import (
+    ConstraintSet,
+    HyperMapper,
+    SurrogateEvaluator,
+    accuracy_limit,
+    codesign_design_space,
+    incremental_codesign,
+    power_budget,
+    realtime,
+)
+
+
+def test_incremental_vs_joint(benchmark, show):
+    space = codesign_design_space()
+    constraints = ConstraintSet.of(
+        [accuracy_limit(0.05), realtime(30.0), power_budget(1.0)]
+    )
+
+    def run():
+        rows = []
+        for seed in (1, 2, 3):
+            inc = incremental_codesign(
+                space, SurrogateEvaluator(seed=seed), constraints,
+                accuracy_limit(0.05),
+                domain_budget=(30, 6, 6),
+                platform_budget=(8, 3, 4),
+                seed=seed,
+            )
+            joint_result = HyperMapper(
+                space, SurrogateEvaluator(seed=seed),
+                constraint=constraints,
+                n_initial=40,
+                n_iterations=(inc.total_evaluations - 40) // 8,
+                samples_per_iteration=8,
+                seed=seed,
+            ).run()
+            try:
+                joint_best = joint_result.best("runtime_s", constraints)
+            except Exception:
+                joint_best = None
+            for label, best, evals in (
+                ("incremental", inc.best, inc.total_evaluations),
+                ("joint", joint_best, len(joint_result.evaluations)),
+            ):
+                rows.append(
+                    {
+                        "seed": seed,
+                        "strategy": label,
+                        "evaluations": evals,
+                        "found": best is not None,
+                        "best_fps": best.fps if best else float("nan"),
+                        "power_w": best.power_w if best else float("nan"),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Incremental vs joint co-design "
+                                  "(constraints: <5 cm, >30 FPS, <1 W)"))
+
+    inc_found = sum(r["found"] for r in rows if r["strategy"] == "incremental")
+    joint_found = sum(r["found"] for r in rows if r["strategy"] == "joint")
+    # The factorised search is at least as reliable at equal budget and
+    # succeeds on a clear majority of seeds.
+    assert inc_found >= joint_found
+    assert inc_found >= 2

@@ -1,0 +1,67 @@
+"""Ablation — sensor-noise sensitivity of the measured pipeline.
+
+ICL-NUIM ships clean and sensor-noisy variants of every sequence because
+accuracy numbers depend on them; this ablation runs the real pipeline
+across the noise ladder (noiseless / mild / default / harsh) and shows
+accuracy degrading monotonically-in-tendency while the workload stays
+constant — noise costs accuracy, not time.
+"""
+
+from repro.core import format_table, run_benchmark
+from repro.datasets import icl_nuim
+from repro.kfusion import KinectFusion
+from repro.scene import KinectNoiseModel
+
+CONFIG = {"volume_resolution": 128, "volume_size": 5.0,
+          "integration_rate": 1}
+
+LADDER = (
+    ("noiseless", KinectNoiseModel.noiseless()),
+    ("mild", KinectNoiseModel.mild()),
+    ("default", KinectNoiseModel()),
+    # ~2x Kinect noise: accuracy degrades but tracking holds.
+    ("strong", KinectNoiseModel(0.002, 0.75, 0.005, 0.2, 0.0012)),
+    # ~4x Kinect noise: the tracker's quality gate rejects the frames —
+    # reported as LOST, exactly what the status output is for.
+    ("harsh", KinectNoiseModel.harsh()),
+)
+
+
+def test_noise_ladder(benchmark, show):
+    def run():
+        rows = []
+        for label, model in LADDER:
+            sequence = icl_nuim.load("lr_kt0", n_frames=10, width=80,
+                                     height=60, noise=model, seed=5)
+            result = run_benchmark(KinectFusion(), sequence,
+                                   configuration=CONFIG)
+            rows.append(
+                {
+                    "noise": label,
+                    "ate_max_m": result.ate.max,
+                    "ate_rmse_m": result.ate.rmse,
+                    "tracked": result.collector.tracked_fraction(),
+                    "valid_depth": float(
+                        sum(r.valid_depth_fraction
+                            for r in result.collector.records)
+                        / len(result.collector.records)
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(rows, title="Sensor-noise ladder (measured pipeline, "
+                                  "lr_kt0 at 80x60)"))
+
+    by = {r["noise"]: r for r in rows}
+    # Accuracy degrades along the ladder; valid depth shrinks with noise.
+    assert by["noiseless"]["ate_rmse_m"] <= by["strong"]["ate_rmse_m"]
+    assert by["strong"]["ate_rmse_m"] <= by["harsh"]["ate_rmse_m"] + 1e-9
+    assert by["noiseless"]["valid_depth"] > by["harsh"]["valid_depth"]
+    # Up to ~2x Kinect noise, tracking holds with graceful accuracy loss.
+    assert by["strong"]["tracked"] >= 0.9
+    assert by["strong"]["ate_max_m"] < 0.05
+    # At ~4x noise the quality gate fires: frames are flagged LOST rather
+    # than silently producing bad poses — the framework's contract.
+    assert by["harsh"]["tracked"] < by["strong"]["tracked"]

@@ -1,0 +1,32 @@
+"""E6 — cross-algorithm, cross-dataset comparison.
+
+The framework's reason to exist: different SLAM systems, same datasets,
+same metrics.  KinectFusion (dense, mapped) vs frame-to-frame ICP odometry
+(mapless) vs the static floor, over living-room and office sequences.
+"""
+
+from repro.core import format_table
+from repro.experiments import algorithms
+
+
+def test_algorithm_comparison(benchmark, show):
+    comparison = benchmark.pedantic(
+        lambda: algorithms.run(
+            sequence_names=["lr_kt0", "lr_kt2", "of_desk"], n_frames=16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(format_table(comparison.rows,
+                      title="Algorithms x datasets (ATE in metres, "
+                            "simulated ODROID fps)"))
+
+    for seq in ("lr_kt0", "lr_kt2", "of_desk"):
+        by = {r["algorithm"]: r for r in comparison.rows
+              if r["sequence"] == seq}
+        # The map pays off: dense fusion is at least as accurate as
+        # odometry, and both beat the static floor.
+        assert by["kfusion"]["ate_max_m"] <= by["icp_odometry"]["ate_max_m"] * 1.7, seq
+        assert by["icp_odometry"]["ate_max_m"] < by["static"]["ate_max_m"], seq
+        # And costs compute: kfusion is the slowest of the three.
+        assert by["kfusion"]["sim_fps"] < by["icp_odometry"]["sim_fps"], seq

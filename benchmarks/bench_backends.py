@@ -1,0 +1,26 @@
+"""E5 — cross-implementation comparison (C++ / OpenMP / OpenCL / CUDA).
+
+SLAMBench's core table: the same KinectFusion under every implementation
+backend, on the embedded board and the desktop machine.
+"""
+
+from repro.core import format_table
+from repro.experiments import backends
+
+
+def test_backend_comparison(benchmark, show):
+    comparison = benchmark.pedantic(lambda: backends.run(n_frames=30),
+                                    rounds=1, iterations=1)
+    show(format_table(comparison.rows,
+                      title="Default KinectFusion per backend (simulated)"))
+
+    by = {(r["device"], r["backend"]): r for r in comparison.rows}
+    # Paper-shape orderings:
+    assert (by[("odroid_xu3", "cpp")]["fps"]
+            < by[("odroid_xu3", "openmp")]["fps"]
+            < by[("odroid_xu3", "opencl")]["fps"])
+    assert by[("desktop_gtx", "cuda")]["fps"] > 30.0  # KFusion's RT claim
+    assert by[("odroid_xu3", "opencl")]["fps"] < 20.0  # embedded gap
+    # GPU offload is the energy-efficient option on the board.
+    assert (by[("odroid_xu3", "opencl")]["energy_per_frame_j"]
+            < by[("odroid_xu3", "openmp")]["energy_per_frame_j"])

@@ -1,0 +1,50 @@
+"""Extension — the "decision machine for mobile phones".
+
+The poster's closing paragraph proposes training a model that picks a
+KinectFusion configuration per device from the crowdsourced data.  This
+bench builds it (portfolio labelling + random-forest classifier over
+device features) and evaluates it on held-out devices against the oracle
+and against shipping one fixed configuration to everyone.
+"""
+
+from repro.core import format_table
+from repro.crowd.decision_machine import (
+    DecisionMachine,
+    PORTFOLIO,
+    train_test_devices,
+)
+
+
+def test_decision_machine(benchmark, show):
+    def run():
+        results = []
+        for seed in (0, 1, 2):
+            train, test = train_test_devices(test_fraction=0.3, seed=seed)
+            machine = DecisionMachine(seed=seed).fit(train)
+            ev = machine.evaluate(test, fixed_index=2)
+            results.append(
+                {
+                    "split_seed": seed,
+                    "held_out": ev.devices,
+                    "exact": ev.exact_match,
+                    "within_one": ev.within_one,
+                    "realtime": ev.realtime_fraction,
+                    "quality_regret": ev.mean_quality_regret,
+                    "fixed_regret": ev.mean_quality_loss_fixed,
+                }
+            )
+        return results
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        rows,
+        title=f"Decision machine over a {len(PORTFOLIO)}-entry portfolio "
+              f"(target 30 FPS; 'fixed' ships portfolio entry 2 to all)",
+    ))
+
+    # The machine must choose near-oracle configurations on unseen devices
+    # and waste less model quality than any single fixed configuration.
+    for row in rows:
+        assert row["within_one"] >= 0.8
+        assert row["realtime"] >= 0.9
+        assert row["quality_regret"] <= row["fixed_regret"]

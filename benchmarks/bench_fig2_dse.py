@@ -1,0 +1,59 @@
+"""E2a / Figure 2 (left+middle) — random sampling vs active learning.
+
+Regenerates the (runtime, Max ATE) exploration picture at paper scale
+(hundreds of evaluations via the surrogate): the random-sampling cloud,
+the active-learning cloud concentrated near the accuracy-feasible front,
+the default configuration, and the best configurations.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.experiments import fig2_dse
+from repro.hypermapper import ConstraintSet, accuracy_limit
+
+
+def test_fig2_exploration(benchmark, show):
+    figure = benchmark.pedantic(
+        lambda: fig2_dse.run_surrogate(
+            n_random=200, n_initial=50, n_iterations=15,
+            samples_per_iteration=10, seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for which in ("random", "active"):
+        pts = figure.scatter_points(which)
+        feasible = pts[pts[:, 1] < figure.accuracy_limit_m]
+        rows.append(
+            {
+                "strategy": which,
+                "evaluations": len(pts),
+                "feasible": len(feasible),
+                "fastest_feasible_ms": (feasible[:, 0].min() * 1e3
+                                        if len(feasible) else float("nan")),
+                "median_ate_m": float(np.median(pts[:, 1])),
+            }
+        )
+    show(format_table(rows, title="Figure 2: exploration strategies "
+                                  "(accuracy limit 0.05 m)"))
+    show(format_table(figure.summary_rows(),
+                      title="Default vs best configurations"))
+
+    # Paper shape: active learning concentrates near the feasible front —
+    # its best feasible point is at least as fast as random's, and the
+    # tuned configurations beat the default by a large factor.
+    cons = ConstraintSet.of([accuracy_limit(figure.accuracy_limit_m)])
+    best_a = figure.best_active
+    assert best_a is not None
+    assert best_a.max_ate_m < figure.accuracy_limit_m
+    assert figure.default_evaluation.runtime_s / best_a.runtime_s > 3.0
+    if figure.best_random is not None:
+        assert best_a.runtime_s <= figure.best_random.runtime_s * 1.5
+    active_feasible = len(figure.active_result.feasible(cons))
+    random_feasible = len(figure.random_result.feasible(cons))
+    assert active_feasible / len(figure.active_result.evaluations) >= (
+        random_feasible / len(figure.random_result.evaluations)
+    )

@@ -1,0 +1,35 @@
+"""E2b / Figure 2 (right) — decision-tree knowledge extraction.
+
+Regenerates the interpretable rules for the three criteria (accurate /
+fast / power-efficient) from a large labelled sample of the design space.
+"""
+
+from repro.hypermapper import (
+    SurrogateEvaluator,
+    extract_knowledge,
+    format_knowledge,
+    kfusion_design_space,
+    random_exploration,
+)
+
+
+def test_fig2_knowledge(benchmark, show):
+    def run():
+        exploration = random_exploration(
+            kfusion_design_space(), SurrogateEvaluator(seed=0), 400, seed=0
+        )
+        return exploration, extract_knowledge(exploration)
+
+    exploration, knowledge = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_knowledge(knowledge))
+
+    by_name = {k.criterion: k for k in knowledge}
+    assert set(by_name) == {"accurate", "fast", "power_efficient"}
+    # The figure's headline rules: accuracy is governed by volume
+    # resolution / compute-size ratio; the trees must recover that.
+    accurate = by_name["accurate"]
+    assert accurate.rules, "no accurate region found"
+    text = " ".join(str(r) for r in accurate.rules)
+    assert "volume_resolution" in text or "compute_size_ratio" in text
+    for k in knowledge:
+        assert k.tree_accuracy > 0.75

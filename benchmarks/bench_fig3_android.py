@@ -1,0 +1,57 @@
+"""E3 / Figure 3 — speed-ups of the tuned configuration on 83 devices.
+
+Regenerates the crowdsourcing study's speed-up distribution: the
+ODROID-tuned configuration (algorithmic parameters only) versus the
+default, on every device of the mobile database.
+"""
+
+from repro.core import format_table
+from repro.crowd import device_table
+from repro.experiments import fig3_android
+
+#: A representative HyperMapper result (so this bench does not depend on
+#: the E4 search); matches the class of configuration E4 finds.
+TUNED = {
+    "volume_resolution": 96,
+    "volume_size": 4.3,
+    "compute_size_ratio": 2,
+    "mu_distance": 0.066,
+    "icp_threshold": 1e-5,
+    "pyramid_iterations_l0": 8,
+    "pyramid_iterations_l1": 4,
+    "pyramid_iterations_l2": 3,
+    "integration_rate": 3,
+    "tracking_rate": 1,
+}
+
+
+def test_fig3_android_speedups(benchmark, show):
+    figure = benchmark.pedantic(
+        lambda: fig3_android.run(TUNED, n_frames=30, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    show(figure.histogram())
+    s = figure.summary
+    show(
+        f"devices: {s.devices}   median: {s.summary.median:.1f}x   "
+        f"geomean: {s.geometric_mean:.1f}x   "
+        f"range: [{s.summary.minimum:.1f}x, {s.summary.maximum:.1f}x]\n"
+        f"real-time (>=25 FPS): default {s.realtime_default}/83 -> "
+        f"tuned {s.realtime_tuned}/83"
+    )
+    show(format_table(figure.by_form_factor,
+                      title="By form factor"))
+    show(format_table(figure.drivers[:4],
+                      title="What drives the speed-up spread "
+                            "(forest feature importances)"))
+    show(device_table(figure.runs, top=5))
+
+    # Figure shape: 83 devices, everyone speeds up, spread within the
+    # figure's 0-14x axis, several-x typical gain.
+    assert s.devices == 83
+    assert s.summary.minimum > 1.0
+    assert s.summary.maximum < 14.0
+    assert 3.0 < s.summary.median < 9.0
+    assert s.realtime_tuned > s.realtime_default

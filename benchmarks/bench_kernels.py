@@ -1,0 +1,92 @@
+"""A1 — per-kernel runtime breakdown vs the dominant parameters.
+
+SLAMBench reports per-kernel timings; this ablation regenerates the
+breakdown for the default configuration and shows how the bottleneck
+moves: integration dominates at high volume resolution, preprocessing /
+tracking take over once the volume is small and the input is downsampled.
+Also micro-benchmarks the real NumPy kernels (bilateral filter, ICP
+iteration, integration, raycast) — the wall-clock numbers of this
+reproduction's own implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import format_table
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import TSDFVolume
+from repro.kfusion.integration import integrate
+from repro.kfusion.params import KFusionParams
+from repro.kfusion.preprocessing import bilateral_filter
+from repro.kfusion.raycast import raycast
+from repro.kfusion.workload_model import sequence_workloads
+from repro.platforms import PerformanceSimulator, PlatformConfig, odroid_xu3
+
+
+class TestSimulatedBreakdown:
+    def test_breakdown_vs_volume_resolution(self, benchmark, show):
+        device = odroid_xu3()
+
+        def sweep():
+            rows = []
+            for res in (64, 128, 256):
+                params = KFusionParams(volume_resolution=res,
+                                       integration_rate=1)
+                workloads = sequence_workloads(params, 320, 240, 10)
+                sim = PerformanceSimulator(
+                    device, PlatformConfig(backend="opencl")
+                )
+                result = sim.simulate(workloads)
+                breakdown = result.kernel_breakdown_s()
+                total = sum(breakdown.values())
+                row = {"volume_resolution": res,
+                       "frame_time_ms": result.mean_frame_time_s * 1e3}
+                for name in ("integrate", "raycast", "track", "reduce",
+                             "bilateral_filter"):
+                    row[name + "_%"] = 100.0 * breakdown.get(name, 0.0) / total
+                rows.append(row)
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        show(format_table(rows, title="Simulated kernel breakdown vs "
+                                      "volume resolution (OpenCL, ODROID)"))
+
+        # The bottleneck shifts: integration share grows cubically.
+        assert rows[-1]["integrate_%"] > rows[0]["integrate_%"]
+        assert rows[-1]["integrate_%"] > 40.0
+        # Tracking's share shrinks as the volume grows.
+        assert rows[-1]["track_%"] < rows[0]["track_%"]
+
+
+class TestRealKernelWallClock:
+    """Micro-benchmarks of the NumPy kernels themselves."""
+
+    @pytest.fixture(scope="class")
+    def cam(self):
+        return PinholeCamera.kinect_like(160, 120)
+
+    @pytest.fixture(scope="class")
+    def depth(self, cam):
+        rng = np.random.default_rng(0)
+        return np.clip(rng.uniform(1.0, 3.0, cam.shape), 0.2, None)
+
+    def test_bilateral_filter(self, benchmark, cam, depth):
+        out = benchmark(bilateral_filter, depth)
+        assert out.shape == cam.shape
+
+    def test_integrate(self, benchmark, cam, depth):
+        pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+
+        def run():
+            volume = TSDFVolume(64, 5.0)
+            return integrate(volume, depth, cam, pose, 0.1)
+
+        updated = benchmark(run)
+        assert updated > 0
+
+    def test_raycast(self, benchmark, cam, depth):
+        pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+        volume = TSDFVolume(64, 5.0)
+        integrate(volume, depth, cam, pose, 0.1)
+        verts, normals = benchmark(raycast, volume, cam, pose, 0.1)
+        assert np.any(normals != 0.0)

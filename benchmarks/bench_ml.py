@@ -1,0 +1,73 @@
+"""A3 — quality/cost of the from-scratch random forest.
+
+HyperMapper's effectiveness depends on the predictive model; this ablation
+measures the forest's R² and rank correlation on the actual DSE targets
+(log runtime, log Max ATE) as a function of training-set size and tree
+count, plus its fit/predict wall-clock.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.hypermapper import SurrogateEvaluator, kfusion_design_space, random_sample
+from repro.ml import RandomForestRegressor, r2_score, spearman_rank_correlation
+
+
+def _dataset(n, seed=0):
+    space = kfusion_design_space()
+    evaluator = SurrogateEvaluator(seed=seed)
+    configs = random_sample(space, n, seed=seed)
+    X = space.to_feature_matrix(configs)
+    evals = [evaluator.evaluate(c) for c in configs]
+    y_runtime = np.log10([e.runtime_s for e in evals])
+    y_ate = np.log10([e.max_ate_m for e in evals])
+    return X, y_runtime, y_ate
+
+
+def test_forest_quality_vs_budget(benchmark, show):
+    X_test, yr_test, ya_test = _dataset(150, seed=99)
+
+    def sweep():
+        rows = []
+        for n_train in (30, 60, 120):
+            for n_trees in (8, 32):
+                X, yr, ya = _dataset(n_train, seed=5)
+                rf_r = RandomForestRegressor(n_trees=n_trees,
+                                             random_state=0).fit(X, yr)
+                rf_a = RandomForestRegressor(n_trees=n_trees,
+                                             random_state=0).fit(X, ya)
+                rows.append(
+                    {
+                        "n_train": n_train,
+                        "n_trees": n_trees,
+                        "runtime_r2": r2_score(yr_test,
+                                               rf_r.predict(X_test)),
+                        "runtime_rank": spearman_rank_correlation(
+                            yr_test, rf_r.predict(X_test)),
+                        "ate_r2": r2_score(ya_test, rf_a.predict(X_test)),
+                        "ate_rank": spearman_rank_correlation(
+                            ya_test, rf_a.predict(X_test)),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(format_table(rows, title="Random-forest quality on the DSE "
+                                  "objectives (held-out set)"))
+
+    # The model learns the runtime surface almost perfectly (it is
+    # piecewise-analytic in the parameters) and ranks accuracy usefully.
+    best = rows[-1]
+    assert best["runtime_r2"] > 0.7
+    assert best["runtime_rank"] > 0.85
+    assert best["ate_rank"] > 0.5
+    # More data helps.
+    assert rows[-1]["ate_rank"] >= rows[0]["ate_rank"] - 0.1
+
+
+def test_forest_fit_wall_clock(benchmark):
+    X, yr, _ = _dataset(120, seed=3)
+    forest = benchmark(
+        lambda: RandomForestRegressor(n_trees=24, random_state=0).fit(X, yr)
+    )
+    assert len(forest.trees) == 24

@@ -1,0 +1,52 @@
+"""Wall-clock benchmarks of the full NumPy pipeline (this reproduction's
+own speed — SLAMBench's "computation speed" metric applied to itself)."""
+
+import pytest
+
+from repro.core import run_benchmark
+from repro.datasets import icl_nuim
+from repro.kfusion import KinectFusion
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    seq = icl_nuim.load("lr_kt0", n_frames=6, width=80, height=60)
+    seq.materialize()
+    return seq
+
+
+@pytest.mark.parametrize("volume_resolution", [96, 128])
+def test_kfusion_frame_time(benchmark, sequence, volume_resolution):
+    def run():
+        return run_benchmark(
+            KinectFusion(),
+            sequence,
+            configuration={
+                "volume_resolution": volume_resolution,
+                "volume_size": 5.0,
+                "integration_rate": 1,
+            },
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.collector.tracked_fraction() >= 0.8
+
+
+def test_compute_ratio_speedup(benchmark, sequence):
+    """csr=2 must cut the real wall-clock, not just the model's FLOPs."""
+
+    def run():
+        full = run_benchmark(
+            KinectFusion(), sequence,
+            configuration={"volume_resolution": 64, "volume_size": 5.0,
+                           "integration_rate": 1},
+        )
+        half = run_benchmark(
+            KinectFusion(), sequence,
+            configuration={"volume_resolution": 64, "volume_size": 5.0,
+                           "integration_rate": 1, "compute_size_ratio": 2},
+        )
+        return full.mean_wall_time_s, half.mean_wall_time_s
+
+    full_t, half_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert half_t < full_t

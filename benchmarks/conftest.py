@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one figure of the paper (see DESIGN.md's
+experiment index) and prints the regenerated rows/series, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation section as text artefacts.  Heavy experiment drivers run once
+per bench (``pedantic`` with one round) — the interesting output is the
+figure, the timing is a bonus.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The benches print regenerated figures; showing them is the point.
+    config.option.benchmark_disable_gc = True
+
+
+@pytest.fixture()
+def show():
+    """Print through pytest's capture (the figures should be visible)."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

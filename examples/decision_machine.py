@@ -1,0 +1,64 @@
+"""The decision machine for mobile phones (the poster's future work).
+
+Trains a classifier that maps device specifications to the most accurate
+KinectFusion configuration still real-time on that device, using the
+crowdsourced device population, and shows its recommendations for a few
+well-known phones.
+
+Usage::
+
+    python examples/decision_machine.py
+"""
+
+from repro.core import format_table
+from repro.crowd import (
+    PORTFOLIO,
+    DecisionMachine,
+    portfolio_fps,
+    train_test_devices,
+)
+from repro.platforms import phone_database
+
+
+def main() -> None:
+    train, test = train_test_devices(test_fraction=0.3, seed=0)
+    machine = DecisionMachine(target_fps=30.0, seed=0).fit(train)
+    evaluation = machine.evaluate(test, fixed_index=2)
+
+    print(f"portfolio ({len(PORTFOLIO)} entries, most accurate first):")
+    for i, entry in enumerate(PORTFOLIO):
+        print(f"  P{i}: {entry}")
+    print()
+    print(f"held-out devices: {evaluation.devices}")
+    print(f"exact oracle match: {evaluation.exact_match:.0%}   "
+          f"within one level: {evaluation.within_one:.0%}")
+    print(f"real-time with the predicted config: "
+          f"{evaluation.realtime_fraction:.0%}")
+    print(f"quality regret: machine {evaluation.mean_quality_regret:.2f} "
+          f"levels vs fixed-config {evaluation.mean_quality_loss_fixed:.2f}")
+    print()
+
+    db = {d.name: d for d in phone_database()}
+    showcase = [
+        "Samsung Galaxy S7", "Google Pixel", "LG Nexus 5",
+        "Motorola Moto G 2014", "Nvidia Shield Tablet",
+    ]
+    rows = []
+    for name in showcase:
+        device = db[name]
+        choice = machine.predict(device)
+        fps = portfolio_fps(device, n_frames=6)
+        rows.append(
+            {
+                "device": name,
+                "recommended": f"P{choice}",
+                "volume": PORTFOLIO[choice]["volume_resolution"],
+                "fps_at_choice": fps[choice],
+                "fps_at_P0": fps[0],
+            }
+        )
+    print(format_table(rows, title="Recommendations"))
+
+
+if __name__ == "__main__":
+    main()

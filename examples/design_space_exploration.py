@@ -1,0 +1,57 @@
+"""Design-space exploration of KinectFusion (the paper's Figure 2).
+
+Phase 1: random sampling of the 10-parameter algorithmic space.
+Phase 2: active learning with the random-forest model.
+Output: the (runtime, Max ATE) picture, the best configurations under the
+5 cm accuracy limit, and the extracted knowledge rules.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.experiments import fig2_dse
+from repro.hypermapper import format_knowledge
+
+
+def main() -> None:
+    figure = fig2_dse.run_surrogate(
+        n_random=150,
+        n_initial=40,
+        n_iterations=10,
+        samples_per_iteration=8,
+        seed=1,
+    )
+
+    print("=== Exploration strategies (runtime vs Max ATE) ===")
+    for which in ("random", "active"):
+        pts = figure.scatter_points(which)
+        feasible = pts[pts[:, 1] < figure.accuracy_limit_m]
+        print(
+            f"{which:>7}: {len(pts)} evaluations, "
+            f"{len(feasible)} under the {figure.accuracy_limit_m*100:.0f} cm "
+            f"accuracy limit, fastest feasible "
+            f"{feasible[:, 0].min() * 1e3:.1f} ms"
+            if len(feasible)
+            else f"{which:>7}: {len(pts)} evaluations, none feasible"
+        )
+
+    print()
+    print(format_table(figure.summary_rows(),
+                       title="Default vs best configurations"))
+
+    print("=== Knowledge extraction (Figure 2, right) ===")
+    print(format_knowledge(figure.knowledge))
+
+    best = figure.best_active
+    if best is not None:
+        print("Best configuration found by active learning:")
+        for key, value in sorted(best.configuration.items()):
+            print(f"  {key} = {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""The Android crowdsourcing study (the paper's Figure 3).
+
+Takes the ODROID-tuned configuration (from the headline co-design search),
+strips its platform-specific knobs, and runs default-vs-tuned on all 83
+devices of the mobile database, printing the speed-up histogram and the
+per-device extremes.
+
+Usage::
+
+    python examples/mobile_phone_sweep.py
+"""
+
+from repro.core import format_table
+from repro.crowd import device_table
+from repro.experiments import fig3_android
+
+
+def main() -> None:
+    figure = fig3_android.run(seed=0)
+
+    print("Tuned configuration shipped to the devices "
+          "(platform knobs stripped):")
+    for key, value in sorted(figure.tuned_configuration.items()):
+        print(f"  {key} = {value}")
+    print()
+
+    s = figure.summary
+    print(figure.histogram())
+    print(f"median speed-up: {s.summary.median:.1f}x   "
+          f"geometric mean: {s.geometric_mean:.1f}x   "
+          f"range: [{s.summary.minimum:.1f}x, {s.summary.maximum:.1f}x]")
+    print(f"devices at >= 25 FPS: default {s.realtime_default}/83, "
+          f"tuned {s.realtime_tuned}/83")
+    print()
+    print(format_table(figure.by_form_factor,
+                       title="Speed-up by form factor"))
+    print(format_table(figure.by_year, title="Speed-up by device year"))
+    print(device_table(figure.runs, top=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — a Python reproduction of *"Algorithmic Performance-Accuracy
+Trade-off in 3D Vision Applications"* (Bodin, Nardi, Wagstaff, Kelly,
+O'Boyle — ISPASS 2018).
+
+The package rebuilds the paper's three systems from scratch:
+
+* **SLAMBench** (``repro.core``, ``repro.kfusion``, ``repro.datasets``,
+  ``repro.metrics``, ``repro.platforms``): a benchmarking framework around
+  a NumPy KinectFusion, measuring speed, trajectory accuracy (ATE) and
+  power over synthetic ICL-NUIM/TUM-style RGB-D sequences.
+* **HyperMapper** (``repro.hypermapper``, ``repro.ml``): multi-objective
+  design-space exploration with a from-scratch random-forest model,
+  Pareto analysis, constraints and decision-tree knowledge extraction.
+* **The Android crowdsourcing study** (``repro.crowd``): an 83-device
+  mobile database and campaign simulation.
+
+Quick start::
+
+    from repro.core import run_benchmark
+    from repro.datasets import icl_nuim
+    from repro.kfusion import KinectFusion
+    from repro.platforms import odroid_xu3, PlatformConfig
+
+    seq = icl_nuim.load("lr_kt0", n_frames=20, width=80, height=60)
+    result = run_benchmark(
+        KinectFusion(), seq,
+        configuration={"volume_resolution": 128, "volume_size": 5.0},
+        device=odroid_xu3(), platform_config=PlatformConfig(backend="opencl"),
+    )
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""Baseline SLAM systems for cross-algorithm comparison."""
+
+from .odometry import ICPOdometry
+from .sparse import SparseOdometry
+from .static import StaticSLAM
+
+__all__ = ["ICPOdometry", "SparseOdometry", "StaticSLAM"]

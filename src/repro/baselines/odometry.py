@@ -1,0 +1,161 @@
+"""Frame-to-frame ICP visual odometry — a mapless baseline.
+
+SLAMBench's premise is comparing *algorithms* under one API; this system
+provides the classic cheap alternative to KinectFusion: align each frame
+against the previous frame's vertex/normal maps (no TSDF, no raycast).
+It is much faster and much less accurate (odometry drift accumulates
+without a global model) — the cross-algorithm experiment shows exactly
+that trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import SLAMSystem
+from ..core.config import ParameterSpec
+from ..core.frame import Frame
+from ..core.outputs import OutputKind, TrackingStatus
+from ..core.sensors import SensorSuite
+from ..core.workload import FrameWorkload
+from ..errors import ConfigurationError
+from ..geometry import PinholeCamera, se3
+from ..kfusion import kernels
+from ..kfusion.preprocessing import (
+    bilateral_filter,
+    build_pyramid,
+    downsample_depth,
+    vertex_normal_pyramid,
+)
+from ..kfusion.tracking import ReferenceModel, track
+
+
+class ICPOdometry(SLAMSystem):
+    """Dense frame-to-frame ICP odometry (no map)."""
+
+    name = "icp_odometry"
+
+    def __init__(self):
+        super().__init__()
+        self._camera: PinholeCamera | None = None
+        self._input_camera: PinholeCamera | None = None
+        self._pose = np.eye(4)
+        self._reference: ReferenceModel | None = None
+        self._status = TrackingStatus.BOOTSTRAP
+
+    def parameter_specs(self) -> list[ParameterSpec]:
+        return [
+            ParameterSpec(
+                "compute_size_ratio", "ordinal", 1, choices=(1, 2, 4, 8),
+                description="input downsampling factor",
+            ),
+            ParameterSpec(
+                "icp_threshold", "real", 1e-5, low=1e-20, high=1e-2,
+                log_scale=True,
+                description="ICP early-termination threshold",
+            ),
+            ParameterSpec(
+                "pyramid_iterations_l0", "integer", 10, low=0, high=10,
+                description="ICP iterations, finest level",
+            ),
+            ParameterSpec(
+                "pyramid_iterations_l1", "integer", 5, low=0, high=10,
+                description="ICP iterations, middle level",
+            ),
+            ParameterSpec(
+                "pyramid_iterations_l2", "integer", 4, low=0, high=10,
+                description="ICP iterations, coarsest level",
+            ),
+        ]
+
+    def do_init(self, sensors: SensorSuite) -> None:
+        assert self.configuration is not None
+        depth_sensor = sensors.require_depth()
+        self._input_camera = depth_sensor.camera
+        ratio = self.configuration["compute_size_ratio"]
+        try:
+            self._camera = depth_sensor.camera.scaled(ratio)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"compute_size_ratio {ratio} incompatible with "
+                f"{depth_sensor.camera.shape}: {exc}"
+            ) from exc
+        self._pose = np.eye(4)
+        self._reference = None
+        self.outputs.declare("pose", OutputKind.POSE)
+        self.outputs.declare("tracking_status", OutputKind.TRACKING_STATUS)
+
+    def do_process(self, frame: Frame, workload: FrameWorkload) -> TrackingStatus:
+        assert self.configuration is not None
+        assert self._camera is not None and self._input_camera is not None
+        cam = self._camera
+        cfg = self.configuration
+
+        workload.add(kernels.acquire(self._input_camera.pixel_count))
+        depth = downsample_depth(frame.depth, cfg["compute_size_ratio"])
+        workload.add(
+            kernels.downsample(self._input_camera.pixel_count, cam.pixel_count)
+        )
+        depth = bilateral_filter(depth)
+        workload.add(kernels.bilateral_filter(cam.pixel_count))
+
+        pyramid = build_pyramid(depth, 3)
+        for level in range(1, len(pyramid)):
+            workload.add(kernels.half_sample(pyramid[level].size))
+        vertices, normals, _ = vertex_normal_pyramid(pyramid, cam)
+        for level_depth in pyramid:
+            workload.add(kernels.depth_to_vertex(level_depth.size))
+            workload.add(kernels.vertex_to_normal(level_depth.size))
+
+        if self._reference is None:
+            self._status = TrackingStatus.BOOTSTRAP
+        else:
+            iters = (
+                cfg["pyramid_iterations_l0"],
+                cfg["pyramid_iterations_l1"],
+                cfg["pyramid_iterations_l2"],
+            )[: len(vertices)]
+            result = track(
+                vertices,
+                normals,
+                self._reference,
+                self._pose,
+                iters,
+                cfg["icp_threshold"],
+            )
+            for level, used in enumerate(result.iterations_per_level):
+                lpx = vertices[level].shape[0] * vertices[level].shape[1]
+                for _ in range(used):
+                    workload.add(kernels.track_iteration(lpx))
+                    workload.add(kernels.reduce_iteration(lpx))
+                    workload.add(kernels.solve())
+            if result.tracked:
+                self._pose = result.pose
+                self._status = TrackingStatus.OK
+            else:
+                self._status = TrackingStatus.LOST
+
+        # The new reference is this frame's (finest) maps in the world frame.
+        h, w = cam.shape
+        flat_v = vertices[0].reshape(-1, 3)
+        flat_n = normals[0].reshape(-1, 3)
+        valid = np.any(flat_n != 0.0, axis=-1)
+        v_w = np.zeros_like(flat_v)
+        n_w = np.zeros_like(flat_n)
+        v_w[valid] = se3.transform_points(self._pose, flat_v[valid])
+        n_w[valid] = flat_n[valid] @ self._pose[:3, :3].T
+        self._reference = ReferenceModel(
+            vertices=v_w.reshape(h, w, 3),
+            normals=n_w.reshape(h, w, 3),
+            camera=cam,
+            pose_volume_from_camera=self._pose.copy(),
+        )
+        return self._status
+
+    def do_update_outputs(self) -> None:
+        idx = self.frames_processed - 1
+        self.outputs.get("pose").set(self._pose.copy(), idx)
+        self.outputs.get("tracking_status").set(self._status, idx)
+
+    def do_clean(self) -> None:
+        self._reference = None

@@ -1,0 +1,41 @@
+"""The trivial baseline: report the initial pose forever.
+
+Useful as a sanity floor for accuracy metrics (any real SLAM system must
+beat it on a moving sequence) and as the smallest possible example of the
+framework API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import SLAMSystem
+from ..core.config import ParameterSpec
+from ..core.frame import Frame
+from ..core.outputs import OutputKind, TrackingStatus
+from ..core.sensors import SensorSuite
+from ..core.workload import FrameWorkload
+from ..kfusion import kernels
+
+
+class StaticSLAM(SLAMSystem):
+    """Always reports the identity pose."""
+
+    name = "static"
+
+    def parameter_specs(self) -> list[ParameterSpec]:
+        return []
+
+    def do_init(self, sensors: SensorSuite) -> None:
+        self._camera = sensors.require_depth().camera
+        self.outputs.declare("pose", OutputKind.POSE)
+        self.outputs.declare("tracking_status", OutputKind.TRACKING_STATUS)
+
+    def do_process(self, frame: Frame, workload: FrameWorkload) -> TrackingStatus:
+        workload.add(kernels.acquire(self._camera.pixel_count))
+        return TrackingStatus.OK
+
+    def do_update_outputs(self) -> None:
+        idx = self.frames_processed - 1
+        self.outputs.get("pose").set(np.eye(4), idx)
+        self.outputs.get("tracking_status").set(TrackingStatus.OK, idx)

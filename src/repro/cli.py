@@ -1,0 +1,233 @@
+"""Command-line interface — the analogue of SLAMBench's loader binaries.
+
+Subcommands:
+
+* ``run``      — benchmark an algorithm on a dataset (the loader loop).
+* ``dse``      — HyperMapper exploration (Figure 2) at chosen scale.
+* ``crowd``    — the 83-device Android campaign (Figure 3).
+* ``devices``  — list the mobile device database.
+* ``backends`` — the cross-implementation comparison (E5).
+
+Examples::
+
+    repro-benchmark run --dataset lr_kt0 --algorithm kfusion \
+        --frames 20 --width 80 --height 60 --set volume_resolution=128
+    repro-benchmark dse --samples 200 --iterations 10
+    repro-benchmark crowd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core import format_table, run_benchmark
+from .core.registry import (
+    algorithm_names,
+    create_algorithm,
+    create_dataset,
+    dataset_names,
+    register_defaults,
+)
+from .errors import ReproError
+from .platforms import PlatformConfig, odroid_xu3, phone_database
+
+
+def _parse_override(text: str):
+    """Parse ``name=value`` with numeric coercion."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected name=value, got {text!r}")
+    name, raw = text.split("=", 1)
+    for cast in (int, float):
+        try:
+            return name, cast(raw)
+        except ValueError:
+            continue
+    return name, raw
+
+
+def _cmd_run(args) -> int:
+    register_defaults()
+    sequence = create_dataset(args.dataset, n_frames=args.frames,
+                              width=args.width, height=args.height,
+                              seed=args.seed)
+    system = create_algorithm(args.algorithm)
+    config = dict(args.set or [])
+    result = run_benchmark(
+        system,
+        sequence,
+        configuration=config,
+        device=odroid_xu3(),
+        platform_config=PlatformConfig(backend=args.backend),
+    )
+    print(format_table([result.summary()],
+                       title=f"{args.algorithm} on {args.dataset}"))
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    from .experiments import fig2_dse
+    from .hypermapper import (
+        ConstraintSet,
+        accuracy_limit,
+        exploration_summary,
+        format_knowledge,
+        save_exploration_csv,
+    )
+
+    figure = fig2_dse.run_surrogate(
+        n_random=args.samples,
+        n_initial=max(10, args.samples // 5),
+        n_iterations=args.iterations,
+        samples_per_iteration=8,
+        seed=args.seed,
+    )
+    print(format_table(figure.summary_rows(),
+                       title="Design-space exploration"))
+    constraints = ConstraintSet.of([accuracy_limit(figure.accuracy_limit_m)])
+    print(exploration_summary(figure.active_result, constraints))
+    print()
+    print(format_knowledge(figure.knowledge))
+    if args.csv:
+        save_exploration_csv(figure.active_result, args.csv)
+        print(f"wrote samples to {args.csv}")
+    return 0
+
+
+def _cmd_crowd(args) -> int:
+    from .experiments import fig3_android
+
+    figure = fig3_android.run(seed=args.seed)
+    print(figure.histogram())
+    s = figure.summary
+    print(f"median {s.summary.median:.1f}x, geomean {s.geometric_mean:.1f}x")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .datasets.tum_format import load_tum_trajectory
+    from .metrics import absolute_trajectory_error, relative_pose_error
+    from .metrics.drift import trajectory_drift
+
+    estimated = load_tum_trajectory(args.estimated)
+    reference = load_tum_trajectory(args.reference)
+    ate = absolute_trajectory_error(estimated, reference,
+                                    max_dt=args.max_dt)
+    rows = [{
+        "metric": "ATE",
+        "rmse_m": ate.rmse,
+        "mean_m": ate.mean,
+        "max_m": ate.max,
+        "frames": ate.matched_frames,
+    }]
+    try:
+        rpe = relative_pose_error(estimated, reference, delta=args.delta,
+                                  max_dt=args.max_dt)
+        rows.append({
+            "metric": f"RPE(delta={args.delta})",
+            "rmse_m": rpe.trans_rmse,
+            "mean_m": rpe.trans_mean,
+            "max_m": rpe.trans_max,
+            "frames": rpe.pairs,
+        })
+    except ReproError:
+        pass
+    print(format_table(rows, title="Trajectory evaluation"))
+    try:
+        drift = trajectory_drift(estimated, reference, max_dt=args.max_dt)
+        print(f"path length {drift.path_length_m:.3f} m, endpoint drift "
+              f"{drift.endpoint_drift_percent:.2f} %")
+    except ReproError:
+        pass
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    rows = [
+        {
+            "device": d.name,
+            "year": d.year,
+            "form": d.form_factor,
+            "gpu": d.gpu.name if d.gpu else "-",
+            "gpu_gflops": d.gpu.gflops if d.gpu else 0.0,
+        }
+        for d in phone_database()
+    ]
+    print(format_table(rows, title=f"{len(rows)} devices"))
+    return 0
+
+
+def _cmd_backends(_args) -> int:
+    from .experiments import backends
+
+    print(format_table(backends.run().rows, title="Backend comparison"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    register_defaults()
+    parser = argparse.ArgumentParser(
+        prog="repro-benchmark",
+        description="SLAMBench/HyperMapper reproduction CLI",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="benchmark an algorithm on a dataset")
+    p_run.add_argument("--dataset", default="lr_kt0", choices=dataset_names())
+    p_run.add_argument("--algorithm", default="kfusion",
+                       choices=algorithm_names())
+    p_run.add_argument("--frames", type=int, default=15)
+    p_run.add_argument("--width", type=int, default=80)
+    p_run.add_argument("--height", type=int, default=60)
+    p_run.add_argument("--backend", default="opencl",
+                       choices=("cpp", "openmp", "opencl"))
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--set", metavar="NAME=VALUE", action="append",
+                       type=_parse_override,
+                       help="override an algorithm parameter")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_dse = sub.add_parser("dse", help="design-space exploration (Fig 2)")
+    p_dse.add_argument("--samples", type=int, default=150)
+    p_dse.add_argument("--iterations", type=int, default=10)
+    p_dse.add_argument("--seed", type=int, default=0)
+    p_dse.add_argument("--csv", default="",
+                       help="also write every sample to this CSV file")
+    p_dse.set_defaults(func=_cmd_dse)
+
+    p_crowd = sub.add_parser("crowd", help="83-device campaign (Fig 3)")
+    p_crowd.add_argument("--seed", type=int, default=0)
+    p_crowd.set_defaults(func=_cmd_crowd)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="ATE/RPE/drift between two TUM-format trajectories"
+    )
+    p_eval.add_argument("estimated", help="estimated trajectory (TUM text)")
+    p_eval.add_argument("reference", help="ground-truth trajectory (TUM text)")
+    p_eval.add_argument("--delta", type=int, default=1)
+    p_eval.add_argument("--max-dt", dest="max_dt", type=float, default=0.02)
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_dev = sub.add_parser("devices", help="list the device database")
+    p_dev.set_defaults(func=_cmd_devices)
+
+    p_be = sub.add_parser("backends", help="backend comparison (E5)")
+    p_be.set_defaults(func=_cmd_backends)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""SLAMBench-style framework core: API, configuration, harness, metrics."""
+
+from .api import SLAMSystem
+from .compare import MatrixEntry, MatrixResult, run_matrix
+from .config import AlgorithmConfiguration, ParameterSpec
+from .frame import Frame
+from .harness import BenchmarkResult, run_benchmark, run_frame_stream
+from .metrics import FrameRecord, MetricsCollector
+from .outputs import Output, OutputKind, OutputManager, TrackingStatus
+from .registry import (
+    algorithm_names,
+    create_algorithm,
+    create_dataset,
+    dataset_names,
+    register_algorithm,
+    register_dataset,
+    register_defaults,
+)
+from .report import format_histogram, format_table, write_csv
+from .sensors import DepthSensor, GroundTruthSensor, RGBSensor, SensorSuite
+from .workload import FrameWorkload, KernelInvocation
+
+__all__ = [
+    "SLAMSystem",
+    "MatrixEntry",
+    "MatrixResult",
+    "run_matrix",
+    "BenchmarkResult",
+    "run_benchmark",
+    "run_frame_stream",
+    "FrameRecord",
+    "MetricsCollector",
+    "algorithm_names",
+    "create_algorithm",
+    "create_dataset",
+    "dataset_names",
+    "register_algorithm",
+    "register_dataset",
+    "register_defaults",
+    "format_histogram",
+    "format_table",
+    "write_csv",
+    "AlgorithmConfiguration",
+    "ParameterSpec",
+    "Frame",
+    "Output",
+    "OutputKind",
+    "OutputManager",
+    "TrackingStatus",
+    "DepthSensor",
+    "GroundTruthSensor",
+    "RGBSensor",
+    "SensorSuite",
+    "FrameWorkload",
+    "KernelInvocation",
+]

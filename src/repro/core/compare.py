@@ -1,0 +1,128 @@
+"""Comparison matrices: algorithms x configurations x sequences.
+
+SLAMBench's purpose is the *holistic comparison* the poster's abstract
+promises.  :func:`run_matrix` is that as a library call: every entry
+(a named system factory with a configuration) runs over every sequence,
+optionally simulated on a device, and the result renders as the familiar
+cross table plus per-cell details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence as SequenceT
+
+from ..datasets.base import Sequence
+from ..errors import ConfigurationError, ReproError
+from ..platforms.device import DeviceModel
+from ..platforms.simulator import PlatformConfig
+from .harness import BenchmarkResult, run_benchmark
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class MatrixEntry:
+    """One row of the comparison: a system recipe."""
+
+    name: str
+    factory: Callable[[], object]  # () -> SLAMSystem
+    configuration: dict
+
+
+@dataclass
+class MatrixResult:
+    """All benchmark results of a comparison matrix."""
+
+    results: dict  # (entry_name, sequence_name) -> BenchmarkResult | None
+    entry_names: list
+    sequence_names: list
+    errors: dict  # (entry_name, sequence_name) -> str
+
+    def get(self, entry: str, sequence: str) -> BenchmarkResult:
+        result = self.results.get((entry, sequence))
+        if result is None:
+            raise ConfigurationError(
+                f"no result for ({entry!r}, {sequence!r}): "
+                f"{self.errors.get((entry, sequence), 'not run')}"
+            )
+        return result
+
+    def cell_rows(self) -> list[dict]:
+        """One flat row per (entry, sequence) cell."""
+        rows = []
+        for entry in self.entry_names:
+            for sequence in self.sequence_names:
+                result = self.results.get((entry, sequence))
+                if result is None:
+                    rows.append({"entry": entry, "sequence": sequence,
+                                 "error": self.errors.get(
+                                     (entry, sequence), "?")})
+                    continue
+                row = {"entry": entry}
+                row.update(result.summary())
+                rows.append(row)
+        return rows
+
+    def table(self, metric: str = "ate_max_m",
+              float_format: str = "{:.4g}") -> str:
+        """Entries x sequences cross table of one summary metric."""
+        rows = []
+        for entry in self.entry_names:
+            row = {"entry": entry}
+            for sequence in self.sequence_names:
+                result = self.results.get((entry, sequence))
+                if result is None:
+                    row[sequence] = "ERR"
+                else:
+                    value = result.summary().get(metric)
+                    row[sequence] = (float_format.format(value)
+                                     if isinstance(value, float) else value)
+            rows.append(row)
+        return format_table(rows, title=f"{metric} per entry x sequence")
+
+
+def run_matrix(
+    entries: SequenceT[MatrixEntry],
+    sequences: SequenceT[Sequence],
+    device: DeviceModel | None = None,
+    platform_config: PlatformConfig | None = None,
+    fail_fast: bool = False,
+) -> MatrixResult:
+    """Run every entry over every sequence.
+
+    Library errors in one cell are recorded (not raised) unless
+    ``fail_fast`` — a comparison suite should report the algorithm that
+    crashed on a dataset, not die with it.
+    """
+    if not entries:
+        raise ConfigurationError("no matrix entries")
+    if not sequences:
+        raise ConfigurationError("no sequences")
+    names = [e.name for e in entries]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("duplicate entry names")
+
+    results: dict = {}
+    errors: dict = {}
+    for entry in entries:
+        for sequence in sequences:
+            key = (entry.name, sequence.name)
+            try:
+                results[key] = run_benchmark(
+                    entry.factory(),
+                    sequence,
+                    configuration=dict(entry.configuration),
+                    device=device,
+                    platform_config=platform_config,
+                )
+            except ReproError as exc:
+                if fail_fast:
+                    raise
+                results[key] = None
+                errors[key] = str(exc)
+    return MatrixResult(
+        results=results,
+        entry_names=names,
+        sequence_names=[s.name for s in sequences],
+        errors=errors,
+    )

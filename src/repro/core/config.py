@@ -1,0 +1,174 @@
+"""Typed, bounded algorithm parameters.
+
+SLAMBench exposes each algorithm's tunables through a uniform parameter
+mechanism (``sb_new_slam_configuration`` registers them; the command line
+and HyperMapper set them).  :class:`ParameterSpec` describes one tunable —
+its type, bounds and default — and :class:`AlgorithmConfiguration` is a
+validated bag of values against a list of specs.  The HyperMapper design
+space (``repro.hypermapper.space``) is built directly from these specs, so
+an algorithm's declared parameters *are* its search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Description of one algorithm parameter.
+
+    Attributes:
+        name: identifier, unique within an algorithm.
+        kind: one of ``"integer"``, ``"real"``, ``"ordinal"``,
+            ``"categorical"``.
+        default: default value (must itself validate).
+        low, high: inclusive bounds for integer/real parameters.
+        choices: allowed values for ordinal/categorical parameters
+            (ordinals must be sorted numerics).
+        log_scale: hint that a real parameter should be sampled in log
+            space (e.g. ICP convergence threshold).
+        description: one-line human description, shown in reports.
+    """
+
+    name: str
+    kind: str
+    default: Any
+    low: float | None = None
+    high: float | None = None
+    choices: tuple = ()
+    log_scale: bool = False
+    description: str = ""
+
+    _KINDS = ("integer", "real", "ordinal", "categorical")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"parameter {self.name!r}: unknown kind {self.kind!r}"
+            )
+        if self.kind in ("integer", "real"):
+            if self.low is None or self.high is None:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: integer/real need low and high"
+                )
+            if self.low > self.high:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: low > high"
+                )
+            if self.log_scale and self.low <= 0:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: log scale requires low > 0"
+                )
+        if self.kind in ("ordinal", "categorical"):
+            if not self.choices:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: ordinal/categorical need choices"
+                )
+            object.__setattr__(self, "choices", tuple(self.choices))
+            if self.kind == "ordinal":
+                vals = list(self.choices)
+                if sorted(vals) != vals:
+                    raise ConfigurationError(
+                        f"parameter {self.name!r}: ordinal choices must be sorted"
+                    )
+        self.validate(self.default)
+
+    def validate(self, value: Any) -> Any:
+        """Check ``value`` against this spec; return the canonical value."""
+        if self.kind == "integer":
+            if not float(value).is_integer():
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: {value!r} is not an integer"
+                )
+            value = int(value)
+            if not self.low <= value <= self.high:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: {value} outside "
+                    f"[{self.low}, {self.high}]"
+                )
+            return value
+        if self.kind == "real":
+            value = float(value)
+            if not self.low <= value <= self.high:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: {value} outside "
+                    f"[{self.low}, {self.high}]"
+                )
+            return value
+        # ordinal / categorical
+        if value not in self.choices:
+            raise ConfigurationError(
+                f"parameter {self.name!r}: {value!r} not in {self.choices}"
+            )
+        return value
+
+
+class AlgorithmConfiguration:
+    """A validated mapping from parameter names to values.
+
+    Construct from a list of :class:`ParameterSpec` plus optional overrides;
+    unknown names and out-of-bounds values raise
+    :class:`~repro.errors.ConfigurationError` eagerly.
+    """
+
+    def __init__(self, specs: Sequence[ParameterSpec],
+                 values: Mapping[str, Any] | None = None):
+        self._specs = {s.name: s for s in specs}
+        if len(self._specs) != len(specs):
+            raise ConfigurationError("duplicate parameter names in specs")
+        self._values = {name: spec.default for name, spec in self._specs.items()}
+        if values:
+            self.update(values)
+
+    @property
+    def specs(self) -> tuple[ParameterSpec, ...]:
+        return tuple(self._specs.values())
+
+    def update(self, values: Mapping[str, Any]) -> "AlgorithmConfiguration":
+        """Set several parameters, validating each. Returns self."""
+        for name, value in values.items():
+            self[name] = value
+        return self
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown parameter {name!r}") from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(f"unknown parameter {name!r}")
+        self._values[name] = spec.validate(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> dict:
+        """Plain ``{name: value}`` snapshot."""
+        return dict(self._values)
+
+    def copy(self) -> "AlgorithmConfiguration":
+        clone = AlgorithmConfiguration(list(self._specs.values()))
+        clone._values = dict(self._values)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AlgorithmConfiguration):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"AlgorithmConfiguration({inner})"

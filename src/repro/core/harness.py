@@ -1,0 +1,233 @@
+"""The benchmark harness — SLAMBench's loader loop.
+
+``run_benchmark`` drives a :class:`~repro.core.api.SLAMSystem` through a
+:class:`~repro.datasets.base.Sequence` with the canonical lifecycle,
+collects per-frame metrics, evaluates trajectory accuracy against ground
+truth, and (optionally) simulates the run on a device model to obtain
+speed and power.  The result object carries everything the paper's
+figures need: per-frame streams (Fig 1), scalar objectives for the DSE
+(Fig 2), and device timings (Fig 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..datasets.base import Sequence
+from ..errors import DatasetError
+from ..errors import ReproError as _ReproError
+from ..metrics.ate import ATEResult, absolute_trajectory_error
+from ..metrics.drift import DriftResult, trajectory_drift
+from ..metrics.rpe import RPEResult, relative_pose_error
+from ..platforms.simulator import (
+    PerformanceSimulator,
+    PlatformConfig,
+    SimulationResult,
+)
+from ..platforms.device import DeviceModel
+from ..scene.trajectory import Trajectory
+from .api import SLAMSystem
+from .metrics import FrameRecord, MetricsCollector
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one (algorithm, configuration, sequence[, device]) run."""
+
+    algorithm: str
+    sequence: str
+    configuration: dict
+    collector: MetricsCollector
+    ate: ATEResult | None = None
+    rpe: RPEResult | None = None
+    drift: DriftResult | None = None
+    simulation: SimulationResult | None = None
+
+    @property
+    def estimated(self) -> Trajectory:
+        return self.collector.estimated_trajectory()
+
+    @property
+    def mean_wall_time_s(self) -> float:
+        return float(self.collector.wall_times().mean())
+
+    def frame_log_rows(self) -> list[dict]:
+        """Per-frame log rows, SLAMBench ``benchmark.log`` style.
+
+        One row per processed frame with the tracking status, wall-clock
+        of the Python kernels, estimated position, and (when a device was
+        simulated) the simulated frame time.
+        """
+        sim_times = {}
+        if self.simulation is not None:
+            sim_times = {
+                t.frame_index: t.duration_s
+                for t in self.simulation.frame_timings
+            }
+        rows = []
+        for record in self.collector.records:
+            x, y, z = record.pose[:3, 3]
+            rows.append(
+                {
+                    "frame": record.index,
+                    "timestamp_s": record.timestamp,
+                    "status": record.status.value,
+                    "wall_time_s": record.wall_time_s,
+                    "sim_time_s": sim_times.get(record.index, ""),
+                    "x": x,
+                    "y": y,
+                    "z": z,
+                    "valid_depth": record.valid_depth_fraction,
+                    "kernel_gflops": record.workload.total_flops / 1e9,
+                }
+            )
+        return rows
+
+    def save_frame_log(self, path: str) -> None:
+        """Write :meth:`frame_log_rows` as CSV."""
+        from .report import write_csv
+
+        write_csv(self.frame_log_rows(), path)
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for reports and CSV)."""
+        out = {
+            "algorithm": self.algorithm,
+            "sequence": self.sequence,
+            "frames": len(self.collector),
+            "tracked_fraction": self.collector.tracked_fraction(),
+        }
+        if self.ate is not None:
+            out["ate_max_m"] = self.ate.max
+            out["ate_mean_m"] = self.ate.mean
+            out["ate_rmse_m"] = self.ate.rmse
+        if self.rpe is not None:
+            out["rpe_trans_rmse_m"] = self.rpe.trans_rmse
+            out["rpe_rot_rmse_rad"] = self.rpe.rot_rmse
+        if self.drift is not None:
+            out["drift_percent"] = self.drift.endpoint_drift_percent
+        if self.simulation is not None:
+            out["sim_fps"] = self.simulation.fps
+            out["sim_frame_time_s"] = self.simulation.mean_frame_time_s
+            out["sim_power_w"] = self.simulation.average_power_w
+            out["sim_streaming_power_w"] = (
+                self.simulation.streaming_average_power_w()
+            )
+            out["sim_energy_per_frame_j"] = self.simulation.energy_per_frame_j
+        return out
+
+
+def run_benchmark(
+    system: SLAMSystem,
+    sequence: Sequence,
+    configuration: dict | None = None,
+    device: DeviceModel | None = None,
+    platform_config: PlatformConfig | None = None,
+    evaluate_accuracy: bool = True,
+    rpe_delta: int = 1,
+) -> BenchmarkResult:
+    """Run a SLAM system over a sequence and evaluate it.
+
+    Args:
+        system: a fresh (un-initialised) SLAM system instance.
+        sequence: the dataset sequence to process.
+        configuration: parameter overrides applied before init.
+        device: simulate the recorded workloads on this device model.
+        platform_config: backend/DVFS choice for the simulation.
+        evaluate_accuracy: compute ATE/RPE against ground truth (requires
+            the sequence to carry ground-truth poses).
+        rpe_delta: frame interval for the RPE.
+
+    Returns:
+        A :class:`BenchmarkResult`; accuracy/simulation fields are ``None``
+        when not requested.
+    """
+    if len(sequence) == 0:
+        raise DatasetError(f"sequence {sequence.name} is empty")
+
+    config = system.new_configuration()
+    if configuration:
+        config.update(configuration)
+    system.init(sequence.sensors)
+
+    collector = MetricsCollector()
+    try:
+        for frame in sequence:
+            t0 = time.perf_counter()
+            system.update_frame(frame.without_ground_truth())
+            status = system.process_once()
+            system.update_outputs()
+            wall = time.perf_counter() - t0
+            collector.add(
+                FrameRecord(
+                    index=frame.index,
+                    timestamp=frame.timestamp,
+                    wall_time_s=wall,
+                    status=status,
+                    pose=system.outputs.pose(),
+                    workload=system.last_workload(),
+                    valid_depth_fraction=frame.valid_depth_fraction(),
+                )
+            )
+    finally:
+        system.clean()
+
+    result = BenchmarkResult(
+        algorithm=system.name,
+        sequence=sequence.name,
+        configuration=config.as_dict(),
+        collector=collector,
+    )
+
+    if evaluate_accuracy and sequence.sensors.has_ground_truth:
+        estimated = collector.estimated_trajectory().relative(0)
+        reference = sequence.ground_truth().relative(0)
+        result.ate = absolute_trajectory_error(estimated, reference)
+        if len(estimated) > rpe_delta:
+            result.rpe = relative_pose_error(estimated, reference,
+                                             delta=rpe_delta)
+        try:
+            result.drift = trajectory_drift(estimated, reference)
+        except _ReproError:
+            result.drift = None  # e.g. stationary sequence: no path
+
+    if device is not None:
+        simulator = PerformanceSimulator(device, platform_config)
+        result.simulation = simulator.simulate(collector.workloads())
+
+    return result
+
+
+def run_frame_stream(
+    system: SLAMSystem,
+    sequence: Sequence,
+    configuration: dict | None = None,
+):
+    """Generator variant of the harness for live/GUI-style consumption.
+
+    Yields :class:`FrameRecord` objects one at a time — what the SLAMBench
+    GUI renders in real time (Figure 1).  The caller owns cleanup via the
+    generator protocol.
+    """
+    config = system.new_configuration()
+    if configuration:
+        config.update(configuration)
+    system.init(sequence.sensors)
+    try:
+        for frame in sequence:
+            t0 = time.perf_counter()
+            system.update_frame(frame.without_ground_truth())
+            status = system.process_once()
+            system.update_outputs()
+            yield FrameRecord(
+                index=frame.index,
+                timestamp=frame.timestamp,
+                wall_time_s=time.perf_counter() - t0,
+                status=status,
+                pose=system.outputs.pose(),
+                workload=system.last_workload(),
+                valid_depth_fraction=frame.valid_depth_fraction(),
+            )
+    finally:
+        system.clean()

@@ -1,0 +1,89 @@
+"""Per-frame metric collection — SLAMBench's metric manager.
+
+While the harness drives a SLAM system over a sequence it records, per
+frame: the wall-clock processing duration of our Python kernels, the
+tracking status, the estimated pose, and the kernel workload (which the
+platform simulator later converts into simulated device time and power).
+The GUI of Figure 1 displays exactly this stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..scene.trajectory import Trajectory
+from .outputs import TrackingStatus
+from .workload import FrameWorkload
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything measured about one processed frame."""
+
+    index: int
+    timestamp: float
+    wall_time_s: float
+    status: TrackingStatus
+    pose: np.ndarray
+    workload: FrameWorkload
+    valid_depth_fraction: float
+
+
+class MetricsCollector:
+    """Accumulates frame records and derives summary statistics."""
+
+    def __init__(self):
+        self._records: list[FrameRecord] = []
+
+    def add(self, record: FrameRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> tuple[FrameRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def require_nonempty(self) -> None:
+        if not self._records:
+            raise DatasetError("no frames recorded")
+
+    def estimated_trajectory(self) -> Trajectory:
+        """Estimated poses as a trajectory (volume/world frame of the SLAM)."""
+        self.require_nonempty()
+        return Trajectory(
+            poses=np.stack([r.pose for r in self._records]),
+            timestamps=np.array([r.timestamp for r in self._records]),
+        )
+
+    def workloads(self) -> list[FrameWorkload]:
+        return [r.workload for r in self._records]
+
+    def wall_times(self) -> np.ndarray:
+        return np.array([r.wall_time_s for r in self._records])
+
+    def tracked_fraction(self) -> float:
+        """Fraction of frames with OK (or bootstrap/skipped-by-design) status."""
+        self.require_nonempty()
+        good = sum(
+            1
+            for r in self._records
+            if r.status
+            in (TrackingStatus.OK, TrackingStatus.BOOTSTRAP, TrackingStatus.SKIPPED)
+        )
+        return good / len(self._records)
+
+    def lost_frames(self) -> list[int]:
+        return [
+            r.index for r in self._records if r.status == TrackingStatus.LOST
+        ]
+
+    def status_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for r in self._records:
+            counts[r.status.value] = counts.get(r.status.value, 0) + 1
+        return counts

@@ -1,0 +1,95 @@
+"""Typed algorithm outputs, mirroring SLAMBench's output mechanism.
+
+SLAMBench systems publish named outputs (current pose, point cloud, render
+of the internal model, tracking status); the loader/GUI subscribes to them.
+:class:`OutputManager` is the registry a :class:`~repro.core.api.SLAMSystem`
+fills in during ``update_outputs``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class OutputKind(enum.Enum):
+    """The type tag of a published output."""
+
+    POSE = "pose"  # 4x4 camera-to-world estimate
+    POINTCLOUD = "pointcloud"  # (N, 3) world points
+    FRAME = "frame"  # (H, W) or (H, W, 3) image
+    TRACKING_STATUS = "tracking_status"  # TrackingStatus enum
+    SCALAR = "scalar"  # any float (e.g. internal residual)
+
+
+class TrackingStatus(enum.Enum):
+    """Per-frame tracker verdict, as displayed in the SLAMBench GUI."""
+
+    OK = "ok"
+    LOST = "lost"
+    SKIPPED = "skipped"  # frame not tracked (tracking_rate decimation)
+    BOOTSTRAP = "bootstrap"  # first frame / re-initialisation
+
+
+@dataclass
+class Output:
+    """One published output slot."""
+
+    name: str
+    kind: OutputKind
+    value: Any = None
+    updated_at_frame: int = -1
+
+    def set(self, value: Any, frame_index: int) -> None:
+        self.value = value
+        self.updated_at_frame = frame_index
+
+
+class OutputManager:
+    """Registry of the outputs a SLAM system publishes.
+
+    Systems declare outputs once at init; the harness reads them after each
+    processed frame.  Declaring twice or reading an undeclared output is an
+    error — the same strictness the C++ framework enforces.
+    """
+
+    def __init__(self):
+        self._outputs: dict[str, Output] = {}
+
+    def declare(self, name: str, kind: OutputKind) -> Output:
+        if name in self._outputs:
+            raise ConfigurationError(f"output {name!r} already declared")
+        out = Output(name=name, kind=kind)
+        self._outputs[name] = out
+        return out
+
+    def get(self, name: str) -> Output:
+        try:
+            return self._outputs[name]
+        except KeyError:
+            raise ConfigurationError(f"output {name!r} not declared") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._outputs
+
+    def names(self) -> list[str]:
+        return list(self._outputs)
+
+    def set_pose(self, pose: np.ndarray, frame_index: int,
+                 name: str = "pose") -> None:
+        """Convenience: update (declaring if needed) the pose output."""
+        if name not in self._outputs:
+            self.declare(name, OutputKind.POSE)
+        self._outputs[name].set(np.asarray(pose, dtype=float), frame_index)
+
+    def pose(self, name: str = "pose") -> np.ndarray:
+        """Latest pose estimate."""
+        value = self.get(name).value
+        if value is None:
+            raise ConfigurationError(f"output {name!r} has no value yet")
+        return value

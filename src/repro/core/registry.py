@@ -1,0 +1,89 @@
+"""Algorithm and dataset registries.
+
+SLAMBench discovers algorithms as shared libraries and datasets as
+``.slam`` files; the Python equivalent is a name -> factory registry so
+experiments and the CLI-style examples can instantiate systems and
+sequences by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+_ALGORITHMS: dict[str, Callable] = {}
+_DATASETS: dict[str, Callable] = {}
+
+
+def register_algorithm(name: str, factory: Callable) -> None:
+    """Register a SLAM system factory under ``name``."""
+    if name in _ALGORITHMS:
+        raise ConfigurationError(f"algorithm {name!r} already registered")
+    _ALGORITHMS[name] = factory
+
+
+def create_algorithm(name: str):
+    """Instantiate a registered SLAM system."""
+    try:
+        return _ALGORITHMS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; registered: {sorted(_ALGORITHMS)}"
+        ) from None
+
+
+def algorithm_names() -> list[str]:
+    return sorted(_ALGORITHMS)
+
+
+def register_dataset(name: str, factory: Callable) -> None:
+    """Register a sequence factory under ``name``.
+
+    The factory takes keyword arguments (``n_frames``, ``width``, ...).
+    """
+    if name in _DATASETS:
+        raise ConfigurationError(f"dataset {name!r} already registered")
+    _DATASETS[name] = factory
+
+
+def create_dataset(name: str, **kwargs):
+    """Instantiate a registered sequence."""
+    try:
+        return _DATASETS[name](**kwargs)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; registered: {sorted(_DATASETS)}"
+        ) from None
+
+
+def dataset_names() -> list[str]:
+    return sorted(_DATASETS)
+
+
+def register_defaults() -> None:
+    """Register the built-in algorithms and dataset presets (idempotent)."""
+    from ..baselines.odometry import ICPOdometry
+    from ..baselines.sparse import SparseOdometry
+    from ..baselines.static import StaticSLAM
+    from ..datasets import corridor_seq, icl_nuim, tum
+    from ..kfusion.pipeline import KinectFusion
+
+    if "kfusion" not in _ALGORITHMS:
+        _ALGORITHMS["kfusion"] = KinectFusion
+        _ALGORITHMS["icp_odometry"] = ICPOdometry
+        _ALGORITHMS["sparse_odometry"] = SparseOdometry
+        _ALGORITHMS["static"] = StaticSLAM
+    for name in icl_nuim.SEQUENCE_NAMES:
+        if name not in _DATASETS:
+            _DATASETS[name] = (
+                lambda name=name, **kw: icl_nuim.load(name, **kw)
+            )
+    for name in tum.SEQUENCE_NAMES:
+        if name not in _DATASETS:
+            _DATASETS[name] = lambda name=name, **kw: tum.load(name, **kw)
+    for name in corridor_seq.SEQUENCE_NAMES:
+        if name not in _DATASETS:
+            _DATASETS[name] = (
+                lambda name=name, **kw: corridor_seq.load(name, **kw)
+            )

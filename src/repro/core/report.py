@@ -1,0 +1,93 @@
+"""Plain-text and CSV reporting of benchmark results.
+
+SLAMBench prints aligned metric tables and writes logs the plotting
+scripts consume; these helpers do the same for our results, and every
+benchmark target uses them so the regenerated "figures" are reproducible
+text artefacts.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in table)) for i, c in enumerate(columns)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in table:
+        out.write("  ".join(cell.ljust(w) for cell, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(rows: Sequence[Mapping], path: str,
+              columns: Sequence[str] | None = None) -> None:
+    """Write dict rows as CSV (simple, no quoting needs in our data)."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to write")
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w") as f:
+        f.write(",".join(columns) + "\n")
+        for row in rows:
+            f.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+
+
+def format_histogram(
+    values: Iterable[float],
+    n_bins: int = 14,
+    lo: float | None = None,
+    hi: float | None = None,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """ASCII histogram — the textual rendering of Figure 3's bar chart."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return "(no values)\n"
+    lo = lo if lo is not None else vals[0]
+    hi = hi if hi is not None else vals[-1]
+    if hi <= lo:
+        hi = lo + 1.0
+    counts = [0] * n_bins
+    for v in vals:
+        b = min(int((v - lo) / (hi - lo) * n_bins), n_bins - 1)
+        counts[max(b, 0)] += 1
+    peak = max(counts) or 1
+    out = io.StringIO()
+    if label:
+        out.write(label + "\n")
+    for i, c in enumerate(counts):
+        left = lo + (hi - lo) * i / n_bins
+        right = lo + (hi - lo) * (i + 1) / n_bins
+        bar = "#" * int(round(c / peak * width))
+        out.write(f"[{left:6.2f},{right:6.2f})  {bar} {c}\n")
+    return out.getvalue()

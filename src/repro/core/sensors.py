@@ -1,0 +1,70 @@
+"""Sensor descriptions, mirroring SLAMBench's sensor metadata.
+
+A dataset advertises the sensors it carries (depth camera, RGB camera,
+ground truth); a SLAM system checks at init time that the sensors it needs
+are present.  This is the contract that lets SLAMBench plug arbitrary
+algorithms into arbitrary datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DatasetError
+from ..geometry import PinholeCamera
+
+
+@dataclass(frozen=True)
+class DepthSensor:
+    """A depth camera: intrinsics plus range limits in metres."""
+
+    camera: PinholeCamera
+    min_range: float = 0.3
+    max_range: float = 6.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.min_range < self.max_range:
+            raise DatasetError(
+                f"invalid depth range [{self.min_range}, {self.max_range}]"
+            )
+
+
+@dataclass(frozen=True)
+class RGBSensor:
+    """A colour camera (assumed registered to the depth camera)."""
+
+    camera: PinholeCamera
+
+
+@dataclass(frozen=True)
+class GroundTruthSensor:
+    """Marker sensor: the dataset carries per-frame ground-truth poses."""
+
+    frame_rate_hz: float = 30.0
+
+
+@dataclass(frozen=True)
+class SensorSuite:
+    """The collection of sensors a dataset provides."""
+
+    depth: DepthSensor
+    rgb: RGBSensor | None = None
+    ground_truth: GroundTruthSensor | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def has_rgb(self) -> bool:
+        return self.rgb is not None
+
+    @property
+    def has_ground_truth(self) -> bool:
+        return self.ground_truth is not None
+
+    def require_depth(self) -> DepthSensor:
+        """Return the depth sensor (always present by construction)."""
+        return self.depth
+
+    def require_ground_truth(self) -> GroundTruthSensor:
+        if self.ground_truth is None:
+            raise DatasetError("dataset has no ground-truth sensor")
+        return self.ground_truth

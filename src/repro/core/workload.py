@@ -1,0 +1,89 @@
+"""Per-frame kernel workload records.
+
+SLAMBench measures real kernel timings; our Python reproduction measures
+real *functional* behaviour but gets runtime/power numbers from a platform
+simulator (see DESIGN.md, substitutions).  The bridge is the workload
+record: each SLAM system reports, for every processed frame, the list of
+kernels it executed with their operation counts.  The simulator maps those
+counts onto a device model to produce time and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel launch.
+
+    Attributes:
+        name: kernel identifier (e.g. ``"bilateral_filter"``).
+        flops: floating-point operations executed.
+        bytes_accessed: memory traffic in bytes (reads + writes).
+        parallel_fraction: fraction of work that can run in parallel
+            (Amdahl); dense image/volume kernels are ~0.99+.
+        gpu_eligible: whether an OpenCL/CUDA backend may run this kernel on
+            the GPU (true for all KinectFusion kernels, false for e.g.
+            host-side pose solves).
+    """
+
+    name: str
+    flops: float
+    bytes_accessed: float
+    parallel_fraction: float = 0.99
+    gpu_eligible: bool = True
+
+    def __post_init__(self):
+        if self.flops < 0 or self.bytes_accessed < 0:
+            raise SimulationError(
+                f"kernel {self.name!r}: negative operation counts"
+            )
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise SimulationError(
+                f"kernel {self.name!r}: parallel_fraction outside [0, 1]"
+            )
+
+
+@dataclass
+class FrameWorkload:
+    """All kernels executed while processing one frame.
+
+    ``wall_times_s`` optionally carries the *measured* wall-clock of the
+    Python implementation per pipeline stage (preprocess/track/integrate/
+    raycast) — the reproduction's own timing instrumentation, next to the
+    analytic counts the simulator consumes.
+    """
+
+    frame_index: int
+    kernels: list[KernelInvocation] = field(default_factory=list)
+    wall_times_s: dict = field(default_factory=dict)
+
+    def record_wall_time(self, stage: str, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError("negative stage duration")
+        self.wall_times_s[stage] = self.wall_times_s.get(stage, 0.0) + seconds
+
+    def add(self, kernel: KernelInvocation) -> None:
+        self.kernels.append(kernel)
+
+    def extend(self, kernels: Iterable[KernelInvocation]) -> None:
+        self.kernels.extend(kernels)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.bytes_accessed for k in self.kernels)
+
+    def by_kernel(self) -> dict[str, float]:
+        """Aggregate FLOPs per kernel name (for breakdown plots)."""
+        agg: dict[str, float] = {}
+        for k in self.kernels:
+            agg[k.name] = agg.get(k.name, 0.0) + k.flops
+        return agg

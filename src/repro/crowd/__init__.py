@@ -1,0 +1,34 @@
+"""Android crowdsourcing study: device campaign, analysis, decisions."""
+
+from .analysis import (CampaignSummary, by_group, device_table,
+                       speedup_drivers, summarize)
+from .campaign import DeviceRun, algorithmic_only, run_campaign
+from .decision_machine import (
+    PORTFOLIO,
+    DecisionEvaluation,
+    DecisionMachine,
+    device_features,
+    oracle_label,
+    portfolio_fps,
+    portfolio_params,
+    train_test_devices,
+)
+
+__all__ = [
+    "CampaignSummary",
+    "by_group",
+    "device_table",
+    "speedup_drivers",
+    "summarize",
+    "DeviceRun",
+    "algorithmic_only",
+    "run_campaign",
+    "PORTFOLIO",
+    "DecisionEvaluation",
+    "DecisionMachine",
+    "device_features",
+    "oracle_label",
+    "portfolio_fps",
+    "portfolio_params",
+    "train_test_devices",
+]

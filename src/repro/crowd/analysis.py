@@ -1,0 +1,133 @@
+"""Analysis of the crowdsourcing campaign — Figure 3's right panel.
+
+Turns the per-device runs into the speed-up distribution the paper plots
+(one bar per device, 0-14x range), plus summary statistics and breakdowns
+by form factor and device year that support the paper's "train a decision
+machine for mobile phones" discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.report import format_histogram, format_table
+from ..errors import SimulationError
+from ..metrics.summary import SeriesSummary, geometric_mean
+from .campaign import DeviceRun
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate view of the campaign."""
+
+    devices: int
+    speedups: np.ndarray
+    summary: SeriesSummary
+    geometric_mean: float
+    realtime_default: int  # devices at >= 25 FPS with the default config
+    realtime_tuned: int
+
+    def histogram(self, n_bins: int = 14) -> str:
+        return format_histogram(
+            self.speedups,
+            n_bins=n_bins,
+            lo=0.0,
+            hi=float(np.ceil(self.speedups.max())),
+            label=f"Speed-up of the HyperMapper configuration over the "
+            f"default across {self.devices} devices",
+        )
+
+
+def summarize(runs: list[DeviceRun], realtime_fps: float = 25.0) -> CampaignSummary:
+    """Compute the Figure 3 statistics."""
+    if not runs:
+        raise SimulationError("no campaign runs to summarise")
+    speedups = np.array([r.speedup for r in runs])
+    return CampaignSummary(
+        devices=len(runs),
+        speedups=speedups,
+        summary=SeriesSummary.of(speedups),
+        geometric_mean=geometric_mean(speedups),
+        realtime_default=int(sum(r.default_fps >= realtime_fps for r in runs)),
+        realtime_tuned=int(sum(r.tuned_fps >= realtime_fps for r in runs)),
+    )
+
+
+def by_group(runs: list[DeviceRun], key: str) -> list[dict]:
+    """Group speed-up statistics by a DeviceRun attribute (year, form...)."""
+    if not runs:
+        raise SimulationError("no campaign runs to group")
+    groups: dict = {}
+    for r in runs:
+        groups.setdefault(getattr(r, key), []).append(r.speedup)
+    rows = []
+    for g in sorted(groups):
+        vals = np.array(groups[g])
+        rows.append(
+            {
+                key: g,
+                "devices": len(vals),
+                "speedup_median": float(np.median(vals)),
+                "speedup_min": float(vals.min()),
+                "speedup_max": float(vals.max()),
+            }
+        )
+    return rows
+
+
+def speedup_drivers(runs: list[DeviceRun],
+                    n_trees: int = 40, seed: int = 0) -> list[dict]:
+    """Which device properties explain the speed-up spread?
+
+    Fits a random forest from device features to the observed speed-up
+    and returns the feature importances — the quantitative version of
+    "newer GPUs gain more", feeding the decision-machine discussion.
+    """
+    if len(runs) < 10:
+        raise SimulationError("need >= 10 runs to analyse drivers")
+    from ..ml.forest import RandomForestRegressor
+    from ..platforms.phones import phone_database
+    from .decision_machine import FEATURE_NAMES, device_features
+
+    by_name = {d.name: d for d in phone_database()}
+    X, y = [], []
+    for r in runs:
+        device = by_name.get(r.device)
+        if device is None:
+            continue
+        X.append(device_features(device))
+        y.append(r.speedup)
+    if len(X) < 10:
+        raise SimulationError("too few runs matched the device database")
+    forest = RandomForestRegressor(n_trees=n_trees, random_state=seed)
+    forest.fit(np.stack(X), np.asarray(y))
+    importances = forest.feature_importances()
+    rows = [
+        {"feature": name, "importance": float(imp)}
+        for name, imp in zip(FEATURE_NAMES, importances)
+    ]
+    rows.sort(key=lambda r: -r["importance"])
+    return rows
+
+
+def device_table(runs: list[DeviceRun], top: int | None = None) -> str:
+    """Per-device table sorted by speed-up (the figure's bar order)."""
+    rows = sorted(runs, key=lambda r: r.speedup)
+    if top is not None:
+        rows = rows[-top:]
+    return format_table(
+        [
+            {
+                "device": r.device,
+                "gpu": r.soc_gpu,
+                "year": r.year,
+                "default_fps": r.default_fps,
+                "tuned_fps": r.tuned_fps,
+                "speedup": r.speedup,
+            }
+            for r in rows
+        ],
+        title="Crowdsourced devices (sorted by speed-up)",
+    )

@@ -1,0 +1,186 @@
+"""Simulation of the Android crowdsourcing campaign (Figure 3).
+
+The SLAMBench Android app ran the OpenCL KinectFusion on phones in the
+wild; each install reported frame times for the default configuration and
+for the configuration HyperMapper found on the ODROID-XU3.  We regenerate
+the campaign over the 83-device database: per device, the analytic
+workload model is simulated on the device model, with a deterministic
+per-device *field factor* (thermal throttling, background load, driver
+quality) so the population shows the real study's scatter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..kfusion.params import DEFAULTS, KFusionParams
+from ..kfusion.workload_model import sequence_workloads
+from ..platforms.device import DeviceModel
+from ..platforms.phones import phone_database
+from ..platforms.simulator import PerformanceSimulator, PlatformConfig
+
+#: Keys that make sense only on the device they were tuned for.
+PLATFORM_KEYS = ("backend", "cpu_freq_ghz", "gpu_freq_ghz")
+
+
+@dataclass(frozen=True)
+class DeviceRun:
+    """One device's campaign entry."""
+
+    device: str
+    soc_gpu: str
+    year: int
+    form_factor: str
+    default_fps: float
+    tuned_fps: float
+    default_power_w: float
+    tuned_power_w: float
+    field_factor: float
+
+    @property
+    def speedup(self) -> float:
+        return self.tuned_fps / self.default_fps
+
+
+def _field_factor(device_name: str, seed: int) -> float:
+    """Deterministic per-device slowdown (background load, drivers).
+
+    Log-normal around 0.8x with moderate spread — crowdsourced numbers are
+    always below lab numbers and noisy across installs.
+    """
+    digest = hashlib.sha256(f"{device_name}|{seed}".encode()).digest()
+    u1 = int.from_bytes(digest[:8], "big") / 2**64
+    u2 = int.from_bytes(digest[8:16], "big") / 2**64
+    z = np.sqrt(-2.0 * np.log(max(u1, 1e-12))) * np.cos(2.0 * np.pi * u2)
+    return float(np.clip(0.8 * np.exp(0.18 * z), 0.35, 1.2))
+
+
+def _sustained_power_budget_w(device: DeviceModel, seed: int) -> float:
+    """Power a device can dissipate indefinitely without throttling.
+
+    Phones sustain roughly 1.5-3 W, tablets and boards more; the exact
+    value varies with chassis and ambient conditions, which we draw
+    deterministically per device.
+    """
+    digest = hashlib.sha256(f"budget|{device.name}|{seed}".encode()).digest()
+    u = int.from_bytes(digest[:8], "big") / 2**64
+    base = {"phone": 1.6, "tablet": 2.6, "board": 3.5}.get(
+        device.form_factor, 1.8
+    )
+    return base + 1.2 * u
+
+
+#: The kernels whose per-device efficiency we perturb (all GPU-side).
+_PORTABILITY_KERNELS = (
+    "bilateral_filter", "half_sample", "depth2vertex", "vertex2normal",
+    "track", "reduce", "integrate", "raycast", "downsample", "acquire",
+)
+
+
+def _kernel_efficiencies(device: DeviceModel, seed: int) -> dict:
+    """Per-kernel throughput factors for one device.
+
+    OpenCL performance portability is poor: a kernel tuned for the Mali on
+    the ODROID may hit 40-100% of a different GPU's sustained rate
+    depending on register pressure, local-memory use and compiler
+    maturity.  Drawn deterministically per (device, kernel).
+    """
+    out = {}
+    for kernel in _PORTABILITY_KERNELS:
+        digest = hashlib.sha256(
+            f"eff|{device.name}|{kernel}|{seed}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        out[kernel] = 0.4 + 0.6 * u
+    return out
+
+
+def _throttle(streaming_power_w: float, budget_w: float) -> float:
+    """Sustained-clock slowdown when average power exceeds the budget.
+
+    A configuration drawing under the budget runs at burst clocks
+    (factor 1); beyond it, DVFS steps the clocks down roughly in
+    proportion to the excess (cubic power vs frequency makes the required
+    frequency drop sub-linear, hence the 0.75 exponent).
+    """
+    if streaming_power_w <= budget_w:
+        return 1.0
+    return float((streaming_power_w / budget_w) ** 0.75)
+
+
+def algorithmic_only(configuration: Mapping) -> dict:
+    """Strip device-specific platform knobs from a tuned configuration."""
+    return {k: v for k, v in configuration.items() if k not in PLATFORM_KEYS}
+
+
+def run_campaign(
+    tuned_configuration: Mapping,
+    devices: list[DeviceModel] | None = None,
+    width: int = 320,
+    height: int = 240,
+    n_frames: int = 30,
+    seed: int = 0,
+) -> list[DeviceRun]:
+    """Run default and tuned configurations on every device.
+
+    ``tuned_configuration`` is the HyperMapper result from the ODROID; its
+    platform knobs are stripped (phones run their own clocks), keeping the
+    algorithmic parameters — exactly what the Android app shipped.
+    """
+    devices = devices if devices is not None else phone_database()
+    if not devices:
+        raise SimulationError("no devices to run the campaign on")
+
+    tuned = algorithmic_only(dict(tuned_configuration))
+    missing = set(DEFAULTS) - set(tuned)
+    if missing:
+        raise SimulationError(
+            f"tuned configuration missing parameters: {sorted(missing)}"
+        )
+    default_params = KFusionParams()
+    tuned_params = KFusionParams(**{k: tuned[k] for k in DEFAULTS})
+
+    default_wl = sequence_workloads(default_params, width, height, n_frames)
+    tuned_wl = sequence_workloads(tuned_params, width, height, n_frames)
+
+    runs = []
+    for device in devices:
+        backend = "opencl" if device.supports_backend("opencl") else "openmp"
+        sim = PerformanceSimulator(
+            device,
+            PlatformConfig(
+                backend=backend,
+                kernel_efficiency=_kernel_efficiencies(device, seed),
+            ),
+        )
+        res_default = sim.simulate(default_wl)
+        res_tuned = sim.simulate(tuned_wl)
+        factor = _field_factor(device.name, seed)
+        budget = _sustained_power_budget_w(device, seed)
+        default_power = res_default.streaming_average_power_w()
+        tuned_power = res_tuned.streaming_average_power_w()
+        # Thermal throttling: the heavy default configuration exceeds the
+        # sustained budget on most phones and loses its burst clocks; the
+        # tuned configuration usually stays within it.  This is the main
+        # source of cross-device spread in the crowdsourced speed-ups.
+        default_fps = res_default.fps * factor / _throttle(default_power, budget)
+        tuned_fps = res_tuned.fps * factor / _throttle(tuned_power, budget)
+        runs.append(
+            DeviceRun(
+                device=device.name,
+                soc_gpu=device.gpu.name if device.gpu else "none",
+                year=device.year,
+                form_factor=device.form_factor,
+                default_fps=default_fps,
+                tuned_fps=tuned_fps,
+                default_power_w=default_power,
+                tuned_power_w=tuned_power,
+                field_factor=factor,
+            )
+        )
+    return runs

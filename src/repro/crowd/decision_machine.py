@@ -1,0 +1,218 @@
+"""The "decision machine for mobile phones" — the poster's future work.
+
+    "We now plan to use this data to ... provide techniques to optimise
+    KinectFusion performance depending of the targeted platform.  We
+    believe that by combining the potential of HyperMapper and the data
+    collected on Android, we could train a decision machine for mobile
+    phones."
+
+This module builds exactly that, end to end:
+
+1. a **portfolio** of configurations spanning the accuracy/speed
+   trade-off (all accuracy-feasible on the surrogate, ordered from most
+   accurate to fastest);
+2. **training data** from the crowd: every training device runs the whole
+   portfolio (campaign simulation) and is labelled with the *most
+   accurate portfolio entry that still reaches the FPS target* on it —
+   the per-device decision an installer would want;
+3. a **random-forest classifier** from device features (GPU throughput,
+   bandwidths, CPU class, year, form factor) to that label;
+4. **evaluation** on held-out devices against the oracle label and
+   against shipping one fixed configuration to everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OptimizationError, SimulationError
+from ..kfusion.params import KFusionParams
+from ..kfusion.workload_model import sequence_workloads
+from ..ml.forest import RandomForestClassifier
+from ..platforms.device import DeviceModel
+from ..platforms.phones import phone_database
+from ..platforms.simulator import PerformanceSimulator, PlatformConfig
+
+#: The configuration portfolio, most accurate first.  Entries were chosen
+#: along the accuracy-feasible front of the Figure 2 exploration; index
+#: is the quality rank (0 = best model quality).
+PORTFOLIO: tuple[dict, ...] = (
+    {"volume_resolution": 256, "compute_size_ratio": 1,
+     "integration_rate": 1, "pyramid_iterations_l0": 10},
+    {"volume_resolution": 256, "compute_size_ratio": 1,
+     "integration_rate": 2, "pyramid_iterations_l0": 10},
+    {"volume_resolution": 192, "compute_size_ratio": 2,
+     "integration_rate": 2, "pyramid_iterations_l0": 8},
+    {"volume_resolution": 128, "compute_size_ratio": 2,
+     "integration_rate": 3, "pyramid_iterations_l0": 8},
+    {"volume_resolution": 96, "compute_size_ratio": 4,
+     "integration_rate": 4, "pyramid_iterations_l0": 6},
+    {"volume_resolution": 64, "compute_size_ratio": 4,
+     "integration_rate": 6, "pyramid_iterations_l0": 6},
+)
+
+_BASE = {
+    "volume_size": 4.8,
+    "mu_distance": 0.1,
+    "icp_threshold": 1e-5,
+    "pyramid_iterations_l1": 4,
+    "pyramid_iterations_l2": 4,
+    "tracking_rate": 1,
+}
+
+
+def portfolio_params(index: int) -> KFusionParams:
+    """Full typed parameters for portfolio entry ``index``."""
+    if not 0 <= index < len(PORTFOLIO):
+        raise OptimizationError(
+            f"portfolio index {index} outside [0, {len(PORTFOLIO)})"
+        )
+    return KFusionParams(**{**_BASE, **PORTFOLIO[index]})
+
+
+def device_features(device: DeviceModel) -> np.ndarray:
+    """Encode a device as a feature vector for the classifier."""
+    big = device.biggest_cluster
+    gpu = device.gpu
+    form = {"phone": 0.0, "tablet": 1.0, "board": 2.0}.get(
+        device.form_factor, 0.0
+    )
+    return np.array([
+        gpu.gflops if gpu else 0.0,
+        gpu.bandwidth_gbs if gpu else 0.0,
+        device.memory_bandwidth_gbs,
+        big.max_freq_ghz * big.flops_per_cycle * big.cores,
+        float(device.total_cores),
+        device.kernel_launch_overhead_s * 1e6,
+        float(device.year),
+        form,
+    ])
+
+
+FEATURE_NAMES = (
+    "gpu_gflops", "gpu_bandwidth_gbs", "mem_bandwidth_gbs",
+    "cpu_gflops_class", "total_cores", "launch_overhead_us", "year",
+    "form_factor",
+)
+
+
+def portfolio_fps(device: DeviceModel, width: int = 320, height: int = 240,
+                  n_frames: int = 15) -> list[float]:
+    """Simulated FPS of every portfolio entry on ``device``."""
+    backend = "opencl" if device.supports_backend("opencl") else "openmp"
+    sim = PerformanceSimulator(device, PlatformConfig(backend=backend))
+    out = []
+    for index in range(len(PORTFOLIO)):
+        workloads = sequence_workloads(
+            portfolio_params(index), width, height, n_frames
+        )
+        out.append(sim.simulate(workloads).fps)
+    return out
+
+
+def oracle_label(fps_per_entry: list[float], target_fps: float = 30.0) -> int:
+    """Most accurate portfolio entry meeting the FPS target (else fastest)."""
+    for index, fps in enumerate(fps_per_entry):
+        if fps >= target_fps:
+            return index
+    return len(fps_per_entry) - 1
+
+
+@dataclass(frozen=True)
+class DecisionEvaluation:
+    """Held-out evaluation of the decision machine."""
+
+    devices: int
+    exact_match: float  # predicted == oracle label
+    within_one: float  # |predicted - oracle| <= 1
+    realtime_fraction: float  # predicted config meets the FPS target
+    oracle_realtime_fraction: float
+    fixed_realtime_fraction: float  # one fixed config for everyone
+    mean_quality_regret: float  # mean (predicted - oracle) quality index
+    mean_quality_loss_fixed: float  # same regret for the fixed config
+
+
+class DecisionMachine:
+    """Device specs -> portfolio choice."""
+
+    def __init__(self, target_fps: float = 30.0, n_trees: int = 40,
+                 seed: int = 0):
+        self.target_fps = target_fps
+        self.n_trees = n_trees
+        self.seed = seed
+        self._forest: RandomForestClassifier | None = None
+
+    def fit(self, devices: list[DeviceModel]) -> "DecisionMachine":
+        """Label the training devices by simulation and fit the forest."""
+        if len(devices) < 5:
+            raise OptimizationError("need >= 5 training devices")
+        X = np.stack([device_features(d) for d in devices])
+        y = np.array([
+            oracle_label(portfolio_fps(d), self.target_fps) for d in devices
+        ])
+        self._forest = RandomForestClassifier(
+            n_trees=self.n_trees, max_depth=8, random_state=self.seed
+        )
+        self._forest.fit(X, y)
+        return self
+
+    def predict(self, device: DeviceModel) -> int:
+        """Portfolio index recommended for ``device``."""
+        if self._forest is None:
+            raise OptimizationError("decision machine is not fitted")
+        return int(self._forest.predict(
+            device_features(device).reshape(1, -1)
+        )[0])
+
+    def recommend(self, device: DeviceModel) -> KFusionParams:
+        """Full configuration recommended for ``device``."""
+        return portfolio_params(self.predict(device))
+
+    def evaluate(self, devices: list[DeviceModel],
+                 fixed_index: int = 2) -> DecisionEvaluation:
+        """Score predictions on (held-out) devices against the oracle."""
+        if self._forest is None:
+            raise OptimizationError("decision machine is not fitted")
+        if not devices:
+            raise SimulationError("no devices to evaluate on")
+        exact = within1 = rt_pred = rt_oracle = rt_fixed = 0
+        regret = 0.0
+        fixed_loss = 0.0
+        for device in devices:
+            fps = portfolio_fps(device)
+            oracle = oracle_label(fps, self.target_fps)
+            predicted = self.predict(device)
+            exact += predicted == oracle
+            within1 += abs(predicted - oracle) <= 1
+            rt_pred += fps[predicted] >= self.target_fps
+            rt_oracle += fps[oracle] >= self.target_fps
+            rt_fixed += fps[fixed_index] >= self.target_fps
+            regret += max(0, predicted - oracle)
+            fixed_loss += max(0, fixed_index - oracle)
+        n = len(devices)
+        return DecisionEvaluation(
+            devices=n,
+            exact_match=exact / n,
+            within_one=within1 / n,
+            realtime_fraction=rt_pred / n,
+            oracle_realtime_fraction=rt_oracle / n,
+            fixed_realtime_fraction=rt_fixed / n,
+            mean_quality_regret=regret / n,
+            mean_quality_loss_fixed=fixed_loss / n,
+        )
+
+
+def train_test_devices(
+    test_fraction: float = 0.3, seed: int = 0
+) -> tuple[list[DeviceModel], list[DeviceModel]]:
+    """Split the 83-device database into train/test."""
+    devices = phone_database()
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(devices))
+    n_test = max(1, int(len(devices) * test_fraction))
+    test_idx = set(order[:n_test].tolist())
+    train = [d for i, d in enumerate(devices) if i not in test_idx]
+    test = [d for i, d in enumerate(devices) if i in test_idx]
+    return train, test

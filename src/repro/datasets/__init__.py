@@ -1,0 +1,28 @@
+"""Dataset layer: sequences, presets, ground truth and serialisation."""
+
+from . import corridor_seq, icl_nuim, tum
+from .base import InMemorySequence, Sequence
+from .groundtruth import associate, rebase_to_first, rotation_errors, translation_errors
+from .io import load_sequence, save_sequence
+from .stats import SequenceStatistics, sequence_statistics
+from .synthetic import SyntheticSequence
+from .tum_format import load_tum_trajectory, save_tum_trajectory
+
+__all__ = [
+    "corridor_seq",
+    "icl_nuim",
+    "tum",
+    "InMemorySequence",
+    "Sequence",
+    "associate",
+    "rebase_to_first",
+    "rotation_errors",
+    "translation_errors",
+    "load_sequence",
+    "save_sequence",
+    "SequenceStatistics",
+    "sequence_statistics",
+    "SyntheticSequence",
+    "load_tum_trajectory",
+    "save_tum_trajectory",
+]

@@ -1,0 +1,115 @@
+"""Dataset abstractions.
+
+A :class:`Sequence` is what the harness consumes: an ordered collection of
+:class:`~repro.core.frame.Frame` objects plus the sensor suite describing
+them and (optionally) a ground-truth trajectory and the generating scene.
+Concrete sequences are synthetic (``repro.datasets.synthetic``) or loaded
+from disk (``repro.datasets.io``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+from ..core.frame import Frame
+from ..core.sensors import SensorSuite
+from ..errors import DatasetError
+from ..scene.living_room import SceneDescription
+from ..scene.trajectory import Trajectory
+
+
+class Sequence(abc.ABC):
+    """An ordered RGB-D sequence with metadata."""
+
+    name: str = "sequence"
+
+    @property
+    @abc.abstractmethod
+    def sensors(self) -> SensorSuite:
+        """Sensor suite describing the frames."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of frames."""
+
+    @abc.abstractmethod
+    def frame(self, index: int) -> Frame:
+        """The frame at ``index`` (0-based)."""
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(len(self)):
+            yield self.frame(i)
+
+    def ground_truth(self) -> Trajectory:
+        """Ground-truth trajectory, if the dataset has one.
+
+        Default implementation collects per-frame poses; raises
+        :class:`~repro.errors.DatasetError` when any frame lacks one.
+        """
+        poses, stamps = [], []
+        for f in self:
+            if f.ground_truth_pose is None:
+                raise DatasetError(
+                    f"{self.name}: frame {f.index} has no ground-truth pose"
+                )
+            poses.append(f.ground_truth_pose)
+            stamps.append(f.timestamp)
+        if not poses:
+            raise DatasetError(f"{self.name}: empty sequence")
+        return Trajectory(poses=np.stack(poses), timestamps=np.asarray(stamps))
+
+    @property
+    def scene(self) -> SceneDescription | None:
+        """The generating scene (synthetic datasets only)."""
+        return None
+
+    def validate(self) -> None:
+        """Sanity-check the sequence: shapes, timestamps, indices."""
+        if len(self) == 0:
+            raise DatasetError(f"{self.name}: empty sequence")
+        shape = self.sensors.depth.camera.shape
+        last_t = -np.inf
+        for i, f in enumerate(self):
+            if f.index != i:
+                raise DatasetError(f"{self.name}: frame {i} has index {f.index}")
+            if f.shape != shape:
+                raise DatasetError(
+                    f"{self.name}: frame {i} shape {f.shape} != sensor {shape}"
+                )
+            if f.timestamp < last_t:
+                raise DatasetError(f"{self.name}: timestamps not monotonic at {i}")
+            last_t = f.timestamp
+
+
+class InMemorySequence(Sequence):
+    """A sequence backed by a list of already-materialised frames."""
+
+    def __init__(self, name: str, sensors: SensorSuite, frames: list[Frame],
+                 scene: SceneDescription | None = None):
+        if not frames:
+            raise DatasetError("InMemorySequence needs at least one frame")
+        self.name = name
+        self._sensors = sensors
+        self._frames = list(frames)
+        self._scene = scene
+
+    @property
+    def sensors(self) -> SensorSuite:
+        return self._sensors
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def frame(self, index: int) -> Frame:
+        if not 0 <= index < len(self._frames):
+            raise DatasetError(
+                f"{self.name}: frame index {index} out of range [0, {len(self)})"
+            )
+        return self._frames[index]
+
+    @property
+    def scene(self) -> SceneDescription | None:
+        return self._scene

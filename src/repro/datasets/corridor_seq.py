@@ -1,0 +1,61 @@
+"""Corridor sequence presets — the tracking-robustness datasets.
+
+Two sequences over the corridor scene (``repro.scene.corridor``):
+``cor_walk`` walks along the furnished corridor (hard but trackable);
+``cor_bare`` walks the featureless variant (the ICP-degenerate stress
+case; dense tracking is *expected* to slide or report LOST here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import PinholeCamera, se3
+from ..scene.corridor import corridor
+from ..scene.noise import KinectNoiseModel
+from ..scene.trajectory import Trajectory
+from .synthetic import SyntheticSequence
+
+SEQUENCE_NAMES = ("cor_walk", "cor_bare")
+
+
+def _walk_trajectory(n_frames: int, step: float, seed: int) -> Trajectory:
+    rng = np.random.default_rng(seed)
+    poses = []
+    for i in range(n_frames):
+        eye = np.array([-2.0 + i * step, 1.2, 0.0])
+        eye[1:] += rng.normal(0.0, 0.001, 2)  # slight hand-held sway
+        target = eye + np.array([1.0, -0.05, 0.0])
+        poses.append(se3.look_at(eye, target, up=(0, 1, 0)))
+    return Trajectory(poses=np.stack(poses),
+                      timestamps=np.arange(n_frames) / 30.0)
+
+
+def load(
+    name: str = "cor_walk",
+    n_frames: int = 20,
+    width: int = 160,
+    height: int = 120,
+    noise: KinectNoiseModel | None = None,
+    seed: int = 0,
+) -> SyntheticSequence:
+    """Build one corridor sequence (walks ~1.2 cm per frame)."""
+    if name == "cor_walk":
+        scene = corridor(bare=False)
+    elif name == "cor_bare":
+        scene = corridor(bare=True)
+    else:
+        raise DatasetError(
+            f"unknown corridor sequence {name!r}; choose from {SEQUENCE_NAMES}"
+        )
+    camera = PinholeCamera.kinect_like(width=width, height=height)
+    trajectory = _walk_trajectory(n_frames, step=0.012, seed=seed)
+    return SyntheticSequence(
+        name=name,
+        scene=scene,
+        trajectory=trajectory,
+        camera=camera,
+        noise=noise if noise is not None else KinectNoiseModel.mild(),
+        seed=seed,
+    )

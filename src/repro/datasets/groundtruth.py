@@ -1,0 +1,90 @@
+"""Ground-truth trajectory handling: association and normalisation.
+
+The TUM evaluation tools associate estimated and ground-truth poses by
+timestamp before computing errors; estimated trajectories may also be
+expressed in an arbitrary start frame.  These helpers perform that
+bookkeeping for the metric layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import se3
+from ..scene.trajectory import Trajectory
+
+
+def associate(
+    estimated: Trajectory,
+    reference: Trajectory,
+    max_dt: float = 0.02,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match estimated poses to reference poses by nearest timestamp.
+
+    Returns index arrays ``(est_idx, ref_idx)`` of equal length; pairs whose
+    timestamp difference exceeds ``max_dt`` seconds are dropped.  Each
+    reference pose is used at most once (greedy nearest-first matching, as
+    in the TUM tools).
+    """
+    if len(estimated) == 0 or len(reference) == 0:
+        raise DatasetError("cannot associate empty trajectories")
+    t_est = np.asarray(estimated.timestamps)
+    t_ref = np.asarray(reference.timestamps)
+
+    candidates = []
+    for i, t in enumerate(t_est):
+        j = int(np.argmin(np.abs(t_ref - t)))
+        dt = abs(t_ref[j] - t)
+        if dt <= max_dt:
+            candidates.append((dt, i, j))
+    candidates.sort()
+    used_ref: set[int] = set()
+    used_est: set[int] = set()
+    pairs = []
+    for _, i, j in candidates:
+        if i in used_est or j in used_ref:
+            continue
+        used_est.add(i)
+        used_ref.add(j)
+        pairs.append((i, j))
+    pairs.sort()
+    if not pairs:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+    est_idx, ref_idx = zip(*pairs)
+    return np.asarray(est_idx, dtype=int), np.asarray(ref_idx, dtype=int)
+
+
+def rebase_to_first(trajectory: Trajectory) -> Trajectory:
+    """Express the trajectory relative to its first pose.
+
+    KinectFusion's poses start at the volume-centred initial pose, not at
+    the dataset's world frame — rebasing both trajectories to their first
+    pose (as SLAMBench does before ATE) removes the arbitrary offset.
+    """
+    return trajectory.relative(0)
+
+
+def translation_errors(estimated: Trajectory, reference: Trajectory) -> np.ndarray:
+    """Per-pose translation error (metres) for equal-length trajectories."""
+    if len(estimated) != len(reference):
+        raise DatasetError(
+            f"length mismatch: {len(estimated)} vs {len(reference)}"
+        )
+    return np.linalg.norm(
+        estimated.positions - reference.positions, axis=-1
+    )
+
+
+def rotation_errors(estimated: Trajectory, reference: Trajectory) -> np.ndarray:
+    """Per-pose rotation error (radians) for equal-length trajectories."""
+    if len(estimated) != len(reference):
+        raise DatasetError(
+            f"length mismatch: {len(estimated)} vs {len(reference)}"
+        )
+    return np.array(
+        [
+            se3.rotation_angle(se3.rotation(se3.inverse(a) @ b))
+            for a, b in zip(estimated.poses, reference.poses)
+        ]
+    )

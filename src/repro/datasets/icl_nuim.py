@@ -1,0 +1,109 @@
+"""ICL-NUIM-style living-room sequence presets.
+
+The real ICL-NUIM benchmark ships four trajectories (``kt0`` .. ``kt3``)
+through one living room, in clean and noisy variants; SLAMBench's standard
+experiments run on them.  These presets regenerate the same *structure*:
+four distinct trajectory styles through our procedural living room, at a
+configurable resolution and length so tests can use tiny instances while
+benchmarks use larger ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import PinholeCamera
+from ..scene.living_room import living_room
+from ..scene.noise import KinectNoiseModel
+from ..scene.trajectory import Trajectory, orbit, sweep
+from .synthetic import SyntheticSequence
+
+SEQUENCE_NAMES = ("lr_kt0", "lr_kt1", "lr_kt2", "lr_kt3")
+
+
+def _trajectory_for(name: str, n_frames: int, seed: int) -> Trajectory:
+    """One of four qualitatively different hand-held style trajectories.
+
+    Per-frame motion is kept sensor-realistic (a few millimetres to ~1.5 cm
+    per frame at 30 Hz) regardless of sequence length: orbits sweep a fixed
+    number of degrees per frame, sweeps translate a fixed distance per
+    frame, capped so long sequences stay inside the room.
+    """
+    center = (0.0, 1.1, 0.0)
+    if name == "lr_kt0":
+        # Gentle partial orbit — the easiest sequence (~0.35 deg/frame).
+        return orbit(center, radius=1.6, height=1.3, n_frames=n_frames,
+                     sweep_deg=min(0.35 * n_frames, 300.0), start_deg=200.0,
+                     bob_amplitude=0.02, seed=seed,
+                     jitter_trans_std=0.0008, jitter_rot_std=0.0008)
+    if name == "lr_kt1":
+        # Faster orbit with more bob (~0.42 deg/frame).
+        return orbit(center, radius=1.8, height=1.5, n_frames=n_frames,
+                     sweep_deg=min(0.42 * n_frames, 330.0), start_deg=150.0,
+                     bob_amplitude=0.04, seed=seed,
+                     jitter_trans_std=0.0015, jitter_rot_std=0.0015)
+    if name == "lr_kt2":
+        # Lateral sweep past the sofa (~9 mm/frame).
+        direction = np.array([-1.0, -0.1, 0.1])
+        direction /= np.linalg.norm(direction)
+        start = np.array([1.4, 1.2, 1.4])
+        end = start + direction * min(0.009 * n_frames, 2.4)
+        return sweep(start=start, end=end,
+                     target=(-1.2, 0.6, 0.0), n_frames=n_frames, seed=seed,
+                     jitter_trans_std=0.001, jitter_rot_std=0.001)
+    if name == "lr_kt3":
+        # Push-in towards the table — large scale change (~7 mm/frame).
+        direction = np.array([-0.7, -0.3, -0.65])
+        direction /= np.linalg.norm(direction)
+        start = np.array([1.8, 1.4, 1.2])
+        end = start + direction * min(0.007 * n_frames, 1.4)
+        return sweep(start=start, end=end,
+                     target=(0.3, 0.45, -0.2), n_frames=n_frames, seed=seed,
+                     jitter_trans_std=0.0012, jitter_rot_std=0.0012)
+    raise DatasetError(
+        f"unknown ICL-NUIM-style sequence {name!r}; choose from {SEQUENCE_NAMES}"
+    )
+
+
+def load(
+    name: str = "lr_kt0",
+    n_frames: int = 30,
+    width: int = 160,
+    height: int = 120,
+    noise: KinectNoiseModel | None = None,
+    with_rgb: bool = False,
+    seed: int = 0,
+) -> SyntheticSequence:
+    """Build one living-room sequence.
+
+    Args:
+        name: one of ``lr_kt0`` .. ``lr_kt3``.
+        n_frames: sequence length (the real sequences have ~900 frames;
+            the default is laptop-scale).
+        width, height: frame resolution (real: 640x480; SLAMBench computes
+            at 320x240 by default).
+        noise: depth noise model; ``None`` means mild Kinect noise, use
+            :meth:`KinectNoiseModel.noiseless` for the clean variant.
+        with_rgb: also render the RGB stream.
+        seed: reproducibility seed for trajectory jitter and sensor noise.
+    """
+    scene = living_room()
+    camera = PinholeCamera.kinect_like(width=width, height=height)
+    trajectory = _trajectory_for(name, n_frames, seed)
+    return SyntheticSequence(
+        name=name,
+        scene=scene,
+        trajectory=trajectory,
+        camera=camera,
+        noise=noise,
+        with_rgb=with_rgb,
+        seed=seed,
+    )
+
+
+def load_all(n_frames: int = 30, width: int = 160, height: int = 120,
+             seed: int = 0) -> list[SyntheticSequence]:
+    """All four living-room sequences with shared settings."""
+    return [load(name, n_frames=n_frames, width=width, height=height, seed=seed)
+            for name in SEQUENCE_NAMES]

@@ -1,0 +1,113 @@
+"""Sequence serialisation — the Python analogue of SLAMBench's ``.slam`` files.
+
+SLAMBench converts every dataset into a common binary format consumed by the
+loader.  We serialise sequences into a single ``.npz`` archive carrying the
+depth stack, optional RGB stack, timestamps, ground-truth poses and the
+camera calibration.  Round-tripping through :func:`save_sequence` /
+:func:`load_sequence` preserves everything the harness needs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.frame import Frame
+from ..core.sensors import DepthSensor, GroundTruthSensor, RGBSensor, SensorSuite
+from ..errors import DatasetError
+from ..geometry import PinholeCamera
+from .base import InMemorySequence, Sequence
+
+FORMAT_VERSION = 1
+
+
+def save_sequence(sequence: Sequence, path: str) -> None:
+    """Write a sequence to ``path`` (``.npz``).
+
+    Depth is stored as float32 metres; RGB (if present) as uint8.
+    """
+    frames = list(sequence)
+    if not frames:
+        raise DatasetError("cannot save an empty sequence")
+    depth = np.stack([f.depth for f in frames]).astype(np.float32)
+    timestamps = np.array([f.timestamp for f in frames], dtype=np.float64)
+    camera = sequence.sensors.depth.camera
+    payload = {
+        "format_version": np.array(FORMAT_VERSION),
+        "name": np.array(sequence.name),
+        "depth": depth,
+        "timestamps": timestamps,
+        "camera": np.array(
+            [camera.width, camera.height, camera.fx, camera.fy, camera.cx,
+             camera.cy],
+            dtype=np.float64,
+        ),
+        "depth_range": np.array(
+            [sequence.sensors.depth.min_range, sequence.sensors.depth.max_range]
+        ),
+    }
+    if all(f.rgb is not None for f in frames):
+        rgb = np.stack([f.rgb for f in frames])
+        payload["rgb"] = np.clip(rgb * 255.0, 0, 255).astype(np.uint8)
+    if all(f.ground_truth_pose is not None for f in frames):
+        payload["ground_truth"] = np.stack(
+            [f.ground_truth_pose for f in frames]
+        ).astype(np.float64)
+    np.savez_compressed(path, **payload)
+
+
+def load_sequence(path: str) -> InMemorySequence:
+    """Load a sequence previously written by :func:`save_sequence`."""
+    if not os.path.exists(path):
+        raise DatasetError(f"sequence file not found: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise DatasetError(f"cannot read sequence file {path}: {exc}") from exc
+
+    try:
+        version = int(archive["format_version"])
+        if version != FORMAT_VERSION:
+            raise DatasetError(
+                f"{path}: unsupported format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        name = str(archive["name"])
+        depth = archive["depth"].astype(float)
+        timestamps = archive["timestamps"]
+        cam = archive["camera"]
+        depth_range = archive["depth_range"]
+    except KeyError as exc:
+        raise DatasetError(f"{path}: missing field {exc}") from exc
+
+    camera = PinholeCamera(
+        width=int(cam[0]), height=int(cam[1]),
+        fx=float(cam[2]), fy=float(cam[3]), cx=float(cam[4]), cy=float(cam[5]),
+    )
+    rgb = archive["rgb"].astype(float) / 255.0 if "rgb" in archive else None
+    gt = archive["ground_truth"] if "ground_truth" in archive else None
+
+    n = depth.shape[0]
+    if len(timestamps) != n or (rgb is not None and rgb.shape[0] != n) or (
+        gt is not None and gt.shape[0] != n
+    ):
+        raise DatasetError(f"{path}: inconsistent stack lengths")
+
+    frames = [
+        Frame(
+            index=i,
+            timestamp=float(timestamps[i]),
+            depth=depth[i],
+            rgb=rgb[i] if rgb is not None else None,
+            ground_truth_pose=gt[i] if gt is not None else None,
+        )
+        for i in range(n)
+    ]
+    sensors = SensorSuite(
+        depth=DepthSensor(camera=camera, min_range=float(depth_range[0]),
+                          max_range=float(depth_range[1])),
+        rgb=RGBSensor(camera=camera) if rgb is not None else None,
+        ground_truth=GroundTruthSensor() if gt is not None else None,
+    )
+    return InMemorySequence(name=name, sensors=sensors, frames=frames)

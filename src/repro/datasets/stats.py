@@ -1,0 +1,107 @@
+"""Sequence statistics — dataset characterisation for reports.
+
+SLAMBench-style papers characterise their datasets (frame counts, depth
+coverage, motion magnitude) so accuracy numbers can be interpreted.
+:func:`sequence_statistics` computes that characterisation for any
+:class:`~repro.datasets.base.Sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import se3
+from .base import Sequence
+
+
+@dataclass(frozen=True)
+class SequenceStatistics:
+    """Characterisation of one sequence."""
+
+    name: str
+    frames: int
+    duration_s: float
+    resolution: tuple[int, int]  # (height, width)
+    valid_depth_mean: float
+    depth_min_m: float
+    depth_median_m: float
+    depth_max_m: float
+    path_length_m: float
+    mean_translation_per_frame_m: float
+    max_translation_per_frame_m: float
+    mean_rotation_per_frame_rad: float
+
+    def as_row(self) -> dict:
+        """Flat dict for table/CSV rendering."""
+        return {
+            "sequence": self.name,
+            "frames": self.frames,
+            "duration_s": self.duration_s,
+            "valid_depth": self.valid_depth_mean,
+            "depth_median_m": self.depth_median_m,
+            "path_m": self.path_length_m,
+            "mean_step_mm": self.mean_translation_per_frame_m * 1e3,
+            "mean_rot_deg": np.degrees(self.mean_rotation_per_frame_rad),
+        }
+
+
+def sequence_statistics(sequence: Sequence) -> SequenceStatistics:
+    """Compute frame/depth/motion statistics for a sequence."""
+    if len(sequence) == 0:
+        raise DatasetError(f"{sequence.name}: empty sequence")
+
+    valid_fracs = []
+    depth_values = []
+    timestamps = []
+    for frame in sequence:
+        valid = frame.depth > 0.0
+        valid_fracs.append(float(valid.mean()))
+        if valid.any():
+            d = frame.depth[valid]
+            depth_values.append(
+                (float(d.min()), float(np.median(d)), float(d.max()))
+            )
+        timestamps.append(frame.timestamp)
+
+    if depth_values:
+        mins, medians, maxs = zip(*depth_values)
+        depth_min, depth_median, depth_max = (
+            min(mins), float(np.median(medians)), max(maxs),
+        )
+    else:
+        depth_min = depth_median = depth_max = 0.0
+
+    path_length = 0.0
+    mean_step = max_step = mean_rot = 0.0
+    if sequence.sensors.has_ground_truth and len(sequence) > 1:
+        gt = sequence.ground_truth()
+        steps = np.linalg.norm(np.diff(gt.positions, axis=0), axis=-1)
+        rotations = [
+            se3.rotation_angle(
+                se3.rotation(se3.inverse(gt.poses[i]) @ gt.poses[i + 1])
+            )
+            for i in range(len(gt) - 1)
+        ]
+        path_length = float(steps.sum())
+        mean_step = float(steps.mean())
+        max_step = float(steps.max())
+        mean_rot = float(np.mean(rotations))
+
+    h, w = sequence.sensors.depth.camera.shape
+    return SequenceStatistics(
+        name=sequence.name,
+        frames=len(sequence),
+        duration_s=float(timestamps[-1] - timestamps[0]),
+        resolution=(h, w),
+        valid_depth_mean=float(np.mean(valid_fracs)),
+        depth_min_m=depth_min,
+        depth_median_m=depth_median,
+        depth_max_m=depth_max,
+        path_length_m=path_length,
+        mean_translation_per_frame_m=mean_step,
+        max_translation_per_frame_m=max_step,
+        mean_rotation_per_frame_rad=mean_rot,
+    )

@@ -1,0 +1,73 @@
+"""TUM-RGB-D-style office sequence presets.
+
+The TUM RGB-D benchmark is the second accuracy dataset SLAMBench supports.
+We regenerate its character — hand-held motion through a cluttered office —
+as two presets over the procedural office scene: ``of_desk`` (orbit around
+the desk, like ``fr1/desk``) and ``of_room`` (a sweep across the room, like
+``fr1/room``).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from ..geometry import PinholeCamera
+from ..scene.noise import KinectNoiseModel
+from ..scene.office import office
+from ..scene.trajectory import Trajectory, orbit, sweep
+from .synthetic import SyntheticSequence
+
+SEQUENCE_NAMES = ("of_desk", "of_room")
+
+
+def _trajectory_for(name: str, n_frames: int, seed: int) -> Trajectory:
+    # Per-frame motion kept hand-held realistic regardless of length, as in
+    # the ICL-NUIM-style presets (see repro.datasets.icl_nuim).
+    if name == "of_desk":
+        return orbit(center=(-1.2, 0.9, -1.0), radius=1.3, height=1.3,
+                     n_frames=n_frames, sweep_deg=min(0.5 * n_frames, 300.0),
+                     start_deg=30.0, bob_amplitude=0.03,
+                     seed=seed, jitter_trans_std=0.002, jitter_rot_std=0.002)
+    if name == "of_room":
+        import numpy as np
+
+        direction = np.array([-1.0, -0.1, 0.05])
+        direction /= np.linalg.norm(direction)
+        start = np.array([1.2, 1.3, 1.2])
+        end = start + direction * min(0.008 * n_frames, 2.2)
+        return sweep(start=start, end=end,
+                     target=(0.0, 0.8, -1.0), n_frames=n_frames, seed=seed,
+                     jitter_trans_std=0.002, jitter_rot_std=0.002)
+    raise DatasetError(
+        f"unknown TUM-style sequence {name!r}; choose from {SEQUENCE_NAMES}"
+    )
+
+
+def load(
+    name: str = "of_desk",
+    n_frames: int = 30,
+    width: int = 160,
+    height: int = 120,
+    noise: KinectNoiseModel | None = None,
+    with_rgb: bool = False,
+    seed: int = 0,
+) -> SyntheticSequence:
+    """Build one office sequence (see :func:`repro.datasets.icl_nuim.load`)."""
+    scene = office()
+    camera = PinholeCamera.kinect_like(width=width, height=height)
+    trajectory = _trajectory_for(name, n_frames, seed)
+    return SyntheticSequence(
+        name=name,
+        scene=scene,
+        trajectory=trajectory,
+        camera=camera,
+        noise=noise if noise is not None else KinectNoiseModel(),
+        with_rgb=with_rgb,
+        seed=seed,
+    )
+
+
+def load_all(n_frames: int = 30, width: int = 160, height: int = 120,
+             seed: int = 0) -> list[SyntheticSequence]:
+    """Both office sequences with shared settings."""
+    return [load(name, n_frames=n_frames, width=width, height=height, seed=seed)
+            for name in SEQUENCE_NAMES]

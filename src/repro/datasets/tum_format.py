@@ -1,0 +1,71 @@
+"""TUM RGB-D trajectory text format.
+
+The de-facto interchange format of the SLAM evaluation ecosystem (the TUM
+benchmark tools, evo, ...): one pose per line,
+
+    timestamp tx ty tz qx qy qz qw
+
+with ``#`` comments.  Exporting estimated trajectories in this format
+makes the reproduction's outputs consumable by the standard external
+tools, and importing lets external trajectories be evaluated with our
+metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry import se3
+from ..scene.trajectory import Trajectory
+
+
+def save_tum_trajectory(trajectory: Trajectory, path: str,
+                        comment: str = "") -> None:
+    """Write a trajectory as TUM text (quaternions in x, y, z, w order)."""
+    if len(trajectory) == 0:
+        raise DatasetError("cannot save an empty trajectory")
+    with open(path, "w") as f:
+        f.write("# timestamp tx ty tz qx qy qz qw\n")
+        if comment:
+            f.write(f"# {comment}\n")
+        for t, T in zip(trajectory.timestamps, trajectory.poses):
+            q = se3.rotation_to_quat(se3.rotation(T))  # (w, x, y, z)
+            tx, ty, tz = se3.translation(T)
+            f.write(
+                f"{t:.6f} {tx:.6f} {ty:.6f} {tz:.6f} "
+                f"{q[1]:.6f} {q[2]:.6f} {q[3]:.6f} {q[0]:.6f}\n"
+            )
+
+
+def load_tum_trajectory(path: str) -> Trajectory:
+    """Read a TUM-format trajectory file."""
+    timestamps, poses = [], []
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 8:
+                    raise DatasetError(
+                        f"{path}:{line_no}: expected 8 fields, "
+                        f"got {len(parts)}"
+                    )
+                try:
+                    values = [float(p) for p in parts]
+                except ValueError as exc:
+                    raise DatasetError(
+                        f"{path}:{line_no}: non-numeric field ({exc})"
+                    ) from exc
+                t, tx, ty, tz, qx, qy, qz, qw = values
+                R = se3.quat_to_rotation(np.array([qw, qx, qy, qz]))
+                timestamps.append(t)
+                poses.append(se3.make_pose(R, [tx, ty, tz]))
+    except OSError as exc:
+        raise DatasetError(f"cannot read trajectory file {path}: {exc}") from exc
+    if not poses:
+        raise DatasetError(f"{path}: no poses found")
+    return Trajectory(poses=np.stack(poses),
+                      timestamps=np.asarray(timestamps))

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``AttributeError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or experiment configuration is invalid.
+
+    Raised when a parameter value is outside its declared bounds, a required
+    parameter is missing, or mutually inconsistent values are supplied.
+    """
+
+
+class GeometryError(ReproError):
+    """An operation on poses, cameras or point clouds received invalid data."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class TrackingError(ReproError):
+    """The tracker could not produce a pose estimate.
+
+    Carries the frame index at which tracking failed when available.
+    """
+
+    def __init__(self, message: str, frame_index: int | None = None):
+        super().__init__(message)
+        self.frame_index = frame_index
+
+
+class SimulationError(ReproError):
+    """The platform/performance simulator was asked for something impossible."""
+
+
+class OptimizationError(ReproError):
+    """The design-space exploration could not proceed (empty space, ...)."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model was used before fitting or with bad shapes."""

@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating every figure of the paper.
+
+One module per experiment id in DESIGN.md:
+
+* E1  ``fig1_gui``      — the GUI's live metric stream.
+* E2  ``fig2_dse``      — the DSE methodology (random vs active learning)
+                          and knowledge extraction.
+* E3  ``fig3_android``  — the 83-device crowdsourcing speed-up study.
+* E4  ``headline``      — real-time within 1 W on the ODROID-XU3.
+* E5  ``backends``      — cross-implementation comparison.
+* E6  ``algorithms``    — cross-algorithm, cross-dataset comparison.
+"""
+
+from . import algorithms, backends, fig1_gui, fig2_dse, fig3_android, headline
+
+__all__ = [
+    "algorithms",
+    "backends",
+    "fig1_gui",
+    "fig2_dse",
+    "fig3_android",
+    "headline",
+]

@@ -1,0 +1,58 @@
+"""Experiment E5 — cross-implementation comparison.
+
+SLAMBench's core pitch: the same algorithm in C++, OpenMP, OpenCL and
+CUDA, compared on speed/power on a given device.  Reproduction: simulate
+the default configuration's analytic workload under every backend the
+device supports (the ODROID runs cpp/openmp/opencl; the desktop adds
+CUDA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kfusion.params import KFusionParams
+from ..kfusion.workload_model import sequence_workloads
+from ..platforms.backends import available_backends
+from ..platforms.device import DeviceModel
+from ..platforms.odroid import desktop_gtx, odroid_xu3
+from ..platforms.simulator import PerformanceSimulator, PlatformConfig
+
+
+@dataclass
+class BackendComparison:
+    """Per-backend speed/power rows for a set of devices."""
+
+    rows: list
+
+
+def run(
+    devices: list[DeviceModel] | None = None,
+    params: KFusionParams | None = None,
+    width: int = 320,
+    height: int = 240,
+    n_frames: int = 30,
+) -> BackendComparison:
+    """Simulate every supported backend on every device."""
+    devices = devices if devices is not None else [odroid_xu3(), desktop_gtx()]
+    params = params if params is not None else KFusionParams()
+    workloads = sequence_workloads(params, width, height, n_frames)
+
+    rows = []
+    for device in devices:
+        for backend in available_backends(device):
+            sim = PerformanceSimulator(
+                device, PlatformConfig(backend=backend.name)
+            )
+            res = sim.simulate(workloads)
+            rows.append(
+                {
+                    "device": device.name,
+                    "backend": backend.name,
+                    "frame_time_s": res.mean_frame_time_s,
+                    "fps": res.fps,
+                    "power_w": res.average_power_w,
+                    "energy_per_frame_j": res.energy_per_frame_j,
+                }
+            )
+    return BackendComparison(rows=rows)

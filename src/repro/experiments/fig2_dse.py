@@ -1,0 +1,182 @@
+"""Experiment E2 — Figure 2: the design-space exploration methodology.
+
+Left/middle panels: random sampling first, then active learning with the
+random-forest model; every evaluated configuration is a point in the
+(runtime, Max ATE) plane, with the 0.05 m accuracy limit and the default
+configuration marked, and the best (Pareto) configurations extracted.
+Right panel: decision-tree knowledge extraction (E2b).
+
+The paper-scale run uses the surrogate evaluator (DESIGN.md,
+substitutions); ``run_measured_demo`` performs the same exploration with
+the real pipeline at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import icl_nuim
+from ..hypermapper.constraints import ConstraintSet, accuracy_limit
+from ..hypermapper.evaluator import Evaluation, MeasuredEvaluator
+from ..hypermapper.knowledge import CriterionKnowledge, extract_knowledge
+from ..hypermapper.optimizer import (
+    ExplorationResult,
+    HyperMapper,
+    random_exploration,
+)
+from ..hypermapper.space import kfusion_design_space
+from ..hypermapper.surrogate import SurrogateEvaluator
+from ..platforms.odroid import odroid_xu3
+from ..platforms.simulator import PlatformConfig
+
+
+@dataclass
+class DSEFigure:
+    """The data of Figure 2."""
+
+    random_result: ExplorationResult
+    active_result: ExplorationResult
+    default_evaluation: Evaluation
+    accuracy_limit_m: float
+    best_random: Evaluation | None
+    best_active: Evaluation | None
+    knowledge: list[CriterionKnowledge]
+
+    def scatter_points(self, which: str = "active") -> np.ndarray:
+        """(runtime, max_ate) scatter for one strategy (finite points)."""
+        result = self.active_result if which == "active" else self.random_result
+        pts = result.objective_matrix(("runtime_s", "max_ate_m"))
+        return pts[np.all(np.isfinite(pts), axis=1)]
+
+    def summary_rows(self) -> list[dict]:
+        rows = []
+        for label, ev in (
+            ("default", self.default_evaluation),
+            ("best_random", self.best_random),
+            ("best_active", self.best_active),
+        ):
+            if ev is None:
+                continue
+            rows.append(
+                {
+                    "strategy": label,
+                    "runtime_s": ev.runtime_s,
+                    "fps": ev.fps,
+                    "max_ate_m": ev.max_ate_m,
+                    "power_w": ev.power_w,
+                    "feasible": ev.max_ate_m < self.accuracy_limit_m,
+                }
+            )
+        return rows
+
+
+def run_surrogate(
+    n_random: int = 200,
+    n_initial: int = 40,
+    n_iterations: int = 16,
+    samples_per_iteration: int = 10,
+    sequence_name: str = "lr_kt0",
+    limit_m: float = 0.05,
+    seed: int = 0,
+) -> DSEFigure:
+    """Paper-scale Figure 2 with the surrogate evaluator."""
+    space = kfusion_design_space()
+    constraints = ConstraintSet.of([accuracy_limit(limit_m)])
+
+    evaluator = SurrogateEvaluator(sequence_name=sequence_name, seed=seed)
+    active = HyperMapper(
+        space,
+        evaluator,
+        constraint=constraints,
+        n_initial=n_initial,
+        n_iterations=n_iterations,
+        samples_per_iteration=samples_per_iteration,
+        seed=seed,
+        seed_configurations=[space.default_configuration()],
+    ).run()
+    rand = random_exploration(
+        space,
+        SurrogateEvaluator(sequence_name=sequence_name, seed=seed),
+        n_random,
+        seed=seed + 1,
+    )
+    default_eval = evaluator.evaluate(space.default_configuration())
+
+    def best_or_none(result):
+        try:
+            return result.best("runtime_s", constraints)
+        except Exception:
+            return None
+
+    return DSEFigure(
+        random_result=rand,
+        active_result=active,
+        default_evaluation=default_eval,
+        accuracy_limit_m=limit_m,
+        best_random=best_or_none(rand),
+        best_active=best_or_none(active),
+        knowledge=extract_knowledge(active),
+    )
+
+
+def run_measured_demo(
+    n_initial: int = 8,
+    n_iterations: int = 2,
+    samples_per_iteration: int = 3,
+    n_frames: int = 8,
+    width: int = 80,
+    height: int = 60,
+    limit_m: float = 0.08,
+    seed: int = 0,
+) -> DSEFigure:
+    """Small measured-pipeline exploration (minutes, not hours).
+
+    The accuracy limit is looser than the paper's because the demo runs at
+    reduced resolution and sequence length, where the ATE floor is higher.
+    """
+    sequence = icl_nuim.load(
+        "lr_kt0", n_frames=n_frames, width=width, height=height, seed=seed
+    )
+    space = kfusion_design_space()
+    constraints = ConstraintSet.of([accuracy_limit(limit_m)])
+    evaluator = MeasuredEvaluator(
+        sequence, odroid_xu3(), PlatformConfig(backend="opencl")
+    )
+    active = HyperMapper(
+        space,
+        evaluator,
+        constraint=constraints,
+        n_initial=n_initial,
+        n_iterations=n_iterations,
+        samples_per_iteration=samples_per_iteration,
+        candidate_pool=200,
+        seed=seed,
+    ).run()
+    rand = random_exploration(
+        space, evaluator, len(active.evaluations), seed=seed + 1
+    )
+    default_eval = evaluator.evaluate(space.default_configuration())
+
+    def best_or_none(result):
+        try:
+            return result.best("runtime_s", constraints)
+        except Exception:
+            return None
+
+    knowledge = []
+    try:
+        knowledge = extract_knowledge(active)
+    except Exception:
+        pass  # too few samples at demo scale is acceptable
+
+    return DSEFigure(
+        random_result=rand,
+        active_result=active,
+        default_evaluation=default_eval,
+        accuracy_limit_m=limit_m,
+        best_random=best_or_none(rand),
+        best_active=best_or_none(active),
+        knowledge=knowledge,
+    )

@@ -1,0 +1,60 @@
+"""Experiment E3 — Figure 3: KinectFusion speed-ups across 83 phones.
+
+The OpenCL KinectFusion was run on 83 smartphones/tablets; for each, the
+speed-up of the ODROID-XU3 HyperMapper configuration over the default was
+computed.  Reproduction: obtain the tuned configuration from the headline
+co-design search (or accept one), strip its device-specific platform
+knobs, and run the campaign over the 83-device database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crowd.analysis import CampaignSummary, by_group, speedup_drivers, summarize
+from ..crowd.campaign import DeviceRun, run_campaign
+from . import headline
+
+
+@dataclass
+class AndroidFigure:
+    """The data behind Figure 3."""
+
+    tuned_configuration: dict
+    runs: list[DeviceRun]
+    summary: CampaignSummary
+    by_year: list[dict]
+    by_form_factor: list[dict]
+    drivers: list[dict]
+
+    def histogram(self) -> str:
+        return self.summary.histogram()
+
+
+def run(
+    tuned_configuration: dict | None = None,
+    n_frames: int = 30,
+    seed: int = 0,
+    headline_seed: int = 7,
+) -> AndroidFigure:
+    """Regenerate Figure 3.
+
+    Args:
+        tuned_configuration: the HyperMapper ODROID configuration; when
+            ``None`` the headline search (E4) is run first, exactly as the
+            paper's pipeline did.
+        n_frames: frames in the simulated benchmark run per device.
+        seed: campaign seed (field factors, portability factors).
+        headline_seed: seed for the headline search when it must run.
+    """
+    if tuned_configuration is None:
+        tuned_configuration = headline.run(seed=headline_seed).tuned.configuration
+    runs = run_campaign(tuned_configuration, n_frames=n_frames, seed=seed)
+    return AndroidFigure(
+        tuned_configuration=dict(tuned_configuration),
+        runs=runs,
+        summary=summarize(runs),
+        by_year=by_group(runs, "year"),
+        by_form_factor=by_group(runs, "form_factor"),
+        drivers=speedup_drivers(runs, seed=seed),
+    )

@@ -1,0 +1,178 @@
+"""Experiment E4 — the poster's headline claim.
+
+"We show that our approach can, for the first time, achieve dense 3D
+mapping and tracking in the real-time range within a 1 W power budget on
+the Odroid XU3 embedded device.  This is a 4.8x execution time improvement
+and a 2.8x power reduction compared to the state-of-the-art."
+
+Reproduction: co-design exploration (algorithmic + backend + DVFS) on the
+ODROID-XU3 model under the constraints {Max ATE < 5 cm, >= 30 FPS,
+streaming power < 1 W}, reported against two references: the default
+configuration and a hand-tuned "state of the art" (the best configuration
+at full clocks without DSE, standing in for the pre-HyperMapper best
+published numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizationError
+from ..hypermapper.constraints import (
+    ConstraintSet,
+    accuracy_limit,
+    power_budget,
+    realtime,
+)
+from ..hypermapper.evaluator import Evaluation
+from ..hypermapper.local_search import local_refine
+from ..hypermapper.optimizer import HyperMapper
+from ..hypermapper.space import codesign_design_space
+from ..hypermapper.surrogate import SurrogateEvaluator
+from ..platforms.odroid import odroid_xu3
+
+#: A plausible expert hand-tuning (the pre-DSE state of the art): modest
+#: volume reduction and frame decimation at full clocks, OpenCL backend.
+STATE_OF_THE_ART = {
+    "volume_resolution": 256,
+    "volume_size": 4.8,
+    "compute_size_ratio": 2,
+    "mu_distance": 0.1,
+    "icp_threshold": 1e-5,
+    "pyramid_iterations_l0": 10,
+    "pyramid_iterations_l1": 5,
+    "pyramid_iterations_l2": 4,
+    "integration_rate": 2,
+    "tracking_rate": 1,
+    "backend": "opencl",
+    "cpu_freq_ghz": 2.0,
+    "cpu_cluster": "big",
+    "gpu_freq_ghz": 0.6,
+}
+
+
+@dataclass
+class HeadlineResult:
+    """The tuned configuration and its improvement factors."""
+
+    default: Evaluation
+    state_of_the_art: Evaluation
+    tuned: Evaluation
+    constraints: ConstraintSet
+
+    @property
+    def time_improvement_vs_sota(self) -> float:
+        return self.state_of_the_art.runtime_s / self.tuned.runtime_s
+
+    @property
+    def power_reduction_vs_sota(self) -> float:
+        return self.state_of_the_art.power_w / self.tuned.power_w
+
+    @property
+    def time_improvement_vs_default(self) -> float:
+        return self.default.runtime_s / self.tuned.runtime_s
+
+    @property
+    def power_reduction_vs_default(self) -> float:
+        return self.default.power_w / self.tuned.power_w
+
+    @property
+    def realtime_within_budget(self) -> bool:
+        return self.constraints.satisfied(self.tuned)
+
+    def rows(self) -> list[dict]:
+        out = []
+        for label, ev in (
+            ("default", self.default),
+            ("state_of_the_art", self.state_of_the_art),
+            ("hypermapper_tuned", self.tuned),
+        ):
+            out.append(
+                {
+                    "configuration": label,
+                    "frame_time_s": ev.runtime_s,
+                    "fps": ev.fps,
+                    "max_ate_m": ev.max_ate_m,
+                    "power_w": ev.power_w,
+                }
+            )
+        return out
+
+
+def run(
+    n_initial: int = 60,
+    n_iterations: int = 14,
+    samples_per_iteration: int = 8,
+    power_budget_w: float = 1.0,
+    min_fps: float = 30.0,
+    ate_limit_m: float = 0.05,
+    seed: int = 7,
+    device=None,
+) -> HeadlineResult:
+    """Search a device's co-design space for the headline point.
+
+    Defaults to the paper's ODROID-XU3; pass any
+    :class:`~repro.platforms.device.DeviceModel` to repeat the study on
+    other hardware (the state-of-the-art reference then adapts its
+    backend to what the device supports).
+    """
+    device = device if device is not None else odroid_xu3()
+    space = codesign_design_space(device)
+    constraints = ConstraintSet.of(
+        [accuracy_limit(ate_limit_m), realtime(min_fps),
+         power_budget(power_budget_w)]
+    )
+    evaluator = SurrogateEvaluator(device=device, seed=seed)
+    # Port the hand-tuning to this device: keep its *algorithmic* choices,
+    # take the platform knobs (clocks, clusters) from the device's own
+    # defaults, and fall back from OpenCL if unsupported.
+    platform_keys = {"backend", "cpu_freq_ghz", "gpu_freq_ghz",
+                     "cpu_cluster"}
+    sota_config = space.default_configuration()
+    sota_config.update({k: v for k, v in STATE_OF_THE_ART.items()
+                        if k not in platform_keys})
+    if "backend" in space.names:
+        sota_config["backend"] = (
+            "opencl" if device.supports_backend("opencl") else "openmp"
+        )
+    sota_config = space.validate(sota_config)
+    # The triply-constrained region is small; if a budget misses it,
+    # escalate (more iterations, fresh seed) rather than fail — exactly
+    # what a practitioner running HyperMapper would do.
+    tuned = None
+    for attempt in range(3):
+        result = HyperMapper(
+            space,
+            evaluator,
+            constraint=constraints,
+            n_initial=n_initial * (attempt + 1),
+            n_iterations=n_iterations + 4 * attempt,
+            samples_per_iteration=samples_per_iteration,
+            seed=seed + attempt,
+            # Anchor the model: the accuracy-feasible (if power-hungry)
+            # default and the expert hand-tuning are known-good priors.
+            seed_configurations=[space.default_configuration(),
+                                 sota_config],
+        ).run()
+        try:
+            tuned = result.best("runtime_s", constraints)
+            break
+        except OptimizationError:
+            continue
+    if tuned is None:
+        raise OptimizationError(
+            "headline search found no configuration satisfying "
+            f"{constraints} after 3 escalating attempts"
+        )
+    # Final polish: coordinate-descent local search around the found point
+    # (HyperMapper's refinement phase).
+    tuned, _ = local_refine(space, evaluator, tuned, constraints,
+                            objective="runtime_s", max_rounds=3)
+    default = evaluator.evaluate(space.default_configuration())
+    sota = evaluator.evaluate(sota_config)
+    return HeadlineResult(
+        default=default,
+        state_of_the_art=sota,
+        tuned=tuned,
+        constraints=constraints,
+    )

@@ -1,0 +1,159 @@
+"""Regenerate the paper: every figure into one report directory.
+
+The artifact-evaluation entry point::
+
+    python -m repro.experiments.run_all out/            # paper scale
+    python -m repro.experiments.run_all out/ --quick    # minutes, smaller
+
+Writes, under the output directory:
+
+* ``fig1_gui.txt``       — the live metric stream + model render (E1)
+* ``fig2_dse.txt``/``.csv`` — exploration summary + every sample (E2a)
+* ``fig2_knowledge.txt`` — the extracted rules (E2b)
+* ``fig3_android.txt``/``.csv`` — the 83-device speed-ups (E3)
+* ``headline.txt``       — the ODROID 1 W result (E4)
+* ``backends.txt``       — the cross-implementation table (E5)
+* ``algorithms.txt``     — the cross-algorithm table (E6)
+* ``INDEX.txt``          — what was run, at which scale
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from ..core.report import format_table, write_csv
+from ..hypermapper import (
+    ConstraintSet,
+    accuracy_limit,
+    exploration_summary,
+    format_knowledge,
+    save_exploration_csv,
+)
+from . import algorithms, backends, fig1_gui, fig2_dse, fig3_android, headline
+
+#: (quick, full) scale knobs.
+_SCALES = {
+    "fig1_frames": (8, 20),
+    "fig2_random": (80, 250),
+    "fig2_initial": (30, 50),
+    "fig2_iterations": (6, 16),
+    "fig3_frames": (10, 30),
+    "algo_frames": (10, 20),
+}
+
+
+def _scale(name: str, quick: bool) -> int:
+    return _SCALES[name][0 if quick else 1]
+
+
+def run_all(out_dir: str, quick: bool = False, seed: int = 1) -> dict:
+    """Run every experiment; return ``{artefact_name: path}``."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: dict = {}
+    index_lines = [
+        f"repro report ({'quick' if quick else 'paper'} scale), seed {seed}",
+        "",
+    ]
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as f:
+            f.write(text if text.endswith("\n") else text + "\n")
+        written[name] = path
+        index_lines.append(f"- {name}")
+
+    t0 = time.time()
+
+    # E1 ---------------------------------------------------------------
+    stream = fig1_gui.run(n_frames=_scale("fig1_frames", quick),
+                          width=80, height=60, seed=seed)
+    emit("fig1_gui.txt", stream.table() + "\n" + stream.render_ascii())
+
+    # E2 ---------------------------------------------------------------
+    figure2 = fig2_dse.run_surrogate(
+        n_random=_scale("fig2_random", quick),
+        n_initial=_scale("fig2_initial", quick),
+        n_iterations=_scale("fig2_iterations", quick),
+        samples_per_iteration=8,
+        seed=seed,
+    )
+    constraints = ConstraintSet.of([accuracy_limit(figure2.accuracy_limit_m)])
+    emit(
+        "fig2_dse.txt",
+        format_table(figure2.summary_rows(), title="Figure 2 summary")
+        + "\n" + exploration_summary(figure2.active_result, constraints),
+    )
+    save_exploration_csv(figure2.active_result,
+                         os.path.join(out_dir, "fig2_dse.csv"))
+    written["fig2_dse.csv"] = os.path.join(out_dir, "fig2_dse.csv")
+    index_lines.append("- fig2_dse.csv")
+    emit("fig2_knowledge.txt", format_knowledge(figure2.knowledge))
+
+    # E4 (before E3, which reuses the tuned configuration) ---------------
+    head = headline.run(seed=seed + 6)
+    emit(
+        "headline.txt",
+        format_table(head.rows(), title="ODROID-XU3 headline")
+        + f"\nvs state of the art: {head.time_improvement_vs_sota:.1f}x "
+        f"time, {head.power_reduction_vs_sota:.1f}x power "
+        f"(paper: 4.8x / 2.8x)\n"
+        f"real-time within 1 W: {head.realtime_within_budget}\n",
+    )
+
+    # E3 ---------------------------------------------------------------
+    figure3 = fig3_android.run(head.tuned.configuration,
+                               n_frames=_scale("fig3_frames", quick),
+                               seed=seed)
+    emit(
+        "fig3_android.txt",
+        figure3.histogram()
+        + "\n" + format_table(figure3.by_form_factor,
+                              title="By form factor")
+        + "\n" + format_table(figure3.drivers[:4],
+                              title="Speed-up drivers"),
+    )
+    write_csv(
+        [
+            {
+                "device": r.device, "year": r.year,
+                "default_fps": r.default_fps, "tuned_fps": r.tuned_fps,
+                "speedup": r.speedup,
+            }
+            for r in figure3.runs
+        ],
+        os.path.join(out_dir, "fig3_android.csv"),
+    )
+    written["fig3_android.csv"] = os.path.join(out_dir, "fig3_android.csv")
+    index_lines.append("- fig3_android.csv")
+
+    # E5 / E6 -----------------------------------------------------------
+    emit("backends.txt",
+         format_table(backends.run().rows, title="Backends (E5)"))
+    emit(
+        "algorithms.txt",
+        format_table(
+            algorithms.run(n_frames=_scale("algo_frames", quick)).rows,
+            title="Algorithms x datasets (E6)",
+        ),
+    )
+
+    index_lines.append("")
+    index_lines.append(f"total wall time: {time.time() - t0:.0f} s")
+    emit("INDEX.txt", "\n".join(index_lines))
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    out_dir = args[0] if args else "repro_report"
+    written = run_all(out_dir, quick=quick)
+    print(f"wrote {len(written)} artefacts to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

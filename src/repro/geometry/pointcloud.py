@@ -1,0 +1,83 @@
+"""Vertex/normal map helpers shared by the renderer and the SLAM kernels.
+
+A *vertex map* is an ``(H, W, 3)`` array of camera- or world-frame points,
+with all-zero rows marking invalid pixels; a *normal map* has the same layout
+with unit normals.  These are exactly the intermediate buffers KinectFusion's
+``depth2vertex`` / ``vertex2normal`` kernels produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def valid_mask(vertex_map: np.ndarray) -> np.ndarray:
+    """Boolean ``(H, W)`` mask of pixels with a valid (non-zero) vertex."""
+    v = np.asarray(vertex_map, dtype=float)
+    return np.any(v != 0.0, axis=-1) & np.all(np.isfinite(v), axis=-1)
+
+
+def normals_from_vertices(vertex_map: np.ndarray) -> np.ndarray:
+    """Estimate per-pixel normals by central differences on the vertex map.
+
+    This mirrors KinectFusion's ``vertex2normal`` kernel: the normal at a
+    pixel is the normalised cross product of the horizontal and vertical
+    neighbour differences.  Pixels whose neighbourhood contains invalid
+    vertices get a zero normal.
+    """
+    v = np.asarray(vertex_map, dtype=float)
+    h, w = v.shape[:2]
+    normals = np.zeros_like(v)
+    if h < 3 or w < 3:
+        return normals
+
+    mask = valid_mask(v)
+    right = v[1:-1, 2:]
+    left = v[1:-1, :-2]
+    down = v[2:, 1:-1]
+    up = v[:-2, 1:-1]
+    dx = right - left
+    dy = down - up
+    n = np.cross(dy, dx)
+    norm = np.linalg.norm(n, axis=-1)
+
+    ok = (
+        mask[1:-1, 2:]
+        & mask[1:-1, :-2]
+        & mask[2:, 1:-1]
+        & mask[:-2, 1:-1]
+        & mask[1:-1, 1:-1]
+        & (norm > 1e-12)
+    )
+    safe = np.where(norm > 1e-12, norm, 1.0)
+    n = n / safe[..., None]
+
+    # Orient normals towards the camera (camera looks along +z, so normals of
+    # visible surfaces should have negative z in the camera frame).
+    flip = n[..., 2] > 0.0
+    n[flip] = -n[flip]
+
+    inner = np.zeros((h - 2, w - 2, 3))
+    inner[ok] = n[ok]
+    normals[1:-1, 1:-1] = inner
+    return normals
+
+
+def downsample_vertex_map(vertex_map: np.ndarray, factor: int = 2) -> np.ndarray:
+    """Subsample a vertex map by taking every ``factor``-th pixel."""
+    v = np.asarray(vertex_map, dtype=float)
+    return v[::factor, ::factor].copy()
+
+
+def flatten_valid(vertex_map: np.ndarray) -> np.ndarray:
+    """Return the valid vertices as an ``(N, 3)`` array."""
+    v = np.asarray(vertex_map, dtype=float)
+    return v[valid_mask(v)]
+
+
+def centroid(points: np.ndarray) -> np.ndarray:
+    """Mean of an ``(N, 3)`` point set (zeros if empty)."""
+    points = np.asarray(points, dtype=float)
+    if points.size == 0:
+        return np.zeros(3)
+    return points.mean(axis=0)

@@ -1,0 +1,70 @@
+"""HyperMapper-style multi-objective design-space exploration."""
+
+from .constraints import (
+    Constraint,
+    ConstraintSet,
+    accuracy_limit,
+    power_budget,
+    realtime,
+)
+from .evaluator import Evaluation, Evaluator, MeasuredEvaluator
+from .incremental import (IncrementalResult, incremental_codesign,
+                          split_codesign_space)
+from .local_search import local_refine, neighbours
+from .knowledge import (
+    CriterionKnowledge,
+    default_criteria,
+    extract_knowledge,
+    format_knowledge,
+)
+from .optimizer import (
+    ExplorationResult,
+    HyperMapper,
+    random_exploration,
+)
+from .pareto import dominated_by, hypervolume_2d, pareto_front, pareto_mask
+from .report import (RepetitionStatistics, exploration_rows,
+                     exploration_summary, repeat_exploration,
+                     save_exploration_csv)
+from .sampling import latin_hypercube_sample, random_sample
+from .space import DesignSpace, codesign_design_space, kfusion_design_space
+from .surrogate import SurrogateEvaluator, surrogate_max_ate
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "accuracy_limit",
+    "power_budget",
+    "realtime",
+    "Evaluation",
+    "Evaluator",
+    "MeasuredEvaluator",
+    "IncrementalResult",
+    "incremental_codesign",
+    "split_codesign_space",
+    "CriterionKnowledge",
+    "default_criteria",
+    "extract_knowledge",
+    "format_knowledge",
+    "local_refine",
+    "neighbours",
+    "ExplorationResult",
+    "HyperMapper",
+    "random_exploration",
+    "dominated_by",
+    "hypervolume_2d",
+    "pareto_front",
+    "pareto_mask",
+    "RepetitionStatistics",
+    "exploration_rows",
+    "repeat_exploration",
+    "exploration_summary",
+    "save_exploration_csv",
+    "latin_hypercube_sample",
+    "random_sample",
+    "DesignSpace",
+    "codesign_design_space",
+    "kfusion_design_space",
+    "SurrogateEvaluator",
+    "surrogate_max_ate",
+]

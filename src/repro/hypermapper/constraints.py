@@ -1,0 +1,81 @@
+"""Feasibility constraints over evaluations.
+
+Figure 2 works with three thresholds: *accurate* (Max ATE < 5 cm), *fast*
+(speed > 30 FPS, i.e. runtime < 33.3 ms) and *power efficient* (< 3 W, or
+the headline's 1 W budget).  A :class:`Constraint` names an evaluation
+metric with a bound; :class:`ConstraintSet` combines them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import OptimizationError
+from .evaluator import Evaluation
+
+_METRICS = ("runtime_s", "max_ate_m", "power_w", "fps")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``metric op bound`` over an :class:`Evaluation`."""
+
+    metric: str
+    bound: float
+    op: str = "<"  # "<" or ">"
+    name: str = ""
+
+    def __post_init__(self):
+        if self.metric not in _METRICS:
+            raise OptimizationError(
+                f"unknown metric {self.metric!r}; choose from {_METRICS}"
+            )
+        if self.op not in ("<", ">"):
+            raise OptimizationError(f"unknown op {self.op!r}")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.metric}{self.op}{self.bound:g}"
+            )
+
+    def satisfied(self, evaluation: Evaluation) -> bool:
+        value = getattr(evaluation, self.metric)
+        return value < self.bound if self.op == "<" else value > self.bound
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def accuracy_limit(max_ate_m: float = 0.05) -> Constraint:
+    """The paper's accuracy limit (Max ATE < 5 cm)."""
+    return Constraint("max_ate_m", max_ate_m, "<", name="accurate")
+
+
+def realtime(min_fps: float = 30.0) -> Constraint:
+    """The paper's real-time criterion (speed > 30 FPS)."""
+    return Constraint("fps", min_fps, ">", name="fast")
+
+
+def power_budget(max_w: float = 3.0) -> Constraint:
+    """The paper's power-efficiency criterion (default 3 W; headline 1 W)."""
+    return Constraint("power_w", max_w, "<", name="power_efficient")
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """A conjunction of constraints."""
+
+    constraints: tuple[Constraint, ...]
+
+    @classmethod
+    def of(cls, constraints: Iterable[Constraint]) -> "ConstraintSet":
+        return cls(constraints=tuple(constraints))
+
+    def satisfied(self, evaluation: Evaluation) -> bool:
+        return all(c.satisfied(evaluation) for c in self.constraints)
+
+    def filter(self, evaluations: Iterable[Evaluation]) -> list[Evaluation]:
+        return [e for e in evaluations if self.satisfied(e)]
+
+    def __str__(self) -> str:
+        return " AND ".join(str(c) for c in self.constraints) or "(none)"

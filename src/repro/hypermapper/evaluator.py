@@ -1,0 +1,152 @@
+"""Evaluators: configuration -> (runtime, accuracy, power).
+
+The DSE treats the benchmark as a black box returning three objectives;
+two implementations are provided:
+
+* :class:`MeasuredEvaluator` runs the *real* NumPy KinectFusion on a short
+  synthetic sequence, measures Max ATE against ground truth, and simulates
+  the recorded kernel workloads on the target device.  Faithful but slow —
+  used for small demo explorations and for calibrating the surrogate.
+* :class:`SurrogateEvaluator` (``repro.hypermapper.surrogate``) predicts
+  all three objectives analytically at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+from ..core.harness import run_benchmark
+from ..datasets.base import Sequence
+from ..errors import OptimizationError, ReproError
+from ..kfusion.memory import total_bytes
+from ..kfusion.params import KFusionParams
+from ..kfusion.pipeline import KinectFusion
+from ..platforms.device import DeviceModel
+from ..platforms.simulator import PlatformConfig
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated configuration.
+
+    Objectives follow the paper's Figure 2: per-frame runtime (s), Max ATE
+    (m), and average power during streaming (W).  ``failed`` marks runs
+    where tracking broke down (their ATE is still reported — large).
+    """
+
+    configuration: dict
+    runtime_s: float
+    max_ate_m: float
+    power_w: float
+    fps: float = 0.0
+    tracked_fraction: float = 1.0
+    failed: bool = False
+    extras: dict = field(default_factory=dict)
+
+    def objectives(self) -> tuple[float, float, float]:
+        """(runtime, max_ate, power), all minimised."""
+        return (self.runtime_s, self.max_ate_m, self.power_w)
+
+
+class Evaluator(Protocol):
+    """The black box the optimizer queries."""
+
+    def evaluate(self, configuration: Mapping) -> Evaluation:
+        """Evaluate one configuration."""
+        ...
+
+
+def _as_config(values: Mapping):
+    """Wrap a validated value dict back into a framework configuration."""
+    from ..core.config import AlgorithmConfiguration
+    from ..kfusion.params import parameter_specs
+
+    return AlgorithmConfiguration(parameter_specs(), dict(values))
+
+
+class MeasuredEvaluator:
+    """Runs the real pipeline and the platform simulator.
+
+    Args:
+        sequence: dataset to run on (short/low-res keeps this tractable).
+        device: device model for runtime/power.
+        platform_config: backend and DVFS choice.
+        cache: memoise evaluations by configuration (the optimizer may
+            revisit configurations).
+    """
+
+    def __init__(
+        self,
+        sequence: Sequence,
+        device: DeviceModel,
+        platform_config: PlatformConfig | None = None,
+        cache: bool = True,
+    ):
+        if not sequence.sensors.has_ground_truth:
+            raise OptimizationError(
+                "measured evaluation needs ground-truth poses"
+            )
+        self.sequence = sequence
+        self.device = device
+        self.platform_config = platform_config or PlatformConfig(backend="opencl")
+        self._cache: dict | None = {} if cache else None
+        self.evaluations = 0
+
+    def evaluate(self, configuration: Mapping) -> Evaluation:
+        key = tuple(sorted(configuration.items())) if self._cache is not None else None
+        if key is not None and key in self._cache:
+            return self._cache[key]
+
+        failed = False
+        try:
+            result = run_benchmark(
+                KinectFusion(),
+                self.sequence,
+                configuration=dict(configuration),
+                device=self.device,
+                platform_config=self.platform_config,
+            )
+            assert result.ate is not None and result.simulation is not None
+            max_ate = result.ate.max
+            tracked = result.collector.tracked_fraction()
+            if tracked < 0.5:
+                failed = True
+            evaluation = Evaluation(
+                configuration=dict(configuration),
+                runtime_s=result.simulation.mean_frame_time_s,
+                max_ate_m=max_ate,
+                power_w=result.simulation.streaming_average_power_w(),
+                fps=result.simulation.fps,
+                tracked_fraction=tracked,
+                failed=failed,
+                extras={
+                    "ate_rmse_m": result.ate.rmse,
+                    "memory_bytes": total_bytes(
+                        KFusionParams.from_configuration(
+                            # run_benchmark validated the configuration
+                            # against the system's specs already.
+                            _as_config(result.configuration)
+                        ),
+                        self.sequence.sensors.depth.camera.width,
+                        self.sequence.sensors.depth.camera.height,
+                    ),
+                },
+            )
+        except ReproError as exc:
+            # An invalid-but-reachable corner of the space (e.g. compute
+            # resolution too small): report it as a failed evaluation with
+            # sentinel objectives rather than crashing the exploration.
+            evaluation = Evaluation(
+                configuration=dict(configuration),
+                runtime_s=float("inf"),
+                max_ate_m=float("inf"),
+                power_w=float("inf"),
+                failed=True,
+                extras={"error": str(exc)},
+            )
+
+        self.evaluations += 1
+        if key is not None:
+            self._cache[key] = evaluation
+        return evaluation

@@ -1,0 +1,175 @@
+"""Knowledge extraction — the right-hand panel of Figure 2.
+
+After an exploration, HyperMapper labels every evaluated configuration
+against the three criteria (accurate / fast / power-efficient), trains a
+decision tree per criterion on the configuration features, and reads off
+interpretable threshold rules ("Volume resolution < 96", "Compute size
+ratio > 6", ...).  That is exactly what this module does, using the
+from-scratch CART classifier and rule extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..ml.rules import Rule, extract_rules, format_rules
+from ..ml.tree import DecisionTreeClassifier
+from .constraints import Constraint, accuracy_limit, power_budget, realtime
+from .optimizer import ExplorationResult
+
+
+@dataclass(frozen=True)
+class CriterionKnowledge:
+    """Rules explaining one criterion."""
+
+    criterion: str
+    constraint: Constraint
+    positive_count: int
+    total_count: int
+    rules: tuple[Rule, ...]
+    tree_accuracy: float
+
+    def __str__(self) -> str:
+        head = (
+            f"{self.criterion} ({self.constraint}): "
+            f"{self.positive_count}/{self.total_count} configurations, "
+            f"tree accuracy {self.tree_accuracy:.2f}"
+        )
+        return head + "\n" + format_rules(list(self.rules))
+
+
+def default_criteria() -> list[Constraint]:
+    """The paper's three criteria with its thresholds."""
+    return [accuracy_limit(0.05), realtime(30.0), power_budget(3.0)]
+
+
+def extract_knowledge(
+    result: ExplorationResult,
+    criteria: list[Constraint] | None = None,
+    max_depth: int = 3,
+    max_rules: int = 4,
+    min_support_fraction: float = 0.03,
+) -> list[CriterionKnowledge]:
+    """Train one shallow tree per criterion and extract its rules.
+
+    Shallow trees (depth 3, as in the figure) keep the rules readable;
+    ``min_support_fraction`` drops anecdotal leaves.
+    """
+    if criteria is None:
+        criteria = default_criteria()
+    evaluations = [
+        e for e in result.evaluations if all(np.isfinite(e.objectives()))
+    ]
+    if len(evaluations) < 10:
+        raise OptimizationError(
+            f"need >= 10 finite evaluations for knowledge extraction, "
+            f"got {len(evaluations)}"
+        )
+    X = result.space.to_feature_matrix([e.configuration for e in evaluations])
+    names = result.space.feature_names()
+
+    out = []
+    for constraint in criteria:
+        labels = np.array(
+            [1 if constraint.satisfied(e) else 0 for e in evaluations]
+        )
+        # Support floor: anecdotal leaves are dropped, but when the
+        # positive class is rare (accuracy under uniform sampling is),
+        # the floor must not exceed what the minority class can supply.
+        minority = int(min(labels.sum(), len(labels) - labels.sum()))
+        min_support = max(
+            2,
+            min(int(len(evaluations) * min_support_fraction),
+                max(2, minority // 3)),
+        )
+        if labels.min() == labels.max():
+            # Degenerate: everything (or nothing) satisfies the criterion.
+            out.append(
+                CriterionKnowledge(
+                    criterion=constraint.name,
+                    constraint=constraint,
+                    positive_count=int(labels.sum()),
+                    total_count=len(labels),
+                    rules=(),
+                    tree_accuracy=1.0,
+                )
+            )
+            continue
+        # Class balance: under uniform sampling the "accurate" class is
+        # rare, and an unbalanced tree happily predicts all-negative.
+        # Oversample the minority for fitting, then score every rule
+        # against the ORIGINAL data so support/confidence stay honest.
+        X_fit, labels_fit = _oversample_minority(X, labels)
+        tree = DecisionTreeClassifier(
+            max_depth=max_depth, min_samples_leaf=min_support
+        )
+        tree.fit(X_fit, labels_fit)
+        acc = float(np.mean(tree.predict(X) == labels))
+        raw_rules = extract_rules(tree, names, positive_class=1,
+                                  min_support=1)
+        base_rate = float(labels.mean())
+        # A rule is worth reporting when its precision clearly beats the
+        # base rate (lift >= 2), with an absolute floor; for common
+        # criteria this degenerates to "mostly positive", for rare ones
+        # (accurate configurations under uniform sampling) a region with
+        # several-fold enrichment is exactly what the figure shows.
+        confidence_floor = min(0.9, max(0.15, 2.0 * base_rate))
+        rules = _rescore_rules(raw_rules, X, labels, names, min_support,
+                               confidence_floor)
+        out.append(
+            CriterionKnowledge(
+                criterion=constraint.name,
+                constraint=constraint,
+                positive_count=int(labels.sum()),
+                total_count=len(labels),
+                rules=tuple(rules[:max_rules]),
+                tree_accuracy=acc,
+            )
+        )
+    return out
+
+
+def _oversample_minority(X: np.ndarray,
+                         labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Duplicate minority-class rows until the classes are balanced."""
+    pos = np.flatnonzero(labels == 1)
+    neg = np.flatnonzero(labels == 0)
+    if len(pos) == 0 or len(neg) == 0 or len(pos) == len(neg):
+        return X, labels
+    minority, majority = (pos, neg) if len(pos) < len(neg) else (neg, pos)
+    reps = len(majority) // len(minority)
+    idx = np.concatenate([majority] + [minority] * max(reps, 1))
+    return X[idx], labels[idx]
+
+
+def _rescore_rules(rules, X: np.ndarray, labels: np.ndarray,
+                   names: list[str], min_support: int,
+                   confidence_floor: float) -> list[Rule]:
+    """Re-evaluate each rule's support/confidence on the original data."""
+    out = []
+    for rule in rules:
+        mask = np.ones(len(X), dtype=bool)
+        for cond in rule.conditions:
+            col = names.index(cond.feature)
+            if cond.op == "<=":
+                mask &= X[:, col] <= cond.threshold
+            else:
+                mask &= X[:, col] > cond.threshold
+        support = int(mask.sum())
+        if support < min_support:
+            continue
+        confidence = float(labels[mask].mean())
+        if confidence < confidence_floor:
+            continue
+        out.append(Rule(conditions=rule.conditions, support=support,
+                        confidence=confidence))
+    out.sort(key=lambda r: (-r.confidence, -r.support))
+    return out
+
+
+def format_knowledge(knowledge: list[CriterionKnowledge]) -> str:
+    """The Figure-2-right textual panel."""
+    return "\n".join(str(k) for k in knowledge)

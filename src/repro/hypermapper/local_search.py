@@ -1,0 +1,90 @@
+"""Local refinement of a found configuration — HyperMapper's last phase.
+
+After the model-guided exploration, later HyperMapper versions polish the
+best configurations with a local search: perturb one parameter at a time
+(one ordinal/DVFS step, a small multiplicative nudge for reals, ±1 for
+integers) and keep any neighbour that improves the objective while
+staying feasible.  :func:`local_refine` implements that coordinate
+descent over our design spaces.
+"""
+
+from __future__ import annotations
+
+from ..errors import OptimizationError
+from .constraints import ConstraintSet
+from .evaluator import Evaluation, Evaluator
+from .space import DesignSpace
+
+
+def neighbours(space: DesignSpace, configuration: dict,
+               real_step: float = 0.15) -> list[dict]:
+    """All one-parameter perturbations of ``configuration``.
+
+    Ordinals and categoricals move one choice; integers move +-1; reals
+    move by ``+-real_step`` relatively (log-scale reals by one decade
+    fraction), clipped to bounds.  Every returned configuration is valid.
+    """
+    out: list[dict] = []
+    for spec in space.specs:
+        value = configuration[spec.name]
+        candidates = []
+        if spec.kind in ("ordinal", "categorical"):
+            idx = spec.choices.index(value)
+            if idx > 0:
+                candidates.append(spec.choices[idx - 1])
+            if idx < len(spec.choices) - 1:
+                candidates.append(spec.choices[idx + 1])
+        elif spec.kind == "integer":
+            for delta in (-1, 1):
+                v = int(value) + delta
+                if spec.low <= v <= spec.high:
+                    candidates.append(v)
+        else:  # real
+            if spec.log_scale:
+                factors = (10 ** (-real_step), 10 ** (real_step))
+            else:
+                factors = (1.0 - real_step, 1.0 + real_step)
+            for f in factors:
+                v = min(max(float(value) * f, spec.low), spec.high)
+                if v != value:
+                    candidates.append(v)
+        for candidate in candidates:
+            neighbour = dict(configuration)
+            neighbour[spec.name] = candidate
+            out.append(space.validate(neighbour))
+    return out
+
+
+def local_refine(
+    space: DesignSpace,
+    evaluator: Evaluator,
+    start: Evaluation,
+    constraints: ConstraintSet,
+    objective: str = "runtime_s",
+    max_rounds: int = 4,
+) -> tuple[Evaluation, int]:
+    """Coordinate-descent polish of a feasible starting evaluation.
+
+    Returns ``(best_evaluation, evaluations_spent)``.  Each round tries
+    every one-parameter neighbour of the incumbent and moves to the best
+    feasible improvement; stops at a local optimum or ``max_rounds``.
+    """
+    if not constraints.satisfied(start):
+        raise OptimizationError("local_refine needs a feasible start")
+    best = start
+    spent = 0
+    for _ in range(max_rounds):
+        improved = None
+        for candidate in neighbours(space, best.configuration):
+            evaluation = evaluator.evaluate(candidate)
+            spent += 1
+            if not constraints.satisfied(evaluation):
+                continue
+            if getattr(evaluation, objective) < getattr(
+                improved or best, objective
+            ):
+                improved = evaluation
+        if improved is None:
+            break
+        best = improved
+    return best, spent

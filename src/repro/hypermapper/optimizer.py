@@ -1,0 +1,272 @@
+"""The HyperMapper active-learning optimizer (Figure 2's methodology).
+
+The loop matches the paper's description: a first phase of random sampling
+of the configuration space, then repeated rounds in which a random-forest
+predictive model is trained on everything evaluated so far and used to
+pick the next batch of promising samples ("Run new samples" in Figure 2).
+
+The acquisition is a randomly-scalarised predicted objective (the standard
+multi-objective trick HyperMapper uses) with an uncertainty bonus from the
+forest ensemble spread and a penalty on predicted constraint violation, so
+the search concentrates near the accuracy-feasible Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..ml.forest import RandomForestRegressor
+from .constraints import Constraint, ConstraintSet, accuracy_limit
+from .evaluator import Evaluation, Evaluator
+from .pareto import pareto_mask
+from .space import DesignSpace
+
+OBJECTIVE_NAMES = ("runtime_s", "max_ate_m", "power_w")
+
+
+@dataclass
+class ExplorationResult:
+    """All evaluations of one exploration plus bookkeeping."""
+
+    space: DesignSpace
+    evaluations: list[Evaluation]
+    method: str
+    iteration_of: list[int] = field(default_factory=list)  # 0 = initial phase
+
+    def objective_matrix(
+        self, objectives: Sequence[str] = ("runtime_s", "max_ate_m")
+    ) -> np.ndarray:
+        """``(N, len(objectives))`` matrix of objective values."""
+        if not self.evaluations:
+            raise OptimizationError("no evaluations recorded")
+        return np.array(
+            [[getattr(e, o) for o in objectives] for e in self.evaluations]
+        )
+
+    def feasible(self, constraints: ConstraintSet) -> list[Evaluation]:
+        return constraints.filter(self.evaluations)
+
+    def pareto(
+        self,
+        objectives: Sequence[str] = ("runtime_s", "max_ate_m"),
+        constraints: ConstraintSet | None = None,
+    ) -> list[Evaluation]:
+        """Non-dominated feasible evaluations."""
+        pool = (
+            self.feasible(constraints) if constraints else list(self.evaluations)
+        )
+        pool = [e for e in pool if all(np.isfinite(e.objectives()))]
+        if not pool:
+            return []
+        pts = np.array([[getattr(e, o) for o in objectives] for e in pool])
+        mask = pareto_mask(pts)
+        front = [e for e, m in zip(pool, mask) if m]
+        front.sort(key=lambda e: getattr(e, objectives[0]))
+        return front
+
+    def best(
+        self,
+        objective: str = "runtime_s",
+        constraints: ConstraintSet | None = None,
+    ) -> Evaluation:
+        """The feasible evaluation minimising ``objective``."""
+        pool = (
+            self.feasible(constraints) if constraints else list(self.evaluations)
+        )
+        pool = [e for e in pool if np.isfinite(getattr(e, objective))]
+        if not pool:
+            raise OptimizationError(
+                "no feasible evaluation found; relax the constraints or "
+                "increase the budget"
+            )
+        return min(pool, key=lambda e: getattr(e, objective))
+
+
+class HyperMapper:
+    """Random-forest active learning over a design space.
+
+    Args:
+        space: the design space.
+        evaluator: the black box (measured or surrogate).
+        constraint: feasibility constraint steering the search (the
+            paper's accuracy limit by default).
+        n_initial: random-sampling phase size.
+        n_iterations: active-learning rounds.
+        samples_per_iteration: evaluations per round.
+        candidate_pool: random candidates scored by the model per round.
+        n_trees: forest size.
+        exploration_kappa: weight of the ensemble-spread bonus.
+        seed: RNG seed.
+        seed_configurations: known configurations evaluated before the
+            random phase (HyperMapper's "inject priors" mechanism — the
+            default configuration is an obvious one: it anchors the model
+            in the feasible region when the constraint is tight).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Evaluator,
+        constraint: Constraint | ConstraintSet | None = None,
+        n_initial: int = 20,
+        n_iterations: int = 8,
+        samples_per_iteration: int = 5,
+        candidate_pool: int = 500,
+        n_trees: int = 24,
+        exploration_kappa: float = 0.7,
+        seed: int = 0,
+        seed_configurations: Sequence[dict] = (),
+    ):
+        if n_initial < 3:
+            raise OptimizationError("need n_initial >= 3 to fit a model")
+        if n_iterations < 0 or samples_per_iteration < 1:
+            raise OptimizationError("invalid iteration budget")
+        self.space = space
+        self.evaluator = evaluator
+        if constraint is None:
+            constraint = accuracy_limit()
+        if isinstance(constraint, Constraint):
+            constraint = ConstraintSet.of([constraint])
+        self.constraints = constraint
+        self.n_initial = n_initial
+        self.n_iterations = n_iterations
+        self.samples_per_iteration = samples_per_iteration
+        self.candidate_pool = candidate_pool
+        self.n_trees = n_trees
+        self.exploration_kappa = exploration_kappa
+        self.seed = seed
+        self.seed_configurations = [
+            space.validate(c) for c in seed_configurations
+        ]
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _target_transform(name: str, values: np.ndarray) -> np.ndarray:
+        """Model heavy-tailed objectives in log space."""
+        if name in ("runtime_s", "max_ate_m"):
+            return np.log10(np.maximum(values, 1e-9))
+        return values
+
+    def _fit_models(self, evaluations: list[Evaluation]):
+        finite = [e for e in evaluations if all(np.isfinite(e.objectives()))]
+        if len(finite) < 3:
+            raise OptimizationError("not enough finite evaluations to model")
+        X = self.space.to_feature_matrix([e.configuration for e in finite])
+        models = {}
+        for name in OBJECTIVE_NAMES:
+            y = np.array([getattr(e, name) for e in finite])
+            model = RandomForestRegressor(
+                n_trees=self.n_trees, max_depth=10, random_state=self.seed
+            )
+            model.fit(X, self._target_transform(name, y))
+            models[name] = model
+        return models
+
+    def _acquire(self, models, rng: np.random.Generator,
+                 seen: set) -> list[dict]:
+        """Score a candidate pool and return the next batch."""
+        candidates = []
+        while len(candidates) < self.candidate_pool:
+            config = self.space.sample(rng)
+            key = tuple(sorted(config.items()))
+            if key not in seen:
+                candidates.append(config)
+        X = self.space.to_feature_matrix(candidates)
+
+        means, stds = {}, {}
+        for name, model in models.items():
+            mu, sd = model.predict_with_std(X)
+            means[name], stds[name] = mu, sd
+
+        # Normalise each objective's predictions to [0, 1] for scalarising.
+        def norm(a: np.ndarray) -> np.ndarray:
+            lo, hi = float(a.min()), float(a.max())
+            return (a - lo) / (hi - lo) if hi > lo else np.zeros_like(a)
+
+        weights = rng.dirichlet(np.ones(len(OBJECTIVE_NAMES)))
+        score = np.zeros(len(candidates))
+        bonus = np.zeros(len(candidates))
+        for w, name in zip(weights, OBJECTIVE_NAMES):
+            score += w * norm(means[name])
+            bonus += w * norm(stds[name])
+        score -= self.exploration_kappa * bonus
+
+        # Constraint handling: penalise candidates the model predicts
+        # infeasible (normal approximation over the ensemble spread).
+        for constraint in self.constraints.constraints:
+            metric = constraint.metric
+            op = constraint.op
+            bound = constraint.bound
+            if metric == "fps":
+                # fps > b  <=>  runtime_s < 1/b.
+                metric, op, bound = "runtime_s", "<", 1.0 / bound
+            if metric not in means:
+                continue
+            mu = means[metric]
+            sd = np.maximum(stds[metric], 1e-9)
+            if metric in ("runtime_s", "max_ate_m"):
+                bound = np.log10(max(bound, 1e-9))
+            z = (bound - mu) / sd if op == "<" else (mu - bound) / sd
+            p_feasible = _normal_cdf(z)
+            score += 1.5 * (1.0 - p_feasible)
+
+        order = np.argsort(score)
+        return [candidates[i] for i in order[: self.samples_per_iteration]]
+
+    # -- main loop ------------------------------------------------------------------
+    def run(self) -> ExplorationResult:
+        """Execute the exploration and return every evaluation."""
+        rng = np.random.default_rng(self.seed)
+        evaluations: list[Evaluation] = []
+        iteration_of: list[int] = []
+        seen: set = set()
+
+        initial = list(self.seed_configurations)
+        initial += self.space.sample_many(
+            max(self.n_initial - len(initial), 0), rng
+        )
+        for config in initial:
+            evaluations.append(self.evaluator.evaluate(config))
+            iteration_of.append(0)
+            seen.add(tuple(sorted(config.items())))
+
+        for it in range(1, self.n_iterations + 1):
+            models = self._fit_models(evaluations)
+            batch = self._acquire(models, rng, seen)
+            for config in batch:
+                evaluations.append(self.evaluator.evaluate(config))
+                iteration_of.append(it)
+                seen.add(tuple(sorted(config.items())))
+
+        return ExplorationResult(
+            space=self.space,
+            evaluations=evaluations,
+            method="active_learning",
+            iteration_of=iteration_of,
+        )
+
+
+def random_exploration(
+    space: DesignSpace, evaluator: Evaluator, n: int, seed: int = 0
+) -> ExplorationResult:
+    """Pure random sampling — Figure 2's baseline strategy."""
+    if n < 1:
+        raise OptimizationError("need n >= 1")
+    rng = np.random.default_rng(seed)
+    evaluations = [evaluator.evaluate(c) for c in space.sample_many(n, rng)]
+    return ExplorationResult(
+        space=space,
+        evaluations=evaluations,
+        method="random_sampling",
+        iteration_of=[0] * n,
+    )
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    from scipy.special import erf
+
+    return 0.5 * (1.0 + erf(np.asarray(z) / np.sqrt(2.0)))

@@ -1,0 +1,72 @@
+"""Pareto-front utilities for multi-objective exploration.
+
+All objectives are minimised.  Provides the non-dominated mask, front
+extraction, and the 2-D hypervolume indicator used by the sample-efficiency
+ablation (how quickly a strategy approaches the true front).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all objectives minimised).
+
+    A point is dominated if another point is <= in every objective and
+    strictly < in at least one.
+    """
+    pts = np.asarray(objectives, dtype=float)
+    if pts.ndim != 2 or len(pts) == 0:
+        raise OptimizationError(f"objectives must be (N, M), got {pts.shape}")
+    n = len(pts)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominates_i = np.all(pts <= pts[i], axis=1) & np.any(pts < pts[i], axis=1)
+        if dominates_i.any():
+            mask[i] = False
+    return mask
+
+
+def pareto_front(objectives: np.ndarray) -> np.ndarray:
+    """The non-dominated rows, sorted by the first objective."""
+    pts = np.asarray(objectives, dtype=float)
+    front = pts[pareto_mask(pts)]
+    return front[np.argsort(front[:, 0])]
+
+
+def hypervolume_2d(front: np.ndarray, reference: tuple[float, float]) -> float:
+    """Hypervolume (area dominated) of a 2-D front w.r.t. ``reference``.
+
+    Points beyond the reference contribute nothing; both objectives are
+    minimised, so the reference must be an upper bound of interest.
+    """
+    pts = np.asarray(front, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise OptimizationError("hypervolume_2d needs an (N, 2) front")
+    rx, ry = float(reference[0]), float(reference[1])
+    pts = pts[(pts[:, 0] < rx) & (pts[:, 1] < ry)]
+    if len(pts) == 0:
+        return 0.0
+    pts = pts[pareto_mask(pts)]
+    pts = pts[np.argsort(pts[:, 0])]
+    area = 0.0
+    prev_y = ry
+    for x, y in pts:
+        if y < prev_y:
+            area += (rx - x) * (prev_y - y)
+            prev_y = y
+    return float(area)
+
+
+def dominated_by(point: np.ndarray, front: np.ndarray) -> bool:
+    """Whether ``point`` is dominated by any row of ``front``."""
+    p = np.asarray(point, dtype=float)
+    f = np.asarray(front, dtype=float)
+    if len(f) == 0:
+        return False
+    return bool(np.any(np.all(f <= p, axis=1) & np.any(f < p, axis=1)))

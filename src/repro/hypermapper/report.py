@@ -1,0 +1,142 @@
+"""Textual reports for explorations — HyperMapper's output files.
+
+HyperMapper writes CSV samples and a summary of the Pareto-optimal
+configurations; these helpers produce the equivalent artefacts from an
+:class:`~repro.hypermapper.optimizer.ExplorationResult` so CLI runs and
+examples have a complete, self-describing output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.report import format_table, write_csv
+from ..errors import OptimizationError
+from .constraints import ConstraintSet
+from .optimizer import ExplorationResult
+
+_OBJECTIVE_COLUMNS = ("runtime_s", "max_ate_m", "power_w", "fps")
+
+
+def exploration_rows(result: ExplorationResult) -> list[dict]:
+    """One row per evaluation: configuration + objectives + phase."""
+    rows = []
+    for e, it in zip(result.evaluations, result.iteration_of):
+        row = {"iteration": it, "failed": e.failed}
+        row.update(e.configuration)
+        for name in _OBJECTIVE_COLUMNS:
+            row[name] = getattr(e, name)
+        rows.append(row)
+    return rows
+
+
+def save_exploration_csv(result: ExplorationResult, path: str) -> None:
+    """Write every evaluation as CSV (HyperMapper's samples file)."""
+    rows = exploration_rows(result)
+    if not rows:
+        raise OptimizationError("nothing to save: no evaluations")
+    write_csv(rows, path)
+
+
+@dataclass(frozen=True)
+class RepetitionStatistics:
+    """Across-seed statistics of an exploration recipe."""
+
+    trials: int
+    feasible_mean: float
+    feasible_std: float
+    best_runtime_mean_s: float
+    best_runtime_std_s: float
+    success_rate: float  # trials that found any feasible point
+
+
+def repeat_exploration(
+    make_exploration,
+    constraints: ConstraintSet,
+    seeds=range(3),
+) -> RepetitionStatistics:
+    """Run an exploration recipe across seeds and summarise the spread.
+
+    Args:
+        make_exploration: callable ``seed -> ExplorationResult``.
+        constraints: feasibility definition.
+        seeds: iterable of seeds (one trial each).
+
+    The poster's claims are single numbers; error bars across repeated
+    trials are what a full paper reports — this helper produces them.
+    """
+    feasible_counts = []
+    best_runtimes = []
+    successes = 0
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        result = make_exploration(seed)
+        feasible = result.feasible(constraints)
+        feasible_counts.append(len(feasible))
+        if feasible:
+            successes += 1
+            best_runtimes.append(min(e.runtime_s for e in feasible))
+    if trials == 0:
+        raise OptimizationError("no seeds given")
+    return RepetitionStatistics(
+        trials=trials,
+        feasible_mean=float(np.mean(feasible_counts)),
+        feasible_std=float(np.std(feasible_counts)),
+        best_runtime_mean_s=(float(np.mean(best_runtimes))
+                             if best_runtimes else float("nan")),
+        best_runtime_std_s=(float(np.std(best_runtimes))
+                            if best_runtimes else float("nan")),
+        success_rate=successes / trials,
+    )
+
+
+def exploration_summary(
+    result: ExplorationResult,
+    constraints: ConstraintSet | None = None,
+    max_front_rows: int = 8,
+) -> str:
+    """Human-readable exploration summary: counts, feasibility, front."""
+    evaluations = result.evaluations
+    if not evaluations:
+        raise OptimizationError("empty exploration")
+    finite = [e for e in evaluations if all(np.isfinite(e.objectives()))]
+    failed = sum(1 for e in evaluations if e.failed)
+
+    lines = [
+        f"exploration method: {result.method}",
+        f"evaluations: {len(evaluations)} "
+        f"({len(evaluations) - len(finite)} invalid, {failed} failed runs)",
+    ]
+    if constraints is not None:
+        feasible = result.feasible(constraints)
+        lines.append(
+            f"feasible under {constraints}: {len(feasible)} "
+            f"({100.0 * len(feasible) / len(evaluations):.0f} %)"
+        )
+
+    front = result.pareto(("runtime_s", "max_ate_m"), constraints)
+    if front:
+        rows = [
+            {
+                "runtime_ms": e.runtime_s * 1e3,
+                "max_ate_m": e.max_ate_m,
+                "power_w": e.power_w,
+                "volume_resolution": e.configuration.get(
+                    "volume_resolution", ""
+                ),
+                "compute_size_ratio": e.configuration.get(
+                    "compute_size_ratio", ""
+                ),
+            }
+            for e in front[:max_front_rows]
+        ]
+        lines.append("")
+        lines.append(
+            format_table(rows, title="Pareto front (runtime vs Max ATE)")
+        )
+    else:
+        lines.append("no feasible Pareto front found")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Samplers over design spaces: uniform random and Latin hypercube.
+
+The first phase of HyperMapper (Figure 2, left) is random sampling of the
+configuration space; Latin hypercube sampling is provided as the standard
+space-filling alternative and is used by the sampling ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .space import DesignSpace
+
+
+def random_sample(space: DesignSpace, n: int, seed: int = 0) -> list[dict]:
+    """``n`` i.i.d. uniform configurations."""
+    if n < 1:
+        raise OptimizationError("need n >= 1 samples")
+    rng = np.random.default_rng(seed)
+    return space.sample_many(n, rng)
+
+
+def latin_hypercube_sample(space: DesignSpace, n: int, seed: int = 0) -> list[dict]:
+    """``n`` Latin-hypercube configurations.
+
+    Each dimension is stratified into ``n`` bins with one sample per bin;
+    discrete parameters map the stratified unit interval onto their choice
+    list, which preserves the stratification as far as cardinality allows.
+    """
+    if n < 1:
+        raise OptimizationError("need n >= 1 samples")
+    rng = np.random.default_rng(seed)
+    d = space.dimensions
+    # Stratified unit hypercube: one point per (dimension, bin), shuffled.
+    u = np.empty((n, d))
+    for j in range(d):
+        perm = rng.permutation(n)
+        u[:, j] = (perm + rng.uniform(0.0, 1.0, size=n)) / n
+
+    configs = []
+    for i in range(n):
+        config = {}
+        for j, s in enumerate(space.specs):
+            x = u[i, j]
+            if s.kind == "integer":
+                lo, hi = int(s.low), int(s.high)
+                config[s.name] = int(lo + min(int(x * (hi - lo + 1)), hi - lo))
+            elif s.kind == "real":
+                if s.log_scale:
+                    lo, hi = np.log10(s.low), np.log10(s.high)
+                    config[s.name] = float(10 ** (lo + x * (hi - lo)))
+                else:
+                    config[s.name] = float(s.low + x * (s.high - s.low))
+            else:
+                k = min(int(x * len(s.choices)), len(s.choices) - 1)
+                config[s.name] = s.choices[k]
+        configs.append(config)
+    return configs

@@ -1,0 +1,25 @@
+"""KinectFusion: dense RGB-D SLAM (the benchmark's reference algorithm)."""
+
+from .mesh import TriangleMesh, extract_mesh, load_obj
+from .params import DEFAULTS, KFusionParams, parameter_specs
+from .pipeline import KinectFusion
+from .render import ascii_render, depth_to_grayscale, render_volume
+from .tracking import ReferenceModel, TrackResult, track
+from .volume import TSDFVolume
+
+__all__ = [
+    "TriangleMesh",
+    "extract_mesh",
+    "load_obj",
+    "DEFAULTS",
+    "KFusionParams",
+    "parameter_specs",
+    "KinectFusion",
+    "ascii_render",
+    "depth_to_grayscale",
+    "render_volume",
+    "ReferenceModel",
+    "TrackResult",
+    "track",
+    "TSDFVolume",
+]

@@ -1,0 +1,148 @@
+"""Analytic operation counts for the KinectFusion kernels.
+
+SLAMBench times each kernel of the C++/OpenMP/OpenCL/CUDA implementations;
+our reproduction executes functionally-equivalent NumPy kernels but derives
+*performance* numbers from a platform simulator (DESIGN.md, substitutions).
+This module is the contract between the two: for each kernel it returns a
+:class:`~repro.core.workload.KernelInvocation` with FLOP and byte counts
+that follow the true asymptotic costs of the reference implementation —
+e.g. integration is O(volume_resolution^3) per integrated frame, raycast is
+O(pixels x ray steps), tracking is O(pixels x iterations).
+
+Counts are per *launch*; the pipeline emits one invocation per actual
+launch with the actual sizes/iterations used, so early ICP termination and
+rate decimation show up in the workload exactly as they do in real timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.workload import KernelInvocation
+
+BYTES_PER_PIXEL_DEPTH = 4  # float32 depth
+BYTES_PER_PIXEL_VEC3 = 12  # float32 x 3
+
+
+def acquire(input_pixels: int) -> KernelInvocation:
+    """Frame acquisition / mm-to-metres conversion at input resolution."""
+    return KernelInvocation(
+        name="acquire",
+        flops=2.0 * input_pixels,
+        bytes_accessed=2.0 * BYTES_PER_PIXEL_DEPTH * input_pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def downsample(input_pixels: int, output_pixels: int) -> KernelInvocation:
+    """Compute-size-ratio block average."""
+    return KernelInvocation(
+        name="downsample",
+        flops=3.0 * input_pixels,
+        bytes_accessed=BYTES_PER_PIXEL_DEPTH * (input_pixels + output_pixels),
+        parallel_fraction=0.999,
+    )
+
+
+def bilateral_filter(pixels: int, radius: int = 2) -> KernelInvocation:
+    """Edge-preserving smoothing; cost scales with the window area."""
+    window = (2 * radius + 1) ** 2
+    return KernelInvocation(
+        name="bilateral_filter",
+        flops=12.0 * window * pixels,
+        bytes_accessed=BYTES_PER_PIXEL_DEPTH * (window + 1.0) * pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def half_sample(output_pixels: int) -> KernelInvocation:
+    """One pyramid reduction level."""
+    return KernelInvocation(
+        name="half_sample",
+        flops=8.0 * output_pixels,
+        bytes_accessed=BYTES_PER_PIXEL_DEPTH * 5.0 * output_pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def depth_to_vertex(pixels: int) -> KernelInvocation:
+    return KernelInvocation(
+        name="depth2vertex",
+        flops=9.0 * pixels,
+        bytes_accessed=(BYTES_PER_PIXEL_DEPTH + BYTES_PER_PIXEL_VEC3) * pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def vertex_to_normal(pixels: int) -> KernelInvocation:
+    return KernelInvocation(
+        name="vertex2normal",
+        flops=30.0 * pixels,
+        bytes_accessed=5.0 * BYTES_PER_PIXEL_VEC3 * pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def track_iteration(pixels: int) -> KernelInvocation:
+    """One ICP iteration at one level: association + per-pixel residual."""
+    return KernelInvocation(
+        name="track",
+        flops=60.0 * pixels,
+        bytes_accessed=4.0 * BYTES_PER_PIXEL_VEC3 * pixels,
+        parallel_fraction=0.995,
+    )
+
+
+def reduce_iteration(pixels: int) -> KernelInvocation:
+    """Tree reduction of the 6x6 normal-equation terms (27 floats/pixel)."""
+    return KernelInvocation(
+        name="reduce",
+        flops=54.0 * pixels,
+        bytes_accessed=27.0 * 4.0 * pixels,
+        parallel_fraction=0.97,
+    )
+
+
+def solve() -> KernelInvocation:
+    """Host-side 6x6 Cholesky solve — tiny and sequential."""
+    return KernelInvocation(
+        name="solve",
+        flops=500.0,
+        bytes_accessed=2000.0,
+        parallel_fraction=0.0,
+        gpu_eligible=False,
+    )
+
+
+def integrate(volume_resolution: int) -> KernelInvocation:
+    """TSDF fusion: one projection + blend per voxel."""
+    voxels = float(volume_resolution) ** 3
+    return KernelInvocation(
+        name="integrate",
+        flops=32.0 * voxels,
+        bytes_accessed=12.0 * voxels,  # read tsdf+weight, write back
+        parallel_fraction=0.999,
+    )
+
+
+def raycast(pixels: int, volume_size: float, mu: float,
+            voxel_size: float) -> KernelInvocation:
+    """Per-pixel ray march; steps follow the reference step-size rule."""
+    step = max(0.75 * mu, voxel_size)
+    avg_steps = max(float(np.sqrt(3.0)) * volume_size / step * 0.5, 1.0)
+    return KernelInvocation(
+        name="raycast",
+        flops=25.0 * avg_steps * pixels,
+        bytes_accessed=16.0 * avg_steps * pixels,
+        parallel_fraction=0.999,
+    )
+
+
+def render(pixels: int) -> KernelInvocation:
+    """GUI visualisation render (volume shading) — optional output path."""
+    return KernelInvocation(
+        name="render",
+        flops=40.0 * pixels,
+        bytes_accessed=8.0 * pixels,
+        parallel_fraction=0.999,
+    )

@@ -1,0 +1,44 @@
+"""Memory-footprint model for KinectFusion configurations.
+
+SLAMBench reports memory alongside speed/accuracy/power; for KinectFusion
+the footprint is dominated by the TSDF volume (two float32 fields) plus
+the per-frame image pyramids.  The model below mirrors the reference
+implementation's buffer inventory and is exposed through the evaluators'
+``extras`` so explorations can trade memory too (embedded devices care).
+"""
+
+from __future__ import annotations
+
+from .params import KFusionParams
+
+BYTES_F32 = 4
+
+
+def volume_bytes(params: KFusionParams) -> int:
+    """TSDF + weight fields."""
+    voxels = params.volume_resolution**3
+    return 2 * BYTES_F32 * voxels
+
+
+def frame_buffers_bytes(params: KFusionParams, width: int,
+                        height: int, levels: int = 3) -> int:
+    """Input depth, filtered depth, and the vertex/normal pyramids."""
+    input_px = width * height
+    compute_px = input_px // (params.compute_size_ratio**2)
+    total = BYTES_F32 * input_px  # raw depth
+    px = compute_px
+    pyramid_px = 0
+    for _ in range(levels):
+        pyramid_px += px
+        px //= 4
+    # filtered depth pyramid + vertex map + normal map (+ raycast maps).
+    total += BYTES_F32 * pyramid_px  # depth pyramid
+    total += 2 * 3 * BYTES_F32 * pyramid_px  # vertex + normal pyramids
+    total += 2 * 3 * BYTES_F32 * compute_px  # raycast vertex + normal
+    return total
+
+
+def total_bytes(params: KFusionParams, width: int = 320,
+                height: int = 240) -> int:
+    """Whole-pipeline footprint for one configuration."""
+    return volume_bytes(params) + frame_buffers_bytes(params, width, height)

@@ -1,0 +1,108 @@
+"""Analytic per-frame workload model for KinectFusion.
+
+The measured pipeline records its real kernel launches; design-space
+exploration and the 83-device crowd study, however, need the workload of a
+*hypothetical* configuration without running dense SLAM thousands of times.
+This model predicts the kernel launches of one frame directly from the
+configuration — using the same cost formulas (``repro.kfusion.kernels``)
+the pipeline itself reports, so the simulator sees consistent numbers
+either way.  Tests assert the model tracks the measured pipeline's
+workloads closely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.workload import FrameWorkload
+from ..errors import ConfigurationError
+from . import kernels
+from .params import KFusionParams
+from .pipeline import PYRAMID_LEVELS
+
+
+def expected_icp_iterations(params: KFusionParams) -> tuple[int, ...]:
+    """Expected ICP iterations per level under early termination.
+
+    The tracker exits a level once the SE(3) update norm drops below
+    ``icp_threshold``; a looser threshold exits sooner.  We model the
+    executed fraction of the budget as an affine function of the threshold's
+    order of magnitude, calibrated against the measured tracker (which at
+    the default 1e-5 usually runs its full budget at the coarse levels and
+    most of it at the fine level).
+    """
+    log_t = np.log10(params.icp_threshold)
+    # 1e-2 -> ~0.3 of the budget; <=1e-6 -> full budget.
+    fraction = float(np.clip((-log_t - 1.0) / 5.0, 0.3, 1.0))
+    budgets = params.pyramid_iterations
+    return tuple(max(1, int(round(b * fraction))) if b > 0 else 0 for b in budgets)
+
+
+def pyramid_pixels(width: int, height: int, params: KFusionParams,
+                   levels: int = PYRAMID_LEVELS) -> list[int]:
+    """Pixels at each pyramid level for a given input resolution."""
+    csr = params.compute_size_ratio
+    if width % csr or height % csr:
+        raise ConfigurationError(
+            f"input {width}x{height} not divisible by compute_size_ratio {csr}"
+        )
+    w, h = width // csr, height // csr
+    out = []
+    for _ in range(levels):
+        out.append(w * h)
+        if w % 2 or h % 2 or w < 8 or h < 8:
+            break
+        w, h = w // 2, h // 2
+    return out
+
+
+def frame_workload(
+    params: KFusionParams,
+    width: int,
+    height: int,
+    frame_index: int,
+) -> FrameWorkload:
+    """Predicted workload of one frame of the pipeline."""
+    wl = FrameWorkload(frame_index=frame_index)
+    input_pixels = width * height
+    levels = pyramid_pixels(width, height, params)
+    px = levels[0]
+
+    wl.add(kernels.acquire(input_pixels))
+    wl.add(kernels.downsample(input_pixels, px))
+    wl.add(kernels.bilateral_filter(px))
+    for level, lpx in enumerate(levels):
+        if level > 0:
+            wl.add(kernels.half_sample(lpx))
+        wl.add(kernels.depth_to_vertex(lpx))
+        wl.add(kernels.vertex_to_normal(lpx))
+
+    is_first = frame_index == 0
+    if not is_first and frame_index % params.tracking_rate == 0:
+        iters = expected_icp_iterations(params)
+        for level, lpx in enumerate(levels):
+            for _ in range(iters[level] if level < len(iters) else 0):
+                wl.add(kernels.track_iteration(lpx))
+                wl.add(kernels.reduce_iteration(lpx))
+                wl.add(kernels.solve())
+
+    if is_first or frame_index % params.integration_rate == 0:
+        wl.add(kernels.integrate(params.volume_resolution))
+
+    wl.add(
+        kernels.raycast(px, params.volume_size, params.mu_distance,
+                        params.voxel_size)
+    )
+    return wl
+
+
+def sequence_workloads(
+    params: KFusionParams,
+    width: int,
+    height: int,
+    n_frames: int,
+) -> list[FrameWorkload]:
+    """Predicted workloads for an ``n_frames`` sequence."""
+    if n_frames < 1:
+        raise ConfigurationError("need at least one frame")
+    return [frame_workload(params, width, height, i) for i in range(n_frames)]

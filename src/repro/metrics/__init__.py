@@ -1,0 +1,24 @@
+"""Accuracy metrics: trajectory error, drift, and map quality."""
+
+from .alignment import align_trajectories, umeyama
+from .drift import DriftResult, trajectory_drift
+from .ate import ATEResult, absolute_trajectory_error
+from .reconstruction import ReconstructionResult, reconstruction_error
+from .rpe import RPEResult, relative_pose_error
+from .summary import SeriesSummary, geometric_mean, speedup
+
+__all__ = [
+    "align_trajectories",
+    "umeyama",
+    "DriftResult",
+    "trajectory_drift",
+    "ATEResult",
+    "absolute_trajectory_error",
+    "ReconstructionResult",
+    "reconstruction_error",
+    "RPEResult",
+    "relative_pose_error",
+    "SeriesSummary",
+    "geometric_mean",
+    "speedup",
+]

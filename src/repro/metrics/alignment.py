@@ -1,0 +1,72 @@
+"""Trajectory alignment (Horn/Umeyama) for ATE computation.
+
+The TUM RGB-D evaluation aligns the estimated trajectory to the ground
+truth with the closed-form least-squares rigid transform before measuring
+residuals; SLAMBench inherits that convention.  :func:`umeyama` implements
+the SVD-based solution (rotation + translation, optional scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+def umeyama(
+    source: np.ndarray, target: np.ndarray, with_scale: bool = False
+) -> tuple[np.ndarray, float]:
+    """Least-squares rigid alignment mapping ``source`` onto ``target``.
+
+    Args:
+        source, target: ``(N, 3)`` corresponding points, N >= 3.
+        with_scale: also estimate a similarity scale.
+
+    Returns:
+        ``(T, scale)`` where ``T`` is a 4x4 rigid transform and ``scale``
+        the similarity factor (1.0 when ``with_scale`` is False), such that
+        ``scale * R @ source + t ~= target``.
+    """
+    src = np.asarray(source, dtype=float)
+    dst = np.asarray(target, dtype=float)
+    if src.shape != dst.shape or src.ndim != 2 or src.shape[1] != 3:
+        raise GeometryError(
+            f"umeyama needs matching (N,3) arrays, got {src.shape}, {dst.shape}"
+        )
+    n = src.shape[0]
+    if n < 3:
+        raise GeometryError(f"umeyama needs >= 3 points, got {n}")
+
+    mu_src = src.mean(axis=0)
+    mu_dst = dst.mean(axis=0)
+    src_c = src - mu_src
+    dst_c = dst - mu_dst
+
+    cov = dst_c.T @ src_c / n
+    U, D, Vt = np.linalg.svd(cov)
+    S = np.eye(3)
+    if np.linalg.det(U) * np.linalg.det(Vt) < 0:
+        S[2, 2] = -1.0
+    R = U @ S @ Vt
+
+    if with_scale:
+        var_src = (src_c**2).sum() / n
+        if var_src < 1e-12:
+            raise GeometryError("umeyama: degenerate source point set")
+        scale = float(np.trace(np.diag(D) @ S) / var_src)
+    else:
+        scale = 1.0
+
+    t = mu_dst - scale * R @ mu_src
+    T = np.eye(4)
+    T[:3, :3] = R
+    T[:3, 3] = t
+    return T, scale
+
+
+def align_trajectories(
+    estimated_positions: np.ndarray, reference_positions: np.ndarray
+) -> np.ndarray:
+    """Aligned copy of ``estimated_positions`` (rigid, no scale)."""
+    T, _ = umeyama(estimated_positions, reference_positions)
+    return estimated_positions @ T[:3, :3].T + T[:3, 3]

@@ -1,0 +1,67 @@
+"""Absolute Trajectory Error (ATE).
+
+The paper's accuracy metric: after aligning the estimated trajectory to
+the ground truth, the ATE is the per-frame Euclidean distance between
+corresponding camera centres.  SLAMBench reports the maximum (the "Max
+ATE" axis of Figure 2, with the 5 cm accuracy limit) as well as the mean
+and RMSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.groundtruth import associate
+from ..errors import DatasetError
+from ..scene.trajectory import Trajectory
+from .alignment import align_trajectories
+
+
+@dataclass(frozen=True)
+class ATEResult:
+    """Summary of the absolute trajectory error, all in metres."""
+
+    max: float
+    mean: float
+    median: float
+    rmse: float
+    per_frame: np.ndarray
+    matched_frames: int
+
+    def passes(self, limit_m: float = 0.05) -> bool:
+        """Whether the run meets an accuracy limit on Max ATE."""
+        return self.max < limit_m
+
+
+def absolute_trajectory_error(
+    estimated: Trajectory,
+    reference: Trajectory,
+    align: bool = True,
+    max_dt: float = 0.02,
+) -> ATEResult:
+    """Compute the ATE between an estimated and a reference trajectory.
+
+    Trajectories are associated by timestamp; with ``align`` (the TUM/
+    SLAMBench convention) a rigid Horn alignment removes the arbitrary
+    start-frame offset before residuals are measured.
+    """
+    est_idx, ref_idx = associate(estimated, reference, max_dt=max_dt)
+    if len(est_idx) < 3:
+        raise DatasetError(
+            f"only {len(est_idx)} associated poses; cannot compute ATE"
+        )
+    p_est = estimated.positions[est_idx]
+    p_ref = reference.positions[ref_idx]
+    if align:
+        p_est = align_trajectories(p_est, p_ref)
+    errors = np.linalg.norm(p_est - p_ref, axis=-1)
+    return ATEResult(
+        max=float(errors.max()),
+        mean=float(errors.mean()),
+        median=float(np.median(errors)),
+        rmse=float(np.sqrt(np.mean(errors**2))),
+        per_frame=errors,
+        matched_frames=int(len(errors)),
+    )

@@ -1,0 +1,82 @@
+"""Drift metrics: error normalised by distance travelled.
+
+ATE depends on sequence length; odometry papers therefore also report
+*drift* — translational error per metre travelled — which lets sequences
+of different lengths be compared.  SLAMBench's successor versions report
+it too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.groundtruth import associate
+from ..errors import DatasetError
+from ..geometry import se3
+from ..scene.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class DriftResult:
+    """End-point and mean drift, as fractions of distance travelled."""
+
+    path_length_m: float
+    endpoint_error_m: float
+    endpoint_drift: float  # endpoint error / path length
+    mean_drift: float  # mean per-frame error / distance travelled so far
+
+    @property
+    def endpoint_drift_percent(self) -> float:
+        return 100.0 * self.endpoint_drift
+
+
+def trajectory_drift(
+    estimated: Trajectory,
+    reference: Trajectory,
+    max_dt: float = 0.02,
+    min_path_m: float = 0.01,
+) -> DriftResult:
+    """Drift of an estimated trajectory against the reference.
+
+    Both trajectories are rebased to their first matched pose (removing
+    the arbitrary start offset, without the Horn alignment that would hide
+    accumulated rotation drift).
+    """
+    est_idx, ref_idx = associate(estimated, reference, max_dt=max_dt)
+    if len(est_idx) < 2:
+        raise DatasetError("need >= 2 associated poses for drift")
+
+    est0 = se3.inverse(estimated.poses[est_idx[0]])
+    ref0 = se3.inverse(reference.poses[ref_idx[0]])
+    p_est = np.stack(
+        [(est0 @ estimated.poses[i])[:3, 3] for i in est_idx]
+    )
+    p_ref = np.stack(
+        [(ref0 @ reference.poses[j])[:3, 3] for j in ref_idx]
+    )
+
+    seg = np.linalg.norm(np.diff(p_ref, axis=0), axis=-1)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg)])
+    path_length = float(cumulative[-1])
+    if path_length < min_path_m:
+        raise DatasetError(
+            f"reference path too short ({path_length:.4f} m) for drift"
+        )
+
+    errors = np.linalg.norm(p_est - p_ref, axis=-1)
+    endpoint_error = float(errors[-1])
+
+    # Mean drift: per-frame error over distance travelled so far (skip the
+    # start where the denominator is ~0).
+    mask = cumulative > min_path_m
+    mean_drift = (
+        float(np.mean(errors[mask] / cumulative[mask])) if mask.any() else 0.0
+    )
+    return DriftResult(
+        path_length_m=path_length,
+        endpoint_error_m=endpoint_error,
+        endpoint_drift=endpoint_error / path_length,
+        mean_drift=mean_drift,
+    )

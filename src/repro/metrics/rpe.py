@@ -1,0 +1,71 @@
+"""Relative Pose Error (RPE).
+
+The drift metric of the TUM RGB-D tools: for a fixed frame interval
+``delta``, compare the estimated relative motion over the interval with
+the ground-truth relative motion.  Reported as translational (m) and
+rotational (rad) error statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.groundtruth import associate
+from ..errors import DatasetError
+from ..geometry import se3
+from ..scene.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class RPEResult:
+    """Relative pose error over a fixed frame interval."""
+
+    delta: int
+    trans_rmse: float
+    trans_mean: float
+    trans_max: float
+    rot_rmse: float
+    rot_mean: float
+    rot_max: float
+    pairs: int
+
+
+def relative_pose_error(
+    estimated: Trajectory,
+    reference: Trajectory,
+    delta: int = 1,
+    max_dt: float = 0.02,
+) -> RPEResult:
+    """Compute the RPE at frame interval ``delta``."""
+    if delta < 1:
+        raise DatasetError(f"RPE delta must be >= 1, got {delta}")
+    est_idx, ref_idx = associate(estimated, reference, max_dt=max_dt)
+    if len(est_idx) < delta + 1:
+        raise DatasetError(
+            f"only {len(est_idx)} associated poses; need > delta={delta}"
+        )
+
+    trans_errors, rot_errors = [], []
+    for k in range(len(est_idx) - delta):
+        i0, i1 = est_idx[k], est_idx[k + delta]
+        j0, j1 = ref_idx[k], ref_idx[k + delta]
+        rel_est = se3.inverse(estimated.poses[i0]) @ estimated.poses[i1]
+        rel_ref = se3.inverse(reference.poses[j0]) @ reference.poses[j1]
+        err = se3.inverse(rel_ref) @ rel_est
+        trans_errors.append(np.linalg.norm(err[:3, 3]))
+        rot_errors.append(se3.rotation_angle(err[:3, :3]))
+
+    t = np.asarray(trans_errors)
+    r = np.asarray(rot_errors)
+    return RPEResult(
+        delta=delta,
+        trans_rmse=float(np.sqrt(np.mean(t**2))),
+        trans_mean=float(t.mean()),
+        trans_max=float(t.max()),
+        rot_rmse=float(np.sqrt(np.mean(r**2))),
+        rot_mean=float(r.mean()),
+        rot_max=float(r.max()),
+        pairs=int(len(t)),
+    )

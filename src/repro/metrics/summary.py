@@ -1,0 +1,54 @@
+"""Scalar statistics helpers shared by reports and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of a scalar series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values) -> "SeriesSummary":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise DatasetError("cannot summarise an empty series")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            minimum=float(arr.min()),
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95.0)),
+            maximum=float(arr.max()),
+        )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` with guarding against divide-by-zero."""
+    if improved <= 0:
+        raise DatasetError(f"improved value must be positive, got {improved}")
+    return baseline / improved
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (standard for speed-up suites)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise DatasetError("cannot take the geometric mean of nothing")
+    if np.any(arr <= 0):
+        raise DatasetError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,31 @@
+"""From-scratch machine learning: CART trees, random forests, rules."""
+
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .rules import Condition, Rule, extract_rules, format_rules
+from .tree import DecisionTree, DecisionTreeClassifier, DecisionTreeRegressor
+from .validation import (
+    accuracy,
+    cross_val_r2,
+    mse,
+    r2_score,
+    spearman_rank_correlation,
+    train_test_split,
+)
+
+__all__ = [
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Condition",
+    "Rule",
+    "extract_rules",
+    "format_rules",
+    "DecisionTree",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "accuracy",
+    "cross_val_r2",
+    "mse",
+    "r2_score",
+    "spearman_rank_correlation",
+    "train_test_split",
+]

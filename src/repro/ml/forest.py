@@ -1,0 +1,121 @@
+"""Random forests on top of the CART trees.
+
+HyperMapper's active learning is driven by a random-forest predictor: the
+ensemble mean is the prediction and the spread across trees is the
+uncertainty signal used to pick informative samples.  Both are exposed
+here (:meth:`RandomForestRegressor.predict_with_std`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _Forest:
+    """Shared bootstrap-aggregation machinery."""
+
+    tree_cls = None  # set by subclasses
+
+    def __init__(
+        self,
+        n_trees: int = 32,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        random_state: int = 0,
+    ):
+        if n_trees < 1:
+            raise ModelError("need at least one tree")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees: list = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y) or len(X) == 0:
+            raise ModelError("X and y must be non-empty and the same length")
+        rng = np.random.default_rng(self.random_state)
+        self.trees = []
+        n = len(X)
+        for t in range(self.n_trees):
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = self.tree_cls(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.trees:
+            raise ModelError("forest is not fitted")
+
+    def _all_predictions(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.stack([t.predict(X) for t in self.trees])
+
+
+class RandomForestRegressor(_Forest):
+    """Bagged regression forest with ensemble-spread uncertainty."""
+
+    tree_cls = DecisionTreeRegressor
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._all_predictions(X).mean(axis=0)
+
+    def predict_with_std(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Ensemble mean and standard deviation (the acquisition signal)."""
+        preds = self._all_predictions(X)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-decrease importances, normalised to sum to 1."""
+        self._require_fitted()
+        d = self.trees[0].n_features_
+        imp = np.zeros(d)
+        for tree in self.trees:
+            for node in tree.nodes:
+                if node.feature >= 0:
+                    left = tree.nodes[node.left]
+                    right = tree.nodes[node.right]
+                    decrease = node.n_samples * node.impurity - (
+                        left.n_samples * left.impurity
+                        + right.n_samples * right.impurity
+                    )
+                    imp[node.feature] += max(decrease, 0.0)
+        total = imp.sum()
+        return imp / total if total > 0 else imp
+
+
+class RandomForestClassifier(_Forest):
+    """Bagged classification forest (majority vote)."""
+
+    tree_cls = DecisionTreeClassifier
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        preds = self._all_predictions(X).astype(int)
+        out = np.empty(preds.shape[1], dtype=int)
+        for j in range(preds.shape[1]):
+            vals, counts = np.unique(preds[:, j], return_counts=True)
+            out[j] = vals[np.argmax(counts)]
+        return out
+
+    def predict_proba(self, X: np.ndarray, cls: int = 1) -> np.ndarray:
+        """Fraction of trees voting for ``cls``."""
+        preds = self._all_predictions(X).astype(int)
+        return (preds == cls).mean(axis=0)

@@ -1,0 +1,135 @@
+"""Rule extraction from decision trees — Figure 2's "Knowledge" box.
+
+The right panel of the paper's Figure 2 shows human-readable conditions
+("Volume resolution < 96", "Compute size ratio > 6", ...) explaining which
+parameter regions are accurate / fast / power-efficient.  HyperMapper gets
+them by training a decision tree on labelled DSE samples and reading the
+root-to-leaf paths.  :func:`extract_rules` does exactly that: every leaf
+predicting the positive class becomes a conjunction of threshold
+conditions, simplified to one interval per feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .tree import DecisionTreeClassifier, _NO_CHILD
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A single threshold condition ``feature <= / > value``."""
+
+    feature: str
+    op: str  # "<=" or ">"
+    threshold: float
+
+    def __str__(self) -> str:
+        return f"{self.feature} {self.op} {self.threshold:.4g}"
+
+    def holds(self, value: float) -> bool:
+        return value <= self.threshold if self.op == "<=" else value > self.threshold
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunction of conditions implying the positive class.
+
+    Attributes:
+        conditions: simplified per-feature interval conditions.
+        support: training samples reaching the leaf.
+        confidence: purity proxy of the leaf for the positive class
+            (1 - Gini-based impurity share; exact purity is not stored in
+            the flat tree, so this reports the leaf's majority agreement).
+    """
+
+    conditions: tuple[Condition, ...]
+    support: int
+    confidence: float
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            return "(always)"
+        return " AND ".join(str(c) for c in self.conditions)
+
+    def matches(self, sample: dict) -> bool:
+        """Whether a ``{feature: value}`` mapping satisfies the rule."""
+        return all(c.holds(float(sample[c.feature])) for c in self.conditions)
+
+
+def extract_rules(
+    tree: DecisionTreeClassifier,
+    feature_names: list[str],
+    positive_class: int = 1,
+    min_support: int = 1,
+) -> list[Rule]:
+    """All root-to-leaf paths of ``tree`` that predict ``positive_class``.
+
+    Rules are sorted by support (most general first); per-feature
+    conditions along a path are merged into the tightest interval.
+    """
+    if not tree.nodes:
+        raise ModelError("tree is not fitted")
+    if len(feature_names) != tree.n_features_:
+        raise ModelError(
+            f"{len(feature_names)} names for {tree.n_features_} features"
+        )
+
+    rules: list[Rule] = []
+
+    def walk(node_id: int, path: list[tuple[int, str, float]]):
+        node = tree.nodes[node_id]
+        if node.feature == _NO_CHILD:
+            if int(node.value) == positive_class and node.n_samples >= min_support:
+                rules.append(
+                    Rule(
+                        conditions=_simplify(path, feature_names),
+                        support=node.n_samples,
+                        confidence=1.0 - node.impurity,
+                    )
+                )
+            return
+        walk(node.left, path + [(node.feature, "<=", node.threshold)])
+        walk(node.right, path + [(node.feature, ">", node.threshold)])
+
+    walk(0, [])
+    rules.sort(key=lambda r: -r.support)
+    return rules
+
+
+def _simplify(
+    path: list[tuple[int, str, float]], feature_names: list[str]
+) -> tuple[Condition, ...]:
+    """Merge repeated conditions on one feature into a tight interval."""
+    upper: dict[int, float] = {}  # feature -> tightest "<=" bound
+    lower: dict[int, float] = {}  # feature -> tightest ">" bound
+    for feature, op, threshold in path:
+        if op == "<=":
+            upper[feature] = min(upper.get(feature, np.inf), threshold)
+        else:
+            lower[feature] = max(lower.get(feature, -np.inf), threshold)
+    conditions = []
+    for f in sorted(set(upper) | set(lower)):
+        if f in lower:
+            conditions.append(Condition(feature_names[f], ">", lower[f]))
+        if f in upper:
+            conditions.append(Condition(feature_names[f], "<=", upper[f]))
+    return tuple(conditions)
+
+
+def format_rules(rules: list[Rule], label: str = "") -> str:
+    """Human-readable rendering of a rule list (the Fig 2 right panel)."""
+    lines = []
+    if label:
+        lines.append(label)
+    if not rules:
+        lines.append("  (no rules)")
+    for rule in rules:
+        lines.append(
+            f"  IF {rule} THEN positive"
+            f"   [support={rule.support}, confidence={rule.confidence:.2f}]"
+        )
+    return "\n".join(lines) + "\n"

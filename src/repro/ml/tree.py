@@ -1,0 +1,287 @@
+"""CART decision trees (regression and classification), NumPy only.
+
+HyperMapper's predictive model is a scikit-learn random forest; the
+execution environment has no scikit-learn, so the trees underneath are
+implemented here from scratch: binary splits on numeric features chosen by
+variance reduction (regression) or Gini impurity (classification), grown
+depth-first with the usual stopping rules.
+
+Trees store their structure in flat arrays, which keeps prediction
+vectorised and makes rule extraction (``repro.ml.rules``) straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+_NO_CHILD = -1
+
+
+@dataclass
+class _Node:
+    feature: int = _NO_CHILD  # -1 marks a leaf
+    threshold: float = 0.0
+    left: int = _NO_CHILD
+    right: int = _NO_CHILD
+    value: float = 0.0  # mean target (regression) / majority class id
+    n_samples: int = 0
+    impurity: float = 0.0
+
+
+class DecisionTree:
+    """Base CART tree; use the Regressor/Classifier subclasses.
+
+    Args:
+        max_depth: depth limit (root = depth 0).
+        min_samples_split: do not split nodes smaller than this.
+        min_samples_leaf: children must keep at least this many samples.
+        max_features: features considered per split: ``None`` = all,
+            ``"sqrt"``, or an int.
+        random_state: seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state: int | None = None,
+    ):
+        if max_depth < 1:
+            raise ModelError("max_depth must be >= 1")
+        if min_samples_split < 2 or min_samples_leaf < 1:
+            raise ModelError("invalid min_samples settings")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.nodes: list[_Node] = []
+        self.n_features_: int | None = None
+
+    # -- subclass hooks ------------------------------------------------------
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # -- fitting ----------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ModelError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y) or len(X) == 0:
+            raise ModelError("X and y must be non-empty and the same length")
+        self.n_features_ = X.shape[1]
+        self.nodes = []
+        rng = np.random.default_rng(self.random_state)
+        self._grow(X, y, depth=0, rng=rng)
+        return self
+
+    def _n_split_features(self) -> int:
+        assert self.n_features_ is not None
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int,
+              rng: np.random.Generator) -> int:
+        node_id = len(self.nodes)
+        node = _Node(
+            value=self._leaf_value(y),
+            n_samples=len(y),
+            impurity=self._impurity(y),
+        )
+        self.nodes.append(node)
+
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.impurity <= 1e-12
+        ):
+            return node_id
+
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node_id
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray,
+                    rng: np.random.Generator):
+        n, d = X.shape
+        k = self._n_split_features()
+        features = (
+            rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+        )
+        parent_impurity = self._impurity(y)
+        best_gain = 1e-12
+        best = None
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # Candidate split positions i (left = [:i]): distinct values,
+            # respecting the leaf-size floor.
+            candidates = np.flatnonzero(np.diff(xs) > 1e-12) + 1
+            candidates = candidates[
+                (candidates >= self.min_samples_leaf)
+                & (candidates <= n - self.min_samples_leaf)
+            ]
+            if candidates.size == 0:
+                continue
+            # Weighted child impurity for every split position, vectorised
+            # via prefix statistics (see subclasses).
+            weighted = self._split_impurities(ys, candidates)
+            gains = parent_impurity - weighted / n
+            j = int(np.argmax(gains))
+            if gains[j] > best_gain:
+                i = int(candidates[j])
+                best_gain = float(gains[j])
+                best = (int(f), float((xs[i - 1] + xs[i]) / 2.0))
+        return best
+
+    def _split_impurities(self, ys: np.ndarray,
+                          candidates: np.ndarray) -> np.ndarray:
+        """``n_left*imp_left + n_right*imp_right`` for each split position.
+
+        Default implementation loops; subclasses provide O(n) versions.
+        """
+        n = len(ys)
+        out = np.empty(len(candidates))
+        for j, i in enumerate(candidates):
+            out[j] = i * self._impurity(ys[:i]) + (n - i) * self._impurity(ys[i:])
+        return out
+
+    # -- prediction -------------------------------------------------------------
+    def _leaf_ids(self, X: np.ndarray) -> np.ndarray:
+        if not self.nodes:
+            raise ModelError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ModelError(
+                f"X must be (N, {self.n_features_}), got {X.shape}"
+            )
+        ids = np.zeros(len(X), dtype=int)
+        # Route batches of samples down the tree node by node.
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(len(X)))]
+        while stack:
+            node_id, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            node = self.nodes[node_id]
+            if node.feature == _NO_CHILD:
+                ids[idx] = node_id
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return ids
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        ids = self._leaf_ids(X)
+        return np.array([self.nodes[i].value for i in ids])
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.nodes if n.feature == _NO_CHILD)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not self.nodes:
+            raise ModelError("tree is not fitted")
+
+        def _d(i: int) -> int:
+            node = self.nodes[i]
+            if node.feature == _NO_CHILD:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        return _d(0)
+
+
+class DecisionTreeRegressor(DecisionTree):
+    """CART regression tree (variance-reduction splits, mean leaves)."""
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y)) if len(y) else 0.0
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def _split_impurities(self, ys: np.ndarray,
+                          candidates: np.ndarray) -> np.ndarray:
+        # n*var = sum(y^2) - (sum y)^2 / n, via prefix sums.
+        n = len(ys)
+        cs = np.concatenate([[0.0], np.cumsum(ys)])
+        cs2 = np.concatenate([[0.0], np.cumsum(ys * ys)])
+        i = candidates.astype(int)
+        left = cs2[i] - cs[i] ** 2 / i
+        nr = n - i
+        right = (cs2[n] - cs2[i]) - (cs[n] - cs[i]) ** 2 / nr
+        return left + right
+
+
+class DecisionTreeClassifier(DecisionTree):
+    """CART classification tree (Gini splits, majority leaves).
+
+    Class labels must be non-negative integers.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        y = np.asarray(y)
+        if y.size and (np.any(y < 0) or np.any(y != np.round(y))):
+            raise ModelError("classifier labels must be non-negative integers")
+        self.classes_ = np.unique(y.astype(int))
+        return super().fit(X, y)
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if len(y) == 0:
+            return 0.0
+        _, counts = np.unique(y, return_counts=True)
+        p = counts / len(y)
+        return float(1.0 - np.sum(p * p))
+
+    def _split_impurities(self, ys: np.ndarray,
+                          candidates: np.ndarray) -> np.ndarray:
+        # Gini via per-class prefix counts:
+        # n*gini = n - sum_c count_c^2 / n.
+        n = len(ys)
+        classes = np.unique(ys)
+        i = candidates.astype(int)
+        left_sq = np.zeros(len(candidates))
+        right_sq = np.zeros(len(candidates))
+        for c in classes:
+            pc = np.concatenate([[0.0], np.cumsum(ys == c)])
+            lc = pc[i]
+            rc = pc[n] - pc[i]
+            left_sq += lc * lc
+            right_sq += rc * rc
+        nr = n - i
+        return (i - left_sq / i) + (nr - right_sq / nr)
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        vals, counts = np.unique(y, return_counts=True)
+        return float(vals[np.argmax(counts)])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return super().predict(X).astype(int)
+
+    def leaf_class_fraction(self, X: np.ndarray, cls: int) -> np.ndarray:
+        """Per-sample purity proxy: 1.0 if the leaf predicts ``cls``."""
+        return (self.predict(X) == cls).astype(float)

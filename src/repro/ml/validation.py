@@ -1,0 +1,108 @@
+"""Model-quality utilities: splits, scores, cross-validation.
+
+Used by the ML ablation bench (forest quality vs #trees/#samples) and by
+tests that assert the from-scratch forest actually learns the response
+surfaces it is used on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def train_test_split(
+    X: np.ndarray, y: np.ndarray, test_fraction: float = 0.25, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y) or len(X) < 2:
+        raise ModelError("need >= 2 matching samples to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(X))
+    n_test = max(1, int(round(len(X) * test_fraction)))
+    test = order[:n_test]
+    train = order[n_test:]
+    if len(train) == 0:
+        raise ModelError("split left no training samples")
+    return X[train], X[test], y[train], y[test]
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ModelError("shape mismatch or empty arrays")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot < 1e-18:
+        return 1.0 if ss_res < 1e-18 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ModelError("shape mismatch or empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Rank correlation — how well a surrogate preserves orderings."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.size < 2:
+        raise ModelError("need >= 2 matching values")
+    ra = _ranks(a)
+    rb = _ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom < 1e-18:
+        return 0.0
+    return float((ra * rb).sum() / denom)
+
+
+def _ranks(x: np.ndarray) -> np.ndarray:
+    """Average ranks (ties averaged)."""
+    order = np.argsort(x, kind="stable")
+    ranks = np.empty(len(x), dtype=float)
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and x[order[j + 1]] == x[order[i]]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0
+        i = j + 1
+    return ranks
+
+
+def cross_val_r2(model_factory, X: np.ndarray, y: np.ndarray,
+                 folds: int = 4, seed: int = 0) -> list[float]:
+    """K-fold cross-validated R² for a regressor factory."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if folds < 2 or len(X) < folds:
+        raise ModelError("need >= 2 folds and enough samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(X))
+    scores = []
+    for k in range(folds):
+        test = order[k::folds]
+        train = np.setdiff1d(order, test)
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(r2_score(y[test], model.predict(X[test])))
+    return scores

@@ -1,0 +1,38 @@
+"""Simulated hardware platforms, backends and power accounting."""
+
+from .backends import BACKEND_NAMES, Backend, available_backends, get_backend
+from .device import CpuCluster, DeviceModel, Gpu
+from .governor import GOVERNORS, GovernorResult, simulate_with_governor
+from .odroid import desktop_gtx, odroid_xu3
+from .phones import build_device, device_count, phone_database
+from .power import PowerTrace, battery_life_hours
+from .simulator import (
+    FrameTiming,
+    PerformanceSimulator,
+    PlatformConfig,
+    SimulationResult,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "CpuCluster",
+    "DeviceModel",
+    "Gpu",
+    "GOVERNORS",
+    "GovernorResult",
+    "simulate_with_governor",
+    "desktop_gtx",
+    "odroid_xu3",
+    "build_device",
+    "device_count",
+    "phone_database",
+    "PowerTrace",
+    "battery_life_hours",
+    "FrameTiming",
+    "PerformanceSimulator",
+    "PlatformConfig",
+    "SimulationResult",
+]

@@ -1,0 +1,87 @@
+"""Implementation backends: C++, OpenMP, OpenCL, CUDA.
+
+SLAMBench ships the same KinectFusion in four languages; the performance
+difference between them is where kernels run and how well they exploit the
+hardware.  A :class:`Backend` encodes that mapping for the simulator:
+which unit executes GPU-eligible kernels, how many CPU cores are used, and
+an implementation-efficiency factor (how close the code gets to the unit's
+sustained throughput — e.g. hand-tuned CUDA is closer to peak than naive
+C++).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .device import DeviceModel
+
+BACKEND_NAMES = ("cpp", "openmp", "opencl", "cuda")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One implementation variant of the algorithm.
+
+    Attributes:
+        name: one of ``cpp``, ``openmp``, ``opencl``, ``cuda``.
+        uses_gpu: GPU-eligible kernels run on the GPU.
+        cpu_cores: CPU cores used for CPU-side work (``None`` = all cores
+            of the biggest cluster for openmp, 1 for cpp).
+        efficiency: fraction of the executing unit's sustained throughput
+            this implementation achieves.
+        launch_overhead_multiplier: GPU command queues add per-kernel cost.
+    """
+
+    name: str
+    uses_gpu: bool
+    cpu_cores: int | None
+    efficiency: float
+    launch_overhead_multiplier: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.efficiency <= 1.0:
+            raise SimulationError(
+                f"backend {self.name}: efficiency must be in (0, 1]"
+            )
+
+    def resolve_cores(self, device: DeviceModel) -> int:
+        """CPU cores this backend uses on ``device``."""
+        cluster = device.biggest_cluster
+        if self.cpu_cores is None:
+            return cluster.cores
+        return min(self.cpu_cores, cluster.cores)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up one of the four standard backends."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
+        ) from None
+
+
+def available_backends(device: DeviceModel) -> list[Backend]:
+    """The backends ``device`` can run, fastest-first by convention."""
+    return [b for b in _BACKENDS.values() if device.supports_backend(b.name)]
+
+
+_BACKENDS = {
+    "cpp": Backend(
+        name="cpp", uses_gpu=False, cpu_cores=1, efficiency=0.35
+    ),
+    "openmp": Backend(
+        name="openmp", uses_gpu=False, cpu_cores=None, efficiency=0.24,
+        launch_overhead_multiplier=1.2,
+    ),
+    "opencl": Backend(
+        name="opencl", uses_gpu=True, cpu_cores=1, efficiency=0.55,
+        launch_overhead_multiplier=4.0,
+    ),
+    "cuda": Backend(
+        name="cuda", uses_gpu=True, cpu_cores=1, efficiency=0.70,
+        launch_overhead_multiplier=3.0,
+    ),
+}

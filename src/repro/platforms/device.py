@@ -1,0 +1,168 @@
+"""Device models: CPU clusters, GPUs, memory — the simulated hardware.
+
+SLAMBench runs on real boards and phones and reads wall-clock timers and
+power sensors; our reproduction substitutes a parametric device model (see
+DESIGN.md).  A device is a set of CPU clusters (big.LITTLE capable), an
+optional GPU, and a shared memory system.  Frequencies are DVFS states;
+dynamic power follows the standard cubic frequency law
+``P(f) = P_max * (f / f_max)^3`` (V roughly linear in f, P ~ f * V^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CpuCluster:
+    """A homogeneous CPU cluster (e.g. 4x Cortex-A15).
+
+    Attributes:
+        name: cluster label (``"big"``, ``"little"``).
+        cores: number of cores.
+        max_freq_ghz: top DVFS state.
+        freqs_ghz: available DVFS states (sorted ascending).
+        flops_per_cycle: sustained FLOPs per cycle per core (SIMD width x
+            issue x efficiency already folded in for *dense vision kernels*).
+        dynamic_power_w: dynamic power of the whole cluster at max
+            frequency, all cores busy.
+        static_power_w: leakage of the whole cluster when powered.
+    """
+
+    name: str
+    cores: int
+    max_freq_ghz: float
+    freqs_ghz: tuple[float, ...]
+    flops_per_cycle: float
+    dynamic_power_w: float
+    static_power_w: float
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise SimulationError(f"cluster {self.name}: needs >= 1 core")
+        if not self.freqs_ghz:
+            raise SimulationError(f"cluster {self.name}: no DVFS states")
+        if sorted(self.freqs_ghz) != list(self.freqs_ghz):
+            raise SimulationError(f"cluster {self.name}: freqs must be sorted")
+        if max(self.freqs_ghz) > self.max_freq_ghz + 1e-9:
+            raise SimulationError(
+                f"cluster {self.name}: DVFS state above max_freq_ghz"
+            )
+
+    def gflops(self, freq_ghz: float, cores_used: int) -> float:
+        """Peak GFLOP/s with ``cores_used`` cores at ``freq_ghz``."""
+        if not 1 <= cores_used <= self.cores:
+            raise SimulationError(
+                f"cluster {self.name}: cores_used {cores_used} "
+                f"outside [1, {self.cores}]"
+            )
+        return freq_ghz * self.flops_per_cycle * cores_used
+
+    def dynamic_power(self, freq_ghz: float, cores_used: int) -> float:
+        """Dynamic power (W) with ``cores_used`` busy cores at ``freq_ghz``."""
+        per_core = self.dynamic_power_w / self.cores
+        return per_core * cores_used * (freq_ghz / self.max_freq_ghz) ** 3
+
+    def nearest_freq(self, freq_ghz: float) -> float:
+        """Snap to the closest available DVFS state."""
+        return min(self.freqs_ghz, key=lambda f: abs(f - freq_ghz))
+
+
+@dataclass(frozen=True)
+class Gpu:
+    """An embedded GPU (Mali/Adreno/PowerVR class).
+
+    Attributes:
+        gflops: sustained GFLOP/s for dense vision kernels at max frequency.
+        max_freq_ghz / freqs_ghz: DVFS states.
+        bandwidth_gbs: GPU-visible memory bandwidth (GB/s).
+        dynamic_power_w: dynamic power at max frequency, fully busy.
+        static_power_w: leakage when powered.
+        api: ``"opencl"`` or ``"cuda"`` — which backends can use it.
+    """
+
+    name: str
+    gflops: float
+    max_freq_ghz: float
+    freqs_ghz: tuple[float, ...]
+    bandwidth_gbs: float
+    dynamic_power_w: float
+    static_power_w: float
+    api: str = "opencl"
+
+    def __post_init__(self):
+        if self.gflops <= 0 or self.bandwidth_gbs <= 0:
+            raise SimulationError(f"gpu {self.name}: non-positive throughput")
+        if self.api not in ("opencl", "cuda"):
+            raise SimulationError(f"gpu {self.name}: unknown api {self.api!r}")
+
+    def effective_gflops(self, freq_ghz: float) -> float:
+        return self.gflops * freq_ghz / self.max_freq_ghz
+
+    def dynamic_power(self, freq_ghz: float) -> float:
+        return self.dynamic_power_w * (freq_ghz / self.max_freq_ghz) ** 3
+
+    def nearest_freq(self, freq_ghz: float) -> float:
+        return min(self.freqs_ghz, key=lambda f: abs(f - freq_ghz))
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A complete device: clusters + optional GPU + memory.
+
+    Attributes:
+        kernel_launch_overhead_s: fixed cost per kernel launch (higher for
+            GPU backends on mobile drivers).
+        base_power_w: always-on platform power (memory, rails, SoC uncore).
+    """
+
+    name: str
+    clusters: tuple[CpuCluster, ...]
+    gpu: Gpu | None
+    memory_bandwidth_gbs: float
+    kernel_launch_overhead_s: float = 5e-6
+    base_power_w: float = 0.3
+    year: int = 2015
+    form_factor: str = "board"  # "board" | "phone" | "tablet"
+
+    def __post_init__(self):
+        if not self.clusters:
+            raise SimulationError(f"device {self.name}: needs >= 1 cluster")
+        if self.memory_bandwidth_gbs <= 0:
+            raise SimulationError(f"device {self.name}: bad memory bandwidth")
+
+    def cluster(self, name: str) -> CpuCluster:
+        for c in self.clusters:
+            if c.name == name:
+                return c
+        raise SimulationError(
+            f"device {self.name}: no cluster named {name!r} "
+            f"(have {[c.name for c in self.clusters]})"
+        )
+
+    @property
+    def biggest_cluster(self) -> CpuCluster:
+        """The cluster with the highest single-core throughput."""
+        return max(
+            self.clusters, key=lambda c: c.max_freq_ghz * c.flops_per_cycle
+        )
+
+    @property
+    def total_cores(self) -> int:
+        return sum(c.cores for c in self.clusters)
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    def supports_backend(self, backend: str) -> bool:
+        """Whether this device can run the given implementation backend."""
+        if backend in ("cpp", "openmp"):
+            return True
+        if backend == "opencl":
+            return self.gpu is not None
+        if backend == "cuda":
+            return self.gpu is not None and self.gpu.api == "cuda"
+        raise SimulationError(f"unknown backend {backend!r}")

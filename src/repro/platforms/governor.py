@@ -1,0 +1,134 @@
+"""DVFS governor simulation — frequency scaling under a live stream.
+
+The ODROID results in the papers depend on Linux's frequency governors:
+``performance`` pins max clocks, ``powersave`` pins the lowest, and
+``ondemand`` raises clocks when the recent load is high and lowers them
+when the device idles.  Because KinectFusion is a 30 Hz streaming
+workload, the governor interacts with the configuration: a light
+configuration lets ``ondemand`` drop the clocks and the power, a heavy
+one pins them at maximum.
+
+:func:`simulate_with_governor` replays a per-frame workload stream,
+letting the governor pick the GPU/CPU DVFS state before each frame from
+the previous frame's utilisation (duration / frame period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from .device import DeviceModel
+from .simulator import PerformanceSimulator, PlatformConfig
+
+if TYPE_CHECKING:
+    from ..core.workload import FrameWorkload
+
+GOVERNORS = ("performance", "powersave", "ondemand")
+
+#: ondemand thresholds (fractions of the frame period).
+_UP_THRESHOLD = 0.85
+_DOWN_THRESHOLD = 0.45
+
+
+@dataclass(frozen=True)
+class GovernorResult:
+    """Outcome of a governed streaming run."""
+
+    governor: str
+    frame_times_s: tuple[float, ...]
+    cpu_freqs_ghz: tuple[float, ...]
+    gpu_freqs_ghz: tuple[float, ...]
+    energy_j: float
+    streaming_power_w: float
+    realtime_fraction: float
+
+    @property
+    def mean_frame_time_s(self) -> float:
+        return sum(self.frame_times_s) / len(self.frame_times_s)
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.mean_frame_time_s
+
+
+def _step(levels: tuple[float, ...], current: float, direction: int) -> float:
+    """Move one DVFS state up (+1) or down (-1) from ``current``."""
+    idx = min(range(len(levels)), key=lambda i: abs(levels[i] - current))
+    idx = max(0, min(len(levels) - 1, idx + direction))
+    return levels[idx]
+
+
+def simulate_with_governor(
+    device: DeviceModel,
+    workloads: "list[FrameWorkload]",
+    governor: str = "ondemand",
+    backend: str = "opencl",
+    frame_period_s: float = 1.0 / 30.0,
+) -> GovernorResult:
+    """Stream the workloads through the device under a DVFS governor."""
+    if governor not in GOVERNORS:
+        raise SimulationError(
+            f"unknown governor {governor!r}; choose from {GOVERNORS}"
+        )
+    if not workloads:
+        raise SimulationError("no workloads to stream")
+    if not device.supports_backend(backend):
+        raise SimulationError(
+            f"device {device.name} cannot run backend {backend}"
+        )
+
+    cluster = device.biggest_cluster
+    cpu_levels = cluster.freqs_ghz
+    gpu_levels = device.gpu.freqs_ghz if device.gpu else (0.0,)
+
+    if governor == "performance":
+        cpu_f, gpu_f = cpu_levels[-1], gpu_levels[-1]
+    elif governor == "powersave":
+        cpu_f, gpu_f = cpu_levels[0], gpu_levels[0]
+    else:
+        cpu_f, gpu_f = cpu_levels[-1], gpu_levels[-1]  # ondemand boots high
+
+    frame_times: list[float] = []
+    cpu_trace: list[float] = []
+    gpu_trace: list[float] = []
+    energy = 0.0
+    idle_energy = 0.0
+    realtime = 0
+
+    for workload in workloads:
+        sim = PerformanceSimulator(
+            device,
+            PlatformConfig(backend=backend, cpu_freq_ghz=cpu_f,
+                           gpu_freq_ghz=gpu_f if device.gpu else None),
+        )
+        result = sim.simulate([workload])
+        duration = result.frame_timings[0].duration_s
+        frame_times.append(duration)
+        cpu_trace.append(cpu_f)
+        gpu_trace.append(gpu_f)
+        energy += result.power.total_energy_j
+        if duration <= frame_period_s:
+            realtime += 1
+            idle_energy += (frame_period_s - duration) * result.idle_power_w
+
+        if governor == "ondemand":
+            load = duration / frame_period_s
+            if load > _UP_THRESHOLD:
+                cpu_f = _step(cpu_levels, cpu_f, +1)
+                gpu_f = _step(gpu_levels, gpu_f, +1)
+            elif load < _DOWN_THRESHOLD:
+                cpu_f = _step(cpu_levels, cpu_f, -1)
+                gpu_f = _step(gpu_levels, gpu_f, -1)
+
+    wall = sum(max(t, frame_period_s) for t in frame_times)
+    return GovernorResult(
+        governor=governor,
+        frame_times_s=tuple(frame_times),
+        cpu_freqs_ghz=tuple(cpu_trace),
+        gpu_freqs_ghz=tuple(gpu_trace),
+        energy_j=energy + idle_energy,
+        streaming_power_w=(energy + idle_energy) / wall,
+        realtime_fraction=realtime / len(workloads),
+    )

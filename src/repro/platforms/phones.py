@@ -1,0 +1,245 @@
+"""The 83-device mobile database for the Android crowdsourcing study.
+
+Figure 3 of the paper reports, for 83 smartphones and tablets that ran the
+SLAMBench Android app, the speed-up of the HyperMapper-tuned configuration
+over the default.  We rebuild that population as a curated database of real
+2013-2017 Android devices: each entry references an SoC template (CPU
+clusters, GPU, memory) from which a :class:`DeviceModel` is constructed.
+
+Throughput and power figures are sustained estimates for dense vision
+kernels — accurate to the class of the SoC, which is what the experiment's
+*shape* (distribution of speed-ups across a heterogeneous population)
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .device import CpuCluster, DeviceModel, Gpu
+
+
+@dataclass(frozen=True)
+class SocTemplate:
+    """Shared silicon description for all devices using one SoC."""
+
+    soc: str
+    big_cores: int
+    big_freq: float
+    big_fpc: float
+    big_dyn_w: float
+    little_cores: int  # 0 = no LITTLE cluster
+    little_freq: float
+    gpu_name: str
+    gpu_gflops: float
+    gpu_freq: float
+    gpu_dyn_w: float
+    gpu_bw: float
+    mem_bw: float
+
+
+_SOCS = {
+    t.soc: t
+    for t in [
+        # soc, bigN, bigGHz, fpc, bigW, litN, litGHz, gpu, GF, gGHz, gW, gBW, memBW
+        SocTemplate("exynos5410", 4, 1.6, 8.0, 3.8, 4, 1.2, "sgx544mp3", 51.1, 0.48, 1.4, 6.0, 8.5),
+        SocTemplate("exynos5420", 4, 1.9, 8.0, 4.2, 4, 1.3, "mali_t628mp6", 109.0, 0.533, 1.8, 10.0, 13.2),
+        SocTemplate("exynos7420", 4, 2.1, 8.0, 4.5, 4, 1.5, "mali_t760mp8", 210.0, 0.772, 2.6, 14.0, 24.8),
+        SocTemplate("exynos8890", 4, 2.3, 9.0, 4.8, 4, 1.6, "mali_t880mp12", 265.0, 0.65, 3.0, 16.0, 28.7),
+        SocTemplate("exynos8895", 4, 2.3, 10.0, 4.6, 4, 1.7, "mali_g71mp20", 370.0, 0.546, 3.2, 18.0, 29.8),
+        SocTemplate("snapdragon600", 4, 1.9, 6.0, 3.5, 0, 0.0, "adreno320", 97.0, 0.4, 1.5, 8.0, 8.5),
+        SocTemplate("snapdragon800", 4, 2.26, 7.0, 4.0, 0, 0.0, "adreno330", 129.8, 0.45, 1.8, 10.0, 12.8),
+        SocTemplate("snapdragon801", 4, 2.45, 7.0, 4.2, 0, 0.0, "adreno330", 158.0, 0.578, 2.0, 10.0, 14.9),
+        SocTemplate("snapdragon805", 4, 2.65, 7.0, 4.6, 0, 0.0, "adreno420", 172.8, 0.6, 2.4, 12.0, 25.6),
+        SocTemplate("snapdragon808", 2, 1.82, 8.0, 2.8, 4, 1.44, "adreno418", 153.6, 0.6, 2.0, 10.0, 14.9),
+        SocTemplate("snapdragon810", 4, 2.0, 8.0, 4.8, 4, 1.55, "adreno430", 324.8, 0.65, 2.8, 14.0, 25.6),
+        SocTemplate("snapdragon820", 4, 2.15, 10.0, 4.2, 0, 0.0, "adreno530", 498.5, 0.624, 3.0, 16.0, 28.8),
+        SocTemplate("snapdragon835", 4, 2.45, 10.0, 4.0, 4, 1.9, "adreno540", 567.0, 0.71, 3.0, 18.0, 29.8),
+        SocTemplate("snapdragon625", 4, 2.0, 4.0, 2.2, 4, 2.0, "adreno506", 130.0, 0.65, 1.2, 6.0, 7.4),
+        SocTemplate("snapdragon617", 4, 1.5, 4.0, 2.0, 4, 1.2, "adreno405", 59.0, 0.55, 1.0, 5.0, 7.4),
+        SocTemplate("snapdragon400", 4, 1.2, 3.0, 1.6, 0, 0.0, "adreno305", 21.6, 0.45, 0.7, 3.5, 5.3),
+        SocTemplate("snapdragon410", 4, 1.4, 3.5, 1.7, 0, 0.0, "adreno306", 24.0, 0.45, 0.7, 3.5, 5.3),
+        SocTemplate("kirin925", 4, 1.8, 8.0, 3.9, 4, 1.3, "mali_t628mp4", 72.6, 0.6, 1.6, 8.0, 12.8),
+        SocTemplate("kirin950", 4, 2.3, 9.0, 4.4, 4, 1.8, "mali_t880mp4", 93.6, 0.9, 2.0, 10.0, 21.3),
+        SocTemplate("kirin960", 4, 2.36, 10.0, 4.6, 4, 1.84, "mali_g71mp8", 150.0, 1.037, 2.8, 14.0, 23.9),
+        SocTemplate("mt6595", 4, 2.2, 7.0, 3.8, 4, 1.7, "powervr_g6200", 76.8, 0.6, 1.5, 7.0, 12.8),
+        SocTemplate("helio_x10", 8, 2.0, 4.0, 3.0, 0, 0.0, "powervr_g6200", 81.0, 0.7, 1.5, 7.0, 12.8),
+        SocTemplate("helio_x20", 2, 2.3, 8.0, 3.2, 8, 1.85, "mali_t880mp4", 93.6, 0.78, 1.8, 9.0, 14.9),
+        SocTemplate("tegra_k1", 4, 2.2, 8.0, 4.5, 0, 0.0, "kepler_gk20a", 365.0, 0.95, 3.5, 17.0, 17.0),
+        SocTemplate("tegra_x1", 4, 1.9, 9.0, 4.5, 4, 1.3, "maxwell_gm20b", 512.0, 1.0, 4.0, 25.6, 25.6),
+        SocTemplate("exynos5433", 4, 1.9, 8.0, 4.3, 4, 1.3, "mali_t760mp6", 142.0, 0.7, 2.2, 12.0, 13.2),
+        SocTemplate("exynos7870", 8, 1.6, 4.0, 2.4, 0, 0.0, "mali_t830mp1", 23.6, 1.0, 0.8, 4.0, 7.4),
+        SocTemplate("atom_z3580", 4, 2.33, 8.0, 4.0, 0, 0.0, "powervr_g6430", 153.6, 0.533, 2.0, 12.0, 12.8),
+        SocTemplate("exynos4412", 4, 1.4, 4.0, 2.4, 0, 0.0, "mali_400mp4", 14.4, 0.44, 0.8, 3.2, 6.4),
+        SocTemplate("snapdragon430", 8, 1.4, 3.5, 1.9, 0, 0.0, "adreno505", 48.6, 0.45, 0.8, 4.0, 5.3),
+    ]
+}
+
+#: (device name, soc key, year, form factor). 83 entries — the population
+#: size of the paper's crowdsourced study.
+_DEVICES: tuple[tuple[str, str, int, str], ...] = (
+    ("Samsung Galaxy S4", "exynos5410", 2013, "phone"),
+    ("Samsung Galaxy Note 3", "snapdragon800", 2013, "phone"),
+    ("Samsung Galaxy S5", "snapdragon801", 2014, "phone"),
+    ("Samsung Galaxy Alpha", "exynos5430", 2014, "phone"),
+    ("Samsung Galaxy Note 4", "snapdragon805", 2014, "phone"),
+    ("Samsung Galaxy Note Edge", "snapdragon805", 2014, "phone"),
+    ("Samsung Galaxy S6", "exynos7420", 2015, "phone"),
+    ("Samsung Galaxy S6 Edge", "exynos7420", 2015, "phone"),
+    ("Samsung Galaxy Note 5", "exynos7420", 2015, "phone"),
+    ("Samsung Galaxy S7", "exynos8890", 2016, "phone"),
+    ("Samsung Galaxy S7 Edge", "exynos8890", 2016, "phone"),
+    ("Samsung Galaxy S8", "exynos8895", 2017, "phone"),
+    ("Samsung Galaxy A5 2016", "exynos7870", 2016, "phone"),
+    ("Samsung Galaxy J7", "exynos7870", 2016, "phone"),
+    ("Samsung Galaxy Tab S", "exynos5420", 2014, "tablet"),
+    ("Samsung Galaxy Tab S2", "exynos5433", 2015, "tablet"),
+    ("LG G2", "snapdragon800", 2013, "phone"),
+    ("LG G3", "snapdragon801", 2014, "phone"),
+    ("LG G4", "snapdragon808", 2015, "phone"),
+    ("LG G5", "snapdragon820", 2016, "phone"),
+    ("LG G6", "snapdragon821", 2017, "phone"),
+    ("LG V10", "snapdragon808", 2015, "phone"),
+    ("LG V20", "snapdragon820", 2016, "phone"),
+    ("LG Nexus 4", "snapdragon600", 2012, "phone"),
+    ("LG Nexus 5", "snapdragon800", 2013, "phone"),
+    ("LG Nexus 5X", "snapdragon808", 2015, "phone"),
+    ("Motorola Nexus 6", "snapdragon805", 2014, "phone"),
+    ("Huawei Nexus 6P", "snapdragon810", 2015, "phone"),
+    ("Google Pixel", "snapdragon821", 2016, "phone"),
+    ("Google Pixel XL", "snapdragon821", 2016, "phone"),
+    ("Google Pixel 2", "snapdragon835", 2017, "phone"),
+    ("HTC One M7", "snapdragon600", 2013, "phone"),
+    ("HTC One M8", "snapdragon801", 2014, "phone"),
+    ("HTC One M9", "snapdragon810", 2015, "phone"),
+    ("HTC 10", "snapdragon820", 2016, "phone"),
+    ("HTC U11", "snapdragon835", 2017, "phone"),
+    ("OnePlus One", "snapdragon801", 2014, "phone"),
+    ("OnePlus 2", "snapdragon810", 2015, "phone"),
+    ("OnePlus 3", "snapdragon820", 2016, "phone"),
+    ("OnePlus 3T", "snapdragon821", 2016, "phone"),
+    ("OnePlus 5", "snapdragon835", 2017, "phone"),
+    ("Sony Xperia Z1", "snapdragon800", 2013, "phone"),
+    ("Sony Xperia Z2", "snapdragon801", 2014, "phone"),
+    ("Sony Xperia Z3", "snapdragon801", 2014, "phone"),
+    ("Sony Xperia Z5", "snapdragon810", 2015, "phone"),
+    ("Sony Xperia X Performance", "snapdragon820", 2016, "phone"),
+    ("Sony Xperia XZ", "snapdragon820", 2016, "phone"),
+    ("Sony Xperia XZ Premium", "snapdragon835", 2017, "phone"),
+    ("Motorola Moto G 2014", "snapdragon400", 2014, "phone"),
+    ("Motorola Moto G3", "snapdragon410", 2015, "phone"),
+    ("Motorola Moto G4 Plus", "snapdragon617", 2016, "phone"),
+    ("Motorola Moto X Style", "snapdragon808", 2015, "phone"),
+    ("Motorola Moto Z", "snapdragon820", 2016, "phone"),
+    ("Huawei P8", "kirin925", 2015, "phone"),
+    ("Huawei P9", "kirin950", 2016, "phone"),
+    ("Huawei P10", "kirin960", 2017, "phone"),
+    ("Huawei Mate 7", "kirin925", 2014, "phone"),
+    ("Huawei Mate 8", "kirin950", 2015, "phone"),
+    ("Huawei Mate 9", "kirin960", 2016, "phone"),
+    ("Huawei Honor 7", "kirin925", 2015, "phone"),
+    ("Huawei Honor 8", "kirin950", 2016, "phone"),
+    ("Xiaomi Mi 3", "snapdragon800", 2013, "phone"),
+    ("Xiaomi Mi 4", "snapdragon801", 2014, "phone"),
+    ("Xiaomi Mi 5", "snapdragon820", 2016, "phone"),
+    ("Xiaomi Mi 6", "snapdragon835", 2017, "phone"),
+    ("Xiaomi Redmi Note 3", "snapdragon650", 2016, "phone"),
+    ("Xiaomi Redmi Note 4", "snapdragon625", 2017, "phone"),
+    ("Xiaomi Redmi 3", "snapdragon616", 2016, "phone"),
+    ("Meizu MX4", "mt6595", 2014, "phone"),
+    ("Meizu Pro 5", "exynos7420", 2015, "phone"),
+    ("Meizu Pro 6", "helio_x25", 2016, "phone"),
+    ("ZTE Axon 7", "snapdragon820", 2016, "phone"),
+    ("ZTE Nubia Z11", "snapdragon820", 2016, "phone"),
+    ("Asus Zenfone 2", "atom_z3580", 2015, "phone"),
+    ("Asus Zenfone 3", "snapdragon625", 2016, "phone"),
+    ("Lenovo Vibe Z2 Pro", "snapdragon801", 2014, "phone"),
+    ("Lenovo ZUK Z2", "snapdragon820", 2016, "phone"),
+    ("Nvidia Shield Tablet", "tegra_k1", 2014, "tablet"),
+    ("Google Pixel C", "tegra_x1", 2015, "tablet"),
+    ("Google Nexus 9", "tegra_k1", 2014, "tablet"),
+    ("Samsung Galaxy Note 10.1", "exynos5420", 2014, "tablet"),
+    ("Odroid U3 (community)", "exynos4412", 2013, "board"),
+    ("Vernee Apollo", "helio_x20", 2016, "phone"),
+)
+
+#: SoC keys referenced above but sharing silicon with a listed template.
+_SOC_ALIASES = {
+    "exynos5430": "exynos5420",
+    "exynos5433": "exynos5433",
+    "snapdragon821": "snapdragon820",
+    "snapdragon650": "snapdragon808",
+    "snapdragon616": "snapdragon617",
+    "helio_x25": "helio_x20",
+}
+
+
+def _resolve_soc(key: str) -> SocTemplate:
+    key = _SOC_ALIASES.get(key, key)
+    try:
+        return _SOCS[key]
+    except KeyError:
+        raise SimulationError(f"unknown SoC template {key!r}") from None
+
+
+def _dvfs_states(max_freq: float, n: int = 5) -> tuple[float, ...]:
+    """Evenly spaced DVFS states from 40% to 100% of max."""
+    return tuple(round(max_freq * (0.4 + 0.6 * i / (n - 1)), 3) for i in range(n))
+
+
+def build_device(name: str, soc_key: str, year: int, form: str) -> DeviceModel:
+    """Construct a :class:`DeviceModel` from an SoC template."""
+    soc = _resolve_soc(soc_key)
+    clusters = [
+        CpuCluster(
+            name="big",
+            cores=soc.big_cores,
+            max_freq_ghz=soc.big_freq,
+            freqs_ghz=_dvfs_states(soc.big_freq),
+            flops_per_cycle=soc.big_fpc,
+            dynamic_power_w=soc.big_dyn_w,
+            static_power_w=0.06 * soc.big_cores,
+        )
+    ]
+    if soc.little_cores > 0:
+        clusters.append(
+            CpuCluster(
+                name="little",
+                cores=soc.little_cores,
+                max_freq_ghz=soc.little_freq,
+                freqs_ghz=_dvfs_states(soc.little_freq),
+                flops_per_cycle=2.0,
+                dynamic_power_w=0.18 * soc.little_cores,
+                static_power_w=0.02 * soc.little_cores,
+            )
+        )
+    gpu = Gpu(
+        name=soc.gpu_name,
+        gflops=soc.gpu_gflops,
+        max_freq_ghz=soc.gpu_freq,
+        freqs_ghz=_dvfs_states(soc.gpu_freq),
+        bandwidth_gbs=soc.gpu_bw,
+        dynamic_power_w=soc.gpu_dyn_w,
+        static_power_w=0.1,
+        api="cuda" if soc.gpu_name.startswith(("kepler", "maxwell")) else "opencl",
+    )
+    return DeviceModel(
+        name=name,
+        clusters=tuple(clusters),
+        gpu=gpu,
+        memory_bandwidth_gbs=soc.mem_bw,
+        kernel_launch_overhead_s=12e-6,  # mobile GPU drivers are slower
+        base_power_w=0.35,
+        year=year,
+        form_factor=form,
+    )
+
+
+def phone_database() -> list[DeviceModel]:
+    """All 83 devices of the crowdsourcing study."""
+    return [build_device(*entry) for entry in _DEVICES]
+
+
+def device_count() -> int:
+    return len(_DEVICES)

@@ -1,0 +1,258 @@
+"""The performance/power simulator.
+
+Converts per-frame kernel workloads (``repro.core.workload``) into
+execution time and energy on a :class:`~repro.platforms.device.DeviceModel`
+under a chosen backend and DVFS setting.  The timing model is a roofline
+per kernel launch::
+
+    t = max(flops / throughput, bytes / bandwidth) + launch_overhead
+
+with Amdahl's law applied to the CPU-parallel portion, and implementation
+efficiency from the backend.  Energy charges the executing rail's dynamic
+power for the kernel's duration; leakage and platform base power accrue
+over the whole interval (see ``repro.platforms.power``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # platforms sits below core in the layering; the
+    # simulator consumes workload records structurally (duck typing), so
+    # the import exists only for type checkers and never at runtime.
+    from ..core.workload import FrameWorkload, KernelInvocation
+from .backends import Backend, get_backend
+from .device import CpuCluster, DeviceModel, Gpu
+from .power import PowerTrace
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """How the algorithm is deployed on the device.
+
+    Attributes:
+        backend: implementation name (``cpp``/``openmp``/``opencl``/``cuda``).
+        cpu_freq_ghz: DVFS state for the executing CPU cluster (``None`` =
+            max; snapped to the nearest available state).
+        gpu_freq_ghz: DVFS state for the GPU (``None`` = max).
+        cpu_cores: override of the core count (``None`` = backend default).
+        kernel_efficiency: optional per-kernel-name throughput multipliers
+            in (0, 1] modelling how well a device's compiler/architecture
+            handles each kernel (GPU performance portability is far from
+            uniform across vendors).
+    """
+
+    backend: str = "openmp"
+    cpu_freq_ghz: float | None = None
+    gpu_freq_ghz: float | None = None
+    cpu_cores: int | None = None
+    kernel_efficiency: Mapping[str, float] | None = None
+    cpu_cluster: str | None = None  # big.LITTLE: run CPU work on this cluster
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Simulated cost of one frame."""
+
+    frame_index: int
+    duration_s: float
+    energy_j: float
+    kernel_times_s: dict
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate of a full-sequence simulation.
+
+    ``idle_power_w`` is the platform's floor (base + leakage) — what the
+    power sensors read between frames when the pipeline keeps up with the
+    camera and the SoC sits idle.
+    """
+
+    frame_timings: tuple[FrameTiming, ...]
+    power: PowerTrace
+    device_name: str
+    backend: str
+    idle_power_w: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(f.duration_s for f in self.frame_timings)
+
+    @property
+    def mean_frame_time_s(self) -> float:
+        if not self.frame_timings:
+            raise SimulationError("no frames simulated")
+        return self.total_time_s / len(self.frame_timings)
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.mean_frame_time_s
+
+    @property
+    def average_power_w(self) -> float:
+        return self.power.average_power_w()
+
+    @property
+    def energy_per_frame_j(self) -> float:
+        if not self.frame_timings:
+            raise SimulationError("no frames simulated")
+        return self.power.total_energy_j / len(self.frame_timings)
+
+    def kernel_breakdown_s(self) -> dict:
+        """Total simulated seconds per kernel name across all frames."""
+        agg: dict[str, float] = {}
+        for ft in self.frame_timings:
+            for name, t in ft.kernel_times_s.items():
+                agg[name] = agg.get(name, 0.0) + t
+        return agg
+
+    def streaming_average_power_w(self, frame_period_s: float = 1.0 / 30.0) -> float:
+        """Average power when processing a live camera stream.
+
+        Frames arrive every ``frame_period_s``.  When a frame finishes
+        early the device idles at ``idle_power_w`` until the next frame;
+        when it finishes late the next frame starts immediately (the
+        pipeline falls behind, as on a real device).  This is the quantity
+        the paper's power budget (1 W on the ODROID) refers to.
+        """
+        if frame_period_s <= 0:
+            raise SimulationError("frame period must be positive")
+        total_e = self.power.total_energy_j
+        wall = 0.0
+        idle = 0.0
+        for ft in self.frame_timings:
+            slot = max(ft.duration_s, frame_period_s)
+            wall += slot
+            idle += slot - ft.duration_s
+        total_e += idle * self.idle_power_w
+        return total_e / wall
+
+    def realtime_fraction(self, frame_period_s: float = 1.0 / 30.0) -> float:
+        """Fraction of frames processed within the camera frame period."""
+        if not self.frame_timings:
+            raise SimulationError("no frames simulated")
+        ok = sum(1 for ft in self.frame_timings if ft.duration_s <= frame_period_s)
+        return ok / len(self.frame_timings)
+
+
+class PerformanceSimulator:
+    """Maps kernel workloads onto a device model."""
+
+    def __init__(self, device: DeviceModel, config: PlatformConfig | None = None):
+        self.device = device
+        self.config = config or PlatformConfig()
+        self.backend: Backend = get_backend(self.config.backend)
+        if not device.supports_backend(self.backend.name):
+            raise SimulationError(
+                f"device {device.name} cannot run backend {self.backend.name}"
+            )
+        self._cluster: CpuCluster = (
+            device.cluster(self.config.cpu_cluster)
+            if self.config.cpu_cluster is not None
+            else device.biggest_cluster
+        )
+        self._cpu_freq = (
+            self._cluster.nearest_freq(self.config.cpu_freq_ghz)
+            if self.config.cpu_freq_ghz is not None
+            else self._cluster.max_freq_ghz
+        )
+        if self.config.cpu_cores is not None:
+            self._cores = min(self.config.cpu_cores, self._cluster.cores)
+        elif self.backend.cpu_cores is None:
+            self._cores = self._cluster.cores
+        else:
+            self._cores = min(self.backend.cpu_cores, self._cluster.cores)
+        if self._cores < 1:
+            raise SimulationError("need at least one CPU core")
+        self._gpu: Gpu | None = device.gpu if self.backend.uses_gpu else None
+        if self._gpu is not None:
+            self._gpu_freq = (
+                self._gpu.nearest_freq(self.config.gpu_freq_ghz)
+                if self.config.gpu_freq_ghz is not None
+                else self._gpu.max_freq_ghz
+            )
+        else:
+            self._gpu_freq = 0.0
+
+    # -- single kernel -------------------------------------------------------
+    def kernel_time_s(self, kernel: "KernelInvocation") -> tuple[float, str]:
+        """Simulated duration and executing rail of one kernel launch."""
+        overhead = (
+            self.device.kernel_launch_overhead_s
+            * self.backend.launch_overhead_multiplier
+        )
+        per_kernel = 1.0
+        if self.config.kernel_efficiency is not None:
+            per_kernel = float(
+                self.config.kernel_efficiency.get(kernel.name, 1.0)
+            )
+            if not 0.0 < per_kernel <= 1.0:
+                raise SimulationError(
+                    f"kernel_efficiency[{kernel.name!r}] must be in (0, 1]"
+                )
+        if self._gpu is not None and kernel.gpu_eligible:
+            gflops = self._gpu.effective_gflops(self._gpu_freq)
+            compute = kernel.flops / (gflops * 1e9 * self.backend.efficiency)
+            mem = kernel.bytes_accessed / (self._gpu.bandwidth_gbs * 1e9)
+            return max(compute, mem) / per_kernel + overhead, "gpu"
+
+        freq = self._cpu_freq
+        single = self._cluster.gflops(freq, 1) * 1e9 * self.backend.efficiency
+        multi = self._cluster.gflops(freq, self._cores) * 1e9 * self.backend.efficiency
+        serial_t = kernel.flops * (1.0 - kernel.parallel_fraction) / single
+        parallel_t = kernel.flops * kernel.parallel_fraction / multi
+        mem = kernel.bytes_accessed / (self.device.memory_bandwidth_gbs * 1e9)
+        return max(serial_t + parallel_t, mem) / per_kernel + overhead, "cpu"
+
+    def kernel_power_w(self, rail: str) -> float:
+        """Dynamic power of the unit while executing a kernel."""
+        if rail == "gpu":
+            assert self._gpu is not None
+            return self._gpu.dynamic_power(self._gpu_freq)
+        if rail == "cpu":
+            return self._cluster.dynamic_power(self._cpu_freq, self._cores)
+        raise SimulationError(f"unknown rail {rail!r}")
+
+    # -- whole sequence -------------------------------------------------------
+    def simulate(self, workloads: "list[FrameWorkload]") -> SimulationResult:
+        """Simulate a sequence of per-frame workloads."""
+        if not workloads:
+            raise SimulationError("no workloads to simulate")
+        power = PowerTrace()
+        timings = []
+        for wl in workloads:
+            frame_t = 0.0
+            frame_e = 0.0
+            per_kernel: dict[str, float] = {}
+            for kernel in wl.kernels:
+                t, rail = self.kernel_time_s(kernel)
+                p = self.kernel_power_w(rail)
+                power.charge(rail, p, t)
+                frame_t += t
+                frame_e += p * t
+                per_kernel[kernel.name] = per_kernel.get(kernel.name, 0.0) + t
+            power.advance(frame_t)
+            timings.append(
+                FrameTiming(
+                    frame_index=wl.frame_index,
+                    duration_s=frame_t,
+                    energy_j=frame_e,
+                    kernel_times_s=per_kernel,
+                )
+            )
+        static_rails = {"cpu": self._cluster.static_power_w}
+        if self._gpu is not None:
+            static_rails["gpu"] = self._gpu.static_power_w
+        power.finalize_base(self.device.base_power_w, static_rails)
+        idle_power = self.device.base_power_w + sum(static_rails.values())
+        return SimulationResult(
+            frame_timings=tuple(timings),
+            power=power,
+            device_name=self.device.name,
+            backend=self.backend.name,
+            idle_power_w=idle_power,
+        )

@@ -1,0 +1,35 @@
+"""Procedural 3D scenes, trajectories, rendering and sensor noise."""
+
+from .corridor import corridor
+from .living_room import SceneDescription, living_room
+from .noise import KinectNoiseModel
+from .office import office
+from .primitives import Box, Cylinder, Negation, Plane, SDFNode, Sphere, Union
+from .renderer import RenderSettings, render_depth, render_rgb, render_vertex_normal
+from .trajectory import (FRAME_RATE_HZ, Trajectory, orbit, random_walk,
+                         stationary, sweep)
+
+__all__ = [
+    "SceneDescription",
+    "living_room",
+    "corridor",
+    "office",
+    "KinectNoiseModel",
+    "Box",
+    "Cylinder",
+    "Negation",
+    "Plane",
+    "SDFNode",
+    "Sphere",
+    "Union",
+    "RenderSettings",
+    "render_depth",
+    "render_rgb",
+    "render_vertex_normal",
+    "FRAME_RATE_HZ",
+    "Trajectory",
+    "orbit",
+    "random_walk",
+    "stationary",
+    "sweep",
+]

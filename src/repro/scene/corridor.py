@@ -1,0 +1,57 @@
+"""A corridor scene — geometrically degenerate, hostile to ICP.
+
+Long parallel walls constrain only one translational direction: walking
+*along* a featureless corridor gives point-to-plane ICP a null space and
+the tracker slides (the classic dense-SLAM failure mode).  The scene
+ships in two variants: ``corridor(bare=True)`` keeps the walls empty;
+the default adds sparse wall fixtures (door frames, a pipe) that restore
+just enough constraint.  Robustness tests use the pair to demonstrate —
+and bound — the failure mode.
+"""
+
+from __future__ import annotations
+
+from .living_room import SceneDescription
+from .primitives import Box, Cylinder, Negation, Union
+
+#: Corridor extent: x is the long axis.
+LENGTH = 6.0
+WIDTH = 1.6
+HEIGHT = 2.2
+
+
+def corridor(bare: bool = False) -> SceneDescription:
+    """Build the corridor scene.
+
+    Args:
+        bare: leave the walls featureless (maximally degenerate).
+    """
+    interior = Negation(
+        Box(
+            center=(0.0, HEIGHT / 2.0, 0.0),
+            half=(LENGTH / 2.0, HEIGHT / 2.0, WIDTH / 2.0),
+            albedo=(0.75, 0.75, 0.7),
+        )
+    )
+    parts = [interior]
+    if not bare:
+        # Sparse fixtures along one wall: two door frames and a pipe.
+        parts.extend(
+            [
+                Box(center=(-1.5, 1.0, -WIDTH / 2 + 0.05),
+                    half=(0.06, 1.0, 0.05), albedo=(0.4, 0.25, 0.15)),
+                Box(center=(-0.7, 1.0, -WIDTH / 2 + 0.05),
+                    half=(0.06, 1.0, 0.05), albedo=(0.4, 0.25, 0.15)),
+                Box(center=(1.2, 1.0, WIDTH / 2 - 0.05),
+                    half=(0.06, 1.0, 0.05), albedo=(0.35, 0.3, 0.2)),
+                Cylinder(center=(0.4, 1.1, -WIDTH / 2 + 0.08), radius=0.05,
+                         half_height=1.1, albedo=(0.5, 0.5, 0.55)),
+                Box(center=(2.2, 0.25, 0.3), half=(0.25, 0.25, 0.2),
+                    albedo=(0.6, 0.45, 0.3)),
+            ]
+        )
+    name = "corridor_bare" if bare else "corridor"
+    return SceneDescription(
+        sdf=Union(parts), name=name, extent=LENGTH / 2.0,
+        center=(0.0, 1.2, 0.0),
+    )

@@ -1,0 +1,107 @@
+"""An ICL-NUIM-style synthetic living room.
+
+The ICL-NUIM benchmark renders trajectories through a single furnished living
+room model; SLAMBench's four standard sequences (``lr_kt0`` .. ``lr_kt3``)
+all use it.  We rebuild the room procedurally: a box interior with a sofa,
+table, lamp and shelf, each an SDF primitive with its own albedo.  The exact
+furniture layout does not need to match the original model — what matters
+for the benchmark is a closed indoor scene with large planar regions (easy
+for ICP) plus compact objects (structure that anchors tracking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .primitives import Box, Cylinder, Negation, SDFNode, Sphere, Union
+
+
+@dataclass(frozen=True)
+class SceneDescription:
+    """A ground-truth scene: geometry plus metadata used by datasets.
+
+    Attributes:
+        sdf: the scene's signed distance field (world frame, metres).
+        name: short identifier (used in dataset names and reports).
+        extent: axis-aligned bounding box half-extent hint in metres; the
+            synthetic trajectories and the TSDF volume placement use it.
+        center: approximate centre of the navigable space.
+    """
+
+    sdf: SDFNode
+    name: str
+    extent: float
+    center: tuple[float, float, float]
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self.sdf.distance(points)
+
+    def normal(self, points: np.ndarray) -> np.ndarray:
+        return self.sdf.normal(points)
+
+    def albedo(self, points: np.ndarray) -> np.ndarray:
+        if isinstance(self.sdf, Union):
+            return self.sdf.albedo_at(points)
+        base = np.asarray(self.sdf.albedo, dtype=float)
+        return np.broadcast_to(base, (len(points), 3)).copy()
+
+
+# Room coordinates: world is y-up, the floor is y = 0, the room spans
+# x, z in [-2.4, 2.4] and y in [0, 2.4] — matching SLAMBench's default
+# 4.8 m volume size.
+ROOM_HALF = 2.4
+ROOM_HEIGHT = 2.4
+
+
+def living_room() -> SceneDescription:
+    """Build the living-room scene used by the ``lr_*`` sequences."""
+    room_interior = Negation(
+        Box(
+            center=(0.0, ROOM_HEIGHT / 2.0, 0.0),
+            half=(ROOM_HALF, ROOM_HEIGHT / 2.0, ROOM_HALF),
+            albedo=(0.85, 0.82, 0.75),
+        )
+    )
+    sofa_seat = Box(
+        center=(-1.5, 0.25, 0.2), half=(0.45, 0.25, 0.9), albedo=(0.55, 0.15, 0.15)
+    )
+    sofa_back = Box(
+        center=(-1.85, 0.65, 0.2), half=(0.12, 0.45, 0.9), albedo=(0.55, 0.15, 0.15)
+    )
+    table_top = Box(
+        center=(0.3, 0.42, -0.2), half=(0.5, 0.04, 0.35), albedo=(0.45, 0.3, 0.12)
+    )
+    table_leg = Cylinder(
+        center=(0.3, 0.2, -0.2), radius=0.06, half_height=0.2, albedo=(0.35, 0.22, 0.1)
+    )
+    lamp_pole = Cylinder(
+        center=(1.7, 0.7, 1.6), radius=0.04, half_height=0.7, albedo=(0.2, 0.2, 0.2)
+    )
+    lamp_shade = Sphere(center=(1.7, 1.5, 1.6), radius=0.22, albedo=(0.9, 0.85, 0.6))
+    shelf = Box(
+        center=(1.9, 0.9, -1.8), half=(0.35, 0.9, 0.25), albedo=(0.3, 0.25, 0.2)
+    )
+    ball = Sphere(center=(0.9, 0.18, 0.9), radius=0.18, albedo=(0.15, 0.35, 0.6))
+    rug = Box(
+        center=(0.0, 0.006, 0.3), half=(1.0, 0.006, 0.8), albedo=(0.25, 0.4, 0.3)
+    )
+
+    sdf = Union(
+        [
+            room_interior,
+            sofa_seat,
+            sofa_back,
+            table_top,
+            table_leg,
+            lamp_pole,
+            lamp_shade,
+            shelf,
+            ball,
+            rug,
+        ]
+    )
+    return SceneDescription(
+        sdf=sdf, name="living_room", extent=ROOM_HALF, center=(0.0, 1.2, 0.0)
+    )

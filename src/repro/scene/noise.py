@@ -1,0 +1,124 @@
+"""Kinect-style depth sensor noise model.
+
+ICL-NUIM provides both noiseless and "noisy" (sensor-realistic) renders;
+the noisy variant follows the Kinect error study of Khoshelham & Elberink:
+axial noise grows quadratically with depth, plus lateral jitter at depth
+discontinuities, quantisation from disparity resolution, and random dropout.
+This module implements a parametric version of that model so datasets can be
+generated at several difficulty levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class KinectNoiseModel:
+    """Parametric RGB-D depth noise.
+
+    Attributes:
+        axial_sigma_at_1m: standard deviation of axial noise at 1 m depth;
+            the actual sigma is ``axial_sigma_at_1m * depth**2`` (Kinect's
+            disparity-based error grows quadratically).
+        lateral_pixels: std-dev of the lateral (pixel-shift) jitter applied
+            at depth edges, in pixels.
+        dropout_rate: probability that a valid pixel is dropped (returned
+            as 0), modelling IR speckle failures.
+        edge_dropout_boost: extra dropout probability at depth edges.
+        quantization_m: depth quantisation step at 1 m (scales with depth²).
+    """
+
+    axial_sigma_at_1m: float = 0.0012
+    lateral_pixels: float = 0.5
+    dropout_rate: float = 0.002
+    edge_dropout_boost: float = 0.15
+    quantization_m: float = 0.0008
+
+    def __post_init__(self):
+        for name in ("axial_sigma_at_1m", "lateral_pixels", "dropout_rate",
+                     "edge_dropout_boost", "quantization_m"):
+            if getattr(self, name) < 0:
+                raise DatasetError(f"noise parameter {name} must be >= 0")
+        if self.dropout_rate > 1.0:
+            raise DatasetError("dropout_rate must be <= 1")
+
+    @classmethod
+    def noiseless(cls) -> "KinectNoiseModel":
+        """The ICL-NUIM 'clean' variant: perfect depth."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def mild(cls) -> "KinectNoiseModel":
+        """Half-strength noise, for easier sequences."""
+        return cls(0.0006, 0.25, 0.001, 0.08, 0.0004)
+
+    @classmethod
+    def harsh(cls) -> "KinectNoiseModel":
+        """Strong noise, used by robustness/failure-injection tests."""
+        return cls(0.004, 1.0, 0.01, 0.3, 0.002)
+
+    def apply(self, depth: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a corrupted copy of a depth map (0 marks invalid)."""
+        depth = np.asarray(depth, dtype=float)
+        if depth.ndim != 2:
+            raise DatasetError(f"depth must be 2-D, got shape {depth.shape}")
+        noisy = depth.copy()
+        valid = noisy > 0.0
+        if not valid.any():
+            return noisy
+
+        edges = self._edge_mask(depth)
+
+        # Lateral jitter: at edges, replace depth with a randomly chosen
+        # nearby pixel's depth (sub-pixel shifts approximated at 1px).
+        if self.lateral_pixels > 0.0:
+            jitter_p = np.clip(self.lateral_pixels, 0.0, 1.0) * 0.5
+            shifted = np.roll(noisy, shift=1, axis=1)
+            take = edges & (rng.random(noisy.shape) < jitter_p)
+            noisy[take] = shifted[take]
+            valid = noisy > 0.0
+
+        # Axial noise, quadratic in depth.
+        if self.axial_sigma_at_1m > 0.0:
+            sigma = self.axial_sigma_at_1m * noisy**2
+            noisy[valid] += rng.normal(0.0, 1.0, size=int(valid.sum())) * sigma[valid]
+
+        # Quantisation: the Kinect quantises *disparity* (inverse depth),
+        # which makes the depth step grow quadratically with depth.  The
+        # parameter is the depth step at 1 m, i.e. the inverse-depth step.
+        if self.quantization_m > 0.0:
+            inv = 1.0 / np.maximum(noisy, 1e-6)
+            inv_q = np.round(inv / self.quantization_m) * self.quantization_m
+            noisy[valid] = 1.0 / np.maximum(inv_q[valid], 1e-9)
+
+        # Dropout: base rate everywhere, boosted at edges.
+        p = np.full(noisy.shape, self.dropout_rate)
+        p[edges] += self.edge_dropout_boost
+        drop = valid & (rng.random(noisy.shape) < p)
+        noisy[drop] = 0.0
+
+        noisy[noisy < 0.0] = 0.0
+        return noisy
+
+    @staticmethod
+    def _edge_mask(depth: np.ndarray, threshold: float = 0.05) -> np.ndarray:
+        """Pixels adjacent to a depth discontinuity or an invalid pixel."""
+        d = depth
+        edge = np.zeros(d.shape, dtype=bool)
+        dx = np.abs(np.diff(d, axis=1))
+        dy = np.abs(np.diff(d, axis=0))
+        edge[:, :-1] |= dx > threshold
+        edge[:, 1:] |= dx > threshold
+        edge[:-1, :] |= dy > threshold
+        edge[1:, :] |= dy > threshold
+        invalid = d <= 0.0
+        edge[:, :-1] |= invalid[:, 1:]
+        edge[:, 1:] |= invalid[:, :-1]
+        edge[:-1, :] |= invalid[1:, :]
+        edge[1:, :] |= invalid[:-1, :]
+        return edge

@@ -1,0 +1,69 @@
+"""A TUM-RGB-D-style synthetic office scene.
+
+The TUM RGB-D benchmark's ``fr1`` sequences were captured in an office; we
+provide a procedural equivalent (desks, monitor slab, cabinet, chair) so the
+cross-dataset experiments exercise the pipeline on a second environment with
+different geometry statistics (more clutter, closer surfaces).
+"""
+
+from __future__ import annotations
+
+from .living_room import SceneDescription
+from .primitives import Box, Cylinder, Negation, Sphere, Union
+
+ROOM_HALF = 2.0
+ROOM_HEIGHT = 2.2
+
+
+def office() -> SceneDescription:
+    """Build the office scene used by the ``of_*`` sequences."""
+    room_interior = Negation(
+        Box(
+            center=(0.0, ROOM_HEIGHT / 2.0, 0.0),
+            half=(ROOM_HALF, ROOM_HEIGHT / 2.0, ROOM_HALF),
+            albedo=(0.7, 0.72, 0.75),
+        )
+    )
+    desk_top = Box(
+        center=(-1.2, 0.72, -1.0), half=(0.7, 0.03, 0.45), albedo=(0.5, 0.35, 0.2)
+    )
+    desk_leg_a = Box(
+        center=(-1.8, 0.36, -1.0), half=(0.03, 0.36, 0.4), albedo=(0.4, 0.3, 0.2)
+    )
+    desk_leg_b = Box(
+        center=(-0.62, 0.36, -1.0), half=(0.03, 0.36, 0.4), albedo=(0.4, 0.3, 0.2)
+    )
+    monitor = Box(
+        center=(-1.2, 1.05, -1.25), half=(0.28, 0.18, 0.03), albedo=(0.08, 0.08, 0.1)
+    )
+    cabinet = Box(
+        center=(1.5, 0.6, -1.5), half=(0.4, 0.6, 0.35), albedo=(0.6, 0.6, 0.62)
+    )
+    chair_seat = Box(
+        center=(-1.1, 0.45, -0.2), half=(0.22, 0.03, 0.22), albedo=(0.15, 0.15, 0.35)
+    )
+    chair_pole = Cylinder(
+        center=(-1.1, 0.22, -0.2), radius=0.04, half_height=0.22, albedo=(0.2, 0.2, 0.2)
+    )
+    globe = Sphere(center=(1.5, 1.35, -1.5), radius=0.15, albedo=(0.2, 0.45, 0.7))
+    box_on_floor = Box(
+        center=(0.8, 0.2, 1.2), half=(0.3, 0.2, 0.25), albedo=(0.65, 0.5, 0.3)
+    )
+
+    sdf = Union(
+        [
+            room_interior,
+            desk_top,
+            desk_leg_a,
+            desk_leg_b,
+            monitor,
+            cabinet,
+            chair_seat,
+            chair_pole,
+            globe,
+            box_on_floor,
+        ]
+    )
+    return SceneDescription(
+        sdf=sdf, name="office", extent=ROOM_HALF, center=(0.2, 1.1, 0.2)
+    )

@@ -1,0 +1,185 @@
+"""Signed-distance-function primitives and CSG combinators.
+
+The synthetic datasets are built from analytic signed distance functions
+(SDFs): each primitive maps an ``(N, 3)`` array of world points to ``(N,)``
+signed distances (negative inside).  The renderer sphere-traces these fields
+to produce depth images, and the reconstruction metric compares the SLAM
+system's TSDF against the same field — so scene geometry, rendering and
+evaluation all share one ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+class SDFNode:
+    """Base class for signed distance fields.
+
+    Subclasses implement :meth:`distance`.  Colour support is optional: the
+    default albedo is mid-grey, used by the RGB renderer for shading.
+    """
+
+    albedo: tuple[float, float, float] = (0.5, 0.5, 0.5)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance from each of ``(N, 3)`` points to the surface."""
+        raise NotImplementedError
+
+    def normal(self, points: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+        """Outward surface normal by central finite differences, ``(N, 3)``."""
+        points = np.asarray(points, dtype=float)
+        n = np.empty_like(points)
+        for axis in range(3):
+            offset = np.zeros(3)
+            offset[axis] = eps
+            n[:, axis] = self.distance(points + offset) - self.distance(points - offset)
+        norms = np.linalg.norm(n, axis=-1, keepdims=True)
+        norms = np.where(norms > 1e-12, norms, 1.0)
+        return n / norms
+
+    # CSG sugar -----------------------------------------------------------
+    def union(self, other: "SDFNode") -> "Union":
+        return Union([self, other])
+
+    def __or__(self, other: "SDFNode") -> "Union":
+        return self.union(other)
+
+
+@dataclass
+class Sphere(SDFNode):
+    """Sphere of radius ``radius`` centred at ``center``."""
+
+    center: Sequence[float]
+    radius: float
+    albedo: tuple[float, float, float] = (0.5, 0.5, 0.5)
+
+    def __post_init__(self):
+        if self.radius <= 0:
+            raise GeometryError(f"sphere radius must be positive, got {self.radius}")
+        self.center = np.asarray(self.center, dtype=float).reshape(3)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        return np.linalg.norm(points - self.center, axis=-1) - self.radius
+
+
+@dataclass
+class Box(SDFNode):
+    """Axis-aligned box centred at ``center`` with half extents ``half``."""
+
+    center: Sequence[float]
+    half: Sequence[float]
+    albedo: tuple[float, float, float] = (0.5, 0.5, 0.5)
+
+    def __post_init__(self):
+        self.center = np.asarray(self.center, dtype=float).reshape(3)
+        self.half = np.asarray(self.half, dtype=float).reshape(3)
+        if np.any(self.half <= 0):
+            raise GeometryError(f"box half extents must be positive, got {self.half}")
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        q = np.abs(points - self.center) - self.half
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+        inside = np.minimum(np.max(q, axis=-1), 0.0)
+        return outside + inside
+
+
+@dataclass
+class Plane(SDFNode):
+    """Half-space: the surface is the plane ``direction . x = offset``.
+
+    Points on the side the direction vector points to have positive
+    distance.  (The field is called ``direction`` rather than ``normal`` to
+    avoid shadowing :meth:`SDFNode.normal`.)
+    """
+
+    direction: Sequence[float]
+    offset: float
+    albedo: tuple[float, float, float] = (0.5, 0.5, 0.5)
+
+    def __post_init__(self):
+        n = np.asarray(self.direction, dtype=float).reshape(3)
+        norm = np.linalg.norm(n)
+        if norm < 1e-12:
+            raise GeometryError("plane direction must be non-zero")
+        self.direction = n / norm
+        self.offset = float(self.offset) / norm
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        return points @ self.direction - self.offset
+
+
+@dataclass
+class Cylinder(SDFNode):
+    """Vertical (y-axis) capped cylinder."""
+
+    center: Sequence[float]
+    radius: float
+    half_height: float
+    albedo: tuple[float, float, float] = (0.5, 0.5, 0.5)
+
+    def __post_init__(self):
+        if self.radius <= 0 or self.half_height <= 0:
+            raise GeometryError("cylinder radius and half_height must be positive")
+        self.center = np.asarray(self.center, dtype=float).reshape(3)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = np.asarray(points, dtype=float) - self.center
+        radial = np.linalg.norm(p[..., [0, 2]], axis=-1) - self.radius
+        axial = np.abs(p[..., 1]) - self.half_height
+        outside = np.linalg.norm(
+            np.stack([np.maximum(radial, 0.0), np.maximum(axial, 0.0)], axis=-1),
+            axis=-1,
+        )
+        inside = np.minimum(np.maximum(radial, axial), 0.0)
+        return outside + inside
+
+
+@dataclass
+class Union(SDFNode):
+    """CSG union of child fields (pointwise minimum of distances)."""
+
+    children: list[SDFNode] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.children:
+            raise GeometryError("union needs at least one child")
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        d = self.children[0].distance(points)
+        for child in self.children[1:]:
+            d = np.minimum(d, child.distance(points))
+        return d
+
+    def nearest_child(self, points: np.ndarray) -> np.ndarray:
+        """Index of the child nearest to each point (for per-object albedo)."""
+        dists = np.stack([c.distance(points) for c in self.children], axis=0)
+        return np.argmin(dists, axis=0)
+
+    def albedo_at(self, points: np.ndarray) -> np.ndarray:
+        """Per-point albedo ``(N, 3)`` taken from the nearest child."""
+        idx = self.nearest_child(points)
+        albedos = np.array([c.albedo for c in self.children])
+        return albedos[idx]
+
+
+@dataclass
+class Negation(SDFNode):
+    """Flip inside/outside — turns a box into a room interior."""
+
+    child: SDFNode
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return -self.child.distance(points)
+
+    @property
+    def albedo(self):  # type: ignore[override]
+        return self.child.albedo

@@ -1,0 +1,196 @@
+"""Synthetic camera trajectories.
+
+ICL-NUIM ships four hand-held style trajectories through its living room
+(``kt0`` .. ``kt3``); we synthesise comparable ones: smooth orbits and
+sweeps with controllable speed and hand-held jitter, always looking into
+the scene so the depth camera sees structure.  Each generator returns a
+list of camera-to-world poses plus per-frame timestamps at 30 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry import se3
+
+FRAME_RATE_HZ = 30.0
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timestamped sequence of camera-to-world poses."""
+
+    poses: np.ndarray  # (N, 4, 4)
+    timestamps: np.ndarray  # (N,) seconds
+
+    def __post_init__(self):
+        if self.poses.ndim != 3 or self.poses.shape[1:] != (4, 4):
+            raise GeometryError(f"poses must be (N,4,4), got {self.poses.shape}")
+        if len(self.timestamps) != len(self.poses):
+            raise GeometryError("timestamps and poses length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.poses)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.poses[i]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Camera centres, ``(N, 3)``."""
+        return self.poses[:, :3, 3]
+
+    def path_length(self) -> float:
+        """Total translational path length in metres."""
+        deltas = np.diff(self.positions, axis=0)
+        return float(np.linalg.norm(deltas, axis=-1).sum())
+
+    def relative(self, origin_index: int = 0) -> "Trajectory":
+        """Re-express all poses relative to the pose at ``origin_index``."""
+        origin_inv = se3.inverse(self.poses[origin_index])
+        poses = np.stack([origin_inv @ T for T in self.poses])
+        return Trajectory(poses=poses, timestamps=self.timestamps.copy())
+
+
+def _timestamps(n_frames: int) -> np.ndarray:
+    return np.arange(n_frames, dtype=float) / FRAME_RATE_HZ
+
+
+def _jitter_pose(T: np.ndarray, rng: np.random.Generator, trans_std: float,
+                 rot_std: float) -> np.ndarray:
+    """Apply small random hand-held perturbation to a pose."""
+    if trans_std <= 0.0 and rot_std <= 0.0:
+        return T
+    xi = np.concatenate(
+        [
+            rng.normal(0.0, trans_std, size=3),
+            rng.normal(0.0, rot_std, size=3),
+        ]
+    )
+    return T @ se3.se3_exp(xi)
+
+
+def orbit(
+    center,
+    radius: float,
+    height: float,
+    n_frames: int,
+    sweep_deg: float = 120.0,
+    start_deg: float = 0.0,
+    bob_amplitude: float = 0.05,
+    jitter_trans_std: float = 0.0,
+    jitter_rot_std: float = 0.0,
+    seed: int = 0,
+) -> Trajectory:
+    """Orbit around ``center`` at ``radius``, always looking at the centre.
+
+    ``sweep_deg`` controls how much of the circle is traversed; a gentle
+    vertical bob and optional jitter make it hand-held-like.
+    """
+    if n_frames < 2:
+        raise GeometryError(f"need at least 2 frames, got {n_frames}")
+    if radius <= 0:
+        raise GeometryError("orbit radius must be positive")
+    center = np.asarray(center, dtype=float).reshape(3)
+    rng = np.random.default_rng(seed)
+    angles = np.radians(start_deg) + np.radians(sweep_deg) * _smoothstep(
+        np.linspace(0.0, 1.0, n_frames)
+    )
+    bob_hz = 0.25  # slow hand-held vertical sway, independent of length
+    poses = []
+    for i, a in enumerate(angles):
+        bob = bob_amplitude * np.sin(2.0 * np.pi * bob_hz * i / FRAME_RATE_HZ)
+        eye = center + np.array([radius * np.cos(a), height - center[1] + bob,
+                                 radius * np.sin(a)])
+        T = se3.look_at(eye, center, up=(0.0, 1.0, 0.0))
+        poses.append(_jitter_pose(T, rng, jitter_trans_std, jitter_rot_std))
+    return Trajectory(poses=np.stack(poses), timestamps=_timestamps(n_frames))
+
+
+def sweep(
+    start,
+    end,
+    target,
+    n_frames: int,
+    jitter_trans_std: float = 0.0,
+    jitter_rot_std: float = 0.0,
+    seed: int = 0,
+) -> Trajectory:
+    """Translate from ``start`` to ``end`` while looking at a fixed ``target``."""
+    if n_frames < 2:
+        raise GeometryError(f"need at least 2 frames, got {n_frames}")
+    start = np.asarray(start, dtype=float).reshape(3)
+    end = np.asarray(end, dtype=float).reshape(3)
+    target = np.asarray(target, dtype=float).reshape(3)
+    rng = np.random.default_rng(seed)
+    alphas = _smoothstep(np.linspace(0.0, 1.0, n_frames))
+    poses = []
+    for a in alphas:
+        eye = (1.0 - a) * start + a * end
+        T = se3.look_at(eye, target, up=(0.0, 1.0, 0.0))
+        poses.append(_jitter_pose(T, rng, jitter_trans_std, jitter_rot_std))
+    return Trajectory(poses=np.stack(poses), timestamps=_timestamps(n_frames))
+
+
+def stationary(pose: np.ndarray, n_frames: int,
+               jitter_trans_std: float = 0.0,
+               jitter_rot_std: float = 0.0,
+               seed: int = 0) -> Trajectory:
+    """Hold (approximately) one pose — useful for noise-only experiments."""
+    if n_frames < 1:
+        raise GeometryError("need at least 1 frame")
+    rng = np.random.default_rng(seed)
+    poses = np.stack(
+        [_jitter_pose(np.asarray(pose, float), rng, jitter_trans_std, jitter_rot_std)
+         for _ in range(n_frames)]
+    )
+    return Trajectory(poses=poses, timestamps=_timestamps(n_frames))
+
+
+def random_walk(
+    start,
+    target,
+    n_frames: int,
+    step_std: float = 0.004,
+    momentum: float = 0.9,
+    bounds: tuple[float, float] = (-2.2, 2.2),
+    height_range: tuple[float, float] = (0.6, 2.0),
+    seed: int = 0,
+) -> Trajectory:
+    """A wandering hand-held trajectory (smoothed random walk).
+
+    Velocity follows an AR(1) process (``momentum`` keeps it smooth), the
+    position is clamped to the room ``bounds`` horizontally and
+    ``height_range`` vertically, and the camera keeps looking at
+    ``target``.  Used by robustness tests: unlike the scripted presets it
+    revisits viewpoints and changes direction unpredictably.
+    """
+    if n_frames < 2:
+        raise GeometryError(f"need at least 2 frames, got {n_frames}")
+    if not 0.0 <= momentum < 1.0:
+        raise GeometryError("momentum must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    target = np.asarray(target, dtype=float).reshape(3)
+    position = np.asarray(start, dtype=float).reshape(3).copy()
+    velocity = np.zeros(3)
+    poses = []
+    for _ in range(n_frames):
+        velocity = momentum * velocity + rng.normal(0.0, step_std, 3)
+        position = position + velocity
+        position[0] = np.clip(position[0], bounds[0], bounds[1])
+        position[2] = np.clip(position[2], bounds[0], bounds[1])
+        position[1] = np.clip(position[1], height_range[0], height_range[1])
+        if np.linalg.norm(position - target) < 0.3:
+            # Do not walk into the look-at point: push back outward.
+            velocity = -velocity
+            position = position + 2.0 * velocity
+        poses.append(se3.look_at(position, target, up=(0.0, 1.0, 0.0)))
+    return Trajectory(poses=np.stack(poses), timestamps=_timestamps(n_frames))
+
+
+def _smoothstep(t: np.ndarray) -> np.ndarray:
+    """Cubic ease-in/ease-out — zero velocity at both endpoints."""
+    return t * t * (3.0 - 2.0 * t)

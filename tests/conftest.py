@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny synthetic sequences, cameras, devices.
+
+Everything here is deliberately small (80x60 frames, short sequences) so
+the whole suite runs in minutes; sizes are chosen so KinectFusion still
+tracks reliably at them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import icl_nuim
+from repro.geometry import PinholeCamera
+from repro.platforms import odroid_xu3
+from repro.scene import KinectNoiseModel, living_room
+
+
+@pytest.fixture(scope="session")
+def camera() -> PinholeCamera:
+    return PinholeCamera.kinect_like(width=80, height=60)
+
+
+@pytest.fixture(scope="session")
+def scene():
+    return living_room()
+
+
+@pytest.fixture(scope="session")
+def tiny_sequence():
+    """8 frames, 80x60, mild noise — rendered once per session."""
+    seq = icl_nuim.load("lr_kt0", n_frames=8, width=80, height=60, seed=0)
+    seq.materialize()
+    return seq
+
+
+@pytest.fixture(scope="session")
+def clean_sequence():
+    """6 noiseless frames for deterministic geometric checks."""
+    seq = icl_nuim.load(
+        "lr_kt0", n_frames=6, width=80, height=60,
+        noise=KinectNoiseModel.noiseless(), seed=0,
+    )
+    seq.materialize()
+    return seq
+
+
+@pytest.fixture(scope="session")
+def odroid():
+    return odroid_xu3()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,64 @@
+"""Tests for Umeyama/Horn trajectory alignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import se3
+from repro.metrics import align_trajectories, umeyama
+
+
+class TestUmeyama:
+    def test_recovers_known_transform(self, rng):
+        src = rng.normal(size=(30, 3))
+        T_true = se3.make_pose(se3.so3_exp(rng.normal(size=3)),
+                               rng.normal(size=3))
+        dst = se3.transform_points(T_true, src)
+        T, scale = umeyama(src, dst)
+        assert scale == 1.0
+        assert np.allclose(T, T_true, atol=1e-9)
+
+    def test_recovers_scale(self, rng):
+        src = rng.normal(size=(30, 3))
+        dst = 2.5 * src + np.array([1.0, 0, 0])
+        T, scale = umeyama(src, dst, with_scale=True)
+        assert scale == pytest.approx(2.5, rel=1e-9)
+
+    def test_no_reflection(self, rng):
+        src = rng.normal(size=(20, 3))
+        dst = src.copy()
+        dst[:, 0] = -dst[:, 0]  # mirrored target
+        T, _ = umeyama(src, dst)
+        assert np.linalg.det(T[:3, :3]) == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(GeometryError):
+            umeyama(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            umeyama(np.zeros((5, 3)), np.zeros((6, 3)))
+
+    def test_degenerate_scale_source(self):
+        src = np.zeros((5, 3))
+        with pytest.raises(GeometryError):
+            umeyama(src, src, with_scale=True)
+
+
+class TestAlign:
+    def test_aligned_error_is_zero_for_rigid_offset(self, rng):
+        est = rng.normal(size=(20, 3))
+        T = se3.make_pose(se3.so3_exp([0.1, 0.2, 0.3]), [1, 2, 3])
+        ref = se3.transform_points(T, est)
+        aligned = align_trajectories(est, ref)
+        assert np.allclose(aligned, ref, atol=1e-9)
+
+    def test_alignment_reduces_error(self, rng):
+        est = rng.normal(size=(20, 3))
+        ref = se3.transform_points(
+            se3.make_pose(np.eye(3), [0.5, 0, 0]), est
+        ) + rng.normal(0, 0.001, size=(20, 3))
+        before = np.linalg.norm(est - ref, axis=-1).mean()
+        after = np.linalg.norm(align_trajectories(est, ref) - ref,
+                               axis=-1).mean()
+        assert after < before

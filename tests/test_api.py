@@ -1,0 +1,119 @@
+"""Tests for the SLAMSystem lifecycle state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DepthSensor,
+    Frame,
+    OutputKind,
+    ParameterSpec,
+    SensorSuite,
+    SLAMSystem,
+    TrackingStatus,
+)
+from repro.core.workload import FrameWorkload, KernelInvocation
+from repro.errors import ConfigurationError
+from repro.geometry import PinholeCamera
+
+
+class ToySystem(SLAMSystem):
+    """Minimal concrete system for lifecycle tests."""
+
+    name = "toy"
+
+    def parameter_specs(self):
+        return [ParameterSpec("gain", "real", 1.0, low=0.0, high=2.0)]
+
+    def do_init(self, sensors):
+        self.outputs.declare("pose", OutputKind.POSE)
+        self.inited = True
+
+    def do_process(self, frame, workload):
+        workload.add(KernelInvocation("noop", 10.0, 10.0))
+        return TrackingStatus.OK
+
+    def do_update_outputs(self):
+        self.outputs.get("pose").set(np.eye(4), self.frames_processed - 1)
+
+
+@pytest.fixture()
+def sensors():
+    return SensorSuite(depth=DepthSensor(PinholeCamera.kinect_like(16, 12)))
+
+
+@pytest.fixture()
+def frame():
+    return Frame(index=0, timestamp=0.0, depth=np.ones((12, 16)))
+
+
+class TestLifecycle:
+    def test_full_cycle(self, sensors, frame):
+        s = ToySystem()
+        cfg = s.new_configuration()
+        cfg["gain"] = 1.5
+        s.init(sensors)
+        s.update_frame(frame)
+        status = s.process_once()
+        assert status is TrackingStatus.OK
+        s.update_outputs()
+        assert np.array_equal(s.outputs.pose(), np.eye(4))
+        assert s.frames_processed == 1
+        s.clean()
+        assert not s.initialised
+
+    def test_init_twice_rejected(self, sensors):
+        s = ToySystem()
+        s.init(sensors)
+        with pytest.raises(ConfigurationError):
+            s.init(sensors)
+
+    def test_process_before_init(self, frame):
+        s = ToySystem()
+        with pytest.raises(ConfigurationError):
+            s.process_once()
+        with pytest.raises(ConfigurationError):
+            s.update_frame(frame)
+
+    def test_process_without_frame(self, sensors):
+        s = ToySystem()
+        s.init(sensors)
+        with pytest.raises(ConfigurationError):
+            s.process_once()
+
+    def test_frame_consumed_once(self, sensors, frame):
+        s = ToySystem()
+        s.init(sensors)
+        s.update_frame(frame)
+        s.process_once()
+        with pytest.raises(ConfigurationError):
+            s.process_once()
+
+    def test_init_builds_default_config(self, sensors):
+        s = ToySystem()
+        s.init(sensors)  # no explicit new_configuration call
+        assert s.configuration is not None
+        assert s.configuration["gain"] == 1.0
+
+    def test_workload_recorded(self, sensors, frame):
+        s = ToySystem()
+        s.init(sensors)
+        s.update_frame(frame)
+        s.process_once()
+        wl = s.last_workload()
+        assert wl.total_flops == 10.0
+
+    def test_workload_before_processing(self, sensors):
+        s = ToySystem()
+        s.init(sensors)
+        with pytest.raises(ConfigurationError):
+            s.last_workload()
+
+    def test_clean_idempotent(self, sensors):
+        s = ToySystem()
+        s.init(sensors)
+        s.clean()
+        s.clean()
+        # Can re-init after clean.
+        s.init(sensors)
+        assert s.initialised

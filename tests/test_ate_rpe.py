@@ -1,0 +1,107 @@
+"""Tests for ATE and RPE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import rebase_to_first
+from repro.errors import DatasetError
+from repro.geometry import se3
+from repro.metrics import absolute_trajectory_error, relative_pose_error
+from repro.scene.trajectory import Trajectory
+
+
+def straight_line(n=10, step=0.02, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    poses = []
+    for i in range(n):
+        t = np.array([i * step, 0.0, 0.0])
+        if noise:
+            t = t + rng.normal(0, noise, 3)
+        poses.append(se3.make_pose(np.eye(3), t))
+    return Trajectory(poses=np.stack(poses),
+                      timestamps=np.arange(n) / 30.0)
+
+
+class TestATE:
+    def test_identical_is_zero(self):
+        t = straight_line()
+        res = absolute_trajectory_error(t, t)
+        assert res.max == pytest.approx(0.0, abs=1e-12)
+        assert res.matched_frames == 10
+
+    def test_rigid_offset_removed_by_alignment(self):
+        ref = straight_line()
+        offset = se3.make_pose(se3.so3_exp([0, 0.3, 0]), [1.0, 2.0, 3.0])
+        est = Trajectory(
+            poses=np.stack([offset @ T for T in ref.poses]),
+            timestamps=ref.timestamps,
+        )
+        res = absolute_trajectory_error(est, ref, align=True)
+        assert res.max < 1e-9
+
+    def test_unaligned_keeps_offset(self):
+        ref = straight_line()
+        est = Trajectory(
+            poses=np.stack(
+                [se3.make_pose(np.eye(3), [0.5, 0, 0]) @ T for T in ref.poses]
+            ),
+            timestamps=ref.timestamps,
+        )
+        res = absolute_trajectory_error(est, ref, align=False)
+        assert res.max == pytest.approx(0.5)
+
+    def test_statistics_ordering(self):
+        ref = straight_line()
+        est = straight_line(noise=0.01, seed=1)
+        res = absolute_trajectory_error(est, ref)
+        assert res.median <= res.mean + 1e-9 or res.median > 0
+        assert res.rmse >= res.mean - 1e-12
+        assert res.max >= res.rmse
+
+    def test_passes_limit(self):
+        t = straight_line()
+        res = absolute_trajectory_error(t, t)
+        assert res.passes(0.05)
+
+    def test_too_few_matches(self):
+        a = straight_line(2)
+        with pytest.raises(DatasetError):
+            absolute_trajectory_error(a, a)
+
+
+class TestRPE:
+    def test_identical_zero(self):
+        t = straight_line()
+        res = relative_pose_error(t, t, delta=1)
+        assert res.trans_rmse == pytest.approx(0.0, abs=1e-12)
+        assert res.pairs == 9
+
+    def test_constant_drift_detected(self):
+        ref = straight_line(step=0.02)
+        est = straight_line(step=0.03)  # 1 cm extra drift per frame
+        res = relative_pose_error(rebase_to_first(est), rebase_to_first(ref))
+        assert res.trans_mean == pytest.approx(0.01, abs=1e-9)
+
+    def test_delta_scales_drift(self):
+        ref = straight_line(step=0.02)
+        est = straight_line(step=0.03)
+        res2 = relative_pose_error(est, ref, delta=2)
+        assert res2.trans_mean == pytest.approx(0.02, abs=1e-9)
+
+    def test_bad_delta(self):
+        t = straight_line()
+        with pytest.raises(DatasetError):
+            relative_pose_error(t, t, delta=0)
+        with pytest.raises(DatasetError):
+            relative_pose_error(t, t, delta=50)
+
+    def test_rotation_errors(self):
+        ref = straight_line()
+        poses = ref.poses.copy()
+        for i in range(len(poses)):
+            poses[i] = poses[i] @ se3.make_pose(
+                se3.so3_exp([0.0, 0.01 * i, 0.0]), np.zeros(3)
+            )
+        est = Trajectory(poses=poses, timestamps=ref.timestamps)
+        res = relative_pose_error(est, ref)
+        assert res.rot_mean == pytest.approx(0.01, abs=1e-6)

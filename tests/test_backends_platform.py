@@ -1,0 +1,101 @@
+"""Tests for implementation backends and device catalogue entries."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kfusion.params import KFusionParams
+from repro.kfusion.workload_model import sequence_workloads
+from repro.platforms import (
+    BACKEND_NAMES,
+    PerformanceSimulator,
+    PlatformConfig,
+    available_backends,
+    desktop_gtx,
+    get_backend,
+    odroid_xu3,
+    phone_database,
+)
+
+
+class TestBackends:
+    def test_all_standard_backends_exist(self):
+        for name in BACKEND_NAMES:
+            assert get_backend(name).name == name
+
+    def test_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            get_backend("sycl")
+
+    def test_available_on_odroid(self, odroid):
+        names = {b.name for b in available_backends(odroid)}
+        assert names == {"cpp", "openmp", "opencl"}
+
+    def test_available_on_desktop(self):
+        names = {b.name for b in available_backends(desktop_gtx())}
+        assert "cuda" in names
+
+    def test_resolve_cores(self, odroid):
+        assert get_backend("cpp").resolve_cores(odroid) == 1
+        assert get_backend("openmp").resolve_cores(odroid) == 4
+
+
+class TestBackendOrdering:
+    """The performance relationships the paper's platform exhibits."""
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return sequence_workloads(KFusionParams(), 320, 240, 6)
+
+    def _fps(self, device, backend, workloads):
+        sim = PerformanceSimulator(device, PlatformConfig(backend=backend))
+        return sim.simulate(workloads).fps
+
+    def test_openmp_beats_cpp(self, odroid, workloads):
+        assert self._fps(odroid, "openmp", workloads) > 2 * self._fps(
+            odroid, "cpp", workloads
+        )
+
+    def test_opencl_beats_openmp_on_odroid(self, odroid, workloads):
+        assert self._fps(odroid, "opencl", workloads) > self._fps(
+            odroid, "openmp", workloads
+        )
+
+    def test_default_not_realtime_on_odroid(self, odroid, workloads):
+        # The paper's starting point: default config far from 30 FPS.
+        assert self._fps(odroid, "opencl", workloads) < 20.0
+
+    def test_desktop_cuda_is_realtime(self, workloads):
+        # KinectFusion's original claim: real-time on a desktop GPU.
+        assert self._fps(desktop_gtx(), "cuda", workloads) > 30.0
+
+    def test_openmp_draws_more_power_than_opencl(self, odroid, workloads):
+        omp = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp")
+        ).simulate(workloads)
+        ocl = PerformanceSimulator(
+            odroid, PlatformConfig(backend="opencl")
+        ).simulate(workloads)
+        assert omp.average_power_w > ocl.average_power_w
+
+
+class TestPhoneDatabase:
+    def test_83_devices(self):
+        assert len(phone_database()) == 83
+
+    def test_unique_names(self):
+        names = [d.name for d in phone_database()]
+        assert len(set(names)) == len(names)
+
+    def test_all_support_opencl(self):
+        # The campaign needs the OpenCL port everywhere.
+        assert all(d.supports_backend("opencl") for d in phone_database())
+
+    def test_reasonable_year_range(self):
+        years = [d.year for d in phone_database()]
+        assert min(years) >= 2012 and max(years) <= 2017
+
+    def test_flagships_faster_than_budget(self):
+        db = {d.name: d for d in phone_database()}
+        s7 = db["Samsung Galaxy S7"]
+        moto = db["Motorola Moto G 2014"]
+        assert s7.gpu.gflops > 5 * moto.gpu.gflops

@@ -1,0 +1,85 @@
+"""Calibration: the surrogate's accuracy surface vs the measured pipeline.
+
+DESIGN.md's substitution contract: the surrogate may replace the measured
+evaluator at paper scale *because* it preserves orderings.  These tests run
+a handful of configurations through both paths and assert rank agreement
+on the directions the DSE exploits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import icl_nuim
+from repro.hypermapper import (
+    MeasuredEvaluator,
+    SurrogateEvaluator,
+    kfusion_design_space,
+)
+from repro.ml import spearman_rank_correlation
+from repro.platforms import PlatformConfig
+
+#: Configurations spanning the quality axis (fine -> coarse).
+LADDER = [
+    {"volume_resolution": 192, "compute_size_ratio": 1, "integration_rate": 1},
+    {"volume_resolution": 128, "compute_size_ratio": 1, "integration_rate": 1},
+    {"volume_resolution": 96, "compute_size_ratio": 1, "integration_rate": 2},
+    {"volume_resolution": 64, "compute_size_ratio": 1, "integration_rate": 2},
+    {"volume_resolution": 48, "compute_size_ratio": 2, "integration_rate": 4},
+]
+
+
+@pytest.fixture(scope="module")
+def both_paths(odroid):
+    sequence = icl_nuim.load("lr_kt0", n_frames=8, width=80, height=60,
+                             seed=0)
+    measured = MeasuredEvaluator(sequence, odroid,
+                                 PlatformConfig(backend="opencl"))
+    surrogate = SurrogateEvaluator(device=odroid, width=80, height=60,
+                                   n_frames=8)
+    base = kfusion_design_space().default_configuration()
+    base["volume_size"] = 5.0
+    measured_evals, surrogate_evals = [], []
+    for overrides in LADDER:
+        cfg = dict(base, **overrides)
+        measured_evals.append(measured.evaluate(cfg))
+        surrogate_evals.append(surrogate.evaluate(cfg))
+    return measured_evals, surrogate_evals
+
+
+class TestCalibration:
+    def test_runtime_rank_agreement(self, both_paths):
+        measured, surrogate = both_paths
+        rho = spearman_rank_correlation(
+            np.array([e.runtime_s for e in measured]),
+            np.array([e.runtime_s for e in surrogate]),
+        )
+        assert rho > 0.9
+
+    def test_runtime_close_in_magnitude(self, both_paths):
+        """Runtime uses the same cost model on both paths — it should be
+        nearly identical, not merely rank-correlated."""
+        measured, surrogate = both_paths
+        for m, s in zip(measured, surrogate):
+            assert s.runtime_s == pytest.approx(m.runtime_s, rel=0.35)
+
+    def test_accuracy_rank_agreement(self, both_paths):
+        measured, surrogate = both_paths
+        rho = spearman_rank_correlation(
+            np.array([e.max_ate_m for e in measured]),
+            np.array([e.max_ate_m for e in surrogate]),
+        )
+        assert rho > 0.5
+
+    def test_quality_ladder_direction(self, both_paths):
+        """Both paths agree the finest configuration beats the coarsest."""
+        measured, surrogate = both_paths
+        assert measured[0].max_ate_m < measured[-1].max_ate_m
+        assert surrogate[0].max_ate_m < surrogate[-1].max_ate_m
+
+    def test_power_rank_agreement(self, both_paths):
+        measured, surrogate = both_paths
+        rho = spearman_rank_correlation(
+            np.array([e.power_w for e in measured]),
+            np.array([e.power_w for e in surrogate]),
+        )
+        assert rho > 0.5

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_override, build_parser, main
+
+
+class TestParsing:
+    def test_override_int(self):
+        assert _parse_override("volume_resolution=128") == (
+            "volume_resolution", 128,
+        )
+
+    def test_override_float(self):
+        name, value = _parse_override("mu_distance=0.05")
+        assert name == "mu_distance"
+        assert value == pytest.approx(0.05)
+
+    def test_override_string(self):
+        assert _parse_override("backend=opencl") == ("backend", "opencl")
+
+    def test_override_missing_equals(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_override("justaname")
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--dataset", "lr_kt0",
+                                  "--frames", "3"])
+        assert args.dataset == "lr_kt0"
+        assert args.frames == 3
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--dataset", "lr_kt0", "--algorithm", "icp_odometry",
+            "--frames", "4", "--width", "32", "--height", "24",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "icp_odometry on lr_kt0" in out
+        assert "ate_max_m" in out
+
+    def test_run_with_override(self, capsys):
+        code = main([
+            "run", "--dataset", "lr_kt0", "--algorithm", "kfusion",
+            "--frames", "3", "--width", "32", "--height", "24",
+            "--set", "volume_resolution=48",
+            "--set", "volume_size=5.0",
+        ])
+        assert code == 0
+
+    def test_run_bad_override_reports_error(self, capsys):
+        code = main([
+            "run", "--dataset", "lr_kt0", "--frames", "3",
+            "--width", "32", "--height", "24",
+            "--set", "volume_resolution=7",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        assert "83 devices" in capsys.readouterr().out
+
+    def test_evaluate_command(self, capsys, tmp_path):
+        from repro.datasets import save_tum_trajectory
+        from repro.scene import orbit
+
+        gt = orbit((0, 1, 0), 1.5, 1.2, n_frames=8)
+        est = orbit((0, 1, 0), 1.5, 1.2, n_frames=8,
+                    jitter_trans_std=0.002, seed=3)
+        gt_path = str(tmp_path / "gt.txt")
+        est_path = str(tmp_path / "est.txt")
+        save_tum_trajectory(gt, gt_path)
+        save_tum_trajectory(est, est_path)
+        assert main(["evaluate", est_path, gt_path]) == 0
+        out = capsys.readouterr().out
+        assert "ATE" in out
+        assert "RPE" in out
+        assert "endpoint drift" in out
+
+    def test_evaluate_missing_file(self, capsys, tmp_path):
+        code = main(["evaluate", str(tmp_path / "a.txt"),
+                     str(tmp_path / "b.txt")])
+        assert code == 1
+
+    def test_dse_command_small(self, capsys, tmp_path):
+        csv = str(tmp_path / "samples.csv")
+        code = main(["dse", "--samples", "30", "--iterations", "2",
+                     "--csv", csv])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Design-space exploration" in out
+        assert "evaluations:" in out
+        assert (tmp_path / "samples.csv").exists()
+
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "opencl" in out and "cuda" in out

@@ -1,0 +1,78 @@
+"""Tests for the comparison-matrix harness."""
+
+import pytest
+
+from repro.baselines import ICPOdometry, StaticSLAM
+from repro.core.compare import MatrixEntry, run_matrix
+from repro.datasets import icl_nuim
+from repro.errors import ConfigurationError
+from repro.kfusion import KinectFusion
+
+
+@pytest.fixture(scope="module")
+def sequences():
+    return [
+        icl_nuim.load("lr_kt0", n_frames=6, width=80, height=60),
+        icl_nuim.load("lr_kt2", n_frames=6, width=80, height=60),
+    ]
+
+
+@pytest.fixture(scope="module")
+def matrix(sequences):
+    entries = [
+        MatrixEntry("kfusion_128", KinectFusion,
+                    {"volume_resolution": 128, "volume_size": 5.0,
+                     "integration_rate": 1}),
+        MatrixEntry("odometry", ICPOdometry, {}),
+        MatrixEntry("static", StaticSLAM, {}),
+    ]
+    return run_matrix(entries, sequences)
+
+
+class TestRunMatrix:
+    def test_all_cells_present(self, matrix):
+        assert matrix.entry_names == ["kfusion_128", "odometry", "static"]
+        assert matrix.sequence_names == ["lr_kt0", "lr_kt2"]
+        for entry in matrix.entry_names:
+            for seq in matrix.sequence_names:
+                assert matrix.get(entry, seq) is not None
+
+    def test_cross_table(self, matrix):
+        text = matrix.table("ate_max_m")
+        assert "lr_kt0" in text and "lr_kt2" in text
+        assert "kfusion_128" in text
+
+    def test_cell_rows_flat(self, matrix):
+        rows = matrix.cell_rows()
+        assert len(rows) == 6
+        assert {"entry", "sequence", "ate_max_m"} <= set(rows[0])
+
+    def test_errors_recorded_not_raised(self, sequences):
+        entries = [
+            MatrixEntry("bad_ratio", KinectFusion,
+                        {"compute_size_ratio": 8, "volume_size": 5.0}),
+            MatrixEntry("odometry", ICPOdometry, {}),
+        ]
+        matrix = run_matrix(entries, sequences[:1])
+        # The invalid entry failed on its cell; the other cell survived.
+        with pytest.raises(ConfigurationError):
+            matrix.get("bad_ratio", "lr_kt0")
+        assert matrix.get("odometry", "lr_kt0") is not None
+        assert "ERR" in matrix.table()
+
+    def test_fail_fast(self, sequences):
+        entries = [
+            MatrixEntry("bad_ratio", KinectFusion,
+                        {"compute_size_ratio": 8, "volume_size": 5.0}),
+        ]
+        with pytest.raises(ConfigurationError):
+            run_matrix(entries, sequences[:1], fail_fast=True)
+
+    def test_validation(self, sequences):
+        with pytest.raises(ConfigurationError):
+            run_matrix([], sequences)
+        entry = MatrixEntry("a", StaticSLAM, {})
+        with pytest.raises(ConfigurationError):
+            run_matrix([entry], [])
+        with pytest.raises(ConfigurationError):
+            run_matrix([entry, entry], sequences)

@@ -1,0 +1,106 @@
+"""Tests for parameter specs and algorithm configurations."""
+
+import pytest
+
+from repro.core import AlgorithmConfiguration, ParameterSpec
+from repro.errors import ConfigurationError
+
+
+def specs():
+    return [
+        ParameterSpec("res", "ordinal", 64, choices=(32, 64, 128)),
+        ParameterSpec("mu", "real", 0.1, low=0.01, high=0.3),
+        ParameterSpec("iters", "integer", 5, low=0, high=10),
+        ParameterSpec("backend", "categorical", "opencl",
+                      choices=("cpp", "opencl")),
+        ParameterSpec("thresh", "real", 1e-5, low=1e-20, high=1e-2,
+                      log_scale=True),
+    ]
+
+
+class TestParameterSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "fancy", 1)
+
+    def test_real_needs_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "real", 1.0)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "real", 1.0, low=2.0, high=1.0)
+
+    def test_log_scale_needs_positive_low(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "real", 1.0, low=0.0, high=2.0, log_scale=True)
+
+    def test_ordinal_needs_sorted_choices(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "ordinal", 2, choices=(3, 2, 1))
+
+    def test_default_validated(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec("x", "real", 5.0, low=0.0, high=1.0)
+
+    def test_integer_rejects_fractional(self):
+        s = ParameterSpec("x", "integer", 1, low=0, high=10)
+        with pytest.raises(ConfigurationError):
+            s.validate(1.5)
+
+    def test_integer_accepts_integral_float(self):
+        s = ParameterSpec("x", "integer", 1, low=0, high=10)
+        assert s.validate(3.0) == 3
+
+    def test_categorical_membership(self):
+        s = ParameterSpec("x", "categorical", "a", choices=("a", "b"))
+        with pytest.raises(ConfigurationError):
+            s.validate("c")
+
+
+class TestAlgorithmConfiguration:
+    def test_defaults(self):
+        cfg = AlgorithmConfiguration(specs())
+        assert cfg["res"] == 64
+        assert cfg["backend"] == "opencl"
+        assert len(cfg) == 5
+
+    def test_update_and_get(self):
+        cfg = AlgorithmConfiguration(specs(), {"res": 128, "mu": 0.2})
+        assert cfg["res"] == 128
+        assert cfg["mu"] == pytest.approx(0.2)
+
+    def test_unknown_name(self):
+        cfg = AlgorithmConfiguration(specs())
+        with pytest.raises(ConfigurationError):
+            cfg["nope"]
+        with pytest.raises(ConfigurationError):
+            cfg["nope"] = 1
+
+    def test_out_of_bounds(self):
+        cfg = AlgorithmConfiguration(specs())
+        with pytest.raises(ConfigurationError):
+            cfg["mu"] = 0.5
+
+    def test_duplicate_specs_rejected(self):
+        s = specs() + [ParameterSpec("res", "integer", 1, low=0, high=2)]
+        with pytest.raises(ConfigurationError):
+            AlgorithmConfiguration(s)
+
+    def test_copy_is_independent(self):
+        a = AlgorithmConfiguration(specs())
+        b = a.copy()
+        b["res"] = 128
+        assert a["res"] == 64
+
+    def test_equality(self):
+        assert AlgorithmConfiguration(specs()) == AlgorithmConfiguration(specs())
+        other = AlgorithmConfiguration(specs(), {"res": 32})
+        assert AlgorithmConfiguration(specs()) != other
+
+    def test_as_dict_and_contains(self):
+        cfg = AlgorithmConfiguration(specs())
+        d = cfg.as_dict()
+        assert set(d) == {"res", "mu", "iters", "backend", "thresh"}
+        assert "res" in cfg
+        assert "nope" not in cfg

@@ -1,0 +1,76 @@
+"""Tests for feasibility constraints."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hypermapper import (
+    Constraint,
+    ConstraintSet,
+    Evaluation,
+    accuracy_limit,
+    power_budget,
+    realtime,
+)
+
+
+def evaluation(runtime=0.02, ate=0.03, power=2.0, fps=None):
+    return Evaluation(
+        configuration={},
+        runtime_s=runtime,
+        max_ate_m=ate,
+        power_w=power,
+        fps=fps if fps is not None else 1.0 / runtime,
+    )
+
+
+class TestConstraint:
+    def test_less_than(self):
+        c = Constraint("max_ate_m", 0.05)
+        assert c.satisfied(evaluation(ate=0.03))
+        assert not c.satisfied(evaluation(ate=0.06))
+
+    def test_greater_than(self):
+        c = Constraint("fps", 30.0, ">")
+        assert c.satisfied(evaluation(runtime=0.01))
+        assert not c.satisfied(evaluation(runtime=0.1))
+
+    def test_unknown_metric(self):
+        with pytest.raises(OptimizationError):
+            Constraint("latency", 1.0)
+
+    def test_unknown_op(self):
+        with pytest.raises(OptimizationError):
+            Constraint("fps", 1.0, ">=")
+
+    def test_auto_name(self):
+        assert str(Constraint("power_w", 3.0)) == "power_w<3"
+
+
+class TestPresets:
+    def test_paper_thresholds(self):
+        assert accuracy_limit().bound == 0.05
+        assert realtime().bound == 30.0
+        assert power_budget().bound == 3.0
+
+    def test_preset_names(self):
+        assert str(accuracy_limit()) == "accurate"
+        assert str(realtime()) == "fast"
+        assert str(power_budget()) == "power_efficient"
+
+
+class TestConstraintSet:
+    def test_conjunction(self):
+        cs = ConstraintSet.of([accuracy_limit(), power_budget(3.0)])
+        assert cs.satisfied(evaluation(ate=0.01, power=2.0))
+        assert not cs.satisfied(evaluation(ate=0.01, power=4.0))
+        assert not cs.satisfied(evaluation(ate=0.09, power=2.0))
+
+    def test_filter(self):
+        cs = ConstraintSet.of([accuracy_limit()])
+        evals = [evaluation(ate=0.01), evaluation(ate=0.9)]
+        assert len(cs.filter(evals)) == 1
+
+    def test_empty_set_accepts_all(self):
+        cs = ConstraintSet.of([])
+        assert cs.satisfied(evaluation(ate=100.0))
+        assert str(cs) == "(none)"

@@ -1,0 +1,78 @@
+"""Tests for the corridor scene and the ICP degeneracy it exposes."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_benchmark
+from repro.datasets import SyntheticSequence
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import KinectFusion
+from repro.scene import KinectNoiseModel
+from repro.scene.corridor import WIDTH, corridor
+from repro.scene.trajectory import Trajectory
+
+
+def walk_sequence(scene, n_frames=10, step=0.012, seed=0):
+    """Walk along the corridor's long axis, looking straight ahead."""
+    cam = PinholeCamera.kinect_like(80, 60)
+    poses = []
+    for i in range(n_frames):
+        eye = np.array([-2.0 + i * step, 1.2, 0.0])
+        target = eye + np.array([1.0, -0.05, 0.0])
+        poses.append(se3.look_at(eye, target, up=(0, 1, 0)))
+    traj = Trajectory(poses=np.stack(poses),
+                      timestamps=np.arange(n_frames) / 30.0)
+    return SyntheticSequence(
+        f"walk_{scene.name}", scene, traj, cam,
+        noise=KinectNoiseModel.mild(), seed=seed,
+    )
+
+
+class TestSceneGeometry:
+    def test_interior_is_free(self):
+        s = corridor()
+        assert s.distance(np.array([[0.0, 1.2, 0.0]]))[0] > 0.2
+
+    def test_walls_close_on_z(self):
+        s = corridor(bare=True)
+        d = s.distance(np.array([[0.0, 1.1, 0.0]]))[0]
+        assert d == pytest.approx(WIDTH / 2.0, abs=0.01)
+
+    def test_fixtures_only_in_furnished_variant(self):
+        probe = np.array([[-1.5, 1.0, -WIDTH / 2 + 0.05]])
+        assert corridor(bare=True).distance(probe)[0] > 0.0
+        assert corridor(bare=False).distance(probe)[0] <= 0.0
+
+    def test_names(self):
+        assert corridor().name == "corridor"
+        assert corridor(bare=True).name == "corridor_bare"
+
+
+class TestDegeneracy:
+    """The along-corridor direction is unconstrained on bare walls."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        config = {"volume_resolution": 128, "volume_size": 6.4,
+                  "integration_rate": 1}
+        out = {}
+        for bare in (True, False):
+            seq = walk_sequence(corridor(bare=bare))
+            out[bare] = run_benchmark(KinectFusion(), seq,
+                                      configuration=config)
+        return out
+
+    def test_bare_corridor_worse_than_furnished(self, results):
+        bare = results[True]
+        furnished = results[False]
+        # Along-axis sliding: the bare corridor's error is larger (or it
+        # loses tracking outright).
+        bare_err = bare.ate.max if bare.ate else float("inf")
+        furn_err = furnished.ate.max if furnished.ate else float("inf")
+        bare_lost = bare.collector.tracked_fraction() < 1.0
+        assert bare_lost or bare_err > furn_err
+
+    def test_furnished_corridor_trackable(self, results):
+        furnished = results[False]
+        assert furnished.collector.tracked_fraction() >= 0.8
+        assert furnished.ate.max < 0.08

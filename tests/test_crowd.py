@@ -1,0 +1,108 @@
+"""Tests for the Android crowdsourcing campaign simulation."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    algorithmic_only,
+    by_group,
+    device_table,
+    run_campaign,
+    summarize,
+)
+from repro.errors import SimulationError
+from repro.platforms import phone_database
+
+
+def tuned_config(**overrides):
+    cfg = {
+        "volume_resolution": 96,
+        "volume_size": 4.3,
+        "compute_size_ratio": 2,
+        "mu_distance": 0.066,
+        "icp_threshold": 1e-5,
+        "pyramid_iterations_l0": 8,
+        "pyramid_iterations_l1": 4,
+        "pyramid_iterations_l2": 3,
+        "integration_rate": 3,
+        "tracking_rate": 1,
+    }
+    cfg.update(overrides)
+    return cfg
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_campaign(tuned_config(), n_frames=10, seed=0)
+
+
+class TestCampaign:
+    def test_runs_all_devices(self, runs):
+        assert len(runs) == 83
+
+    def test_tuned_is_faster_everywhere(self, runs):
+        assert all(r.speedup > 1.0 for r in runs)
+
+    def test_speedups_spread(self, runs):
+        s = np.array([r.speedup for r in runs])
+        assert s.max() / s.min() > 1.5  # heterogeneous population
+
+    def test_deterministic(self):
+        a = run_campaign(tuned_config(), n_frames=5, seed=1)
+        b = run_campaign(tuned_config(), n_frames=5, seed=1)
+        assert [r.speedup for r in a] == [r.speedup for r in b]
+
+    def test_platform_keys_stripped(self):
+        with_knobs = tuned_config(backend="opencl", gpu_freq_ghz=0.177,
+                                  cpu_freq_ghz=1.2)
+        assert set(algorithmic_only(with_knobs)) == set(tuned_config())
+        runs_a = run_campaign(tuned_config(), n_frames=5, seed=0)
+        runs_b = run_campaign(with_knobs, n_frames=5, seed=0)
+        assert runs_a[0].speedup == runs_b[0].speedup
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            run_campaign({"volume_resolution": 96}, n_frames=5)
+
+    def test_empty_device_list_rejected(self):
+        with pytest.raises(SimulationError):
+            run_campaign(tuned_config(), devices=[], n_frames=5)
+
+    def test_subset_of_devices(self):
+        devices = phone_database()[:5]
+        runs = run_campaign(tuned_config(), devices=devices, n_frames=5)
+        assert len(runs) == 5
+
+
+class TestAnalysis:
+    def test_summary_statistics(self, runs):
+        s = summarize(runs)
+        assert s.devices == 83
+        assert s.summary.minimum <= s.geometric_mean <= s.summary.maximum
+        assert s.realtime_tuned >= s.realtime_default
+
+    def test_histogram_text(self, runs):
+        text = summarize(runs).histogram()
+        assert "83 devices" in text
+        assert "#" in text
+
+    def test_by_group_year(self, runs):
+        rows = by_group(runs, "year")
+        assert sum(r["devices"] for r in rows) == 83
+        years = [r["year"] for r in rows]
+        assert years == sorted(years)
+
+    def test_by_group_form_factor(self, runs):
+        rows = by_group(runs, "form_factor")
+        assert {r["form_factor"] for r in rows} <= {"phone", "tablet", "board"}
+
+    def test_device_table(self, runs):
+        table = device_table(runs, top=5)
+        assert "speedup" in table
+        assert len(table.strip().splitlines()) == 8  # title + header + sep + 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+        with pytest.raises(SimulationError):
+            by_group([], "year")

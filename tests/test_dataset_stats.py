@@ -1,0 +1,53 @@
+"""Tests for sequence statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frame, SensorSuite
+from repro.datasets import InMemorySequence
+from repro.datasets.stats import sequence_statistics
+from repro.errors import DatasetError
+
+
+class TestStatistics:
+    def test_on_synthetic_sequence(self, tiny_sequence):
+        stats = sequence_statistics(tiny_sequence)
+        assert stats.name == "lr_kt0"
+        assert stats.frames == len(tiny_sequence)
+        assert stats.resolution == (60, 80)
+        assert 0.8 < stats.valid_depth_mean <= 1.0
+        assert 0.3 < stats.depth_min_m < stats.depth_median_m
+        assert stats.depth_median_m < stats.depth_max_m <= 6.0
+        assert stats.path_length_m > 0.0
+        assert stats.mean_translation_per_frame_m <= (
+            stats.max_translation_per_frame_m
+        )
+        assert stats.duration_s == pytest.approx(
+            (len(tiny_sequence) - 1) / 30.0
+        )
+
+    def test_as_row(self, tiny_sequence):
+        row = sequence_statistics(tiny_sequence).as_row()
+        assert row["sequence"] == "lr_kt0"
+        assert row["mean_step_mm"] > 0
+
+    def test_without_ground_truth(self, tiny_sequence):
+        frames = [
+            Frame(index=i, timestamp=i / 30.0, depth=np.full((60, 80), 2.0))
+            for i in range(3)
+        ]
+        sensors = SensorSuite(depth=tiny_sequence.sensors.depth)
+        seq = InMemorySequence("no_gt", sensors, frames)
+        stats = sequence_statistics(seq)
+        assert stats.path_length_m == 0.0
+        assert stats.valid_depth_mean == 1.0
+
+    def test_all_invalid_depth(self, tiny_sequence):
+        frames = [
+            Frame(index=0, timestamp=0.0, depth=np.zeros((60, 80)),
+                  ground_truth_pose=np.eye(4))
+        ]
+        seq = InMemorySequence("void", tiny_sequence.sensors, frames)
+        stats = sequence_statistics(seq)
+        assert stats.valid_depth_mean == 0.0
+        assert stats.depth_median_m == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the dataset layer: base sequences, synthetic generation,
+preset loaders."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frame
+from repro.datasets import InMemorySequence, SyntheticSequence, icl_nuim, tum
+from repro.errors import DatasetError
+from repro.scene import KinectNoiseModel
+
+
+class TestInMemorySequence:
+    def _frames(self, n=3, shape=(60, 80)):
+        return [
+            Frame(index=i, timestamp=i / 30.0, depth=np.ones(shape),
+                  ground_truth_pose=np.eye(4))
+            for i in range(n)
+        ]
+
+    def test_iteration_and_indexing(self, tiny_sequence):
+        seq = InMemorySequence("x", tiny_sequence.sensors, self._frames())
+        assert len(seq) == 3
+        assert [f.index for f in seq] == [0, 1, 2]
+
+    def test_out_of_range(self, tiny_sequence):
+        seq = InMemorySequence("x", tiny_sequence.sensors, self._frames())
+        with pytest.raises(DatasetError):
+            seq.frame(3)
+        with pytest.raises(DatasetError):
+            seq.frame(-1)
+
+    def test_empty_rejected(self, tiny_sequence):
+        with pytest.raises(DatasetError):
+            InMemorySequence("x", tiny_sequence.sensors, [])
+
+    def test_ground_truth_trajectory(self, tiny_sequence):
+        seq = InMemorySequence("x", tiny_sequence.sensors, self._frames())
+        gt = seq.ground_truth()
+        assert len(gt) == 3
+
+    def test_ground_truth_missing_raises(self, tiny_sequence):
+        frames = [Frame(index=0, timestamp=0.0, depth=np.ones((60, 80)))]
+        seq = InMemorySequence("x", tiny_sequence.sensors, frames)
+        with pytest.raises(DatasetError):
+            seq.ground_truth()
+
+
+class TestSyntheticSequence:
+    def test_frames_cached(self, tiny_sequence):
+        a = tiny_sequence.frame(0)
+        b = tiny_sequence.frame(0)
+        assert a is b
+
+    def test_deterministic_given_seed(self, camera, scene):
+        from repro.scene import orbit
+
+        traj = orbit((0, 1.1, 0), 1.6, 1.3, n_frames=2)
+        s1 = SyntheticSequence("a", scene, traj, camera, seed=3)
+        s2 = SyntheticSequence("b", scene, traj, camera, seed=3)
+        assert np.array_equal(s1.frame(1).depth, s2.frame(1).depth)
+
+    def test_seed_changes_noise(self, camera, scene):
+        from repro.scene import orbit
+
+        traj = orbit((0, 1.1, 0), 1.6, 1.3, n_frames=2)
+        s1 = SyntheticSequence("a", scene, traj, camera, seed=3)
+        s2 = SyntheticSequence("b", scene, traj, camera, seed=4)
+        assert not np.array_equal(s1.frame(1).depth, s2.frame(1).depth)
+
+    def test_clean_depth_noiseless(self, clean_sequence):
+        f = clean_sequence.frame(0)
+        clean = clean_sequence.clean_depth(0)
+        assert np.array_equal(f.depth, clean)
+
+    def test_ground_truth_matches_trajectory(self, tiny_sequence):
+        gt = tiny_sequence.ground_truth()
+        assert np.allclose(gt.poses, tiny_sequence.trajectory.poses)
+
+    def test_validate_passes(self, tiny_sequence):
+        tiny_sequence.validate()
+
+    def test_sensors_advertise_ground_truth(self, tiny_sequence):
+        assert tiny_sequence.sensors.has_ground_truth
+        assert not tiny_sequence.sensors.has_rgb
+
+    def test_with_rgb(self, camera, scene):
+        from repro.scene import orbit
+
+        traj = orbit((0, 1.1, 0), 1.6, 1.3, n_frames=2)
+        seq = SyntheticSequence("a", scene, traj, camera, with_rgb=True)
+        assert seq.sensors.has_rgb
+        assert seq.frame(0).rgb is not None
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", icl_nuim.SEQUENCE_NAMES)
+    def test_icl_presets_load(self, name):
+        seq = icl_nuim.load(name, n_frames=3, width=32, height=24)
+        assert len(seq) == 3
+        assert seq.name == name
+
+    @pytest.mark.parametrize("name", tum.SEQUENCE_NAMES)
+    def test_tum_presets_load(self, name):
+        seq = tum.load(name, n_frames=3, width=32, height=24)
+        assert seq.name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(DatasetError):
+            icl_nuim.load("lr_kt9", n_frames=2)
+        with pytest.raises(DatasetError):
+            tum.load("of_kitchen", n_frames=2)
+
+    def test_load_all(self):
+        assert len(icl_nuim.load_all(n_frames=2, width=32, height=24)) == 4
+        assert len(tum.load_all(n_frames=2, width=32, height=24)) == 2
+
+    def test_per_frame_motion_is_small(self):
+        # Hand-held realism: consecutive poses move by < 2.5 cm.
+        for name in icl_nuim.SEQUENCE_NAMES:
+            seq = icl_nuim.load(name, n_frames=12, width=32, height=24)
+            steps = np.linalg.norm(
+                np.diff(seq.trajectory.positions, axis=0), axis=-1
+            )
+            assert steps.max() < 0.025, name
+
+    def test_noiseless_variant(self):
+        seq = icl_nuim.load("lr_kt0", n_frames=2, width=32, height=24,
+                            noise=KinectNoiseModel.noiseless())
+        assert np.array_equal(seq.frame(0).depth, seq.clean_depth(0))

@@ -1,0 +1,132 @@
+"""Tests for the mobile decision machine (the poster's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.decision_machine import (
+    FEATURE_NAMES,
+    PORTFOLIO,
+    DecisionMachine,
+    device_features,
+    oracle_label,
+    portfolio_fps,
+    portfolio_params,
+    train_test_devices,
+)
+from repro.errors import OptimizationError, SimulationError
+from repro.hypermapper.surrogate import surrogate_max_ate
+from repro.platforms import phone_database
+
+
+class TestPortfolio:
+    def test_ordered_most_accurate_first(self):
+        """The quality rank must match the surrogate's accuracy surface."""
+        base = {
+            "volume_size": 4.8, "mu_distance": 0.1, "icp_threshold": 1e-5,
+            "pyramid_iterations_l1": 4, "pyramid_iterations_l2": 4,
+            "tracking_rate": 1,
+        }
+        ates = []
+        for entry in PORTFOLIO:
+            config = {**base, **entry}
+            config.setdefault("pyramid_iterations_l0", 8)
+            ate, _ = surrogate_max_ate(config)
+            ates.append(ate)
+        # Monotone non-decreasing ATE along the portfolio (small noise
+        # tolerance from the configuration-hashed scatter).
+        for a, b in zip(ates, ates[1:]):
+            assert b > a * 0.85
+
+    def test_params_valid(self):
+        for index in range(len(PORTFOLIO)):
+            p = portfolio_params(index)
+            assert p.volume_resolution >= 48
+
+    def test_bad_index(self):
+        with pytest.raises(OptimizationError):
+            portfolio_params(len(PORTFOLIO))
+
+    def test_fps_monotone_per_device(self):
+        device = phone_database()[0]
+        fps = portfolio_fps(device, n_frames=6)
+        assert all(b > a for a, b in zip(fps, fps[1:]))
+
+
+class TestOracle:
+    def test_picks_most_accurate_feasible(self):
+        assert oracle_label([10.0, 20.0, 35.0, 50.0], 30.0) == 2
+
+    def test_all_infeasible_picks_fastest(self):
+        assert oracle_label([5.0, 10.0, 20.0], 30.0) == 2
+
+    def test_all_feasible_picks_best(self):
+        assert oracle_label([40.0, 50.0], 30.0) == 0
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self):
+        f = device_features(phone_database()[0])
+        assert f.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(f))
+
+    def test_flagship_vs_budget_separable(self):
+        db = {d.name: d for d in phone_database()}
+        s7 = device_features(db["Samsung Galaxy S7"])
+        moto = device_features(db["Motorola Moto G 2014"])
+        assert s7[0] > moto[0]  # gpu gflops
+
+
+class TestMachine:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        train, test = train_test_devices(seed=1)
+        return DecisionMachine(seed=0).fit(train), train, test
+
+    def test_generalises_to_held_out(self, fitted):
+        dm, _, test = fitted
+        ev = dm.evaluate(test)
+        assert ev.within_one >= 0.8
+        assert ev.realtime_fraction >= 0.9
+
+    def test_beats_fixed_configuration_on_quality(self, fitted):
+        dm, _, test = fitted
+        ev = dm.evaluate(test, fixed_index=2)
+        assert ev.mean_quality_regret <= ev.mean_quality_loss_fixed
+
+    def test_recommend_returns_params(self, fitted):
+        dm, _, test = fitted
+        p = dm.recommend(test[0])
+        assert p.volume_resolution in {e["volume_resolution"]
+                                       for e in PORTFOLIO}
+
+    def test_weak_device_gets_lighter_config(self, fitted):
+        dm, _, _ = fitted
+        db = {d.name: d for d in phone_database()}
+        weak = dm.predict(db["Motorola Moto G 2014"])
+        strong = dm.predict(db["Samsung Galaxy S7"])
+        assert weak >= strong
+
+    def test_unfitted_rejected(self):
+        dm = DecisionMachine()
+        with pytest.raises(OptimizationError):
+            dm.predict(phone_database()[0])
+        with pytest.raises(OptimizationError):
+            dm.evaluate(phone_database()[:3])
+
+    def test_too_few_training_devices(self):
+        with pytest.raises(OptimizationError):
+            DecisionMachine().fit(phone_database()[:3])
+
+    def test_empty_evaluation_rejected(self, fitted):
+        dm, _, _ = fitted
+        with pytest.raises(SimulationError):
+            dm.evaluate([])
+
+
+class TestSplit:
+    def test_split_disjoint_and_complete(self):
+        train, test = train_test_devices(test_fraction=0.3, seed=4)
+        names_train = {d.name for d in train}
+        names_test = {d.name for d in test}
+        assert not names_train & names_test
+        assert len(names_train) + len(names_test) == 83

@@ -1,0 +1,101 @@
+"""Tests for device models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platforms import CpuCluster, DeviceModel, Gpu
+
+
+def cluster(**kw):
+    defaults = dict(name="big", cores=4, max_freq_ghz=2.0,
+                    freqs_ghz=(1.0, 1.5, 2.0), flops_per_cycle=4.0,
+                    dynamic_power_w=4.0, static_power_w=0.2)
+    defaults.update(kw)
+    return CpuCluster(**defaults)
+
+
+def gpu(**kw):
+    defaults = dict(name="mali", gflops=30.0, max_freq_ghz=0.6,
+                    freqs_ghz=(0.3, 0.6), bandwidth_gbs=5.0,
+                    dynamic_power_w=2.0, static_power_w=0.1)
+    defaults.update(kw)
+    return Gpu(**defaults)
+
+
+class TestCpuCluster:
+    def test_gflops(self):
+        c = cluster()
+        assert c.gflops(2.0, 4) == pytest.approx(32.0)
+        assert c.gflops(1.0, 1) == pytest.approx(4.0)
+
+    def test_gflops_bad_cores(self):
+        with pytest.raises(SimulationError):
+            cluster().gflops(2.0, 5)
+
+    def test_dynamic_power_cubic(self):
+        c = cluster()
+        assert c.dynamic_power(2.0, 4) == pytest.approx(4.0)
+        assert c.dynamic_power(1.0, 4) == pytest.approx(0.5)
+
+    def test_nearest_freq(self):
+        assert cluster().nearest_freq(1.4) == 1.5
+
+    def test_unsorted_freqs_rejected(self):
+        with pytest.raises(SimulationError):
+            cluster(freqs_ghz=(2.0, 1.0))
+
+    def test_freq_above_max_rejected(self):
+        with pytest.raises(SimulationError):
+            cluster(freqs_ghz=(1.0, 3.0))
+
+
+class TestGpu:
+    def test_effective_gflops(self):
+        g = gpu()
+        assert g.effective_gflops(0.3) == pytest.approx(15.0)
+
+    def test_power_cubic(self):
+        g = gpu()
+        assert g.dynamic_power(0.3) == pytest.approx(0.25)
+
+    def test_bad_api(self):
+        with pytest.raises(SimulationError):
+            gpu(api="vulkan")
+
+
+class TestDeviceModel:
+    def _device(self, with_gpu=True):
+        return DeviceModel(
+            name="dev",
+            clusters=(cluster(), cluster(name="little", cores=4,
+                                         max_freq_ghz=1.4,
+                                         freqs_ghz=(0.7, 1.4),
+                                         flops_per_cycle=2.0,
+                                         dynamic_power_w=0.8,
+                                         static_power_w=0.05)),
+            gpu=gpu() if with_gpu else None,
+            memory_bandwidth_gbs=8.0,
+        )
+
+    def test_biggest_cluster(self):
+        assert self._device().biggest_cluster.name == "big"
+
+    def test_total_cores(self):
+        assert self._device().total_cores == 8
+
+    def test_cluster_lookup(self):
+        d = self._device()
+        assert d.cluster("little").cores == 4
+        with pytest.raises(SimulationError):
+            d.cluster("medium")
+
+    def test_backend_support(self):
+        d = self._device()
+        assert d.supports_backend("cpp")
+        assert d.supports_backend("opencl")
+        assert not d.supports_backend("cuda")  # opencl-only GPU
+        assert not self._device(with_gpu=False).supports_backend("opencl")
+
+    def test_unknown_backend(self):
+        with pytest.raises(SimulationError):
+            self._device().supports_backend("metal")

@@ -1,0 +1,64 @@
+"""Tests for drift metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import se3
+from repro.metrics.drift import trajectory_drift
+from repro.scene.trajectory import Trajectory
+
+
+def line(n=11, step=0.1, scale=1.0):
+    poses = np.stack(
+        [se3.make_pose(np.eye(3), [i * step * scale, 0, 0]) for i in range(n)]
+    )
+    return Trajectory(poses=poses, timestamps=np.arange(n) / 30.0)
+
+
+class TestDrift:
+    def test_perfect_trajectory_zero_drift(self):
+        t = line()
+        d = trajectory_drift(t, t)
+        assert d.endpoint_drift == pytest.approx(0.0, abs=1e-12)
+        assert d.path_length_m == pytest.approx(1.0)
+
+    def test_scale_error_constant_drift(self):
+        # Estimated trajectory 5% short: endpoint drift 5%.
+        d = trajectory_drift(line(scale=0.95), line())
+        assert d.endpoint_drift == pytest.approx(0.05, rel=1e-6)
+        assert d.endpoint_drift_percent == pytest.approx(5.0, rel=1e-6)
+        assert d.mean_drift == pytest.approx(0.05, rel=1e-3)
+
+    def test_start_offset_removed(self):
+        ref = line()
+        offset = se3.make_pose(se3.so3_exp([0, 0.4, 0]), [2.0, 1.0, -1.0])
+        est = Trajectory(
+            poses=np.stack([offset @ T for T in ref.poses]),
+            timestamps=ref.timestamps,
+        )
+        d = trajectory_drift(est, ref)
+        # Same relative motion: zero drift despite a big absolute offset...
+        # except the rotation of the offset also rotates the motion; the
+        # rebasing handles that because both are expressed from the first
+        # pose. A pure rigid pre-multiplication leaves relative motion
+        # unchanged.
+        assert d.endpoint_drift == pytest.approx(0.0, abs=1e-9)
+
+    def test_short_path_rejected(self):
+        t = line(step=0.0001)
+        with pytest.raises(DatasetError):
+            trajectory_drift(t, t)
+
+    def test_on_slam_output(self, tiny_sequence):
+        from repro.core import run_benchmark
+        from repro.kfusion import KinectFusion
+
+        result = run_benchmark(
+            KinectFusion(), tiny_sequence,
+            configuration={"volume_resolution": 128, "volume_size": 5.0,
+                           "integration_rate": 1},
+        )
+        d = trajectory_drift(result.estimated, tiny_sequence.ground_truth())
+        assert d.path_length_m > 0.02
+        assert d.endpoint_drift < 0.2

@@ -1,0 +1,51 @@
+"""Smoke tests: the runnable examples must keep working.
+
+Only the fast examples run here (the DSE/campaign ones take minutes and
+are covered by the benchmarks); each runs in a subprocess exactly as a
+user would invoke it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, args: list | None = None, cwd: str | None = None):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    result = subprocess.run(
+        [sys.executable, path] + (args or []),
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=cwd,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Benchmark summary" in out
+        assert "ate_max_m" in out
+
+    def test_dataset_tools(self, tmp_path):
+        out = run_example("dataset_tools.py",
+                          [str(tmp_path / "seq.npz")])
+        assert "saved + reloaded" in out
+        assert (tmp_path / "seq.npz").exists()
+
+    def test_custom_algorithm(self):
+        out = run_example("custom_algorithm.py")
+        assert "const_velocity" in out
+        assert "kfusion" in out
+
+    def test_reconstruction_quality(self, tmp_path):
+        out = run_example("reconstruction_quality.py", [str(tmp_path)])
+        assert "Reconstruction quality" in out
+        assert (tmp_path / "model.obj").exists()
+        assert (tmp_path / "estimated.txt").exists()

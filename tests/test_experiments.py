@@ -1,0 +1,197 @@
+"""Integration tests: every experiment driver runs and has the paper's
+qualitative shape (at reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    algorithms,
+    backends,
+    fig1_gui,
+    fig2_dse,
+    fig3_android,
+    headline,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return fig1_gui.run(n_frames=8, width=80, height=60,
+                            volume_resolution=96)
+
+    def test_rows_per_frame(self, stream):
+        assert len(stream.rows) == 8
+        assert stream.rows[0]["status"] == "bootstrap"
+
+    def test_table_renders(self, stream):
+        text = stream.table()
+        assert "frame_time_ms" in text
+
+    def test_summary_has_metrics(self, stream):
+        assert "ate_max_m" in stream.summary
+        assert stream.summary["ate_max_m"] < 0.1
+
+    def test_reconstruction_evaluated(self, stream):
+        assert stream.reconstruction is not None
+        assert stream.reconstruction.mean_abs < 0.1
+
+    def test_model_render_present(self, stream):
+        assert stream.model_render is not None
+        art = stream.render_ascii(width=40)
+        assert len(art.splitlines()) > 3
+        # The render must actually show surface (non-blank characters).
+        assert any(c not in " \n" for c in art)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return fig2_dse.run_surrogate(
+            n_random=80, n_initial=30, n_iterations=8,
+            samples_per_iteration=6, seed=0,
+        )
+
+    def test_scatter_points(self, figure):
+        pts = figure.scatter_points("active")
+        assert pts.shape[1] == 2
+        assert len(pts) > 30
+
+    def test_default_marked(self, figure):
+        assert figure.default_evaluation.max_ate_m > 0
+
+    def test_best_active_feasible_and_faster_than_default(self, figure):
+        best = figure.best_active
+        assert best is not None
+        assert best.max_ate_m < figure.accuracy_limit_m
+        assert best.runtime_s < figure.default_evaluation.runtime_s
+
+    def test_knowledge_extracted(self, figure):
+        assert [k.criterion for k in figure.knowledge] == [
+            "accurate", "fast", "power_efficient",
+        ]
+
+    def test_summary_rows(self, figure):
+        rows = figure.summary_rows()
+        assert rows[0]["strategy"] == "default"
+        assert any(r["strategy"] == "best_active" for r in rows)
+
+
+class TestFig2MeasuredDemo:
+    def test_measured_demo_runs(self):
+        """The measured-pipeline DSE demo completes and produces the same
+        artefacts as the surrogate run, at tiny scale."""
+        figure = fig2_dse.run_measured_demo(
+            n_initial=4, n_iterations=1, samples_per_iteration=2,
+            n_frames=5, width=48, height=36, limit_m=0.12, seed=0,
+        )
+        assert len(figure.active_result.evaluations) == 6
+        assert len(figure.random_result.evaluations) == 6
+        assert figure.default_evaluation.runtime_s > 0
+        # The demo explicitly tolerates missing knowledge at this scale.
+        assert isinstance(figure.knowledge, list)
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline.run(n_initial=40, n_iterations=8,
+                            samples_per_iteration=6, seed=7)
+
+    def test_realtime_within_budget(self, result):
+        assert result.realtime_within_budget
+        assert result.tuned.fps > 30.0
+        assert result.tuned.power_w < 1.0
+        assert result.tuned.max_ate_m < 0.05
+
+    def test_improvement_factors_in_paper_range(self, result):
+        # Paper: 4.8x time and 2.8x power vs the state of the art; we
+        # require the same order (>2x both).
+        assert result.time_improvement_vs_sota > 2.0
+        assert result.power_reduction_vs_sota > 1.5
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert [r["configuration"] for r in rows] == [
+            "default", "state_of_the_art", "hypermapper_tuned",
+        ]
+
+    def test_other_device(self):
+        """The study ports to any device model (here a CUDA-class tablet)."""
+        from repro.platforms import phone_database
+
+        shield = next(d for d in phone_database() if "Shield" in d.name)
+        result = headline.run(device=shield, n_initial=40, n_iterations=8,
+                              samples_per_iteration=6, seed=3)
+        assert result.tuned.fps > 30.0
+        assert result.tuned.power_w < 1.0
+        assert result.time_improvement_vs_default > 2.0
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        tuned = {
+            "volume_resolution": 96, "volume_size": 4.3,
+            "compute_size_ratio": 2, "mu_distance": 0.066,
+            "icp_threshold": 1e-5, "pyramid_iterations_l0": 8,
+            "pyramid_iterations_l1": 4, "pyramid_iterations_l2": 3,
+            "integration_rate": 3, "tracking_rate": 1,
+        }
+        return fig3_android.run(tuned, n_frames=10, seed=0)
+
+    def test_83_devices(self, figure):
+        assert figure.summary.devices == 83
+
+    def test_speedup_distribution_shape(self, figure):
+        """Paper's Fig 3: clear speed-ups with a spread across devices."""
+        s = figure.summary
+        assert s.summary.minimum > 1.5
+        assert s.summary.maximum < 14.0
+        assert 3.0 < s.summary.median < 8.0
+
+    def test_groupings_cover_population(self, figure):
+        assert sum(r["devices"] for r in figure.by_year) == 83
+        assert sum(r["devices"] for r in figure.by_form_factor) == 83
+
+    def test_histogram_text(self, figure):
+        assert "83 devices" in figure.histogram()
+
+
+class TestBackendsExperiment:
+    def test_rows_cover_devices_and_backends(self):
+        comp = backends.run(n_frames=5)
+        devices = {r["device"] for r in comp.rows}
+        assert devices == {"odroid_xu3", "desktop_gtx"}
+        odroid_backends = {r["backend"] for r in comp.rows
+                           if r["device"] == "odroid_xu3"}
+        assert odroid_backends == {"cpp", "openmp", "opencl"}
+
+    def test_paper_orderings(self):
+        comp = backends.run(n_frames=5)
+        by = {(r["device"], r["backend"]): r for r in comp.rows}
+        assert (by[("odroid_xu3", "opencl")]["fps"]
+                > by[("odroid_xu3", "cpp")]["fps"])
+        assert by[("desktop_gtx", "cuda")]["fps"] > 30.0
+        assert by[("odroid_xu3", "opencl")]["fps"] < 30.0
+
+
+class TestAlgorithmsExperiment:
+    @pytest.fixture(scope="class")
+    def comp(self):
+        # Long enough for odometry drift to accumulate — the effect the
+        # cross-algorithm comparison exists to show.
+        return algorithms.run(sequence_names=["lr_kt0"], n_frames=24)
+
+    def test_all_algorithms_ran(self, comp):
+        algos = {r["algorithm"] for r in comp.rows}
+        assert algos == {"kfusion", "icp_odometry", "static"}
+
+    def test_kfusion_most_accurate(self, comp):
+        by = {r["algorithm"]: r for r in comp.rows}
+        assert by["kfusion"]["ate_max_m"] <= by["icp_odometry"]["ate_max_m"]
+        assert by["icp_odometry"]["ate_max_m"] < by["static"]["ate_max_m"]
+
+    def test_static_is_fastest(self, comp):
+        by = {r["algorithm"]: r for r in comp.rows}
+        assert by["static"]["sim_fps"] > by["kfusion"]["sim_fps"]

@@ -1,0 +1,68 @@
+"""Tests for exploration reporting."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hypermapper import (
+    ConstraintSet,
+    SurrogateEvaluator,
+    accuracy_limit,
+    kfusion_design_space,
+    random_exploration,
+)
+from repro.hypermapper.report import (
+    exploration_rows,
+    exploration_summary,
+    save_exploration_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def exploration(odroid):
+    return random_exploration(
+        kfusion_design_space(), SurrogateEvaluator(device=odroid), 40, seed=3
+    )
+
+
+class TestRows:
+    def test_one_row_per_evaluation(self, exploration):
+        rows = exploration_rows(exploration)
+        assert len(rows) == 40
+        assert {"runtime_s", "max_ate_m", "power_w",
+                "volume_resolution"} <= set(rows[0])
+
+    def test_csv_written(self, exploration, tmp_path):
+        path = tmp_path / "samples.csv"
+        save_exploration_csv(exploration, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 41
+        assert "runtime_s" in lines[0]
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self, exploration):
+        text = exploration_summary(
+            exploration, ConstraintSet.of([accuracy_limit(0.05)])
+        )
+        assert "evaluations: 40" in text
+        assert "feasible under" in text
+
+    def test_summary_without_constraints(self, exploration):
+        text = exploration_summary(exploration)
+        assert "random_sampling" in text
+
+    def test_front_table_or_message(self, exploration):
+        text = exploration_summary(
+            exploration, ConstraintSet.of([accuracy_limit(1e-9)])
+        )
+        assert "no feasible Pareto front" in text
+
+    def test_empty_rejected(self, exploration):
+        from repro.hypermapper.optimizer import ExplorationResult
+
+        empty = ExplorationResult(space=exploration.space, evaluations=[],
+                                  method="x", iteration_of=[])
+        with pytest.raises(OptimizationError):
+            exploration_summary(empty)
+        with pytest.raises(OptimizationError):
+            save_exploration_csv(empty, "/tmp/never.csv")

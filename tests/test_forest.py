@@ -1,0 +1,84 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import (
+    RandomForestClassifier,
+    RandomForestRegressor,
+    r2_score,
+)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(7)
+    X = rng.uniform(size=(400, 4))
+    y = 2 * X[:, 0] + np.sin(5 * X[:, 1]) + rng.normal(0, 0.05, 400)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+class TestRegressor:
+    def test_generalises(self, regression_data):
+        Xtr, ytr, Xte, yte = regression_data
+        rf = RandomForestRegressor(n_trees=20, random_state=0).fit(Xtr, ytr)
+        assert r2_score(yte, rf.predict(Xte)) > 0.85
+
+    def test_uncertainty_higher_off_manifold(self, regression_data):
+        Xtr, ytr, _, _ = regression_data
+        rf = RandomForestRegressor(n_trees=20, random_state=0).fit(Xtr, ytr)
+        _, std_in = rf.predict_with_std(Xtr[:50])
+        _, std_out = rf.predict_with_std(np.full((10, 4), 5.0))
+        # Points far outside the training range land in diverse extrapolating
+        # leaves -> the spread should not collapse below the in-sample spread.
+        assert std_out.mean() >= std_in.mean() * 0.5
+
+    def test_deterministic_given_seed(self, regression_data):
+        Xtr, ytr, Xte, _ = regression_data
+        a = RandomForestRegressor(n_trees=5, random_state=3).fit(Xtr, ytr)
+        b = RandomForestRegressor(n_trees=5, random_state=3).fit(Xtr, ytr)
+        assert np.allclose(a.predict(Xte), b.predict(Xte))
+
+    def test_feature_importances(self, regression_data):
+        Xtr, ytr, _, _ = regression_data
+        rf = RandomForestRegressor(n_trees=20, random_state=0).fit(Xtr, ytr)
+        imp = rf.feature_importances()
+        assert imp.shape == (4,)
+        assert imp.sum() == pytest.approx(1.0)
+        # Features 0 and 1 carry the signal; 2 and 3 are noise.
+        assert imp[0] + imp[1] > 0.8
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            RandomForestRegressor().predict(np.zeros((2, 2)))
+
+    def test_bad_sizes(self):
+        with pytest.raises(ModelError):
+            RandomForestRegressor(n_trees=0)
+        with pytest.raises(ModelError):
+            RandomForestRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_no_bootstrap_mode(self, regression_data):
+        Xtr, ytr, Xte, yte = regression_data
+        rf = RandomForestRegressor(n_trees=5, bootstrap=False,
+                                   random_state=0).fit(Xtr, ytr)
+        assert r2_score(yte, rf.predict(Xte)) > 0.8
+
+
+class TestClassifier:
+    def test_majority_vote(self, rng):
+        X = rng.uniform(size=(400, 3))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)  # XOR-ish
+        rf = RandomForestClassifier(n_trees=30, max_depth=6,
+                                    random_state=0).fit(X[:300], y[:300])
+        acc = np.mean(rf.predict(X[300:]) == y[300:])
+        assert acc > 0.85
+
+    def test_predict_proba_bounds(self, rng):
+        X = rng.uniform(size=(100, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        rf = RandomForestClassifier(n_trees=10, random_state=0).fit(X, y)
+        p = rf.predict_proba(X, cls=1)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+        assert p[X[:, 0] > 0.9].mean() > 0.8

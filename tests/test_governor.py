@@ -1,0 +1,66 @@
+"""Tests for the DVFS governor simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kfusion.params import KFusionParams
+from repro.kfusion.workload_model import sequence_workloads
+from repro.platforms.governor import GOVERNORS, simulate_with_governor
+
+
+@pytest.fixture(scope="module")
+def light_workloads():
+    """A light configuration: finishes well within the frame period."""
+    params = KFusionParams(volume_resolution=64, compute_size_ratio=2,
+                           integration_rate=4)
+    return sequence_workloads(params, 320, 240, 20)
+
+
+@pytest.fixture(scope="module")
+def heavy_workloads():
+    """The default configuration: far over the frame period on the board."""
+    return sequence_workloads(KFusionParams(integration_rate=1), 320, 240, 10)
+
+
+class TestGovernors:
+    def test_performance_pins_max(self, odroid, light_workloads):
+        res = simulate_with_governor(odroid, light_workloads, "performance")
+        assert set(res.gpu_freqs_ghz) == {odroid.gpu.max_freq_ghz}
+        assert res.realtime_fraction == 1.0
+
+    def test_powersave_pins_min(self, odroid, light_workloads):
+        res = simulate_with_governor(odroid, light_workloads, "powersave")
+        assert set(res.gpu_freqs_ghz) == {odroid.gpu.freqs_ghz[0]}
+
+    def test_powersave_cheaper_and_slower(self, odroid, light_workloads):
+        perf = simulate_with_governor(odroid, light_workloads, "performance")
+        save = simulate_with_governor(odroid, light_workloads, "powersave")
+        assert save.mean_frame_time_s > perf.mean_frame_time_s
+        assert save.energy_j < perf.energy_j
+
+    def test_ondemand_downclocks_light_load(self, odroid, light_workloads):
+        res = simulate_with_governor(odroid, light_workloads, "ondemand")
+        # The governor walks the clocks down over the sequence.
+        assert res.gpu_freqs_ghz[-1] < res.gpu_freqs_ghz[0]
+
+    def test_ondemand_keeps_heavy_load_clocked(self, odroid,
+                                               heavy_workloads):
+        res = simulate_with_governor(odroid, heavy_workloads, "ondemand")
+        assert res.gpu_freqs_ghz[-1] == odroid.gpu.max_freq_ghz
+
+    def test_ondemand_between_extremes_on_power(self, odroid,
+                                                light_workloads):
+        perf = simulate_with_governor(odroid, light_workloads, "performance")
+        onde = simulate_with_governor(odroid, light_workloads, "ondemand")
+        assert onde.streaming_power_w <= perf.streaming_power_w + 1e-9
+
+    def test_unknown_governor(self, odroid, light_workloads):
+        with pytest.raises(SimulationError):
+            simulate_with_governor(odroid, light_workloads, "schedutil")
+
+    def test_empty_workloads(self, odroid):
+        with pytest.raises(SimulationError):
+            simulate_with_governor(odroid, [], "ondemand")
+
+    def test_all_governors_listed(self):
+        assert set(GOVERNORS) == {"performance", "powersave", "ondemand"}

@@ -1,0 +1,80 @@
+"""Tests for ground-truth association and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import associate, rebase_to_first, rotation_errors, translation_errors
+from repro.errors import DatasetError
+from repro.geometry import se3
+from repro.scene.trajectory import Trajectory
+
+
+def make_traj(n=5, dt=1 / 30.0, offset=0.0, step=0.01):
+    poses = np.stack(
+        [se3.make_pose(np.eye(3), [i * step, 0, 0]) for i in range(n)]
+    )
+    return Trajectory(poses=poses,
+                      timestamps=np.arange(n) * dt + offset)
+
+
+class TestAssociate:
+    def test_identical_timestamps(self):
+        a = make_traj()
+        b = make_traj()
+        ia, ib = associate(a, b)
+        assert list(ia) == list(range(5))
+        assert list(ib) == list(range(5))
+
+    def test_small_offset_within_tolerance(self):
+        a = make_traj(offset=0.005)
+        b = make_traj()
+        ia, ib = associate(a, b, max_dt=0.02)
+        assert len(ia) == 5
+
+    def test_large_offset_drops_pairs(self):
+        a = make_traj(offset=10.0)
+        b = make_traj()
+        ia, ib = associate(a, b, max_dt=0.02)
+        assert len(ia) == 0
+
+    def test_each_reference_used_once(self):
+        # Two estimated poses near one reference timestamp: only one matches.
+        poses = np.stack([np.eye(4)] * 3)
+        a = Trajectory(poses=poses, timestamps=np.array([0.0, 0.001, 1.0]))
+        b = Trajectory(poses=poses[:2], timestamps=np.array([0.0, 1.0]))
+        ia, ib = associate(a, b)
+        assert len(ia) == 2
+        assert len(set(ib)) == 2
+
+    def test_empty_rejected(self):
+        a = make_traj()
+        with pytest.raises(DatasetError):
+            associate(a, Trajectory(poses=np.empty((0, 4, 4)),
+                                    timestamps=np.empty(0)))
+
+
+class TestErrors:
+    def test_rebase(self):
+        t = make_traj()
+        rb = rebase_to_first(t)
+        assert np.allclose(rb.poses[0], np.eye(4))
+
+    def test_translation_errors(self):
+        a = make_traj(step=0.01)
+        b = make_traj(step=0.02)
+        errs = translation_errors(a, b)
+        assert errs[0] == pytest.approx(0.0)
+        assert errs[4] == pytest.approx(0.04)
+
+    def test_rotation_errors(self):
+        a = make_traj()
+        poses = a.poses.copy()
+        poses[2] = poses[2] @ se3.se3_exp([0, 0, 0, 0.1, 0, 0])
+        b = Trajectory(poses=poses, timestamps=a.timestamps)
+        errs = rotation_errors(a, b)
+        assert errs[2] == pytest.approx(0.1, abs=1e-6)
+        assert errs[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            translation_errors(make_traj(4), make_traj(5))

@@ -1,0 +1,138 @@
+"""Tests for the benchmark harness and metric collector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ICPOdometry, StaticSLAM
+from repro.core import (
+    TrackingStatus,
+    run_benchmark,
+    run_frame_stream,
+)
+from repro.core.metrics import FrameRecord, MetricsCollector
+from repro.core.workload import FrameWorkload
+from repro.errors import DatasetError
+from repro.platforms import PlatformConfig
+
+
+class TestRunBenchmark:
+    def test_static_baseline_has_large_ate(self, tiny_sequence):
+        result = run_benchmark(StaticSLAM(), tiny_sequence)
+        assert result.ate is not None
+        # The camera moves several cm over the sequence; a static estimate
+        # must show that as error.
+        assert result.ate.max > 0.01
+
+    def test_odometry_beats_static(self, tiny_sequence):
+        static = run_benchmark(StaticSLAM(), tiny_sequence)
+        odo = run_benchmark(ICPOdometry(), tiny_sequence)
+        assert odo.ate.max < static.ate.max
+
+    def test_simulation_attached_when_device_given(self, tiny_sequence,
+                                                   odroid):
+        result = run_benchmark(
+            ICPOdometry(), tiny_sequence, device=odroid,
+            platform_config=PlatformConfig(backend="opencl"),
+        )
+        assert result.simulation is not None
+        summary = result.summary()
+        assert "sim_fps" in summary
+        assert "sim_streaming_power_w" in summary
+
+    def test_no_accuracy_mode(self, tiny_sequence):
+        result = run_benchmark(ICPOdometry(), tiny_sequence,
+                               evaluate_accuracy=False)
+        assert result.ate is None
+        assert result.rpe is None
+
+    def test_configuration_recorded(self, tiny_sequence):
+        result = run_benchmark(
+            ICPOdometry(), tiny_sequence,
+            configuration={"compute_size_ratio": 2},
+        )
+        assert result.configuration["compute_size_ratio"] == 2
+
+    def test_system_cleaned_after_run(self, tiny_sequence):
+        system = ICPOdometry()
+        run_benchmark(system, tiny_sequence)
+        assert not system.initialised
+
+    def test_wall_times_recorded(self, tiny_sequence):
+        result = run_benchmark(StaticSLAM(), tiny_sequence)
+        assert (result.collector.wall_times() > 0).all()
+        assert result.mean_wall_time_s > 0
+
+    def test_frame_log(self, tiny_sequence, odroid, tmp_path):
+        result = run_benchmark(
+            ICPOdometry(), tiny_sequence, device=odroid,
+            platform_config=PlatformConfig(backend="opencl"),
+        )
+        rows = result.frame_log_rows()
+        assert len(rows) == len(tiny_sequence)
+        assert rows[0]["status"] == "bootstrap"
+        assert all(r["sim_time_s"] > 0 for r in rows)
+        path = tmp_path / "frames.csv"
+        result.save_frame_log(str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("frame,timestamp_s,status")
+        assert len(lines) == len(tiny_sequence) + 1
+
+    def test_frame_log_without_simulation(self, tiny_sequence):
+        result = run_benchmark(StaticSLAM(), tiny_sequence)
+        rows = result.frame_log_rows()
+        assert rows[0]["sim_time_s"] == ""
+
+
+class TestRunFrameStream:
+    def test_yields_records_lazily(self, tiny_sequence):
+        stream = run_frame_stream(ICPOdometry(), tiny_sequence)
+        first = next(stream)
+        assert first.index == 0
+        assert first.status is TrackingStatus.BOOTSTRAP
+        rest = list(stream)
+        assert len(rest) == len(tiny_sequence) - 1
+
+    def test_early_close_cleans_up(self, tiny_sequence):
+        system = ICPOdometry()
+        stream = run_frame_stream(system, tiny_sequence)
+        next(stream)
+        stream.close()
+        assert not system.initialised
+
+
+class TestMetricsCollector:
+    def _record(self, i, status=TrackingStatus.OK):
+        return FrameRecord(
+            index=i, timestamp=i / 30.0, wall_time_s=0.01, status=status,
+            pose=np.eye(4), workload=FrameWorkload(i),
+            valid_depth_fraction=1.0,
+        )
+
+    def test_empty_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(DatasetError):
+            c.estimated_trajectory()
+        with pytest.raises(DatasetError):
+            c.tracked_fraction()
+
+    def test_tracked_fraction_counts_lost(self):
+        c = MetricsCollector()
+        c.add(self._record(0, TrackingStatus.BOOTSTRAP))
+        c.add(self._record(1, TrackingStatus.OK))
+        c.add(self._record(2, TrackingStatus.LOST))
+        c.add(self._record(3, TrackingStatus.SKIPPED))
+        assert c.tracked_fraction() == pytest.approx(0.75)
+        assert c.lost_frames() == [2]
+
+    def test_status_counts(self):
+        c = MetricsCollector()
+        c.add(self._record(0, TrackingStatus.OK))
+        c.add(self._record(1, TrackingStatus.OK))
+        assert c.status_counts() == {"ok": 2}
+
+    def test_trajectory_shape(self):
+        c = MetricsCollector()
+        for i in range(4):
+            c.add(self._record(i))
+        t = c.estimated_trajectory()
+        assert len(t) == 4

@@ -1,0 +1,67 @@
+"""Tests for incremental co-design exploration."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hypermapper import (
+    ConstraintSet,
+    SurrogateEvaluator,
+    accuracy_limit,
+    codesign_design_space,
+    incremental_codesign,
+    kfusion_design_space,
+    power_budget,
+    realtime,
+    split_codesign_space,
+)
+
+
+class TestSplit:
+    def test_split_names(self):
+        space = codesign_design_space()
+        algo, platform = split_codesign_space(space)
+        assert "volume_resolution" in algo.names
+        assert "backend" not in algo.names
+        assert set(platform.names) == {"backend", "cpu_freq_ghz",
+                                       "gpu_freq_ghz", "cpu_cluster"}
+        assert algo.dimensions + platform.dimensions == space.dimensions
+
+    def test_split_requires_platform_knobs(self):
+        with pytest.raises(OptimizationError):
+            split_codesign_space(kfusion_design_space())
+
+
+class TestIncremental:
+    @pytest.fixture(scope="class")
+    def result(self, odroid):
+        constraints = ConstraintSet.of(
+            [accuracy_limit(0.05), realtime(30.0), power_budget(1.0)]
+        )
+        return incremental_codesign(
+            codesign_design_space(odroid),
+            SurrogateEvaluator(device=odroid, seed=5),
+            constraints,
+            accuracy_limit(0.05),
+            seed=5,
+        )
+
+    def test_finds_feasible_point(self, result):
+        assert result.best is not None
+        assert result.best.fps > 30.0
+        assert result.best.power_w < 1.0
+        assert result.best.max_ate_m < 0.05
+
+    def test_bookkeeping(self, result):
+        counted = len(result.domain_result.evaluations) + sum(
+            len(p.evaluations) for p in result.platform_results
+        )
+        assert result.total_evaluations == counted
+        assert 1 <= len(result.platform_results) <= 3
+
+    def test_platform_phase_configs_complete(self, result):
+        # Phase-2 evaluations must carry full co-design configurations.
+        ev = result.platform_results[0].evaluations[0]
+        # The frozen algorithmic keys were merged by the adapter; the
+        # recorded configuration is the merged one.
+        assert "backend" in ev.configuration
+        assert "volume_resolution" in ev.configuration

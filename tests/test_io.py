@@ -1,0 +1,59 @@
+"""Tests for sequence serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import icl_nuim, load_sequence, save_sequence
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    def test_depth_and_gt_preserved(self, tmp_path, tiny_sequence):
+        path = str(tmp_path / "seq.npz")
+        save_sequence(tiny_sequence, path)
+        loaded = load_sequence(path)
+        assert loaded.name == tiny_sequence.name
+        assert len(loaded) == len(tiny_sequence)
+        # float32 storage: compare with tolerance.
+        assert np.allclose(loaded.frame(0).depth, tiny_sequence.frame(0).depth,
+                           atol=1e-5)
+        assert np.allclose(loaded.frame(3).ground_truth_pose,
+                           tiny_sequence.frame(3).ground_truth_pose)
+        loaded.validate()
+
+    def test_camera_preserved(self, tmp_path, tiny_sequence):
+        path = str(tmp_path / "seq.npz")
+        save_sequence(tiny_sequence, path)
+        loaded = load_sequence(path)
+        cam_a = tiny_sequence.sensors.depth.camera
+        cam_b = loaded.sensors.depth.camera
+        assert cam_a.shape == cam_b.shape
+        assert cam_a.fx == pytest.approx(cam_b.fx)
+
+    def test_rgb_round_trip(self, tmp_path):
+        seq = icl_nuim.load("lr_kt0", n_frames=2, width=32, height=24,
+                            with_rgb=True)
+        path = str(tmp_path / "rgb.npz")
+        save_sequence(seq, path)
+        loaded = load_sequence(path)
+        assert loaded.sensors.has_rgb
+        # uint8 storage: 1/255 tolerance.
+        assert np.allclose(loaded.frame(0).rgb, seq.frame(0).rgb, atol=1 / 200)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_sequence(str(tmp_path / "nope.npz"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(DatasetError):
+            load_sequence(str(path))
+
+    def test_timestamps_preserved(self, tmp_path, tiny_sequence):
+        path = str(tmp_path / "seq.npz")
+        save_sequence(tiny_sequence, path)
+        loaded = load_sequence(path)
+        assert loaded.frame(5).timestamp == pytest.approx(
+            tiny_sequence.frame(5).timestamp
+        )

@@ -1,0 +1,51 @@
+"""Tests for the analytic kernel cost formulas."""
+
+import pytest
+
+from repro.kfusion import kernels
+
+
+class TestScaling:
+    def test_integrate_cubic_in_resolution(self):
+        a = kernels.integrate(64)
+        b = kernels.integrate(128)
+        assert b.flops / a.flops == pytest.approx(8.0)
+        assert b.bytes_accessed / a.bytes_accessed == pytest.approx(8.0)
+
+    def test_pixel_kernels_linear(self):
+        for fn in (kernels.bilateral_filter, kernels.depth_to_vertex,
+                   kernels.vertex_to_normal, kernels.track_iteration,
+                   kernels.reduce_iteration, kernels.half_sample,
+                   kernels.acquire, kernels.render):
+            a = fn(1000)
+            b = fn(2000)
+            assert b.flops == pytest.approx(2 * a.flops), fn.__name__
+
+    def test_bilateral_window_scaling(self):
+        small = kernels.bilateral_filter(1000, radius=1)
+        big = kernels.bilateral_filter(1000, radius=2)
+        assert big.flops / small.flops == pytest.approx(25 / 9)
+
+    def test_raycast_steps_grow_with_volume(self):
+        a = kernels.raycast(1000, volume_size=2.0, mu=0.1, voxel_size=0.05)
+        b = kernels.raycast(1000, volume_size=4.0, mu=0.1, voxel_size=0.05)
+        assert b.flops == pytest.approx(2 * a.flops)
+
+    def test_raycast_step_rule(self):
+        # Larger mu -> larger steps -> fewer flops.
+        fine = kernels.raycast(1000, 4.0, mu=0.05, voxel_size=0.01)
+        coarse = kernels.raycast(1000, 4.0, mu=0.2, voxel_size=0.01)
+        assert coarse.flops < fine.flops
+
+    def test_solve_is_serial_and_cpu(self):
+        s = kernels.solve()
+        assert s.parallel_fraction == 0.0
+        assert not s.gpu_eligible
+
+    def test_all_kernels_gpu_eligible_except_solve(self):
+        assert kernels.integrate(32).gpu_eligible
+        assert kernels.track_iteration(100).gpu_eligible
+
+    def test_downsample_counts_both_sides(self):
+        k = kernels.downsample(4000, 1000)
+        assert k.bytes_accessed == pytest.approx(4 * (4000 + 1000))

@@ -1,0 +1,66 @@
+"""Tests for knowledge extraction (Figure 2 right panel)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hypermapper import (
+    SurrogateEvaluator,
+    extract_knowledge,
+    format_knowledge,
+    kfusion_design_space,
+    random_exploration,
+)
+from repro.hypermapper.constraints import Constraint
+
+
+@pytest.fixture(scope="module")
+def exploration(odroid):
+    return random_exploration(
+        kfusion_design_space(), SurrogateEvaluator(device=odroid), 120, seed=0
+    )
+
+
+class TestKnowledge:
+    def test_three_default_criteria(self, exploration):
+        knowledge = extract_knowledge(exploration)
+        assert [k.criterion for k in knowledge] == [
+            "accurate", "fast", "power_efficient",
+        ]
+
+    def test_counts_consistent(self, exploration):
+        for k in extract_knowledge(exploration):
+            assert 0 <= k.positive_count <= k.total_count
+
+    def test_trees_fit_labels(self, exploration):
+        for k in extract_knowledge(exploration):
+            assert k.tree_accuracy > 0.7
+
+    def test_accurate_rules_mention_resolution_or_ratio(self, exploration):
+        """The paper's figure: accuracy is governed by volume resolution
+        and compute size ratio."""
+        knowledge = extract_knowledge(exploration)
+        accurate = knowledge[0]
+        if not accurate.rules:
+            pytest.skip("no accurate region found in this sample")
+        text = " ".join(str(r) for r in accurate.rules)
+        assert ("volume_resolution" in text or "compute_size_ratio" in text
+                or "integration_rate" in text)
+
+    def test_format(self, exploration):
+        text = format_knowledge(extract_knowledge(exploration))
+        assert "accurate" in text and "fast" in text
+
+    def test_degenerate_criterion_handled(self, exploration):
+        # A bound nothing satisfies: rules must be empty, no crash.
+        impossible = Constraint("max_ate_m", 1e-12, "<", name="impossible")
+        knowledge = extract_knowledge(exploration, criteria=[impossible])
+        assert knowledge[0].positive_count == 0
+        assert knowledge[0].rules == ()
+
+    def test_too_few_samples_rejected(self, odroid):
+        small = random_exploration(
+            kfusion_design_space(), SurrogateEvaluator(device=odroid), 5,
+            seed=0,
+        )
+        with pytest.raises(OptimizationError):
+            extract_knowledge(small)

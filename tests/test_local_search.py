@@ -1,0 +1,97 @@
+"""Tests for local refinement and corridor dataset presets."""
+
+import pytest
+
+from repro.core import ParameterSpec, create_dataset, register_defaults
+from repro.datasets import corridor_seq
+from repro.errors import DatasetError, OptimizationError
+from repro.hypermapper import (
+    ConstraintSet,
+    DesignSpace,
+    Evaluation,
+    SurrogateEvaluator,
+    accuracy_limit,
+    kfusion_design_space,
+)
+from repro.hypermapper.local_search import local_refine, neighbours
+
+
+class TestNeighbours:
+    def test_every_neighbour_differs_in_one_parameter(self):
+        space = kfusion_design_space()
+        config = space.default_configuration()
+        for n in neighbours(space, config):
+            diffs = [k for k in config if n[k] != config[k]]
+            assert len(diffs) == 1
+
+    def test_bounds_respected(self):
+        space = DesignSpace([
+            ParameterSpec("i", "integer", 0, low=0, high=2),
+            ParameterSpec("o", "ordinal", 32, choices=(32, 64)),
+        ])
+        ns = neighbours(space, {"i": 0, "o": 32})
+        assert {(n["i"], n["o"]) for n in ns} == {(1, 32), (0, 64)}
+
+    def test_log_scale_real_moves_in_decades(self):
+        space = DesignSpace([
+            ParameterSpec("t", "real", 1e-5, low=1e-8, high=1e-2,
+                          log_scale=True),
+        ])
+        values = sorted(n["t"] for n in neighbours(space, {"t": 1e-5}))
+        assert values[0] < 1e-5 < values[1]
+
+
+class TestLocalRefine:
+    def test_polishes_towards_optimum(self):
+        space = DesignSpace([
+            ParameterSpec("x", "real", 0.5, low=0.0, high=1.0),
+        ])
+
+        class Quadratic:
+            def evaluate(self, c):
+                x = c["x"]
+                return Evaluation(configuration=dict(c),
+                                  runtime_s=(x - 0.1) ** 2 + 0.01,
+                                  max_ate_m=0.01, power_w=1.0,
+                                  fps=100.0)
+
+        ev = Quadratic()
+        start = ev.evaluate({"x": 0.5})
+        cons = ConstraintSet.of([accuracy_limit(0.05)])
+        best, spent = local_refine(space, ev, start, cons, max_rounds=10)
+        assert best.runtime_s < start.runtime_s
+        assert abs(best.configuration["x"] - 0.1) < 0.2
+        assert spent > 0
+
+    def test_refine_improves_surrogate_best(self, odroid):
+        space = kfusion_design_space()
+        evaluator = SurrogateEvaluator(device=odroid, seed=2)
+        cons = ConstraintSet.of([accuracy_limit(0.05)])
+        start = evaluator.evaluate(space.default_configuration())
+        best, _ = local_refine(space, evaluator, start, cons, max_rounds=3)
+        assert best.runtime_s <= start.runtime_s
+        assert best.max_ate_m < 0.05
+
+    def test_infeasible_start_rejected(self):
+        space = kfusion_design_space()
+        bad = Evaluation(configuration=space.default_configuration(),
+                         runtime_s=1.0, max_ate_m=9.9, power_w=1.0, fps=1.0)
+        with pytest.raises(OptimizationError):
+            local_refine(space, None, bad,
+                         ConstraintSet.of([accuracy_limit(0.05)]))
+
+
+class TestCorridorPresets:
+    def test_presets_load_and_register(self):
+        register_defaults()
+        seq = create_dataset("cor_walk", n_frames=3, width=32, height=24)
+        assert seq.name == "cor_walk"
+        assert len(seq) == 3
+
+    def test_bare_variant(self):
+        seq = corridor_seq.load("cor_bare", n_frames=2, width=32, height=24)
+        assert seq.scene.name == "corridor_bare"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            corridor_seq.load("cor_spiral", n_frames=2)

@@ -1,0 +1,39 @@
+"""Tests for the memory-footprint model."""
+
+import pytest
+
+from repro.kfusion import KFusionParams
+from repro.kfusion.memory import frame_buffers_bytes, total_bytes, volume_bytes
+
+
+class TestMemoryModel:
+    def test_volume_dominates_at_default(self):
+        p = KFusionParams()
+        assert volume_bytes(p) > frame_buffers_bytes(p, 320, 240)
+
+    def test_volume_bytes_exact(self):
+        p = KFusionParams(volume_resolution=64)
+        assert volume_bytes(p) == 2 * 4 * 64**3
+
+    def test_cubic_growth(self):
+        small = volume_bytes(KFusionParams(volume_resolution=64))
+        large = volume_bytes(KFusionParams(volume_resolution=128))
+        assert large == 8 * small
+
+    def test_compute_ratio_shrinks_buffers(self):
+        full = frame_buffers_bytes(KFusionParams(compute_size_ratio=1),
+                                   320, 240)
+        half = frame_buffers_bytes(KFusionParams(compute_size_ratio=2),
+                                   320, 240)
+        assert half < full
+
+    def test_default_footprint_matches_slambench_scale(self):
+        # 256^3 x 2 fields x 4 bytes = 128 MiB volume — the number the
+        # SLAMBench papers quote for the default configuration.
+        p = KFusionParams()
+        assert volume_bytes(p) == 128 * 1024 * 1024
+        assert total_bytes(p) < 140 * 1024 * 1024
+
+    def test_embedded_configs_fit_small_memory(self):
+        p = KFusionParams(volume_resolution=64, compute_size_ratio=4)
+        assert total_bytes(p) < 4 * 1024 * 1024

@@ -1,0 +1,107 @@
+"""Tests for TSDF mesh extraction (marching tetrahedra)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import TSDFVolume
+from repro.kfusion.integration import integrate
+from repro.kfusion.mesh import TriangleMesh, extract_mesh, load_obj
+
+
+def sphere_volume(resolution=48, radius=0.6, mu=0.3):
+    v = TSDFVolume(resolution, 2.0)
+    centers = v.voxel_centers_world()
+    sdf = np.linalg.norm(centers - 1.0, axis=-1) - radius
+    v.tsdf[:] = np.clip(sdf / mu, -1, 1).reshape(v.tsdf.shape)
+    v.weight[:] = 1.0
+    return v
+
+
+class TestExtraction:
+    def test_sphere_vertices_on_surface(self):
+        mesh = extract_mesh(sphere_volume())
+        assert mesh.n_triangles > 1000
+        r = np.linalg.norm(mesh.vertices - 1.0, axis=-1)
+        assert np.abs(r - 0.6).max() < 0.005
+
+    def test_sphere_area(self):
+        mesh = extract_mesh(sphere_volume())
+        assert mesh.surface_area() == pytest.approx(4 * np.pi * 0.36,
+                                                    rel=0.01)
+
+    def test_resolution_improves_area(self):
+        coarse = extract_mesh(sphere_volume(resolution=16, mu=0.5))
+        fine = extract_mesh(sphere_volume(resolution=64, mu=0.2))
+        target = 4 * np.pi * 0.36
+        assert abs(fine.surface_area() - target) <= abs(
+            coarse.surface_area() - target
+        )
+
+    def test_empty_volume_gives_empty_mesh(self):
+        mesh = extract_mesh(TSDFVolume(16, 2.0))
+        assert mesh.n_triangles == 0
+        assert mesh.surface_area() == 0.0
+
+    def test_unobserved_cells_not_meshed(self):
+        v = sphere_volume(resolution=32)
+        v.weight[:, :, : v.resolution // 2] = 0.0  # hide half the space
+        full = extract_mesh(sphere_volume(resolution=32))
+        half = extract_mesh(v)
+        assert 0 < half.n_triangles < full.n_triangles
+
+    def test_max_triangles_cap(self):
+        mesh = extract_mesh(sphere_volume(), max_triangles=500)
+        assert mesh.n_triangles <= 500
+
+    def test_triangle_indices_valid(self):
+        mesh = extract_mesh(sphere_volume(resolution=24, mu=0.4))
+        assert mesh.triangles.min() >= 0
+        assert mesh.triangles.max() < mesh.n_vertices
+
+    def test_fused_frame_meshes_near_scene(self, scene):
+        cam = PinholeCamera.kinect_like(80, 60)
+        world_pose = se3.look_at((1.5, 1.2, 1.5), scene.center, up=(0, 1, 0))
+        vol_pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+        from repro.scene import render_depth
+
+        depth = render_depth(scene, cam, world_pose)
+        volume = TSDFVolume(96, 5.0)
+        integrate(volume, depth, cam, vol_pose, mu=0.15)
+        mesh = extract_mesh(volume)
+        assert mesh.n_triangles > 500
+        world_from_volume = world_pose @ se3.inverse(vol_pose)
+        pts = se3.transform_points(world_from_volume,
+                                   mesh.triangle_centroids())
+        d = np.abs(scene.distance(pts))
+        assert np.median(d) < 0.05
+
+
+class TestMeshContainer:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            TriangleMesh(vertices=np.zeros((3,)), triangles=np.zeros((1, 3),
+                                                                     int))
+        with pytest.raises(DatasetError):
+            TriangleMesh(vertices=np.zeros((2, 3)),
+                         triangles=np.array([[0, 1, 2]]))
+
+    def test_obj_round_trip(self, tmp_path):
+        mesh = extract_mesh(sphere_volume(resolution=20, mu=0.5))
+        path = str(tmp_path / "sphere.obj")
+        mesh.save_obj(path, comment="test sphere")
+        loaded = load_obj(path)
+        assert loaded.n_vertices == mesh.n_vertices
+        assert loaded.n_triangles == mesh.n_triangles
+        assert np.allclose(loaded.vertices, mesh.vertices, atol=1e-5)
+        assert loaded.surface_area() == pytest.approx(mesh.surface_area(),
+                                                      rel=1e-4)
+
+    def test_load_obj_errors(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_obj(str(tmp_path / "missing.obj"))
+        bad = tmp_path / "bad.obj"
+        bad.write_text("f 1 2 3 4\n")
+        with pytest.raises(DatasetError):
+            load_obj(str(bad))

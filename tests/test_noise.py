@@ -1,0 +1,89 @@
+"""Tests for the Kinect noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.scene import KinectNoiseModel
+
+
+@pytest.fixture()
+def smooth_depth():
+    d = np.full((60, 80), 2.0)
+    d[:, 40:] = 3.0  # a depth edge down the middle
+    return d
+
+
+class TestValidation:
+    def test_negative_params_rejected(self):
+        with pytest.raises(DatasetError):
+            KinectNoiseModel(axial_sigma_at_1m=-1.0)
+
+    def test_dropout_over_one_rejected(self):
+        with pytest.raises(DatasetError):
+            KinectNoiseModel(dropout_rate=1.5)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            KinectNoiseModel().apply(np.zeros(10), rng)
+
+
+class TestNoiseless:
+    def test_identity(self, smooth_depth, rng):
+        out = KinectNoiseModel.noiseless().apply(smooth_depth, rng)
+        assert np.array_equal(out, smooth_depth)
+
+
+class TestCorruption:
+    def test_axial_noise_grows_with_depth(self, rng):
+        model = KinectNoiseModel(axial_sigma_at_1m=0.002, lateral_pixels=0,
+                                 dropout_rate=0, edge_dropout_boost=0,
+                                 quantization_m=0)
+        near = np.full((50, 50), 1.0)
+        far = np.full((50, 50), 4.0)
+        dn = model.apply(near, np.random.default_rng(0)) - near
+        df = model.apply(far, np.random.default_rng(0)) - far
+        assert df.std() > dn.std() * 4
+
+    def test_dropout_invalidates_pixels(self, smooth_depth):
+        model = KinectNoiseModel(axial_sigma_at_1m=0, lateral_pixels=0,
+                                 dropout_rate=0.2, edge_dropout_boost=0,
+                                 quantization_m=0)
+        out = model.apply(smooth_depth, np.random.default_rng(0))
+        frac = (out == 0).mean()
+        assert 0.1 < frac < 0.3
+
+    def test_edge_dropout_concentrates_at_edges(self, smooth_depth):
+        model = KinectNoiseModel(axial_sigma_at_1m=0, lateral_pixels=0,
+                                 dropout_rate=0.0, edge_dropout_boost=0.9,
+                                 quantization_m=0)
+        out = model.apply(smooth_depth, np.random.default_rng(0))
+        dropped = out == 0
+        edge_cols = dropped[:, 38:42].mean()
+        flat_cols = dropped[:, 5:20].mean()
+        assert edge_cols > 0.3
+        assert flat_cols < 0.05
+
+    def test_quantization_discretises(self):
+        model = KinectNoiseModel(axial_sigma_at_1m=0, lateral_pixels=0,
+                                 dropout_rate=0, edge_dropout_boost=0,
+                                 quantization_m=0.01)
+        d = np.full((10, 10), 2.0) + np.linspace(0, 0.001, 100).reshape(10, 10)
+        out = model.apply(d, np.random.default_rng(0))
+        assert len(np.unique(out)) < 20
+
+    def test_never_negative(self, smooth_depth):
+        out = KinectNoiseModel.harsh().apply(smooth_depth,
+                                             np.random.default_rng(0))
+        assert np.all(out >= 0.0)
+
+    def test_invalid_stays_invalid(self, rng):
+        d = np.zeros((20, 20))
+        out = KinectNoiseModel.harsh().apply(d, rng)
+        assert np.all(out == 0.0)
+
+    def test_presets_ordered_by_strength(self):
+        mild = KinectNoiseModel.mild()
+        harsh = KinectNoiseModel.harsh()
+        assert mild.axial_sigma_at_1m < harsh.axial_sigma_at_1m
+        assert mild.dropout_rate < harsh.dropout_rate

@@ -1,0 +1,153 @@
+"""Tests for the HyperMapper optimizer and the random baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterSpec
+from repro.errors import OptimizationError
+from repro.hypermapper import (
+    ConstraintSet,
+    DesignSpace,
+    Evaluation,
+    HyperMapper,
+    accuracy_limit,
+    random_exploration,
+)
+
+
+class QuadraticEvaluator:
+    """A cheap analytic black box with a known optimum.
+
+    runtime = (x-0.2)^2 + 0.01, ate = (y-0.7)^2 + 0.01,
+    power = x + y + 0.5 — the feasible fast region is near x=0.2, y=0.7.
+    """
+
+    def __init__(self):
+        self.evaluations = 0
+
+    def evaluate(self, configuration):
+        x = configuration["x"]
+        y = configuration["y"]
+        self.evaluations += 1
+        return Evaluation(
+            configuration=dict(configuration),
+            runtime_s=(x - 0.2) ** 2 + 0.01,
+            max_ate_m=(y - 0.7) ** 2 + 0.01,
+            power_w=x + y + 0.5,
+            fps=1.0 / ((x - 0.2) ** 2 + 0.01),
+        )
+
+
+def space():
+    return DesignSpace([
+        ParameterSpec("x", "real", 0.5, low=0.0, high=1.0),
+        ParameterSpec("y", "real", 0.5, low=0.0, high=1.0),
+    ])
+
+
+class TestHyperMapper:
+    def test_finds_good_region(self):
+        ev = QuadraticEvaluator()
+        hm = HyperMapper(space(), ev, constraint=accuracy_limit(0.05),
+                         n_initial=10, n_iterations=5,
+                         samples_per_iteration=4, candidate_pool=200, seed=0)
+        result = hm.run()
+        best = result.best("runtime_s",
+                           ConstraintSet.of([accuracy_limit(0.05)]))
+        assert abs(best.configuration["x"] - 0.2) < 0.15
+        assert best.max_ate_m < 0.05
+
+    def test_bookkeeping(self):
+        ev = QuadraticEvaluator()
+        hm = HyperMapper(space(), ev, n_initial=8, n_iterations=3,
+                         samples_per_iteration=2, candidate_pool=100, seed=0)
+        result = hm.run()
+        assert len(result.evaluations) == 8 + 3 * 2
+        assert result.iteration_of[:8] == [0] * 8
+        assert max(result.iteration_of) == 3
+        assert result.method == "active_learning"
+        assert ev.evaluations == len(result.evaluations)
+
+    def test_active_beats_random_on_feasibility(self):
+        """Core paper claim: the model-guided search concentrates samples
+        in the accuracy-feasible region, which random sampling rarely hits
+        when that region is narrow."""
+
+        class HardEvaluator(QuadraticEvaluator):
+            # Feasible (max_ate < 0.05) only in a narrow band around y=0.7.
+            def evaluate(self, configuration):
+                e = super().evaluate(configuration)
+                y = configuration["y"]
+                return Evaluation(
+                    configuration=e.configuration,
+                    runtime_s=e.runtime_s,
+                    max_ate_m=0.5 * abs(y - 0.7) + 0.005,
+                    power_w=e.power_w,
+                    fps=e.fps,
+                )
+
+        cons = ConstraintSet.of([accuracy_limit(0.05)])
+        for seed in range(3):
+            hm = HyperMapper(space(), HardEvaluator(),
+                             constraint=accuracy_limit(0.05),
+                             n_initial=10, n_iterations=5,
+                             samples_per_iteration=4,
+                             candidate_pool=300, seed=seed)
+            res_a = hm.run()
+            res_r = random_exploration(space(), HardEvaluator(),
+                                       len(res_a.evaluations),
+                                       seed=seed + 100)
+            assert len(res_a.feasible(cons)) > len(res_r.feasible(cons))
+
+    def test_invalid_budgets(self):
+        with pytest.raises(OptimizationError):
+            HyperMapper(space(), QuadraticEvaluator(), n_initial=2)
+        with pytest.raises(OptimizationError):
+            HyperMapper(space(), QuadraticEvaluator(),
+                        samples_per_iteration=0)
+
+    def test_seed_configurations_evaluated_first(self):
+        ev = QuadraticEvaluator()
+        prior = {"x": 0.2, "y": 0.7}
+        hm = HyperMapper(space(), ev, n_initial=6, n_iterations=1,
+                         samples_per_iteration=2, candidate_pool=100,
+                         seed=0, seed_configurations=[prior])
+        result = hm.run()
+        assert result.evaluations[0].configuration == prior
+        assert len(result.evaluations) == 6 + 2  # prior counts in n_initial
+
+    def test_invalid_seed_configuration_rejected(self):
+        with pytest.raises(Exception):
+            HyperMapper(space(), QuadraticEvaluator(),
+                        seed_configurations=[{"x": 5.0, "y": 0.5}])
+
+
+class TestExplorationResult:
+    def test_objective_matrix(self):
+        res = random_exploration(space(), QuadraticEvaluator(), 5, seed=0)
+        M = res.objective_matrix(("runtime_s", "power_w"))
+        assert M.shape == (5, 2)
+
+    def test_pareto_front_is_nondominated(self):
+        res = random_exploration(space(), QuadraticEvaluator(), 40, seed=0)
+        front = res.pareto(("runtime_s", "max_ate_m"))
+        assert front
+        for a in front:
+            for b in front:
+                dominates = (
+                    b.runtime_s <= a.runtime_s
+                    and b.max_ate_m <= a.max_ate_m
+                    and (b.runtime_s < a.runtime_s
+                         or b.max_ate_m < a.max_ate_m)
+                )
+                assert not dominates
+
+    def test_best_without_feasible_raises(self):
+        res = random_exploration(space(), QuadraticEvaluator(), 5, seed=0)
+        impossible = ConstraintSet.of([accuracy_limit(1e-9)])
+        with pytest.raises(OptimizationError):
+            res.best("runtime_s", impossible)
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(OptimizationError):
+            random_exploration(space(), QuadraticEvaluator(), 0)

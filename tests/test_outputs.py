@@ -1,0 +1,51 @@
+"""Tests for the output manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import OutputKind, OutputManager
+from repro.errors import ConfigurationError
+
+
+class TestDeclaration:
+    def test_declare_and_get(self):
+        om = OutputManager()
+        om.declare("pose", OutputKind.POSE)
+        assert "pose" in om
+        assert om.get("pose").kind is OutputKind.POSE
+
+    def test_double_declare_rejected(self):
+        om = OutputManager()
+        om.declare("pose", OutputKind.POSE)
+        with pytest.raises(ConfigurationError):
+            om.declare("pose", OutputKind.POSE)
+
+    def test_get_undeclared_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutputManager().get("pose")
+
+    def test_names(self):
+        om = OutputManager()
+        om.declare("a", OutputKind.SCALAR)
+        om.declare("b", OutputKind.FRAME)
+        assert om.names() == ["a", "b"]
+
+
+class TestValues:
+    def test_set_and_read(self):
+        om = OutputManager()
+        out = om.declare("x", OutputKind.SCALAR)
+        out.set(3.5, frame_index=7)
+        assert om.get("x").value == 3.5
+        assert om.get("x").updated_at_frame == 7
+
+    def test_pose_convenience(self):
+        om = OutputManager()
+        om.set_pose(np.eye(4), 0)
+        assert np.array_equal(om.pose(), np.eye(4))
+
+    def test_pose_unset_raises(self):
+        om = OutputManager()
+        om.declare("pose", OutputKind.POSE)
+        with pytest.raises(ConfigurationError):
+            om.pose()

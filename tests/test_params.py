@@ -1,0 +1,58 @@
+"""Tests for the KinectFusion parameter definitions."""
+
+import pytest
+
+from repro.core import AlgorithmConfiguration
+from repro.errors import ConfigurationError
+from repro.kfusion import DEFAULTS, KFusionParams, parameter_specs
+
+
+class TestSpecs:
+    def test_defaults_match_slambench(self):
+        assert DEFAULTS["volume_resolution"] == 256
+        assert DEFAULTS["compute_size_ratio"] == 1
+        assert DEFAULTS["mu_distance"] == pytest.approx(0.1)
+        assert DEFAULTS["integration_rate"] == 2
+
+    def test_specs_cover_all_defaults(self):
+        names = {s.name for s in parameter_specs()}
+        assert names == set(DEFAULTS)
+
+    def test_specs_defaults_agree(self):
+        for s in parameter_specs():
+            assert s.default == DEFAULTS[s.name]
+
+    def test_icp_threshold_is_log_scale(self):
+        spec = {s.name: s for s in parameter_specs()}["icp_threshold"]
+        assert spec.log_scale
+
+
+class TestKFusionParams:
+    def test_from_configuration(self):
+        cfg = AlgorithmConfiguration(parameter_specs(),
+                                     {"volume_resolution": 64})
+        p = KFusionParams.from_configuration(cfg)
+        assert p.volume_resolution == 64
+        assert p.mu_distance == DEFAULTS["mu_distance"]
+
+    def test_voxel_size(self):
+        p = KFusionParams(volume_resolution=128, volume_size=6.4)
+        assert p.voxel_size == pytest.approx(0.05)
+
+    def test_pyramid_iterations_order(self):
+        p = KFusionParams(pyramid_iterations_l0=1, pyramid_iterations_l1=2,
+                          pyramid_iterations_l2=3)
+        assert p.pyramid_iterations == (1, 2, 3)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"volume_resolution": 4},
+        {"volume_size": -1.0},
+        {"compute_size_ratio": 0},
+        {"mu_distance": 0.0},
+        {"icp_threshold": 0.0},
+        {"integration_rate": 0},
+        {"tracking_rate": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            KFusionParams(**kwargs)

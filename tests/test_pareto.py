@@ -1,0 +1,81 @@
+"""Tests for Pareto-front utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.hypermapper import dominated_by, hypervolume_2d, pareto_front, pareto_mask
+
+
+class TestMask:
+    def test_simple_front(self):
+        pts = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [3.0, 3.0]])
+        mask = pareto_mask(pts)
+        assert list(mask) == [True, True, True, False]
+
+    def test_single_point(self):
+        assert pareto_mask(np.array([[1.0, 1.0]]))[0]
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert pareto_mask(pts).all()
+
+    def test_dominated_chain(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert list(pareto_mask(pts)) == [True, False, False]
+
+    def test_bad_shape(self):
+        with pytest.raises(OptimizationError):
+            pareto_mask(np.zeros(3))
+        with pytest.raises(OptimizationError):
+            pareto_mask(np.zeros((0, 2)))
+
+
+class TestFront:
+    def test_sorted_by_first_objective(self):
+        pts = np.array([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        front = pareto_front(pts)
+        assert np.allclose(front[:, 0], [1.0, 2.0, 3.0])
+
+    def test_three_objectives(self):
+        pts = np.array([[1, 1, 5], [1, 1, 4], [0, 2, 6]], dtype=float)
+        front = pareto_front(pts)
+        assert len(front) == 2
+
+
+class TestHypervolume:
+    def test_single_point_area(self):
+        hv = hypervolume_2d(np.array([[1.0, 1.0]]), (2.0, 2.0))
+        assert hv == pytest.approx(1.0)
+
+    def test_staircase(self):
+        front = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert hypervolume_2d(front, (2.0, 2.0)) == pytest.approx(3.0)
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d(np.array([[3.0, 3.0]]), (2.0, 2.0)) == 0.0
+
+    def test_dominated_points_do_not_add(self):
+        a = hypervolume_2d(np.array([[1.0, 1.0]]), (3.0, 3.0))
+        b = hypervolume_2d(np.array([[1.0, 1.0], [2.0, 2.0]]), (3.0, 3.0))
+        assert a == pytest.approx(b)
+
+    def test_monotone_in_front_quality(self):
+        worse = hypervolume_2d(np.array([[1.5, 1.5]]), (3.0, 3.0))
+        better = hypervolume_2d(np.array([[1.0, 1.0]]), (3.0, 3.0))
+        assert better > worse
+
+    def test_bad_shape(self):
+        with pytest.raises(OptimizationError):
+            hypervolume_2d(np.zeros((2, 3)), (1.0, 1.0))
+
+
+class TestDominatedBy:
+    def test_basic(self):
+        front = np.array([[1.0, 1.0]])
+        assert dominated_by(np.array([2.0, 2.0]), front)
+        assert not dominated_by(np.array([0.5, 2.0]), front)
+        assert not dominated_by(np.array([1.0, 1.0]), front)
+
+    def test_empty_front(self):
+        assert not dominated_by(np.array([1.0, 1.0]), np.empty((0, 2)))

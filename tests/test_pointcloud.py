@@ -1,0 +1,82 @@
+"""Unit tests for vertex/normal map helpers."""
+
+import numpy as np
+
+from repro.geometry import (
+    downsample_vertex_map,
+    flatten_valid,
+    normals_from_vertices,
+    valid_mask,
+)
+from repro.geometry.pointcloud import centroid
+
+
+def plane_vertex_map(h=20, w=30, z=2.0):
+    """A fronto-parallel plane at depth z seen by a unit camera."""
+    u = (np.arange(w) - w / 2) / 40.0
+    v = (np.arange(h) - h / 2) / 40.0
+    uu, vv = np.meshgrid(u, v)
+    return np.stack([uu * z, vv * z, np.full_like(uu, z)], axis=-1)
+
+
+class TestValidMask:
+    def test_zero_rows_invalid(self):
+        vm = plane_vertex_map()
+        vm[3, 4] = 0.0
+        mask = valid_mask(vm)
+        assert not mask[3, 4]
+        assert mask[0, 0]
+
+    def test_nan_invalid(self):
+        vm = plane_vertex_map()
+        vm[2, 2, 1] = np.nan
+        assert not valid_mask(vm)[2, 2]
+
+
+class TestNormals:
+    def test_plane_normals_face_camera(self):
+        vm = plane_vertex_map()
+        n = normals_from_vertices(vm)
+        inner = n[2:-2, 2:-2]
+        norms = np.linalg.norm(inner, axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+        # Fronto-parallel plane: normal is -z (towards camera).
+        assert np.allclose(inner[..., 2], -1.0, atol=1e-6)
+
+    def test_border_normals_zero(self):
+        n = normals_from_vertices(plane_vertex_map())
+        assert np.all(n[0] == 0.0)
+        assert np.all(n[:, -1] == 0.0)
+
+    def test_invalid_neighbourhood_zero(self):
+        vm = plane_vertex_map()
+        vm[10, 10] = 0.0
+        n = normals_from_vertices(vm)
+        # Pixels whose stencil touches the hole have no normal.
+        assert np.all(n[10, 11] == 0.0)
+        assert np.all(n[11, 10] == 0.0)
+
+    def test_tiny_map_all_zero(self):
+        n = normals_from_vertices(np.ones((2, 2, 3)))
+        assert np.all(n == 0.0)
+
+
+class TestHelpers:
+    def test_downsample(self):
+        vm = plane_vertex_map(h=20, w=30)
+        half = downsample_vertex_map(vm, 2)
+        assert half.shape == (10, 15, 3)
+        assert np.allclose(half[0, 0], vm[0, 0])
+
+    def test_flatten_valid(self):
+        vm = plane_vertex_map()
+        vm[0, 0] = 0.0
+        flat = flatten_valid(vm)
+        assert flat.shape == (vm.shape[0] * vm.shape[1] - 1, 3)
+
+    def test_centroid_empty(self):
+        assert np.allclose(centroid(np.empty((0, 3))), 0.0)
+
+    def test_centroid(self):
+        pts = np.array([[0.0, 0, 0], [2.0, 4.0, 6.0]])
+        assert np.allclose(centroid(pts), [1.0, 2.0, 3.0])

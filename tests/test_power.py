@@ -1,0 +1,49 @@
+"""Tests for the power trace."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platforms import PowerTrace
+
+
+class TestPowerTrace:
+    def test_charge_and_average(self):
+        p = PowerTrace()
+        p.charge("gpu", 2.0, 1.0)
+        p.advance(2.0)
+        assert p.total_energy_j == pytest.approx(2.0)
+        assert p.average_power_w() == pytest.approx(1.0)
+
+    def test_finalize_base_adds_elapsed_energy(self):
+        p = PowerTrace()
+        p.charge("gpu", 2.0, 1.0)
+        p.advance(1.0)
+        p.finalize_base(0.5, {"gpu": 0.1})
+        assert p.total_energy_j == pytest.approx(2.0 + 0.5 + 0.1)
+        assert p.rail_power_w("base") == pytest.approx(0.5)
+        assert p.rail_power_w("gpu_static") == pytest.approx(0.1)
+
+    def test_breakdown(self):
+        p = PowerTrace()
+        p.charge("cpu", 1.0, 1.0)
+        p.charge("gpu", 3.0, 1.0)
+        p.advance(2.0)
+        bd = p.breakdown()
+        assert bd["cpu"] == pytest.approx(0.5)
+        assert bd["gpu"] == pytest.approx(1.5)
+
+    def test_negative_rejected(self):
+        p = PowerTrace()
+        with pytest.raises(SimulationError):
+            p.charge("x", -1.0, 1.0)
+        with pytest.raises(SimulationError):
+            p.advance(-1.0)
+
+    def test_average_without_time_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerTrace().average_power_w()
+
+    def test_unknown_rail_power_is_zero(self):
+        p = PowerTrace()
+        p.advance(1.0)
+        assert p.rail_power_w("nope") == 0.0

@@ -1,0 +1,122 @@
+"""Tests for KinectFusion preprocessing kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import PinholeCamera
+from repro.kfusion.preprocessing import (
+    bilateral_filter,
+    build_pyramid,
+    downsample_depth,
+    half_sample,
+    vertex_normal_pyramid,
+)
+
+
+class TestDownsample:
+    def test_ratio_one_is_copy(self):
+        d = np.random.default_rng(0).uniform(1, 3, (8, 8))
+        out = downsample_depth(d, 1)
+        assert np.array_equal(out, d)
+        assert out is not d
+
+    def test_block_average(self):
+        d = np.array([[1.0, 3.0], [5.0, 7.0]])
+        assert downsample_depth(d, 2)[0, 0] == pytest.approx(4.0)
+
+    def test_invalid_pixels_excluded(self):
+        d = np.array([[2.0, 0.0], [0.0, 0.0]])
+        assert downsample_depth(d, 2)[0, 0] == pytest.approx(2.0)
+
+    def test_all_invalid_block_stays_invalid(self):
+        d = np.zeros((4, 4))
+        assert np.all(downsample_depth(d, 2) == 0.0)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            downsample_depth(np.ones((5, 6)), 2)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            downsample_depth(np.ones((4, 4)), 0)
+
+
+class TestBilateralFilter:
+    def test_smooths_noise_on_flat_region(self, rng):
+        d = np.full((30, 30), 2.0) + rng.normal(0, 0.01, (30, 30))
+        out = bilateral_filter(d)
+        inner_in = d[5:-5, 5:-5]
+        inner_out = out[5:-5, 5:-5]
+        assert inner_out.std() < inner_in.std() * 0.7
+
+    def test_preserves_edges(self):
+        d = np.full((20, 20), 1.0)
+        d[:, 10:] = 3.0
+        out = bilateral_filter(d, sigma_depth=0.05)
+        # The two sides keep their levels; the edge does not blur by more
+        # than a tiny amount.
+        assert abs(out[10, 5] - 1.0) < 0.01
+        assert abs(out[10, 15] - 3.0) < 0.01
+
+    def test_invalid_pixels_stay_invalid(self):
+        d = np.full((10, 10), 2.0)
+        d[5, 5] = 0.0
+        out = bilateral_filter(d)
+        assert out[5, 5] == 0.0
+
+    def test_invalid_neighbours_ignored(self):
+        d = np.full((10, 10), 2.0)
+        d[4, 4] = 0.0
+        out = bilateral_filter(d)
+        assert out[4, 5] == pytest.approx(2.0)
+
+
+class TestPyramid:
+    def test_half_sample(self):
+        d = np.full((8, 12), 2.0)
+        h = half_sample(d)
+        assert h.shape == (4, 6)
+        assert np.allclose(h, 2.0)
+
+    def test_half_sample_odd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            half_sample(np.ones((7, 8)))
+
+    def test_build_pyramid_levels(self):
+        p = build_pyramid(np.ones((48, 64)), 3)
+        assert [x.shape for x in p] == [(48, 64), (24, 32), (12, 16)]
+
+    def test_build_pyramid_stops_at_odd(self):
+        p = build_pyramid(np.ones((20, 30)), 3)
+        # 20x30 -> 10x15, then 15 is odd: stop at two levels.
+        assert len(p) == 2
+
+    def test_build_pyramid_stops_at_small(self):
+        p = build_pyramid(np.ones((8, 8)), 3)
+        assert len(p) == 1  # halving an 8-pixel side would go below 8
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_pyramid(np.ones((8, 8)), 0)
+
+
+class TestVertexNormalPyramid:
+    def test_shapes_and_cameras(self):
+        cam = PinholeCamera.kinect_like(64, 48)
+        pyramid = build_pyramid(np.full((48, 64), 2.0), 3)
+        vs, ns, cams = vertex_normal_pyramid(pyramid, cam)
+        assert [v.shape for v in vs] == [(48, 64, 3), (24, 32, 3), (12, 16, 3)]
+        assert cams[1].width == 32
+        assert cams[2].fx == pytest.approx(cam.fx / 4)
+
+    def test_vertices_at_measured_depth(self):
+        cam = PinholeCamera.kinect_like(64, 48)
+        pyramid = build_pyramid(np.full((48, 64), 2.0), 1)
+        vs, ns, _ = vertex_normal_pyramid(pyramid, cam)
+        assert np.allclose(vs[0][..., 2], 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        cam = PinholeCamera.kinect_like(64, 48)
+        with pytest.raises(ConfigurationError):
+            vertex_normal_pyramid([np.ones((24, 32))], cam)

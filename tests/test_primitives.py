@@ -1,0 +1,109 @@
+"""Unit tests for SDF primitives and CSG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.scene import Box, Cylinder, Negation, Plane, Sphere, Union
+
+
+class TestSphere:
+    def test_distances(self):
+        s = Sphere(center=(0, 0, 0), radius=1.0)
+        d = s.distance(np.array([[0, 0, 0], [2, 0, 0], [1, 0, 0]]))
+        assert np.allclose(d, [-1.0, 1.0, 0.0])
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(GeometryError):
+            Sphere(center=(0, 0, 0), radius=0.0)
+
+    def test_normal_points_outward(self):
+        s = Sphere(center=(0, 0, 0), radius=1.0)
+        n = s.normal(np.array([[2.0, 0, 0]]))
+        assert np.allclose(n, [[1, 0, 0]], atol=1e-4)
+
+
+class TestBox:
+    def test_inside_negative(self):
+        b = Box(center=(0, 0, 0), half=(1, 1, 1))
+        assert b.distance(np.array([[0, 0, 0]]))[0] == pytest.approx(-1.0)
+
+    def test_face_distance(self):
+        b = Box(center=(0, 0, 0), half=(1, 2, 3))
+        assert b.distance(np.array([[3, 0, 0]]))[0] == pytest.approx(2.0)
+
+    def test_corner_distance(self):
+        b = Box(center=(0, 0, 0), half=(1, 1, 1))
+        d = b.distance(np.array([[2, 2, 2]]))[0]
+        assert d == pytest.approx(np.sqrt(3.0))
+
+    def test_rejects_bad_half(self):
+        with pytest.raises(GeometryError):
+            Box(center=(0, 0, 0), half=(1, -1, 1))
+
+
+class TestPlane:
+    def test_signed_distance(self):
+        p = Plane(direction=(0, 1, 0), offset=0.0)
+        d = p.distance(np.array([[0, 2, 0], [0, -3, 0]]))
+        assert np.allclose(d, [2.0, -3.0])
+
+    def test_normalises_direction(self):
+        p = Plane(direction=(0, 2, 0), offset=2.0)
+        assert p.distance(np.array([[0, 1, 0]]))[0] == pytest.approx(0.0)
+
+    def test_rejects_zero_direction(self):
+        with pytest.raises(GeometryError):
+            Plane(direction=(0, 0, 0), offset=0.0)
+
+
+class TestCylinder:
+    def test_radial_distance(self):
+        c = Cylinder(center=(0, 0, 0), radius=1.0, half_height=2.0)
+        assert c.distance(np.array([[3, 0, 0]]))[0] == pytest.approx(2.0)
+
+    def test_axial_distance(self):
+        c = Cylinder(center=(0, 0, 0), radius=1.0, half_height=2.0)
+        assert c.distance(np.array([[0, 4, 0]]))[0] == pytest.approx(2.0)
+
+    def test_inside(self):
+        c = Cylinder(center=(0, 0, 0), radius=1.0, half_height=2.0)
+        assert c.distance(np.array([[0, 0, 0]]))[0] < 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GeometryError):
+            Cylinder(center=(0, 0, 0), radius=-1.0, half_height=1.0)
+
+
+class TestCSG:
+    def test_union_is_min(self):
+        a = Sphere(center=(0, 0, 0), radius=1.0)
+        b = Sphere(center=(4, 0, 0), radius=1.0)
+        u = Union([a, b])
+        pts = np.array([[2.0, 0, 0]])
+        assert u.distance(pts)[0] == pytest.approx(1.0)
+
+    def test_union_operator(self):
+        a = Sphere(center=(0, 0, 0), radius=1.0)
+        b = Sphere(center=(4, 0, 0), radius=1.0)
+        assert isinstance(a | b, Union)
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Union([])
+
+    def test_nearest_child_and_albedo(self):
+        a = Sphere(center=(0, 0, 0), radius=1.0, albedo=(1, 0, 0))
+        b = Sphere(center=(4, 0, 0), radius=1.0, albedo=(0, 1, 0))
+        u = Union([a, b])
+        pts = np.array([[0.5, 0, 0], [4.2, 0, 0]])
+        assert list(u.nearest_child(pts)) == [0, 1]
+        alb = u.albedo_at(pts)
+        assert np.allclose(alb[0], [1, 0, 0])
+        assert np.allclose(alb[1], [0, 1, 0])
+
+    def test_negation_flips_sign(self):
+        s = Sphere(center=(0, 0, 0), radius=1.0)
+        n = Negation(s)
+        assert n.distance(np.array([[0, 0, 0]]))[0] == pytest.approx(1.0)
+        assert n.distance(np.array([[2, 0, 0]]))[0] == pytest.approx(-1.0)

@@ -1,0 +1,54 @@
+"""Property-based tests for mesh extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kfusion import TSDFVolume
+from repro.kfusion.mesh import extract_mesh
+
+
+def sphere_volume(radius, mu, resolution=24, center=1.0):
+    v = TSDFVolume(resolution, 2.0)
+    centers = v.voxel_centers_world()
+    sdf = np.linalg.norm(centers - center, axis=-1) - radius
+    v.tsdf[:] = np.clip(sdf / mu, -1, 1).reshape(v.tsdf.shape)
+    v.weight[:] = 1.0
+    return v
+
+
+@given(radius=st.floats(min_value=0.25, max_value=0.8),
+       mu=st.floats(min_value=0.15, max_value=0.5))
+@settings(max_examples=20, deadline=None)
+def test_sphere_vertices_near_radius(radius, mu):
+    mesh = extract_mesh(sphere_volume(radius, mu))
+    assert mesh.n_triangles > 0
+    r = np.linalg.norm(mesh.vertices - 1.0, axis=-1)
+    voxel = 2.0 / 24
+    assert np.abs(r - radius).max() < voxel
+
+
+@given(radius=st.floats(min_value=0.3, max_value=0.7),
+       mu=st.floats(min_value=0.2, max_value=0.5))
+@settings(max_examples=20, deadline=None)
+def test_area_close_to_analytic(radius, mu):
+    mesh = extract_mesh(sphere_volume(radius, mu))
+    target = 4.0 * np.pi * radius * radius
+    assert abs(mesh.surface_area() - target) / target < 0.1
+
+
+@given(plane_z=st.floats(min_value=0.4, max_value=1.6))
+@settings(max_examples=20, deadline=None)
+def test_plane_mesh_area(plane_z):
+    """A z-plane through a fully observed 2 m volume meshes to ~4 m^2."""
+    v = TSDFVolume(24, 2.0)
+    centers = v.voxel_centers_world()
+    sdf = centers[:, 2] - plane_z
+    v.tsdf[:] = np.clip(sdf / 0.4, -1, 1).reshape(v.tsdf.shape)
+    v.weight[:] = 1.0
+    mesh = extract_mesh(v)
+    assert mesh.n_triangles > 0
+    assert np.abs(mesh.vertices[:, 2] - plane_z).max() < 0.01
+    # Area within the meshable cell region (r-1 cells per side).
+    expected = ((23 / 24) * 2.0) ** 2
+    assert abs(mesh.surface_area() - expected) / expected < 0.05

@@ -1,0 +1,97 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    r2_score,
+    spearman_rank_correlation,
+)
+from repro.ml.validation import _ranks
+
+features = arrays(
+    np.float64,
+    st.tuples(st.integers(min_value=6, max_value=60),
+              st.integers(min_value=1, max_value=4)),
+    elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+)
+
+
+@given(X=features, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_regressor_predictions_within_target_range(X, data):
+    y = np.asarray(
+        data.draw(
+            arrays(np.float64, len(X),
+                   elements=st.floats(min_value=-10.0, max_value=10.0,
+                                      allow_nan=False))
+        )
+    )
+    tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+    pred = tree.predict(X)
+    # Leaf values are means of subsets: predictions stay in [min, max].
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+
+
+@given(X=features, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_classifier_predicts_known_labels(X, data):
+    y = np.asarray(
+        data.draw(arrays(np.int64, len(X),
+                         elements=st.integers(min_value=0, max_value=2)))
+    )
+    tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+    pred = tree.predict(X)
+    assert set(np.unique(pred)) <= set(np.unique(y))
+
+
+@given(X=features)
+@settings(max_examples=40, deadline=None)
+def test_deep_regressor_interpolates_distinct_rows(X):
+    # With all-distinct rows a deep tree reproduces the training targets.
+    X = np.unique(X, axis=0)
+    if len(X) < 2:
+        return
+    y = np.arange(len(X), dtype=float)
+    tree = DecisionTreeRegressor(max_depth=40).fit(X, y)
+    pred = tree.predict(X)
+    # Rows identical in all features must share a prediction; distinct rows
+    # may still collide only if identical.
+    for i in range(len(X)):
+        same = np.all(X == X[i], axis=1)
+        assert np.allclose(pred[same], pred[same][0])
+
+
+@given(a=arrays(np.float64, st.integers(min_value=2, max_value=40),
+                elements=st.floats(min_value=-100, max_value=100,
+                                   allow_nan=False)))
+@settings(max_examples=60, deadline=None)
+def test_spearman_self_correlation(a):
+    if np.ptp(a) == 0:
+        assert spearman_rank_correlation(a, a) == 0.0
+    else:
+        assert spearman_rank_correlation(a, a) == 1.0
+
+
+@given(a=arrays(np.float64, st.integers(min_value=2, max_value=40),
+                elements=st.floats(min_value=-100, max_value=100,
+                                   allow_nan=False)))
+@settings(max_examples=60, deadline=None)
+def test_ranks_are_permutation_sums(a):
+    r = _ranks(a)
+    # Average ranks always sum to n(n-1)/2.
+    n = len(a)
+    assert np.isclose(r.sum(), n * (n - 1) / 2.0)
+
+
+@given(y=arrays(np.float64, st.integers(min_value=2, max_value=30),
+                elements=st.floats(min_value=-10, max_value=10,
+                                   allow_nan=False)))
+@settings(max_examples=60, deadline=None)
+def test_r2_of_perfect_prediction(y):
+    assert r2_score(y, y) == 1.0

@@ -1,0 +1,65 @@
+"""Property-based tests for the sensor noise model and depth handling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kfusion.preprocessing import bilateral_filter, downsample_depth
+from repro.scene import KinectNoiseModel
+
+depth_maps = arrays(
+    np.float64,
+    (24, 32),
+    elements=st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.4, max_value=5.0, allow_nan=False),
+    ),
+)
+
+
+@given(depth=depth_maps, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_noise_keeps_depth_nonnegative(depth, seed):
+    model = KinectNoiseModel.harsh()
+    out = model.apply(depth, np.random.default_rng(seed))
+    assert out.shape == depth.shape
+    assert np.all(out >= 0.0)
+    assert np.all(np.isfinite(out))
+
+
+@given(depth=depth_maps, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_noise_never_creates_depth_from_nothing(depth, seed):
+    """Invalid pixels may stay invalid or borrow a *neighbour* value via
+    lateral jitter — but an all-invalid map must stay all-invalid."""
+    model = KinectNoiseModel.harsh()
+    if (depth > 0).any():
+        return
+    out = model.apply(depth, np.random.default_rng(seed))
+    assert np.all(out == 0.0)
+
+
+@given(depth=depth_maps)
+@settings(max_examples=40, deadline=None)
+def test_bilateral_filter_preserves_validity_mask(depth):
+    out = bilateral_filter(depth)
+    assert np.array_equal(out > 0.0, depth > 0.0)
+    # Output values stay within the input's valid range.
+    if (depth > 0).any():
+        valid = depth[depth > 0]
+        assert out[out > 0].min() >= valid.min() - 1e-9
+        assert out[out > 0].max() <= valid.max() + 1e-9
+
+
+@given(depth=depth_maps, ratio=st.sampled_from([1, 2, 4]))
+@settings(max_examples=40, deadline=None)
+def test_downsample_bounds(depth, ratio):
+    out = downsample_depth(depth, ratio)
+    assert out.shape == (depth.shape[0] // ratio, depth.shape[1] // ratio)
+    if (depth > 0).any():
+        valid = depth[depth > 0]
+        assert out.max() <= valid.max() + 1e-9
+        got = out[out > 0]
+        if got.size:
+            assert got.min() >= valid.min() - 1e-9

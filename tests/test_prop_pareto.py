@@ -1,0 +1,70 @@
+"""Property-based tests for Pareto utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hypermapper import hypervolume_2d, pareto_mask
+
+objective_arrays = arrays(
+    np.float64,
+    st.tuples(st.integers(min_value=1, max_value=30),
+              st.integers(min_value=2, max_value=4)),
+    elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+
+fronts_2d = arrays(
+    np.float64,
+    st.tuples(st.integers(min_value=1, max_value=20), st.just(2)),
+    elements=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+
+
+@given(pts=objective_arrays)
+@settings(max_examples=80, deadline=None)
+def test_front_members_are_mutually_nondominated(pts):
+    mask = pareto_mask(pts)
+    front = pts[mask]
+    for i in range(len(front)):
+        for j in range(len(front)):
+            if i == j:
+                continue
+            dominates = np.all(front[j] <= front[i]) and np.any(
+                front[j] < front[i]
+            )
+            assert not dominates
+
+
+@given(pts=objective_arrays)
+@settings(max_examples=80, deadline=None)
+def test_at_least_one_nondominated(pts):
+    assert pareto_mask(pts).any()
+
+
+@given(pts=objective_arrays)
+@settings(max_examples=80, deadline=None)
+def test_minimum_of_each_objective_in_front(pts):
+    mask = pareto_mask(pts)
+    for k in range(pts.shape[1]):
+        i = int(np.argmin(pts[:, k]))
+        # The argmin row may be dominated only by a row equal in objective
+        # k; in that case some front member shares its minimum value.
+        assert np.isclose(pts[mask][:, k].min(), pts[:, k].min())
+
+
+@given(front=fronts_2d)
+@settings(max_examples=80, deadline=None)
+def test_hypervolume_bounded_by_reference_box(front):
+    ref = (6.0, 6.0)
+    hv = hypervolume_2d(front, ref)
+    assert 0.0 <= hv <= 36.0
+
+
+@given(front=fronts_2d, extra=st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=80, deadline=None)
+def test_hypervolume_monotone_under_adding_points(front, extra):
+    ref = (6.0, 6.0)
+    hv_before = hypervolume_2d(front, ref)
+    added = np.vstack([front, [extra, extra]])
+    assert hypervolume_2d(added, ref) >= hv_before - 1e-12

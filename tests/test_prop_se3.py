@@ -1,0 +1,75 @@
+"""Property-based tests for SE(3)/SO(3) invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import se3
+
+finite = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+small_vec3 = arrays(np.float64, 3, elements=finite)
+twist6 = arrays(np.float64, 6,
+                elements=st.floats(min_value=-2.0, max_value=2.0,
+                                   allow_nan=False))
+points = arrays(np.float64, (7, 3), elements=finite)
+
+
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_so3_exp_is_rotation(w):
+    assert se3.is_rotation(se3.so3_exp(w), tol=1e-8)
+
+
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_so3_exp_angle_equals_norm(w):
+    theta = np.linalg.norm(w)
+    if theta < np.pi:  # log is only unique below pi
+        assert np.isclose(se3.rotation_angle(se3.so3_exp(w)),
+                          theta, atol=1e-8)
+
+
+@given(xi=twist6)
+@settings(max_examples=60, deadline=None)
+def test_se3_exp_is_pose_and_invertible(xi):
+    T = se3.se3_exp(xi)
+    assert se3.is_pose(T, tol=1e-8)
+    assert np.allclose(se3.inverse(T) @ T, np.eye(4), atol=1e-9)
+
+
+@given(xi=twist6, p=points)
+@settings(max_examples=60, deadline=None)
+def test_rigid_transform_preserves_distances(xi, p):
+    T = se3.se3_exp(xi)
+    q = se3.transform_points(T, p)
+    d_before = np.linalg.norm(p[0] - p[1:], axis=-1)
+    d_after = np.linalg.norm(q[0] - q[1:], axis=-1)
+    assert np.allclose(d_before, d_after, atol=1e-9)
+
+
+@given(xi1=twist6, xi2=twist6, p=points)
+@settings(max_examples=60, deadline=None)
+def test_composition_associates(xi1, xi2, p):
+    A = se3.se3_exp(xi1)
+    B = se3.se3_exp(xi2)
+    left = se3.transform_points(A @ B, p)
+    right = se3.transform_points(A, se3.transform_points(B, p))
+    assert np.allclose(left, right, atol=1e-9)
+
+
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_quaternion_round_trip(w):
+    R = se3.so3_exp(w)
+    q = se3.rotation_to_quat(R)
+    assert np.isclose(np.linalg.norm(q), 1.0, atol=1e-12)
+    assert np.allclose(se3.quat_to_rotation(q), R, atol=1e-9)
+
+
+@given(xi=twist6, alpha=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_interpolation_stays_valid(xi, alpha):
+    T = se3.se3_exp(xi)
+    Ti = se3.interpolate_pose(np.eye(4), T, alpha)
+    assert se3.is_pose(Ti, tol=1e-7)

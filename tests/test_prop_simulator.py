@@ -1,0 +1,77 @@
+"""Property-based tests for the performance simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.workload import FrameWorkload, KernelInvocation
+from repro.platforms import PerformanceSimulator, PlatformConfig, odroid_xu3
+
+DEVICE = odroid_xu3()
+
+flops = st.floats(min_value=1e3, max_value=1e10)
+bytes_ = st.floats(min_value=1e2, max_value=1e9)
+backends = st.sampled_from(["cpp", "openmp", "opencl"])
+
+
+@given(f=flops, b=bytes_, backend=backends)
+@settings(max_examples=60, deadline=None)
+def test_time_positive_and_finite(f, b, backend):
+    sim = PerformanceSimulator(DEVICE, PlatformConfig(backend=backend))
+    t, rail = sim.kernel_time_s(KernelInvocation("k", f, b))
+    assert np.isfinite(t)
+    assert t > 0.0
+    assert rail in ("cpu", "gpu")
+
+
+@given(f=flops, b=bytes_, backend=backends,
+       scale=st.floats(min_value=1.1, max_value=10.0))
+@settings(max_examples=60, deadline=None)
+def test_time_monotone_in_work(f, b, backend, scale):
+    sim = PerformanceSimulator(DEVICE, PlatformConfig(backend=backend))
+    t1, _ = sim.kernel_time_s(KernelInvocation("k", f, b))
+    t2, _ = sim.kernel_time_s(KernelInvocation("k", f * scale, b * scale))
+    assert t2 >= t1
+
+
+@given(f=flops, b=bytes_)
+@settings(max_examples=40, deadline=None)
+def test_lower_gpu_freq_never_faster(f, b):
+    fast = PerformanceSimulator(DEVICE, PlatformConfig(backend="opencl"))
+    slow = PerformanceSimulator(
+        DEVICE, PlatformConfig(backend="opencl", gpu_freq_ghz=0.177)
+    )
+    k = KernelInvocation("k", f, b)
+    assert slow.kernel_time_s(k)[0] >= fast.kernel_time_s(k)[0] - 1e-12
+
+
+@given(f=flops, b=bytes_, backend=backends,
+       n=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_energy_equals_power_times_time(f, b, backend, n):
+    sim = PerformanceSimulator(DEVICE, PlatformConfig(backend=backend))
+    wl = FrameWorkload(0)
+    for _ in range(n):
+        wl.add(KernelInvocation("k", f, b))
+    res = sim.simulate([wl])
+    assert res.power.total_energy_j == (
+        res.average_power_w * res.total_time_s
+    ) or np.isclose(res.power.total_energy_j,
+                    res.average_power_w * res.total_time_s)
+    # Streaming power never exceeds busy power, never drops below idle.
+    assert res.idle_power_w - 1e-9 <= res.streaming_average_power_w()
+    assert res.streaming_average_power_w() <= res.average_power_w + 1e-9
+
+
+@given(f=flops, b=bytes_)
+@settings(max_examples=40, deadline=None)
+def test_kernel_efficiency_monotone(f, b):
+    k = KernelInvocation("k", f, b)
+    times = []
+    for eff in (1.0, 0.7, 0.4):
+        sim = PerformanceSimulator(
+            DEVICE,
+            PlatformConfig(backend="opencl", kernel_efficiency={"k": eff}),
+        )
+        times.append(sim.kernel_time_s(k)[0])
+    assert times[0] <= times[1] <= times[2]

@@ -1,0 +1,57 @@
+"""Property-based tests for design spaces and samplers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypermapper import (
+    kfusion_design_space,
+    latin_hypercube_sample,
+    random_sample,
+)
+from repro.hypermapper.surrogate import surrogate_max_ate
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_random_samples_always_validate(seed):
+    space = kfusion_design_space()
+    for config in random_sample(space, 5, seed=seed):
+        space.validate(config)
+        # Encoding must be finite for the model.
+        assert np.all(np.isfinite(space.to_features(config)))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n=st.integers(min_value=1, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_lhs_samples_always_validate(seed, n):
+    space = kfusion_design_space()
+    for config in latin_hypercube_sample(space, n, seed=seed):
+        space.validate(config)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_surrogate_total_over_space(seed):
+    """The surrogate accuracy surface is total, positive and finite over
+    the whole design space."""
+    space = kfusion_design_space()
+    for config in random_sample(space, 3, seed=seed):
+        ate, failed = surrogate_max_ate(config, seed=seed)
+        assert np.isfinite(ate)
+        assert ate > 0.0
+        assert isinstance(failed, bool)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_feature_encoding_round_trips_order(seed):
+    """Encoding preserves the identity of configurations (distinct configs
+    get distinct feature vectors almost surely)."""
+    space = kfusion_design_space()
+    configs = random_sample(space, 6, seed=seed)
+    M = space.to_feature_matrix(configs)
+    assert M.shape == (6, space.dimensions)
+    # Identical configs encode identically.
+    assert np.allclose(space.to_features(configs[0]), M[0])

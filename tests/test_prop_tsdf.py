@@ -1,0 +1,65 @@
+"""Property-based tests for TSDF volume invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import TSDFVolume
+from repro.kfusion.integration import MAX_WEIGHT, integrate
+
+cam = PinholeCamera.kinect_like(32, 24)
+pose = se3.make_pose(np.eye(3), [1.0, 1.0, 0.0])
+
+
+@given(depth_value=st.floats(min_value=0.4, max_value=1.8),
+       mu=st.floats(min_value=0.05, max_value=0.3))
+@settings(max_examples=25, deadline=None)
+def test_tsdf_stays_normalised(depth_value, mu):
+    v = TSDFVolume(24, 2.0)
+    integrate(v, np.full(cam.shape, depth_value), cam, pose, mu)
+    assert np.all(v.tsdf <= 1.0 + 1e-6)
+    assert np.all(v.tsdf >= -1.0 - 1e-6)
+    assert np.all(v.weight >= 0.0)
+    assert np.all(v.weight <= MAX_WEIGHT)
+
+
+@given(depth_value=st.floats(min_value=0.4, max_value=1.8))
+@settings(max_examples=15, deadline=None)
+def test_repeated_integration_is_idempotent_in_value(depth_value):
+    """Fusing the same depth twice must not move the surface."""
+    v1 = TSDFVolume(24, 2.0)
+    integrate(v1, np.full(cam.shape, depth_value), cam, pose, 0.2)
+    tsdf_once = v1.tsdf.copy()
+    integrate(v1, np.full(cam.shape, depth_value), cam, pose, 0.2)
+    observed = v1.weight > 0
+    assert np.allclose(v1.tsdf[observed], tsdf_once[observed], atol=1e-5)
+
+
+@given(depth_value=st.floats(min_value=0.5, max_value=1.5),
+       n_frames=st.integers(min_value=1, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_weight_monotone_in_frames(depth_value, n_frames):
+    v = TSDFVolume(16, 2.0)
+    prev_total = 0.0
+    for _ in range(n_frames):
+        integrate(v, np.full(cam.shape, depth_value), cam, pose, 0.2)
+        total = float(v.weight.sum())
+        assert total >= prev_total
+        prev_total = total
+
+
+@given(points=st.lists(
+    st.tuples(st.floats(min_value=-1.0, max_value=3.0),
+              st.floats(min_value=-1.0, max_value=3.0),
+              st.floats(min_value=-1.0, max_value=3.0)),
+    min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_sampling_never_crashes_and_flags_outside(points):
+    v = TSDFVolume(16, 2.0)
+    pts = np.array(points)
+    vals, valid = v.sample_trilinear(pts)
+    assert vals.shape == (len(pts),)
+    # Nothing observed yet: nothing can be valid.
+    assert not valid.any()
+    assert np.all(vals == 1.0)

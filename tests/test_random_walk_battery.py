@@ -1,0 +1,100 @@
+"""Tests for the random-walk trajectory and battery-life estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, SimulationError
+from repro.geometry import se3
+from repro.platforms import battery_life_hours
+from repro.scene import random_walk
+
+
+class TestRandomWalk:
+    def test_length_and_validity(self):
+        t = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 20, seed=1)
+        assert len(t) == 20
+        for T in t.poses:
+            assert se3.is_pose(T, tol=1e-6)
+
+    def test_deterministic_per_seed(self):
+        a = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 10, seed=4)
+        b = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 10, seed=4)
+        c = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 10, seed=5)
+        assert np.allclose(a.poses, b.poses)
+        assert not np.allclose(a.poses, c.poses)
+
+    def test_bounds_respected(self):
+        t = random_walk((2.0, 1.2, 2.0), (0, 1, 0), 200, step_std=0.05,
+                        momentum=0.5, seed=0)
+        pos = t.positions
+        assert pos[:, 0].max() <= 2.2 + 1e-9
+        assert pos[:, 2].min() >= -2.2 - 1e-9
+        assert pos[:, 1].min() >= 0.6 - 1e-9
+        assert pos[:, 1].max() <= 2.0 + 1e-9
+
+    def test_looks_at_target(self):
+        target = np.array([0.0, 1.0, 0.0])
+        t = random_walk((1.5, 1.2, 1.5), target, 15, seed=2)
+        for T in t.poses:
+            fwd = T[:3, 2]
+            to_target = target - T[:3, 3]
+            to_target /= np.linalg.norm(to_target)
+            assert np.dot(fwd, to_target) > 0.99
+
+    def test_smoothness_from_momentum(self):
+        smooth = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 100,
+                             momentum=0.95, seed=1)
+        jerky = random_walk((1.5, 1.2, 1.5), (0, 1, 0), 100,
+                            momentum=0.0, seed=1)
+        # Momentum makes consecutive velocity vectors more aligned.
+        def alignment(t):
+            v = np.diff(t.positions, axis=0)
+            n = np.linalg.norm(v, axis=-1)
+            ok = (n[:-1] > 1e-9) & (n[1:] > 1e-9)
+            cos = np.einsum("ij,ij->i", v[:-1][ok], v[1:][ok]) / (
+                n[:-1][ok] * n[1:][ok]
+            )
+            return cos.mean()
+
+        assert alignment(smooth) > alignment(jerky)
+
+    def test_invalid_args(self):
+        with pytest.raises(GeometryError):
+            random_walk((0, 1, 0), (0, 1, 1), 1)
+        with pytest.raises(GeometryError):
+            random_walk((0, 1, 0), (0, 1, 1), 5, momentum=1.0)
+
+    def test_kfusion_tracks_random_walk(self, scene):
+        """Robustness: the pipeline survives an unscripted trajectory."""
+        from repro.core import run_benchmark
+        from repro.datasets import SyntheticSequence
+        from repro.geometry import PinholeCamera
+        from repro.kfusion import KinectFusion
+
+        cam = PinholeCamera.kinect_like(80, 60)
+        traj = random_walk((1.5, 1.2, 1.5), scene.center, 10, seed=6)
+        seq = SyntheticSequence("walk", scene, traj, cam, seed=6)
+        result = run_benchmark(
+            KinectFusion(), seq,
+            configuration={"volume_resolution": 128, "volume_size": 5.0,
+                           "integration_rate": 1},
+        )
+        assert result.collector.tracked_fraction() >= 0.8
+        assert result.ate.max < 0.1
+
+
+class TestBatteryLife:
+    def test_basic(self):
+        assert battery_life_hours(1.0, battery_wh=11.0,
+                                  system_overhead_w=1.0) == pytest.approx(5.5)
+
+    def test_lower_power_lasts_longer(self):
+        assert battery_life_hours(0.8) > battery_life_hours(2.8)
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            battery_life_hours(1.0, battery_wh=0.0)
+        with pytest.raises(SimulationError):
+            battery_life_hours(-1.0)
+        with pytest.raises(SimulationError):
+            battery_life_hours(0.0, system_overhead_w=0.0)

@@ -1,0 +1,59 @@
+"""Tests for TSDF raycasting."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import TSDFVolume
+from repro.kfusion.integration import integrate
+from repro.kfusion.raycast import raycast
+
+
+@pytest.fixture()
+def cam():
+    return PinholeCamera.kinect_like(64, 48)
+
+
+@pytest.fixture()
+def pose():
+    return se3.make_pose(np.eye(3), [1.0, 1.0, 0.0])
+
+
+@pytest.fixture()
+def wall_volume(cam, pose):
+    v = TSDFVolume(64, 2.0)
+    integrate(v, np.full(cam.shape, 1.0), cam, pose, mu=0.15)
+    return v
+
+
+class TestRaycast:
+    def test_recovers_wall_depth(self, wall_volume, cam, pose):
+        verts, normals = raycast(wall_volume, cam, pose, mu=0.15)
+        center = verts[24, 32]
+        assert center[2] == pytest.approx(1.0, abs=0.03)
+
+    def test_normals_face_camera(self, wall_volume, cam, pose):
+        _, normals = raycast(wall_volume, cam, pose, mu=0.15)
+        n = normals[24, 32]
+        assert np.linalg.norm(n) == pytest.approx(1.0, abs=1e-6)
+        assert n[2] < -0.9  # wall normal towards the camera
+
+    def test_miss_gives_zero(self, cam, pose):
+        empty = TSDFVolume(32, 2.0)
+        verts, normals = raycast(empty, cam, pose, mu=0.1)
+        assert np.all(verts == 0.0)
+        assert np.all(normals == 0.0)
+
+    def test_consistent_with_integrated_depth(self, wall_volume, cam, pose):
+        verts, normals = raycast(wall_volume, cam, pose, mu=0.15)
+        hit = np.any(normals != 0.0, axis=-1)
+        assert hit.mean() > 0.6
+        depths = verts[..., 2][hit]
+        assert np.median(np.abs(depths - 1.0)) < 0.02
+
+    def test_from_translated_pose(self, wall_volume, cam, pose):
+        pose2 = pose.copy()
+        pose2[2, 3] = 0.3  # step 0.3 m towards the wall
+        verts, normals = raycast(wall_volume, cam, pose2, mu=0.15)
+        center = verts[24, 32]
+        assert center[2] == pytest.approx(0.7, abs=0.04)

@@ -1,0 +1,58 @@
+"""Tests for map-quality evaluation against the ground-truth scene."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import TSDFVolume
+from repro.kfusion.integration import integrate
+from repro.metrics import reconstruction_error
+from repro.scene import render_depth
+
+
+class TestReconstruction:
+    def test_fused_frame_matches_scene(self, scene):
+        cam = PinholeCamera.kinect_like(80, 60)
+        world_pose = se3.look_at((1.5, 1.2, 1.5), scene.center, up=(0, 1, 0))
+        vol_pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+        depth = render_depth(scene, cam, world_pose)
+        volume = TSDFVolume(128, 5.0)
+        integrate(volume, depth, cam, vol_pose, mu=0.1)
+
+        world_from_volume = world_pose @ se3.inverse(vol_pose)
+        res = reconstruction_error(volume, scene, world_from_volume)
+        assert res.surface_points > 100
+        assert res.mean_abs < 0.05
+        assert res.completeness > 0.7
+        assert res.p95 >= res.mean_abs
+
+    def test_wrong_alignment_increases_error(self, scene):
+        cam = PinholeCamera.kinect_like(80, 60)
+        world_pose = se3.look_at((1.5, 1.2, 1.5), scene.center, up=(0, 1, 0))
+        vol_pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+        depth = render_depth(scene, cam, world_pose)
+        volume = TSDFVolume(64, 5.0)
+        integrate(volume, depth, cam, vol_pose, mu=0.1)
+
+        good = world_pose @ se3.inverse(vol_pose)
+        bad = se3.make_pose(np.eye(3), [0.3, 0.0, 0.0]) @ good
+        res_good = reconstruction_error(volume, scene, good)
+        res_bad = reconstruction_error(volume, scene, bad)
+        assert res_bad.mean_abs > res_good.mean_abs * 2
+
+    def test_empty_volume_rejected(self, scene):
+        with pytest.raises(DatasetError):
+            reconstruction_error(TSDFVolume(16, 2.0), scene, np.eye(4))
+
+    def test_subsampling_cap(self, scene):
+        cam = PinholeCamera.kinect_like(80, 60)
+        world_pose = se3.look_at((1.5, 1.2, 1.5), scene.center, up=(0, 1, 0))
+        vol_pose = se3.make_pose(np.eye(3), [2.5, 2.5, 0.0])
+        depth = render_depth(scene, cam, world_pose)
+        volume = TSDFVolume(128, 5.0)
+        integrate(volume, depth, cam, vol_pose, mu=0.15)
+        res = reconstruction_error(volume, scene,
+                                   world_pose @ se3.inverse(vol_pose),
+                                   max_points=500)
+        assert res.surface_points == 500

@@ -1,0 +1,61 @@
+"""Tests for the algorithm/dataset registries."""
+
+import pytest
+
+from repro.core import registry
+from repro.core.registry import (
+    algorithm_names,
+    create_algorithm,
+    create_dataset,
+    dataset_names,
+    register_algorithm,
+    register_dataset,
+    register_defaults,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def defaults():
+    register_defaults()
+
+
+class TestAlgorithms:
+    def test_builtins_registered(self):
+        names = algorithm_names()
+        assert {"kfusion", "icp_odometry", "static"} <= set(names)
+
+    def test_create(self):
+        system = create_algorithm("kfusion")
+        assert system.name == "kfusion"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            create_algorithm("orb_slam3")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_algorithm("kfusion", lambda: None)
+
+    def test_register_defaults_idempotent(self):
+        register_defaults()
+        register_defaults()
+
+
+class TestDatasets:
+    def test_builtins_registered(self):
+        names = dataset_names()
+        assert "lr_kt0" in names and "of_desk" in names
+
+    def test_create_with_kwargs(self):
+        seq = create_dataset("lr_kt0", n_frames=2, width=32, height=24)
+        assert len(seq) == 2
+        assert seq.name == "lr_kt0"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            create_dataset("kitti_00")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_dataset("lr_kt0", lambda **kw: None)

@@ -1,0 +1,88 @@
+"""Tests for the volume visualisation (GUI model render)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_benchmark
+from repro.geometry import PinholeCamera, se3
+from repro.kfusion import KinectFusion, TSDFVolume
+from repro.kfusion.integration import integrate
+from repro.kfusion.render import ascii_render, depth_to_grayscale, render_volume
+
+
+@pytest.fixture(scope="module")
+def wall_setup():
+    cam = PinholeCamera.kinect_like(64, 48)
+    pose = se3.make_pose(np.eye(3), [1.0, 1.0, 0.0])
+    volume = TSDFVolume(64, 2.0)
+    integrate(volume, np.full(cam.shape, 1.0), cam, pose, mu=0.15)
+    return volume, cam, pose
+
+
+class TestRenderVolume:
+    def test_shape_and_range(self, wall_setup):
+        volume, cam, pose = wall_setup
+        img = render_volume(volume, cam, pose, mu=0.15)
+        assert img.shape == cam.shape
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_surface_brighter_than_background(self, wall_setup):
+        volume, cam, pose = wall_setup
+        img = render_volume(volume, cam, pose, mu=0.15)
+        assert img[24, 32] > 0.2  # wall centre is lit
+        assert img[0, 0] == 0.0  # no surface at the corner rays
+
+    def test_ambient_floor(self, wall_setup):
+        volume, cam, pose = wall_setup
+        img = render_volume(volume, cam, pose, mu=0.15, ambient=0.5)
+        hit = img > 0.0
+        assert img[hit].min() >= 0.5 - 1e-9
+
+    def test_zero_light_rejected(self, wall_setup):
+        volume, cam, pose = wall_setup
+        with pytest.raises(ValueError):
+            render_volume(volume, cam, pose, mu=0.15, light_dir=(0, 0, 0))
+
+
+class TestHelpers:
+    def test_depth_to_grayscale(self):
+        d = np.array([[0.0, 3.0], [6.0, 9.0]])
+        img = depth_to_grayscale(d, max_range=6.0)
+        assert img[0, 0] == 0.0
+        assert img[0, 1] == pytest.approx(0.5)
+        assert img[1, 1] == 1.0
+
+    def test_ascii_render_dimensions(self):
+        img = np.linspace(0, 1, 64 * 48).reshape(48, 64)
+        art = ascii_render(img, width=32)
+        lines = art.splitlines()
+        assert 0 < len(lines) <= 24
+        assert all(len(line) <= 33 for line in lines)
+
+    def test_ascii_render_intensity_ramp(self):
+        dark = ascii_render(np.zeros((16, 16)))
+        bright = ascii_render(np.ones((16, 16)))
+        assert set(dark) <= {" ", "\n"}
+        assert "@" in bright
+
+
+class TestPipelineIntegration:
+    def test_model_render_output(self, tiny_sequence):
+        result = run_benchmark(
+            KinectFusion(publish_render=True), tiny_sequence,
+            configuration={"volume_resolution": 64, "volume_size": 5.0,
+                           "integration_rate": 1},
+            evaluate_accuracy=False,
+        )
+        # Render kernel charged on every frame.
+        for record in result.collector.records:
+            assert any(k.name == "render" for k in record.workload.kernels)
+
+    def test_render_off_by_default(self, tiny_sequence):
+        system = KinectFusion()
+        system.new_configuration().update(
+            {"volume_resolution": 32, "volume_size": 5.0}
+        )
+        system.init(tiny_sequence.sensors)
+        assert "model_render" not in system.outputs.names()
+        system.clean()

@@ -1,0 +1,70 @@
+"""Tests for the text/CSV reporting helpers."""
+
+import pytest
+
+from repro.core import format_histogram, format_table, write_csv
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My table")
+        assert text.startswith("My table\n")
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.1235" in text
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_missing_column_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"])
+        assert text  # must not raise
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)\n"
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], str(tmp_path / "x.csv"))
+
+
+class TestHistogram:
+    def test_bins_sum_to_count(self):
+        values = [0.5, 1.5, 2.5, 2.6]
+        text = format_histogram(values, n_bins=3, lo=0.0, hi=3.0)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in
+                  text.strip().splitlines()]
+        assert sum(counts) == 4
+
+    def test_label(self):
+        text = format_histogram([1.0], label="speedups")
+        assert text.startswith("speedups")
+
+    def test_empty(self):
+        assert format_histogram([]) == "(no values)\n"
+
+    def test_out_of_range_clamped(self):
+        text = format_histogram([5.0], n_bins=2, lo=0.0, hi=1.0)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in
+                  text.strip().splitlines()]
+        assert sum(counts) == 1

@@ -1,0 +1,88 @@
+"""Tests for decision-tree rule extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import DecisionTreeClassifier, extract_rules, format_rules
+from repro.ml.rules import Condition, Rule
+
+
+class TestConditions:
+    def test_holds(self):
+        c = Condition("x", "<=", 5.0)
+        assert c.holds(5.0)
+        assert not c.holds(5.1)
+        g = Condition("x", ">", 5.0)
+        assert g.holds(5.1)
+
+    def test_str(self):
+        assert str(Condition("volume_resolution", "<=", 96.0)) == (
+            "volume_resolution <= 96"
+        )
+
+
+class TestExtraction:
+    def _tree(self, rng, boundary=0.5):
+        X = rng.uniform(size=(500, 3))
+        y = ((X[:, 0] <= boundary) & (X[:, 2] > 0.3)).astype(int)
+        return DecisionTreeClassifier(max_depth=3).fit(X, y), X, y
+
+    def test_rules_describe_positive_region(self, rng):
+        tree, X, y = self._tree(rng)
+        rules = extract_rules(tree, ["a", "b", "c"])
+        assert rules
+        # Every rule must actually select positive-majority samples.
+        for rule in rules:
+            mask = np.array(
+                [rule.matches({"a": x[0], "b": x[1], "c": x[2]}) for x in X]
+            )
+            assert mask.any()
+            assert y[mask].mean() > 0.5
+
+    def test_rules_sorted_by_support(self, rng):
+        tree, _, _ = self._tree(rng)
+        rules = extract_rules(tree, ["a", "b", "c"])
+        supports = [r.support for r in rules]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_min_support_filters(self, rng):
+        tree, _, _ = self._tree(rng)
+        all_rules = extract_rules(tree, ["a", "b", "c"], min_support=1)
+        big_rules = extract_rules(tree, ["a", "b", "c"], min_support=100)
+        assert len(big_rules) <= len(all_rules)
+
+    def test_interval_simplification(self, rng):
+        # Deep tree revisits the same feature; the rule must merge bounds.
+        X = rng.uniform(size=(600, 1))
+        y = ((X[:, 0] > 0.4) & (X[:, 0] <= 0.6)).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        rules = extract_rules(tree, ["x"])
+        assert rules
+        for rule in rules:
+            feats = [c.feature for c in rule.conditions]
+            # At most one "<=" and one ">" per feature after simplification.
+            assert feats.count("x") <= 2
+
+    def test_feature_name_count_checked(self, rng):
+        tree, _, _ = self._tree(rng)
+        with pytest.raises(ModelError):
+            extract_rules(tree, ["a", "b"])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ModelError):
+            extract_rules(DecisionTreeClassifier(), ["a"])
+
+    def test_format_rules(self, rng):
+        tree, _, _ = self._tree(rng)
+        text = format_rules(extract_rules(tree, ["a", "b", "c"]), "accurate:")
+        assert "accurate:" in text
+        assert "IF" in text
+
+    def test_format_empty(self):
+        assert "(no rules)" in format_rules([])
+
+    def test_always_rule(self):
+        r = Rule(conditions=(), support=10, confidence=1.0)
+        assert str(r) == "(always)"
+        assert r.matches({"anything": 1.0})

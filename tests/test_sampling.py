@@ -1,0 +1,59 @@
+"""Tests for random and Latin hypercube samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterSpec
+from repro.errors import OptimizationError
+from repro.hypermapper import DesignSpace, latin_hypercube_sample, random_sample
+
+
+def space():
+    return DesignSpace([
+        ParameterSpec("x", "real", 0.5, low=0.0, high=1.0),
+        ParameterSpec("n", "integer", 5, low=0, high=9),
+        ParameterSpec("c", "ordinal", 2, choices=(1, 2, 4, 8)),
+    ])
+
+
+class TestRandom:
+    def test_count_and_validity(self):
+        s = space()
+        configs = random_sample(s, 30, seed=0)
+        assert len(configs) == 30
+        for c in configs:
+            s.validate(c)
+
+    def test_deterministic(self):
+        assert random_sample(space(), 5, seed=1) == random_sample(
+            space(), 5, seed=1
+        )
+
+    def test_bad_n(self):
+        with pytest.raises(OptimizationError):
+            random_sample(space(), 0)
+
+
+class TestLatinHypercube:
+    def test_stratification_in_reals(self):
+        s = space()
+        n = 10
+        configs = latin_hypercube_sample(s, n, seed=0)
+        xs = sorted(c["x"] for c in configs)
+        # One sample per [k/n, (k+1)/n) bin.
+        for k, x in enumerate(xs):
+            assert k / n <= x < (k + 1) / n + 1e-9
+
+    def test_integer_coverage(self):
+        s = space()
+        configs = latin_hypercube_sample(s, 10, seed=0)
+        assert {c["n"] for c in configs} == set(range(10))
+
+    def test_validity(self):
+        s = space()
+        for c in latin_hypercube_sample(s, 25, seed=3):
+            s.validate(c)
+
+    def test_bad_n(self):
+        with pytest.raises(OptimizationError):
+            latin_hypercube_sample(space(), 0)

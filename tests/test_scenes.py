@@ -1,0 +1,53 @@
+"""Tests for the procedural living-room and office scenes."""
+
+import numpy as np
+import pytest
+
+from repro.scene import living_room, office
+
+
+@pytest.fixture(scope="module", params=["living_room", "office"])
+def any_scene(request):
+    return living_room() if request.param == "living_room" else office()
+
+
+class TestSceneGeometry:
+    def test_centre_is_free_space(self, any_scene):
+        c = np.asarray(any_scene.center).reshape(1, 3)
+        assert any_scene.distance(c)[0] > 0.1
+
+    def test_far_outside_room_is_negative(self, any_scene):
+        # Inside the wall material (outside the room box) the interior SDF
+        # is negative — rays cannot escape the room.
+        far = np.array([[any_scene.extent + 1.0, 1.0, 0.0]])
+        assert any_scene.distance(far)[0] < 0.0
+
+    def test_floor_is_surface(self, any_scene):
+        # Directly above the floor the distance is ~height above floor.
+        p = np.array([[0.5, 0.5, 0.5]])
+        d = any_scene.distance(p)[0]
+        assert 0.0 < d <= 0.5 + 1e-6
+
+    def test_normals_unit_length(self, any_scene, rng):
+        pts = rng.uniform(-1.0, 1.0, size=(50, 3)) + np.asarray(any_scene.center)
+        n = any_scene.normal(pts)
+        norms = np.linalg.norm(n, axis=-1)
+        assert np.all((norms > 0.99) | (norms < 1e-6))
+
+    def test_albedo_shape_and_range(self, any_scene, rng):
+        pts = rng.uniform(-1.0, 1.0, size=(20, 3)) + np.asarray(any_scene.center)
+        alb = any_scene.albedo(pts)
+        assert alb.shape == (20, 3)
+        assert np.all(alb >= 0.0) and np.all(alb <= 1.0)
+
+    def test_scene_names(self):
+        assert living_room().name == "living_room"
+        assert office().name == "office"
+
+    def test_furniture_is_hit(self, any_scene):
+        # Sampling a dense grid at seated height must find some negative
+        # (inside-furniture) values — the room is not empty.
+        xs = np.linspace(-any_scene.extent + 0.1, any_scene.extent - 0.1, 40)
+        grid = np.array([[x, 0.4, z] for x in xs for z in xs])
+        d = any_scene.distance(grid)
+        assert (d < 0).any()

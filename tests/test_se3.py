@@ -1,0 +1,147 @@
+"""Unit tests for SE(3)/SO(3) utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import se3
+
+
+def random_pose(rng, trans_scale=2.0):
+    w = rng.normal(size=3)
+    t = rng.normal(size=3) * trans_scale
+    return se3.make_pose(se3.so3_exp(w), t)
+
+
+class TestRotations:
+    def test_so3_exp_identity(self):
+        assert np.allclose(se3.so3_exp([0, 0, 0]), np.eye(3))
+
+    def test_so3_exp_quarter_turn_z(self):
+        R = se3.so3_exp([0, 0, np.pi / 2])
+        assert np.allclose(R @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_so3_round_trip(self, rng):
+        for _ in range(20):
+            w = rng.normal(size=3)
+            w = w / np.linalg.norm(w) * rng.uniform(1e-4, np.pi - 1e-3)
+            assert np.allclose(se3.so3_log(se3.so3_exp(w)), w, atol=1e-8)
+
+    def test_so3_log_near_pi(self):
+        w = np.array([0.0, 0.0, np.pi - 1e-9])
+        R = se3.so3_exp(w)
+        w_back = se3.so3_log(R)
+        assert np.isclose(np.linalg.norm(w_back), np.pi, atol=1e-5)
+
+    def test_is_rotation_accepts_valid(self, rng):
+        assert se3.is_rotation(se3.so3_exp(rng.normal(size=3)))
+
+    def test_is_rotation_rejects_reflection(self):
+        R = np.diag([1.0, 1.0, -1.0])
+        assert not se3.is_rotation(R)
+
+    def test_orthonormalize_projects_back(self, rng):
+        R = se3.so3_exp(rng.normal(size=3)) + rng.normal(size=(3, 3)) * 1e-4
+        assert se3.is_rotation(se3.orthonormalize(R))
+
+    def test_rotation_angle(self):
+        R = se3.so3_exp([0.3, 0, 0])
+        assert np.isclose(se3.rotation_angle(R), 0.3)
+
+
+class TestPoses:
+    def test_make_pose_shape(self):
+        T = se3.make_pose(np.eye(3), [1, 2, 3])
+        assert se3.is_pose(T)
+        assert np.allclose(se3.translation(T), [1, 2, 3])
+
+    def test_make_pose_rejects_bad_rotation_shape(self):
+        with pytest.raises(GeometryError):
+            se3.make_pose(np.eye(4), [0, 0, 0])
+
+    def test_inverse(self, rng):
+        T = random_pose(rng)
+        assert np.allclose(T @ se3.inverse(T), np.eye(4), atol=1e-12)
+
+    def test_transform_points_matches_homogeneous(self, rng):
+        T = random_pose(rng)
+        pts = rng.normal(size=(10, 3))
+        hom = np.concatenate([pts, np.ones((10, 1))], axis=1)
+        expected = (hom @ T.T)[:, :3]
+        assert np.allclose(se3.transform_points(T, pts), expected)
+
+    def test_rotate_vectors_ignores_translation(self, rng):
+        T = random_pose(rng)
+        v = rng.normal(size=(5, 3))
+        assert np.allclose(se3.rotate_vectors(T, v), v @ T[:3, :3].T)
+
+    def test_se3_exp_log_round_trip(self, rng):
+        for _ in range(20):
+            xi = rng.normal(size=6)
+            assert np.allclose(se3.se3_log(se3.se3_exp(xi)), xi, atol=1e-8)
+
+    def test_se3_exp_pure_translation(self):
+        T = se3.se3_exp([1, 2, 3, 0, 0, 0])
+        assert np.allclose(se3.translation(T), [1, 2, 3])
+        assert np.allclose(se3.rotation(T), np.eye(3))
+
+    def test_pose_distance(self, rng):
+        T = random_pose(rng)
+        dt, dr = se3.pose_distance(T, T)
+        assert dt == pytest.approx(0.0, abs=1e-12)
+        assert dr == pytest.approx(0.0, abs=1e-6)
+
+
+class TestQuaternions:
+    def test_round_trip(self, rng):
+        for _ in range(20):
+            R = se3.so3_exp(rng.normal(size=3))
+            assert np.allclose(se3.quat_to_rotation(se3.rotation_to_quat(R)), R,
+                               atol=1e-10)
+
+    def test_canonical_sign(self, rng):
+        R = se3.so3_exp(rng.normal(size=3))
+        assert se3.rotation_to_quat(R)[0] >= 0
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(GeometryError):
+            se3.quat_to_rotation([0, 0, 0, 0])
+
+    def test_slerp_endpoints(self, rng):
+        q0 = se3.rotation_to_quat(se3.so3_exp(rng.normal(size=3)))
+        q1 = se3.rotation_to_quat(se3.so3_exp(rng.normal(size=3)))
+        assert np.allclose(se3.quat_slerp(q0, q1, 0.0), q0, atol=1e-12)
+        assert np.allclose(np.abs(se3.quat_slerp(q0, q1, 1.0)), np.abs(q1),
+                           atol=1e-12)
+
+    def test_slerp_halfway_angle(self):
+        q0 = np.array([1.0, 0, 0, 0])
+        q1 = se3.rotation_to_quat(se3.so3_exp([0, 0, np.pi / 2]))
+        qh = se3.quat_slerp(q0, q1, 0.5)
+        Rh = se3.quat_to_rotation(qh)
+        assert np.isclose(se3.rotation_angle(Rh), np.pi / 4, atol=1e-10)
+
+
+class TestInterpolationAndLookAt:
+    def test_interpolate_pose_midpoint_translation(self, rng):
+        T0 = random_pose(rng)
+        T1 = random_pose(rng)
+        Tm = se3.interpolate_pose(T0, T1, 0.5)
+        expected = (se3.translation(T0) + se3.translation(T1)) / 2
+        assert np.allclose(se3.translation(Tm), expected)
+        assert se3.is_pose(Tm)
+
+    def test_look_at_points_camera_at_target(self):
+        T = se3.look_at([0, 0, -2], [0, 0, 1], up=(0, 1, 0))
+        # Camera +z axis (third column) should point from eye to target.
+        assert np.allclose(T[:3, 2], [0, 0, 1])
+        assert np.allclose(T[:3, 3], [0, 0, -2])
+
+    def test_look_at_rejects_coincident(self):
+        with pytest.raises(GeometryError):
+            se3.look_at([1, 1, 1], [1, 1, 1])
+
+    def test_look_at_degenerate_up(self):
+        # Forward parallel to up must still produce a valid pose.
+        T = se3.look_at([0, 0, 0], [0, 1, 0], up=(0, 1, 0))
+        assert se3.is_pose(T)

@@ -1,0 +1,49 @@
+"""Tests for sensor suite descriptions."""
+
+import pytest
+
+from repro.core import DepthSensor, GroundTruthSensor, RGBSensor, SensorSuite
+from repro.errors import DatasetError
+from repro.geometry import PinholeCamera
+
+
+@pytest.fixture()
+def cam():
+    return PinholeCamera.kinect_like(80, 60)
+
+
+class TestDepthSensor:
+    def test_valid_range(self, cam):
+        s = DepthSensor(camera=cam, min_range=0.4, max_range=5.0)
+        assert s.min_range == 0.4
+
+    def test_rejects_inverted_range(self, cam):
+        with pytest.raises(DatasetError):
+            DepthSensor(camera=cam, min_range=5.0, max_range=1.0)
+
+    def test_rejects_negative_min(self, cam):
+        with pytest.raises(DatasetError):
+            DepthSensor(camera=cam, min_range=-1.0, max_range=1.0)
+
+
+class TestSensorSuite:
+    def test_depth_only(self, cam):
+        suite = SensorSuite(depth=DepthSensor(camera=cam))
+        assert not suite.has_rgb
+        assert not suite.has_ground_truth
+        assert suite.require_depth().camera is cam
+
+    def test_require_ground_truth_raises(self, cam):
+        suite = SensorSuite(depth=DepthSensor(camera=cam))
+        with pytest.raises(DatasetError):
+            suite.require_ground_truth()
+
+    def test_full_suite(self, cam):
+        suite = SensorSuite(
+            depth=DepthSensor(camera=cam),
+            rgb=RGBSensor(camera=cam),
+            ground_truth=GroundTruthSensor(),
+        )
+        assert suite.has_rgb
+        assert suite.has_ground_truth
+        assert suite.require_ground_truth().frame_rate_hz == 30.0

@@ -1,0 +1,173 @@
+"""Tests for the performance/power simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import FrameWorkload, KernelInvocation
+from repro.errors import SimulationError
+from repro.platforms import (
+    PerformanceSimulator,
+    PlatformConfig,
+    desktop_gtx,
+    odroid_xu3,
+)
+
+
+def workload(flops=1e8, bytes_=1e6, gpu_eligible=True, n=1):
+    wl = FrameWorkload(0)
+    for _ in range(n):
+        wl.add(KernelInvocation("k", flops, bytes_, gpu_eligible=gpu_eligible))
+    return wl
+
+
+class TestKernelTime:
+    def test_gpu_used_for_eligible(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        _, rail = sim.kernel_time_s(KernelInvocation("k", 1e8, 1e3))
+        assert rail == "gpu"
+
+    def test_host_kernel_stays_on_cpu(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        _, rail = sim.kernel_time_s(
+            KernelInvocation("solve", 1e3, 1e3, gpu_eligible=False)
+        )
+        assert rail == "cpu"
+
+    def test_compute_bound_scales_with_flops(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        t1, _ = sim.kernel_time_s(KernelInvocation("k", 1e9, 1e3))
+        t2, _ = sim.kernel_time_s(KernelInvocation("k", 2e9, 1e3))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_memory_bound_scales_with_bytes(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        t1, _ = sim.kernel_time_s(KernelInvocation("k", 1e3, 1e9))
+        t2, _ = sim.kernel_time_s(KernelInvocation("k", 1e3, 2e9))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_dvfs_slows_compute(self, odroid):
+        fast = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        slow = PerformanceSimulator(
+            odroid, PlatformConfig(backend="opencl", gpu_freq_ghz=0.177)
+        )
+        k = KernelInvocation("k", 1e9, 1e3)
+        assert slow.kernel_time_s(k)[0] > fast.kernel_time_s(k)[0] * 2
+
+    def test_more_cores_speed_up_openmp(self, odroid):
+        one = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp", cpu_cores=1)
+        )
+        four = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp", cpu_cores=4)
+        )
+        k = KernelInvocation("k", 1e9, 1e3, parallel_fraction=0.99)
+        assert one.kernel_time_s(k)[0] > four.kernel_time_s(k)[0] * 2
+
+    def test_amdahl_serial_fraction(self, odroid):
+        sim = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp", cpu_cores=4)
+        )
+        serial = KernelInvocation("k", 1e9, 1e3, parallel_fraction=0.0)
+        parallel = KernelInvocation("k", 1e9, 1e3, parallel_fraction=1.0)
+        assert (sim.kernel_time_s(serial)[0]
+                > sim.kernel_time_s(parallel)[0] * 3)
+
+    def test_kernel_efficiency_slows(self, odroid):
+        base = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        slowed = PerformanceSimulator(
+            odroid,
+            PlatformConfig(backend="opencl", kernel_efficiency={"k": 0.5}),
+        )
+        k = KernelInvocation("k", 1e9, 1e3)
+        assert slowed.kernel_time_s(k)[0] == pytest.approx(
+            2 * (base.kernel_time_s(k)[0]
+                 - _overhead(base)) + _overhead(base), rel=0.01
+        )
+
+    def test_little_cluster_slower_but_frugal(self, odroid):
+        big = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp", cpu_cluster="big")
+        )
+        little = PerformanceSimulator(
+            odroid, PlatformConfig(backend="openmp", cpu_cluster="little")
+        )
+        k = KernelInvocation("k", 1e9, 1e3)
+        assert little.kernel_time_s(k)[0] > big.kernel_time_s(k)[0]
+        assert little.kernel_power_w("cpu") < big.kernel_power_w("cpu")
+
+    def test_unknown_cluster_rejected(self, odroid):
+        with pytest.raises(SimulationError):
+            PerformanceSimulator(
+                odroid, PlatformConfig(backend="openmp", cpu_cluster="huge")
+            )
+
+    def test_bad_kernel_efficiency(self, odroid):
+        sim = PerformanceSimulator(
+            odroid,
+            PlatformConfig(backend="opencl", kernel_efficiency={"k": 2.0}),
+        )
+        with pytest.raises(SimulationError):
+            sim.kernel_time_s(KernelInvocation("k", 1e9, 1e3))
+
+
+def _overhead(sim):
+    return (sim.device.kernel_launch_overhead_s
+            * sim.backend.launch_overhead_multiplier)
+
+
+class TestSimulate:
+    def test_result_aggregates(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        res = sim.simulate([workload(n=3)] * 4)
+        assert len(res.frame_timings) == 4
+        assert res.total_time_s == pytest.approx(
+            sum(f.duration_s for f in res.frame_timings)
+        )
+        assert res.fps == pytest.approx(1.0 / res.mean_frame_time_s)
+
+    def test_power_between_idle_and_peak(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        res = sim.simulate([workload()] * 3)
+        assert res.idle_power_w < res.average_power_w
+        assert res.average_power_w < 8.0
+
+    def test_streaming_power_below_busy_power(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        res = sim.simulate([workload(flops=1e6, bytes_=1e4)] * 3)
+        # Tiny frames finish early: streaming power approaches idle.
+        assert res.streaming_average_power_w() < res.average_power_w
+        assert res.streaming_average_power_w() >= res.idle_power_w
+
+    def test_realtime_fraction(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        small = sim.simulate([workload(flops=1e6, bytes_=1e4)] * 3)
+        assert small.realtime_fraction() == 1.0
+        huge = sim.simulate([workload(flops=1e11, bytes_=1e9)] * 3)
+        assert huge.realtime_fraction() == 0.0
+
+    def test_kernel_breakdown(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        res = sim.simulate([workload(n=2)])
+        assert "k" in res.kernel_breakdown_s()
+
+    def test_empty_rejected(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        with pytest.raises(SimulationError):
+            sim.simulate([])
+
+    def test_unsupported_backend_rejected(self, odroid):
+        with pytest.raises(SimulationError):
+            PerformanceSimulator(odroid, PlatformConfig(backend="cuda"))
+
+    def test_cuda_on_desktop(self):
+        sim = PerformanceSimulator(desktop_gtx(),
+                                   PlatformConfig(backend="cuda"))
+        res = sim.simulate([workload()])
+        assert res.backend == "cuda"
+
+    def test_energy_conservation(self, odroid):
+        sim = PerformanceSimulator(odroid, PlatformConfig(backend="opencl"))
+        res = sim.simulate([workload()] * 5)
+        assert res.power.total_energy_j == pytest.approx(
+            res.average_power_w * res.total_time_s
+        )

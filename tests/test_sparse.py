@@ -1,0 +1,126 @@
+"""Tests for the sparse feature-based odometry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ICPOdometry, SparseOdometry
+from repro.baselines.sparse import detect_features, match_nearest, trimmed_rigid_fit
+from repro.core import TrackingStatus, run_benchmark
+from repro.datasets import icl_nuim
+from repro.geometry import PinholeCamera, se3
+
+
+@pytest.fixture(scope="module")
+def feature_sequence():
+    # Higher resolution than the dense tests: sparse features need it.
+    seq = icl_nuim.load("lr_kt0", n_frames=10, width=160, height=120, seed=0)
+    seq.materialize()
+    return seq
+
+
+class TestDetection:
+    def test_plane_has_no_features(self):
+        cam = PinholeCamera.kinect_like(64, 48)
+        depth = np.full(cam.shape, 2.0)
+        feats = detect_features(depth, cam)
+        assert len(feats) == 0
+
+    def test_box_edge_detected(self):
+        cam = PinholeCamera.kinect_like(64, 48)
+        depth = np.full(cam.shape, 2.0)
+        depth[:, 32:] = 1.5  # depth step = strong curvature line
+        feats = detect_features(depth, cam)
+        assert len(feats) > 0
+        # Features lie near the step (x close to the step's 3-D position).
+        assert np.all(np.abs(feats[:, 2] - 1.75) < 0.4)
+
+    def test_max_features_respected(self, feature_sequence):
+        cam = feature_sequence.sensors.depth.camera
+        depth = feature_sequence.frame(0).depth
+        feats = detect_features(depth, cam, max_features=25)
+        assert len(feats) <= 25
+
+    def test_scene_produces_features(self, feature_sequence):
+        cam = feature_sequence.sensors.depth.camera
+        feats = detect_features(feature_sequence.frame(0).depth, cam)
+        assert len(feats) > 30
+
+
+class TestMatching:
+    def test_identity_matching(self, rng):
+        pts = rng.uniform(-1, 1, size=(50, 3))
+        ia, ib = match_nearest(pts, pts + rng.normal(0, 1e-4, pts.shape))
+        assert len(ia) == 50
+        assert np.array_equal(ia, ib)
+
+    def test_distance_gate(self, rng):
+        a = rng.uniform(0, 1, size=(20, 3))
+        b = a + 10.0  # far away
+        ia, _ = match_nearest(a, b, max_distance=0.1)
+        assert len(ia) == 0
+
+    def test_empty_inputs(self):
+        ia, ib = match_nearest(np.empty((0, 3)), np.ones((5, 3)))
+        assert len(ia) == 0
+
+
+class TestRigidFit:
+    def test_recovers_transform_with_outliers(self, rng):
+        src = rng.uniform(-1, 1, size=(60, 3))
+        T_true = se3.make_pose(se3.so3_exp([0.05, -0.02, 0.1]),
+                               [0.02, -0.01, 0.03])
+        dst = se3.transform_points(T_true, src)
+        dst[:6] += rng.uniform(0.5, 1.0, size=(6, 3))  # 10% outliers
+        T, inliers = trimmed_rigid_fit(src, dst)
+        dt, dr = se3.pose_distance(T, T_true)
+        assert dt < 0.01
+        assert dr < 0.01
+        assert inliers >= 30
+
+
+class TestSystem:
+    def test_tracks_sequence(self, feature_sequence):
+        result = run_benchmark(SparseOdometry(), feature_sequence)
+        assert result.collector.tracked_fraction() > 0.8
+        assert result.ate.max < 0.08
+
+    def test_less_accurate_than_dense(self, feature_sequence):
+        sparse = run_benchmark(SparseOdometry(), feature_sequence)
+        dense = run_benchmark(ICPOdometry(), feature_sequence)
+        assert dense.ate.rmse <= sparse.ate.rmse * 1.5
+
+    def test_cheaper_than_dense(self, feature_sequence):
+        sparse = run_benchmark(SparseOdometry(), feature_sequence)
+        dense = run_benchmark(ICPOdometry(), feature_sequence)
+        flops_sparse = sum(r.workload.total_flops
+                           for r in sparse.collector.records)
+        flops_dense = sum(r.workload.total_flops
+                          for r in dense.collector.records)
+        assert flops_sparse < flops_dense
+
+    def test_feature_count_output(self, feature_sequence):
+        system = SparseOdometry()
+        system.new_configuration()
+        system.init(feature_sequence.sensors)
+        f = feature_sequence.frame(0)
+        system.update_frame(f.without_ground_truth())
+        system.process_once()
+        system.update_outputs()
+        assert system.outputs.get("feature_count").value > 0
+        system.clean()
+
+    def test_blank_frames_report_lost(self, feature_sequence):
+        from repro.core import Frame
+        from repro.datasets import InMemorySequence
+
+        frames = [
+            Frame(index=i, timestamp=i / 30.0, depth=np.full((120, 160), 2.0),
+                  ground_truth_pose=np.eye(4))
+            for i in range(3)
+        ]
+        seq = InMemorySequence("flat", feature_sequence.sensors, frames)
+        result = run_benchmark(SparseOdometry(), seq,
+                               evaluate_accuracy=False)
+        statuses = [r.status for r in result.collector.records]
+        # A featureless plane cannot be tracked by sparse features.
+        assert statuses[1] is TrackingStatus.LOST

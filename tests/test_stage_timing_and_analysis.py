@@ -1,0 +1,103 @@
+"""Tests for measured stage timings, repetition statistics, and the
+speed-up driver analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_benchmark
+from repro.core.workload import FrameWorkload
+from repro.crowd import run_campaign
+from repro.crowd.analysis import speedup_drivers
+from repro.errors import OptimizationError, SimulationError
+from repro.hypermapper import (
+    ConstraintSet,
+    SurrogateEvaluator,
+    accuracy_limit,
+    kfusion_design_space,
+    random_exploration,
+)
+from repro.hypermapper.report import repeat_exploration
+from repro.kfusion import KinectFusion
+
+
+class TestStageTiming:
+    def test_stage_times_recorded(self, tiny_sequence):
+        result = run_benchmark(
+            KinectFusion(), tiny_sequence,
+            configuration={"volume_resolution": 64, "volume_size": 5.0,
+                           "integration_rate": 1},
+            evaluate_accuracy=False,
+        )
+        wt = result.collector.records[2].workload.wall_times_s
+        assert set(wt) == {"preprocess", "track", "integrate", "raycast"}
+        assert all(v >= 0 for v in wt.values())
+        # The stage times roughly account for the frame's wall clock.
+        total_stage = sum(wt.values())
+        frame_wall = result.collector.records[2].wall_time_s
+        assert total_stage <= frame_wall
+        assert total_stage > 0.4 * frame_wall
+
+    def test_first_frame_has_no_track_time_cost(self, tiny_sequence):
+        result = run_benchmark(
+            KinectFusion(), tiny_sequence,
+            configuration={"volume_resolution": 32, "volume_size": 5.0},
+            evaluate_accuracy=False,
+        )
+        wt0 = result.collector.records[0].workload.wall_times_s
+        wt1 = result.collector.records[1].workload.wall_times_s
+        assert wt0["track"] < wt1["track"]
+
+    def test_record_wall_time_validates(self):
+        wl = FrameWorkload(0)
+        with pytest.raises(SimulationError):
+            wl.record_wall_time("x", -1.0)
+        wl.record_wall_time("x", 0.5)
+        wl.record_wall_time("x", 0.25)
+        assert wl.wall_times_s["x"] == pytest.approx(0.75)
+
+
+class TestRepeatExploration:
+    def test_statistics_across_seeds(self, odroid):
+        cons = ConstraintSet.of([accuracy_limit(0.06)])
+
+        def make(seed):
+            return random_exploration(
+                kfusion_design_space(), SurrogateEvaluator(device=odroid,
+                                                           seed=seed),
+                40, seed=seed,
+            )
+
+        stats = repeat_exploration(make, cons, seeds=range(3))
+        assert stats.trials == 3
+        assert stats.feasible_mean >= 0.0
+        assert 0.0 <= stats.success_rate <= 1.0
+        if stats.success_rate > 0:
+            assert np.isfinite(stats.best_runtime_mean_s)
+
+    def test_no_seeds_rejected(self, odroid):
+        cons = ConstraintSet.of([accuracy_limit(0.05)])
+        with pytest.raises(OptimizationError):
+            repeat_exploration(lambda s: None, cons, seeds=[])
+
+
+class TestSpeedupDrivers:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        tuned = {
+            "volume_resolution": 96, "volume_size": 4.3,
+            "compute_size_ratio": 2, "mu_distance": 0.066,
+            "icp_threshold": 1e-5, "pyramid_iterations_l0": 8,
+            "pyramid_iterations_l1": 4, "pyramid_iterations_l2": 3,
+            "integration_rate": 3, "tracking_rate": 1,
+        }
+        return run_campaign(tuned, n_frames=8, seed=0)
+
+    def test_importances_sum_to_one(self, runs):
+        rows = speedup_drivers(runs)
+        total = sum(r["importance"] for r in rows)
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert rows == sorted(rows, key=lambda r: -r["importance"])
+
+    def test_too_few_runs_rejected(self, runs):
+        with pytest.raises(SimulationError):
+            speedup_drivers(runs[:5])

@@ -1,0 +1,44 @@
+"""Tests for scalar summary helpers."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.metrics import SeriesSummary, geometric_mean, speedup
+
+
+class TestSeriesSummary:
+    def test_basic_statistics(self):
+        s = SeriesSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            SeriesSummary.of([])
+
+    def test_accepts_generator(self):
+        s = SeriesSummary.of(x for x in (1.0, 2.0))
+        assert s.count == 2
+
+
+class TestSpeedupAndGeomean:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_speedup_zero_rejected(self):
+        with pytest.raises(DatasetError):
+            speedup(10.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(DatasetError):
+            geometric_mean([])
+
+    def test_geometric_mean_nonpositive(self):
+        with pytest.raises(DatasetError):
+            geometric_mean([1.0, -1.0])

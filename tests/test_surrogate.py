@@ -1,0 +1,110 @@
+"""Tests for the surrogate evaluator's response surface."""
+
+import numpy as np
+import pytest
+
+from repro.hypermapper import SurrogateEvaluator, kfusion_design_space, surrogate_max_ate
+from repro.hypermapper.surrogate import SEQUENCE_DIFFICULTY
+from repro.platforms import PlatformConfig
+
+
+def config(**overrides):
+    base = kfusion_design_space().default_configuration()
+    base.update(overrides)
+    return base
+
+
+class TestResponseSurface:
+    def test_default_is_accurate(self):
+        ate, failed = surrogate_max_ate(config())
+        assert not failed
+        assert ate < 0.05
+
+    def test_deterministic(self):
+        a = surrogate_max_ate(config(), seed=3)
+        b = surrogate_max_ate(config(), seed=3)
+        assert a == b
+
+    def test_seed_changes_noise(self):
+        a, _ = surrogate_max_ate(config(), seed=1)
+        b, _ = surrogate_max_ate(config(), seed=2)
+        assert a != b
+
+    def test_coarse_volume_hurts(self):
+        fine, _ = surrogate_max_ate(config(volume_resolution=256))
+        coarse, _ = surrogate_max_ate(config(volume_resolution=48))
+        assert coarse > fine
+
+    def test_downsampling_hurts(self):
+        full, _ = surrogate_max_ate(config(compute_size_ratio=1))
+        eighth, _ = surrogate_max_ate(config(compute_size_ratio=8))
+        assert eighth > full
+
+    def test_loose_icp_threshold_hurts(self):
+        tight, _ = surrogate_max_ate(config(icp_threshold=1e-6))
+        loose, _ = surrogate_max_ate(config(icp_threshold=1e-2))
+        assert loose > tight
+
+    def test_sparse_integration_hurts(self):
+        dense, _ = surrogate_max_ate(config(integration_rate=1))
+        sparse, _ = surrogate_max_ate(config(integration_rate=15))
+        assert sparse > dense
+
+    def test_no_iterations_fails(self):
+        _, failed = surrogate_max_ate(
+            config(pyramid_iterations_l0=0, pyramid_iterations_l1=0,
+                   pyramid_iterations_l2=0)
+        )
+        assert failed
+
+    def test_failure_gives_large_ate(self):
+        ate, failed = surrogate_max_ate(
+            config(pyramid_iterations_l0=0, pyramid_iterations_l1=0,
+                   pyramid_iterations_l2=0)
+        )
+        assert failed and ate > 0.1
+
+    def test_difficulty_scales(self):
+        easy, _ = surrogate_max_ate(config(), "lr_kt0")
+        hard, _ = surrogate_max_ate(config(), "lr_kt1")
+        assert hard == pytest.approx(
+            easy * SEQUENCE_DIFFICULTY["lr_kt1"], rel=1e-9
+        )
+
+
+class TestSurrogateEvaluator:
+    def test_evaluation_fields(self, odroid):
+        ev = SurrogateEvaluator(device=odroid)
+        e = ev.evaluate(config())
+        assert e.runtime_s > 0
+        assert e.power_w > 0
+        assert e.fps == pytest.approx(1.0 / e.runtime_s)
+
+    def test_smaller_volume_is_faster(self, odroid):
+        ev = SurrogateEvaluator(device=odroid)
+        big = ev.evaluate(config(volume_resolution=256))
+        small = ev.evaluate(config(volume_resolution=64))
+        assert small.runtime_s < big.runtime_s
+
+    def test_codesign_platform_knobs_respected(self, odroid):
+        ev = SurrogateEvaluator(device=odroid)
+        fast = ev.evaluate(dict(config(), backend="opencl"))
+        slow = ev.evaluate(dict(config(), backend="cpp"))
+        assert slow.runtime_s > fast.runtime_s
+        low_freq = ev.evaluate(
+            dict(config(), backend="opencl", gpu_freq_ghz=0.177)
+        )
+        assert low_freq.runtime_s > fast.runtime_s
+        assert low_freq.power_w < fast.power_w
+
+    def test_platform_knobs_do_not_affect_accuracy(self, odroid):
+        ev = SurrogateEvaluator(device=odroid)
+        a = ev.evaluate(dict(config(), backend="opencl"))
+        b = ev.evaluate(dict(config(), backend="cpp"))
+        assert a.max_ate_m == b.max_ate_m
+
+    def test_evaluation_counter(self, odroid):
+        ev = SurrogateEvaluator(device=odroid)
+        ev.evaluate(config())
+        ev.evaluate(config())
+        assert ev.evaluations == 2

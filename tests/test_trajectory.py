@@ -1,0 +1,91 @@
+"""Tests for synthetic trajectory generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import se3
+from repro.scene import FRAME_RATE_HZ, Trajectory, orbit, stationary, sweep
+
+
+class TestTrajectoryContainer:
+    def test_len_and_indexing(self):
+        t = orbit((0, 1, 0), radius=1.5, height=1.2, n_frames=10)
+        assert len(t) == 10
+        assert t[0].shape == (4, 4)
+
+    def test_timestamps_at_30hz(self):
+        t = orbit((0, 1, 0), radius=1.5, height=1.2, n_frames=5)
+        assert np.allclose(np.diff(t.timestamps), 1.0 / FRAME_RATE_HZ)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(GeometryError):
+            Trajectory(poses=np.zeros((3, 3, 3)), timestamps=np.zeros(3))
+        with pytest.raises(GeometryError):
+            Trajectory(poses=np.zeros((3, 4, 4)), timestamps=np.zeros(2))
+
+    def test_relative_starts_at_identity(self):
+        t = orbit((0, 1, 0), radius=1.5, height=1.2, n_frames=6)
+        rel = t.relative(0)
+        assert np.allclose(rel[0], np.eye(4), atol=1e-12)
+
+    def test_path_length_positive(self):
+        t = sweep((0, 1, 0), (1, 1, 0), (0, 1, -2), n_frames=10)
+        assert t.path_length() == pytest.approx(1.0, rel=1e-6)
+
+
+class TestGenerators:
+    def test_orbit_radius_held(self):
+        c = np.array([0.2, 1.0, -0.1])
+        t = orbit(c, radius=1.5, height=1.0, n_frames=12, bob_amplitude=0.0)
+        r = np.linalg.norm(t.positions[:, [0, 2]] - c[[0, 2]], axis=-1)
+        assert np.allclose(r, 1.5, atol=1e-9)
+
+    def test_orbit_looks_at_center(self):
+        c = (0.0, 1.0, 0.0)
+        t = orbit(c, radius=1.5, height=1.0, n_frames=8, bob_amplitude=0.0)
+        for T in t.poses:
+            fwd = T[:3, 2]
+            to_center = np.asarray(c) - T[:3, 3]
+            to_center /= np.linalg.norm(to_center)
+            assert np.dot(fwd, to_center) > 0.99
+
+    def test_all_poses_valid(self):
+        t = orbit((0, 1, 0), 1.5, 1.2, n_frames=10,
+                  jitter_trans_std=0.01, jitter_rot_std=0.01, seed=3)
+        for T in t.poses:
+            assert se3.is_pose(T, tol=1e-6)
+
+    def test_jitter_deterministic(self):
+        a = orbit((0, 1, 0), 1.5, 1.2, 8, jitter_trans_std=0.01, seed=5)
+        b = orbit((0, 1, 0), 1.5, 1.2, 8, jitter_trans_std=0.01, seed=5)
+        assert np.allclose(a.poses, b.poses)
+
+    def test_jitter_seed_changes(self):
+        a = orbit((0, 1, 0), 1.5, 1.2, 8, jitter_trans_std=0.01, seed=5)
+        b = orbit((0, 1, 0), 1.5, 1.2, 8, jitter_trans_std=0.01, seed=6)
+        assert not np.allclose(a.poses, b.poses)
+
+    def test_sweep_endpoints(self):
+        t = sweep((0, 1, 1), (1, 1, 1), (0, 0, -1), n_frames=9)
+        assert np.allclose(t.positions[0], [0, 1, 1], atol=1e-9)
+        assert np.allclose(t.positions[-1], [1, 1, 1], atol=1e-9)
+
+    def test_sweep_smoothstep_slow_ends(self):
+        t = sweep((0, 1, 1), (1, 1, 1), (0, 0, -1), n_frames=21)
+        steps = np.linalg.norm(np.diff(t.positions, axis=0), axis=-1)
+        assert steps[0] < steps[len(steps) // 2]
+        assert steps[-1] < steps[len(steps) // 2]
+
+    def test_stationary(self):
+        T = se3.make_pose(np.eye(3), [1, 1, 1])
+        t = stationary(T, 5)
+        assert np.allclose(t.poses, T)
+
+    def test_too_few_frames_rejected(self):
+        with pytest.raises(GeometryError):
+            orbit((0, 1, 0), 1.5, 1.2, n_frames=1)
+        with pytest.raises(GeometryError):
+            sweep((0, 0, 0), (1, 1, 1), (0, 0, -1), n_frames=1)
+        with pytest.raises(GeometryError):
+            orbit((0, 1, 0), radius=0.0, height=1.2, n_frames=5)

@@ -1,0 +1,96 @@
+"""Tests for the from-scratch CART trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 2.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        pred = tree.predict(np.array([[0.2], [0.8]]))
+        assert pred[0] == pytest.approx(0.0)
+        assert pred[1] == pytest.approx(2.0)
+
+    def test_perfect_fit_deep_tree(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=30).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_depth_limits_leaves(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.n_leaves <= 8
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.uniform(size=(50, 1))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=20, min_samples_leaf=10)
+        tree.fit(X, y)
+        leaf_sizes = [n.n_samples for n in tree.nodes if n.feature == -1]
+        assert min(leaf_sizes) >= 10
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.ones(20)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.n_leaves == 1
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().predict(np.zeros((2, 2)))
+
+    def test_shape_errors(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        tree = DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(5))
+        with pytest.raises(ModelError):
+            tree.predict(np.zeros((2, 3)))
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+
+class TestClassifier:
+    def test_learns_axis_aligned_boundary(self, rng):
+        X = rng.uniform(size=(300, 3))
+        y = (X[:, 1] > 0.6).astype(int)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert np.mean(tree.predict(X) == y) > 0.98
+        # The chosen root split should be on feature 1 near 0.6.
+        assert tree.nodes[0].feature == 1
+        assert tree.nodes[0].threshold == pytest.approx(0.6, abs=0.05)
+
+    def test_predict_returns_ints(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict(X).dtype.kind == "i"
+
+    def test_multiclass(self, rng):
+        X = rng.uniform(size=(300, 1))
+        y = np.digitize(X[:, 0], [0.33, 0.66])
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert np.mean(tree.predict(X) == y) > 0.95
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((4, 1)),
+                                         np.array([0, 1, -1, 0]))
+
+    def test_fractional_labels_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().fit(np.zeros((3, 1)),
+                                         np.array([0.5, 1.0, 0.0]))

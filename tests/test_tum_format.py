@@ -1,0 +1,61 @@
+"""Tests for TUM trajectory text I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.tum_format import load_tum_trajectory, save_tum_trajectory
+from repro.errors import DatasetError
+from repro.geometry import se3
+from repro.scene import orbit
+
+
+class TestRoundTrip:
+    def test_poses_preserved(self, tmp_path):
+        traj = orbit((0, 1, 0), 1.5, 1.2, n_frames=7, seed=1,
+                     jitter_rot_std=0.01)
+        path = str(tmp_path / "traj.txt")
+        save_tum_trajectory(traj, path, comment="test")
+        loaded = load_tum_trajectory(path)
+        assert len(loaded) == 7
+        for a, b in zip(traj.poses, loaded.poses):
+            dt, dr = se3.pose_distance(a, b)
+            assert dt < 1e-5
+            assert dr < 1e-5
+
+    def test_timestamps_preserved(self, tmp_path):
+        traj = orbit((0, 1, 0), 1.5, 1.2, n_frames=4)
+        path = str(tmp_path / "traj.txt")
+        save_tum_trajectory(traj, path)
+        loaded = load_tum_trajectory(path)
+        assert np.allclose(loaded.timestamps, traj.timestamps, atol=1e-6)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "traj.txt"
+        path.write_text("# header\n\n0.0 1 2 3 0 0 0 1\n")
+        loaded = load_tum_trajectory(str(path))
+        assert len(loaded) == 1
+        assert np.allclose(se3.translation(loaded[0]), [1, 2, 3])
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_tum_trajectory(str(tmp_path / "nope.txt"))
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.0 1 2 3\n")
+        with pytest.raises(DatasetError):
+            load_tum_trajectory(str(path))
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.0 a 2 3 0 0 0 1\n")
+        with pytest.raises(DatasetError):
+            load_tum_trajectory(str(path))
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError):
+            load_tum_trajectory(str(path))

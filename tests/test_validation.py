@@ -1,0 +1,90 @@
+"""Tests for ML validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import (
+    DecisionTreeRegressor,
+    accuracy,
+    cross_val_r2,
+    mse,
+    r2_score,
+    spearman_rank_correlation,
+    train_test_split,
+)
+
+
+class TestSplit:
+    def test_sizes(self, rng):
+        X = rng.uniform(size=(100, 2))
+        y = rng.uniform(size=100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert len(Xte) == 25
+        assert len(Xtr) == 75
+        assert len(ytr) == 75
+
+    def test_disjoint_and_complete(self, rng):
+        X = np.arange(50, dtype=float).reshape(-1, 1)
+        y = np.arange(50, dtype=float)
+        Xtr, Xte, _, _ = train_test_split(X, y, seed=0)
+        combined = sorted(list(Xtr[:, 0]) + list(Xte[:, 0]))
+        assert combined == list(range(50))
+
+    def test_bad_fraction(self, rng):
+        X = rng.uniform(size=(10, 1))
+        with pytest.raises(ModelError):
+            train_test_split(X, X[:, 0], test_fraction=0.0)
+
+
+class TestScores:
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        y = np.ones(5)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_mse(self):
+        assert mse([0.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_spearman_monotone(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, a**3) == pytest.approx(1.0)
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_spearman_handles_ties(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([1.0, 1.0, 2.0, 3.0])
+        assert spearman_rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_shape_checks(self):
+        with pytest.raises(ModelError):
+            r2_score(np.ones(3), np.ones(4))
+        with pytest.raises(ModelError):
+            spearman_rank_correlation(np.ones(1), np.ones(1))
+
+
+class TestCrossVal:
+    def test_scores_reasonable(self, rng):
+        X = rng.uniform(size=(120, 2))
+        y = 3 * X[:, 0] + rng.normal(0, 0.01, 120)
+        scores = cross_val_r2(
+            lambda: DecisionTreeRegressor(max_depth=6), X, y, folds=4
+        )
+        assert len(scores) == 4
+        assert np.mean(scores) > 0.8
+
+    def test_bad_folds(self, rng):
+        X = rng.uniform(size=(5, 1))
+        with pytest.raises(ModelError):
+            cross_val_r2(lambda: DecisionTreeRegressor(), X, X[:, 0], folds=10)

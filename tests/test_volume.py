@@ -1,0 +1,98 @@
+"""Tests for the TSDF volume."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kfusion import TSDFVolume
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        v = TSDFVolume(16, 2.0)
+        assert np.all(v.tsdf == 1.0)
+        assert np.all(v.weight == 0.0)
+        assert v.voxel_size == pytest.approx(0.125)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            TSDFVolume(2, 1.0)
+        with pytest.raises(ConfigurationError):
+            TSDFVolume(16, 0.0)
+
+    def test_reset(self):
+        v = TSDFVolume(8, 1.0)
+        v.tsdf[:] = 0.0
+        v.weight[:] = 5.0
+        v.reset()
+        assert np.all(v.tsdf == 1.0)
+        assert np.all(v.weight == 0.0)
+
+
+class TestCoordinates:
+    def test_voxel_centers(self):
+        v = TSDFVolume(4, 4.0)
+        centers = v.voxel_centers_world()
+        assert centers.shape == (64, 3)
+        assert np.allclose(centers[0], [0.5, 0.5, 0.5])
+        assert np.allclose(centers[-1], [3.5, 3.5, 3.5])
+
+    def test_world_to_voxel_inverse_of_centers(self):
+        v = TSDFVolume(8, 2.0)
+        centers = v.voxel_centers_world()
+        coords = v.world_to_voxel(centers)
+        assert np.allclose(coords[0], [0, 0, 0])
+        assert np.allclose(coords[-1], [7, 7, 7])
+
+    def test_contains(self):
+        v = TSDFVolume(8, 2.0)
+        pts = np.array([[1.0, 1.0, 1.0], [-0.1, 1.0, 1.0], [1.0, 2.1, 1.0]])
+        assert list(v.contains(pts)) == [True, False, False]
+
+
+class TestSampling:
+    def _observed_volume(self):
+        """A volume holding the plane z = 1.0 as a linear TSDF field."""
+        v = TSDFVolume(16, 2.0)
+        centers = v.voxel_centers_world()
+        sdf = (1.0 - centers[:, 2]).reshape(v.tsdf.shape)
+        v.tsdf[:] = np.clip(sdf / 0.5, -1, 1)
+        v.weight[:] = 1.0
+        return v
+
+    def test_trilinear_on_plane_field(self):
+        v = self._observed_volume()
+        pts = np.array([[1.0, 1.0, 0.75], [1.0, 1.0, 1.25]])
+        vals, valid = v.sample_trilinear(pts)
+        assert valid.all()
+        assert vals[0] == pytest.approx(0.5, abs=1e-6)
+        assert vals[1] == pytest.approx(-0.5, abs=1e-6)
+
+    def test_outside_invalid(self):
+        v = self._observed_volume()
+        vals, valid = v.sample_trilinear(np.array([[5.0, 1.0, 1.0]]))
+        assert not valid.any()
+        assert vals[0] == 1.0
+
+    def test_unobserved_invalid(self):
+        v = TSDFVolume(16, 2.0)
+        _, valid = v.sample_trilinear(np.array([[1.0, 1.0, 1.0]]))
+        assert not valid.any()
+
+    def test_gradient_points_along_z(self):
+        v = self._observed_volume()
+        g = v.gradient(np.array([[1.0, 1.0, 1.0]]))
+        g = g / np.linalg.norm(g)
+        assert np.allclose(g, [[0, 0, -1]], atol=1e-6)
+
+    def test_occupied_fraction(self):
+        v = TSDFVolume(8, 1.0)
+        assert v.occupied_fraction() == 0.0
+        v.weight[0, 0, 0] = 1.0
+        assert v.occupied_fraction() == pytest.approx(1 / 512)
+
+    def test_extract_surface_points_on_plane(self):
+        v = self._observed_volume()
+        pts = v.extract_surface_points(threshold=0.2)
+        assert len(pts) > 0
+        assert np.all(np.abs(pts[:, 2] - 1.0) < 0.2)

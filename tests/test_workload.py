@@ -1,0 +1,39 @@
+"""Tests for workload records."""
+
+import pytest
+
+from repro.core.workload import FrameWorkload, KernelInvocation
+from repro.errors import SimulationError
+
+
+class TestKernelInvocation:
+    def test_valid(self):
+        k = KernelInvocation("integrate", 100.0, 50.0)
+        assert k.parallel_fraction == 0.99
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            KernelInvocation("x", -1.0, 0.0)
+
+    def test_bad_parallel_fraction(self):
+        with pytest.raises(SimulationError):
+            KernelInvocation("x", 1.0, 1.0, parallel_fraction=1.5)
+
+
+class TestFrameWorkload:
+    def test_totals(self):
+        wl = FrameWorkload(0)
+        wl.add(KernelInvocation("a", 10.0, 1.0))
+        wl.extend([KernelInvocation("b", 20.0, 2.0),
+                   KernelInvocation("a", 5.0, 3.0)])
+        assert wl.total_flops == 35.0
+        assert wl.total_bytes == 6.0
+
+    def test_by_kernel_aggregates(self):
+        wl = FrameWorkload(0)
+        wl.add(KernelInvocation("a", 10.0, 1.0))
+        wl.add(KernelInvocation("a", 10.0, 1.0))
+        wl.add(KernelInvocation("b", 1.0, 1.0))
+        agg = wl.by_kernel()
+        assert agg["a"] == 20.0
+        assert agg["b"] == 1.0

@@ -1,0 +1,87 @@
+"""Tests for the analytic workload model, including agreement with the
+measured pipeline's recorded workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_benchmark
+from repro.errors import ConfigurationError
+from repro.kfusion import KFusionParams, KinectFusion
+from repro.kfusion.workload_model import (
+    expected_icp_iterations,
+    frame_workload,
+    pyramid_pixels,
+    sequence_workloads,
+)
+
+
+class TestExpectedIterations:
+    def test_tight_threshold_full_budget(self):
+        p = KFusionParams(icp_threshold=1e-12)
+        assert expected_icp_iterations(p) == p.pyramid_iterations
+
+    def test_loose_threshold_reduces(self):
+        tight = expected_icp_iterations(KFusionParams(icp_threshold=1e-8))
+        loose = expected_icp_iterations(KFusionParams(icp_threshold=1e-2))
+        assert sum(loose) < sum(tight)
+
+    def test_zero_budget_stays_zero(self):
+        p = KFusionParams(pyramid_iterations_l0=0)
+        assert expected_icp_iterations(p)[0] == 0
+
+
+class TestPyramidPixels:
+    def test_three_levels(self):
+        p = KFusionParams(compute_size_ratio=1)
+        assert pyramid_pixels(320, 240, p) == [76800, 19200, 4800]
+
+    def test_ratio_applied(self):
+        p = KFusionParams(compute_size_ratio=2)
+        assert pyramid_pixels(320, 240, p)[0] == 19200
+
+    def test_indivisible_rejected(self):
+        p = KFusionParams(compute_size_ratio=8)
+        with pytest.raises(ConfigurationError):
+            pyramid_pixels(100, 75, p)
+
+
+class TestFrameWorkload:
+    def test_first_frame_integrates_but_does_not_track(self):
+        p = KFusionParams()
+        wl = frame_workload(p, 320, 240, 0)
+        names = [k.name for k in wl.kernels]
+        assert "integrate" in names
+        assert "track" not in names
+
+    def test_rates_decimate(self):
+        p = KFusionParams(integration_rate=3, tracking_rate=2)
+        names1 = [k.name for k in frame_workload(p, 320, 240, 1).kernels]
+        names2 = [k.name for k in frame_workload(p, 320, 240, 2).kernels]
+        names3 = [k.name for k in frame_workload(p, 320, 240, 3).kernels]
+        assert "track" not in names1 and "track" in names2
+        assert "integrate" in names3 and "integrate" not in names2
+
+    def test_sequence_length(self):
+        p = KFusionParams()
+        wls = sequence_workloads(p, 320, 240, 7)
+        assert len(wls) == 7
+        with pytest.raises(ConfigurationError):
+            sequence_workloads(p, 320, 240, 0)
+
+
+class TestAgreementWithMeasuredPipeline:
+    def test_flops_within_25_percent(self, tiny_sequence):
+        """The model must track the real pipeline's recorded workloads."""
+        config = {"volume_resolution": 64, "volume_size": 5.0,
+                  "integration_rate": 2}
+        result = run_benchmark(KinectFusion(), tiny_sequence,
+                               configuration=config)
+        params = KFusionParams(**{**{s.name: s.default
+                                      for s in KinectFusion().parameter_specs()},
+                                  **config})
+        h, w = tiny_sequence.sensors.depth.camera.shape
+        predicted = sequence_workloads(params, w, h, len(tiny_sequence))
+        measured_flops = sum(r.workload.total_flops
+                             for r in result.collector.records)
+        predicted_flops = sum(wl.total_flops for wl in predicted)
+        assert predicted_flops == pytest.approx(measured_flops, rel=0.25)
