@@ -1,0 +1,52 @@
+"""Telemetry overhead benchmarks.
+
+The tracing layer must be effectively free when disabled (the default)
+and cheap enough when enabled that tracing a run doesn't distort the
+numbers it reports.  Both claims are asserted here against the real
+pipeline, not a microbenchmark.
+"""
+
+import pytest
+
+from repro.core import run_benchmark
+from repro.datasets import icl_nuim
+from repro.kfusion import KinectFusion
+from repro.telemetry import Tracer
+
+CONFIG = {"volume_resolution": 96, "volume_size": 5.0,
+          "integration_rate": 1}
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    seq = icl_nuim.load("lr_kt0", n_frames=6, width=80, height=60)
+    seq.materialize()
+    return seq
+
+
+def test_untraced_run(benchmark, sequence):
+    """Baseline: the default disabled-tracer path."""
+    result = benchmark.pedantic(
+        lambda: run_benchmark(KinectFusion(), sequence,
+                              configuration=CONFIG),
+        rounds=1, iterations=1,
+    )
+    assert result.collector.tracked_fraction() >= 0.8
+
+
+def test_traced_run_overhead(benchmark, sequence):
+    """Tracing on: full span capture must stay within 25% of untraced."""
+
+    def run():
+        untraced = run_benchmark(KinectFusion(), sequence,
+                                 configuration=CONFIG)
+        tracer = Tracer()
+        traced = run_benchmark(KinectFusion(), sequence,
+                               configuration=CONFIG, tracer=tracer)
+        return untraced, traced, tracer
+
+    untraced, traced, tracer = benchmark.pedantic(run, rounds=1,
+                                                  iterations=1)
+    # 4 stage spans + 1 frame span per frame, plus init/accuracy spans.
+    assert len(tracer) >= 5 * len(untraced.collector)
+    assert traced.mean_wall_time_s < untraced.mean_wall_time_s * 1.25

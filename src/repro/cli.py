@@ -7,11 +7,19 @@ Subcommands:
 * ``crowd``    — the 83-device Android campaign (Figure 3).
 * ``devices``  — list the mobile device database.
 * ``backends`` — the cross-implementation comparison (E5).
+* ``trace``    — inspect telemetry traces (``trace summarize FILE``).
+
+``run`` and ``dse`` accept ``--trace PATH`` to capture a per-kernel
+telemetry trace of the run: ``.jsonl`` writes the raw event log,
+``.csv`` the per-kernel summary, anything else a Chrome
+``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
 
 Examples::
 
     repro-benchmark run --dataset lr_kt0 --algorithm kfusion \
         --frames 20 --width 80 --height 60 --set volume_resolution=128
+    repro-benchmark run --frames 10 --trace out.json
+    repro-benchmark trace summarize out.json
     repro-benchmark dse --samples 200 --iterations 10
     repro-benchmark crowd
 """
@@ -32,6 +40,7 @@ from .core.registry import (
 )
 from .errors import ReproError
 from .platforms import PlatformConfig, odroid_xu3, phone_database
+from .telemetry import Tracer, export, summarize_trace_file, use_tracer
 
 
 def _parse_override(text: str):
@@ -47,6 +56,11 @@ def _parse_override(text: str):
     return name, raw
 
 
+def _write_trace(tracer: Tracer, path: str) -> None:
+    fmt = export(tracer, path)
+    print(f"wrote {fmt} trace ({len(tracer)} spans) to {path}")
+
+
 def _cmd_run(args) -> int:
     register_defaults()
     sequence = create_dataset(args.dataset, n_frames=args.frames,
@@ -54,15 +68,19 @@ def _cmd_run(args) -> int:
                               seed=args.seed)
     system = create_algorithm(args.algorithm)
     config = dict(args.set or [])
+    tracer = Tracer(enabled=bool(args.trace))
     result = run_benchmark(
         system,
         sequence,
         configuration=config,
         device=odroid_xu3(),
         platform_config=PlatformConfig(backend=args.backend),
+        tracer=tracer,
     )
     print(format_table([result.summary()],
                        title=f"{args.algorithm} on {args.dataset}"))
+    if args.trace:
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -76,13 +94,15 @@ def _cmd_dse(args) -> int:
         save_exploration_csv,
     )
 
-    figure = fig2_dse.run_surrogate(
-        n_random=args.samples,
-        n_initial=max(10, args.samples // 5),
-        n_iterations=args.iterations,
-        samples_per_iteration=8,
-        seed=args.seed,
-    )
+    tracer = Tracer(enabled=bool(args.trace))
+    with use_tracer(tracer):
+        figure = fig2_dse.run_surrogate(
+            n_random=args.samples,
+            n_initial=max(10, args.samples // 5),
+            n_iterations=args.iterations,
+            samples_per_iteration=8,
+            seed=args.seed,
+        )
     print(format_table(figure.summary_rows(),
                        title="Design-space exploration"))
     constraints = ConstraintSet.of([accuracy_limit(figure.accuracy_limit_m)])
@@ -92,6 +112,14 @@ def _cmd_dse(args) -> int:
     if args.csv:
         save_exploration_csv(figure.active_result, args.csv)
         print(f"wrote samples to {args.csv}")
+    if args.trace:
+        _write_trace(tracer, args.trace)
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    rows = summarize_trace_file(args.trace_file)
+    print(format_table(rows, title=f"trace summary: {args.trace_file}"))
     return 0
 
 
@@ -187,6 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--set", metavar="NAME=VALUE", action="append",
                        type=_parse_override,
                        help="override an algorithm parameter")
+    p_run.add_argument("--trace", metavar="PATH", default="",
+                       help="write a telemetry trace (.jsonl event log, "
+                            ".csv summary, else Chrome trace_event JSON)")
     p_run.set_defaults(func=_cmd_run)
 
     p_dse = sub.add_parser("dse", help="design-space exploration (Fig 2)")
@@ -195,7 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--seed", type=int, default=0)
     p_dse.add_argument("--csv", default="",
                        help="also write every sample to this CSV file")
+    p_dse.add_argument("--trace", metavar="PATH", default="",
+                       help="write a telemetry trace of the exploration")
     p_dse.set_defaults(func=_cmd_dse)
+
+    p_trace = sub.add_parser("trace", help="inspect telemetry trace files")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summ = trace_sub.add_parser(
+        "summarize", help="per-kernel p50/p95/max from a trace file"
+    )
+    p_summ.add_argument("trace_file", help="trace written by --trace "
+                                           "(Chrome JSON or JSONL)")
+    p_summ.set_defaults(func=_cmd_trace_summarize)
 
     p_crowd = sub.add_parser("crowd", help="83-device campaign (Fig 3)")
     p_crowd.add_argument("--seed", type=int, default=0)

@@ -27,6 +27,7 @@ from ..platforms.simulator import (
 )
 from ..platforms.device import DeviceModel
 from ..scene.trajectory import Trajectory
+from ..telemetry import RunManifest, Tracer, current_tracer, use_tracer
 from .api import SLAMSystem
 from .metrics import FrameRecord, MetricsCollector
 
@@ -43,6 +44,7 @@ class BenchmarkResult:
     rpe: RPEResult | None = None
     drift: DriftResult | None = None
     simulation: SimulationResult | None = None
+    manifest: RunManifest | None = None
 
     @property
     def estimated(self) -> Trajectory:
@@ -57,7 +59,10 @@ class BenchmarkResult:
 
         One row per processed frame with the tracking status, wall-clock
         of the Python kernels, estimated position, and (when a device was
-        simulated) the simulated frame time.
+        simulated) the simulated frame time.  ``sim_time_s`` is ``None``
+        when no device was simulated for the frame, so the column stays
+        uniformly numeric-or-missing rather than mixing floats with
+        strings.
         """
         sim_times = {}
         if self.simulation is not None:
@@ -74,7 +79,7 @@ class BenchmarkResult:
                     "timestamp_s": record.timestamp,
                     "status": record.status.value,
                     "wall_time_s": record.wall_time_s,
-                    "sim_time_s": sim_times.get(record.index, ""),
+                    "sim_time_s": sim_times.get(record.index),
                     "x": x,
                     "y": y,
                     "z": z,
@@ -118,6 +123,17 @@ class BenchmarkResult:
         return out
 
 
+def _capture_manifest(system: SLAMSystem, sequence: Sequence,
+                      config: dict) -> RunManifest:
+    return RunManifest.capture(
+        algorithm=system.name,
+        dataset=sequence.name,
+        configuration=config,
+        seed=getattr(sequence, "seed", None),
+        frames=len(sequence),
+    )
+
+
 def run_benchmark(
     system: SLAMSystem,
     sequence: Sequence,
@@ -126,6 +142,7 @@ def run_benchmark(
     platform_config: PlatformConfig | None = None,
     evaluate_accuracy: bool = True,
     rpe_delta: int = 1,
+    tracer: Tracer | None = None,
 ) -> BenchmarkResult:
     """Run a SLAM system over a sequence and evaluate it.
 
@@ -138,63 +155,78 @@ def run_benchmark(
         evaluate_accuracy: compute ATE/RPE against ground truth (requires
             the sequence to carry ground-truth poses).
         rpe_delta: frame interval for the RPE.
+        tracer: telemetry sink for per-frame/per-kernel spans.  Defaults
+            to whatever :func:`repro.telemetry.use_tracer` installed in
+            the calling context (a disabled no-op tracer otherwise); pass
+            one explicitly to trace just this run.
 
     Returns:
         A :class:`BenchmarkResult`; accuracy/simulation fields are ``None``
-        when not requested.
+        when not requested.  ``result.manifest`` records the provenance
+        (configuration, dataset, git SHA, platform, seed) of the run.
     """
     if len(sequence) == 0:
         raise DatasetError(f"sequence {sequence.name} is empty")
+    tracer = tracer if tracer is not None else current_tracer()
 
     config = system.new_configuration()
     if configuration:
         config.update(configuration)
-    system.init(sequence.sensors)
+    manifest = _capture_manifest(system, sequence, config.as_dict())
+    if tracer.enabled and tracer.manifest is None:
+        tracer.manifest = manifest
 
     collector = MetricsCollector()
-    try:
-        for frame in sequence:
-            t0 = time.perf_counter()
-            system.update_frame(frame.without_ground_truth())
-            status = system.process_once()
-            system.update_outputs()
-            wall = time.perf_counter() - t0
-            collector.add(
-                FrameRecord(
-                    index=frame.index,
-                    timestamp=frame.timestamp,
-                    wall_time_s=wall,
-                    status=status,
-                    pose=system.outputs.pose(),
-                    workload=system.last_workload(),
-                    valid_depth_fraction=frame.valid_depth_fraction(),
+    with use_tracer(tracer):
+        with tracer.span("init", algorithm=system.name):
+            system.init(sequence.sensors)
+        try:
+            for frame in sequence:
+                with tracer.span("frame", frame=frame.index):
+                    t0 = time.perf_counter()
+                    system.update_frame(frame.without_ground_truth())
+                    status = system.process_once()
+                    system.update_outputs()
+                    wall = time.perf_counter() - t0
+                collector.add(
+                    FrameRecord(
+                        index=frame.index,
+                        timestamp=frame.timestamp,
+                        wall_time_s=wall,
+                        status=status,
+                        pose=system.outputs.pose(),
+                        workload=system.last_workload(),
+                        valid_depth_fraction=frame.valid_depth_fraction(),
+                    )
                 )
-            )
-    finally:
-        system.clean()
+        finally:
+            system.clean()
 
     result = BenchmarkResult(
         algorithm=system.name,
         sequence=sequence.name,
         configuration=config.as_dict(),
         collector=collector,
+        manifest=manifest,
     )
 
     if evaluate_accuracy and sequence.sensors.has_ground_truth:
-        estimated = collector.estimated_trajectory().relative(0)
-        reference = sequence.ground_truth().relative(0)
-        result.ate = absolute_trajectory_error(estimated, reference)
-        if len(estimated) > rpe_delta:
-            result.rpe = relative_pose_error(estimated, reference,
-                                             delta=rpe_delta)
-        try:
-            result.drift = trajectory_drift(estimated, reference)
-        except _ReproError:
-            result.drift = None  # e.g. stationary sequence: no path
+        with tracer.span("evaluate_accuracy"):
+            estimated = collector.estimated_trajectory().relative(0)
+            reference = sequence.ground_truth().relative(0)
+            result.ate = absolute_trajectory_error(estimated, reference)
+            if len(estimated) > rpe_delta:
+                result.rpe = relative_pose_error(estimated, reference,
+                                                 delta=rpe_delta)
+            try:
+                result.drift = trajectory_drift(estimated, reference)
+            except _ReproError:
+                result.drift = None  # e.g. stationary sequence: no path
 
     if device is not None:
-        simulator = PerformanceSimulator(device, platform_config)
-        result.simulation = simulator.simulate(collector.workloads())
+        with use_tracer(tracer):
+            simulator = PerformanceSimulator(device, platform_config)
+            result.simulation = simulator.simulate(collector.workloads())
 
     return result
 
@@ -203,27 +235,39 @@ def run_frame_stream(
     system: SLAMSystem,
     sequence: Sequence,
     configuration: dict | None = None,
+    tracer: Tracer | None = None,
 ):
     """Generator variant of the harness for live/GUI-style consumption.
 
     Yields :class:`FrameRecord` objects one at a time — what the SLAMBench
     GUI renders in real time (Figure 1).  The caller owns cleanup via the
-    generator protocol.
+    generator protocol.  Like :func:`run_benchmark`, an empty sequence
+    raises :class:`~repro.errors.DatasetError` (at the first ``next()``,
+    per the generator protocol).
     """
+    if len(sequence) == 0:
+        raise DatasetError(f"sequence {sequence.name} is empty")
+    tracer = tracer if tracer is not None else current_tracer()
+
     config = system.new_configuration()
     if configuration:
         config.update(configuration)
+    if tracer.enabled and tracer.manifest is None:
+        tracer.manifest = _capture_manifest(system, sequence,
+                                            config.as_dict())
     system.init(sequence.sensors)
     try:
         for frame in sequence:
-            t0 = time.perf_counter()
-            system.update_frame(frame.without_ground_truth())
-            status = system.process_once()
-            system.update_outputs()
+            with use_tracer(tracer), tracer.span("frame", frame=frame.index):
+                t0 = time.perf_counter()
+                system.update_frame(frame.without_ground_truth())
+                status = system.process_once()
+                system.update_outputs()
+                wall = time.perf_counter() - t0
             yield FrameRecord(
                 index=frame.index,
                 timestamp=frame.timestamp,
-                wall_time_s=time.perf_counter() - t0,
+                wall_time_s=wall,
                 status=status,
                 pose=system.outputs.pose(),
                 workload=system.last_workload(),

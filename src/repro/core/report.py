@@ -49,16 +49,24 @@ def format_table(
 
 def write_csv(rows: Sequence[Mapping], path: str,
               columns: Sequence[str] | None = None) -> None:
-    """Write dict rows as CSV (simple, no quoting needs in our data)."""
+    """Write dict rows as CSV (simple, no quoting needs in our data).
+
+    ``None`` values (missing measurements, e.g. ``sim_time_s`` without a
+    simulated device) are written as empty cells rather than ``"None"``.
+    """
     rows = list(rows)
     if not rows:
         raise ValueError("no rows to write")
     if columns is None:
         columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        return "" if value is None else str(value)
+
     with open(path, "w") as f:
         f.write(",".join(columns) + "\n")
         for row in rows:
-            f.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+            f.write(",".join(cell(row.get(c)) for c in columns) + "\n")
 
 
 def format_histogram(

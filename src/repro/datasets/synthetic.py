@@ -69,6 +69,11 @@ class SyntheticSequence(Sequence):
         )
 
     @property
+    def seed(self) -> int:
+        """Reproducibility seed (recorded in run manifests)."""
+        return self._seed
+
+    @property
     def sensors(self) -> SensorSuite:
         return self._sensors
 

@@ -22,6 +22,12 @@ import numpy as np
 from ..errors import GeometryError
 
 _EPS = 1e-12
+# Threshold below which the closed-form V / V^-1 coefficients of the SE(3)
+# exp/log maps are evaluated by Taylor series instead.  The closed forms
+# divide quantities like (1 - cos(theta)) by theta^2, which loses roughly
+# eps/theta^2 of precision and underflows to a hard 0/0 once theta drops
+# below ~1.5e-8; the series are accurate to O(theta^4) at this cutoff.
+_SMALL_ANGLE = 1e-3
 
 
 def identity() -> np.ndarray:
@@ -169,13 +175,15 @@ def se3_exp(xi: np.ndarray) -> np.ndarray:
     theta = float(np.linalg.norm(w))
     R = so3_exp(w)
     W = hat(w)
-    if theta < _EPS:
-        V = np.eye(3) + 0.5 * W + (W @ W) / 6.0
+    t2 = theta * theta
+    if theta < _SMALL_ANGLE:
+        B = 0.5 - t2 / 24.0
+        C = 1.0 / 6.0 - t2 / 120.0
     else:
         A = np.sin(theta) / theta
-        B = (1.0 - np.cos(theta)) / (theta * theta)
-        C = (1.0 - A) / (theta * theta)
-        V = np.eye(3) + B * W + C * (W @ W)
+        B = (1.0 - np.cos(theta)) / t2
+        C = (1.0 - A) / t2
+    V = np.eye(3) + B * W + C * (W @ W)
     return make_pose(R, V @ v)
 
 
@@ -185,16 +193,14 @@ def se3_log(T: np.ndarray) -> np.ndarray:
     w = so3_log(T[:3, :3])
     theta = float(np.linalg.norm(w))
     W = hat(w)
-    if theta < _EPS:
-        V_inv = np.eye(3) - 0.5 * W + (W @ W) / 12.0
+    t2 = theta * theta
+    if theta < _SMALL_ANGLE:
+        D = 1.0 / 12.0 + t2 / 720.0
     else:
         A = np.sin(theta) / theta
-        B = (1.0 - np.cos(theta)) / (theta * theta)
-        V_inv = (
-            np.eye(3)
-            - 0.5 * W
-            + (1.0 / (theta * theta)) * (1.0 - A / (2.0 * B)) * (W @ W)
-        )
+        B = (1.0 - np.cos(theta)) / t2
+        D = (1.0 / t2) * (1.0 - A / (2.0 * B))
+    V_inv = np.eye(3) - 0.5 * W + D * (W @ W)
     v = V_inv @ T[:3, 3]
     return np.concatenate([v, w])
 

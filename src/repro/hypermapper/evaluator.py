@@ -24,6 +24,7 @@ from ..kfusion.params import KFusionParams
 from ..kfusion.pipeline import KinectFusion
 from ..platforms.device import DeviceModel
 from ..platforms.simulator import PlatformConfig
+from ..telemetry import current_tracer
 
 
 @dataclass(frozen=True)
@@ -94,10 +95,25 @@ class MeasuredEvaluator:
         self.evaluations = 0
 
     def evaluate(self, configuration: Mapping) -> Evaluation:
+        tracer = current_tracer()
         key = tuple(sorted(configuration.items())) if self._cache is not None else None
         if key is not None and key in self._cache:
+            tracer.count("dse.cache_hits")
             return self._cache[key]
 
+        with tracer.span("dse.evaluate", evaluator="measured",
+                         **dict(configuration)):
+            evaluation = self._evaluate_uncached(configuration)
+        tracer.count("dse.evaluations")
+        if evaluation.failed:
+            tracer.count("dse.failed_evaluations")
+
+        self.evaluations += 1
+        if key is not None:
+            self._cache[key] = evaluation
+        return evaluation
+
+    def _evaluate_uncached(self, configuration: Mapping) -> Evaluation:
         failed = False
         try:
             result = run_benchmark(
@@ -145,8 +161,4 @@ class MeasuredEvaluator:
                 failed=True,
                 extras={"error": str(exc)},
             )
-
-        self.evaluations += 1
-        if key is not None:
-            self._cache[key] = evaluation
         return evaluation

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import OptimizationError
 from ..ml.forest import RandomForestRegressor
+from ..telemetry import current_tracer
 from .constraints import Constraint, ConstraintSet, accuracy_limit
 from .evaluator import Evaluation, Evaluator
 from .pareto import pareto_mask
@@ -220,27 +221,34 @@ class HyperMapper:
     # -- main loop ------------------------------------------------------------------
     def run(self) -> ExplorationResult:
         """Execute the exploration and return every evaluation."""
+        tracer = current_tracer()
         rng = np.random.default_rng(self.seed)
         evaluations: list[Evaluation] = []
         iteration_of: list[int] = []
         seen: set = set()
 
-        initial = list(self.seed_configurations)
-        initial += self.space.sample_many(
-            max(self.n_initial - len(initial), 0), rng
-        )
-        for config in initial:
-            evaluations.append(self.evaluator.evaluate(config))
-            iteration_of.append(0)
-            seen.add(tuple(sorted(config.items())))
+        with tracer.span("dse.initial_phase", n=self.n_initial):
+            initial = list(self.seed_configurations)
+            initial += self.space.sample_many(
+                max(self.n_initial - len(initial), 0), rng
+            )
+            for config in initial:
+                evaluations.append(self.evaluator.evaluate(config))
+                iteration_of.append(0)
+                seen.add(tuple(sorted(config.items())))
 
         for it in range(1, self.n_iterations + 1):
-            models = self._fit_models(evaluations)
-            batch = self._acquire(models, rng, seen)
-            for config in batch:
-                evaluations.append(self.evaluator.evaluate(config))
-                iteration_of.append(it)
-                seen.add(tuple(sorted(config.items())))
+            with tracer.span("dse.iteration", iteration=it):
+                with tracer.span("dse.fit_models",
+                                 n_evaluations=len(evaluations)):
+                    models = self._fit_models(evaluations)
+                with tracer.span("dse.acquire"):
+                    batch = self._acquire(models, rng, seen)
+                for config in batch:
+                    evaluations.append(self.evaluator.evaluate(config))
+                    iteration_of.append(it)
+                    seen.add(tuple(sorted(config.items())))
+            tracer.gauge("dse.last_iteration", it)
 
         return ExplorationResult(
             space=self.space,

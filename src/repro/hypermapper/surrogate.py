@@ -42,6 +42,7 @@ from ..kfusion.workload_model import sequence_workloads
 from ..platforms.device import DeviceModel
 from ..platforms.odroid import odroid_xu3
 from ..platforms.simulator import PerformanceSimulator, PlatformConfig
+from ..telemetry import current_tracer
 from .evaluator import Evaluation
 
 #: Per-sequence difficulty multipliers (matching the preset sequences).
@@ -199,6 +200,10 @@ class SurrogateEvaluator:
             algo_config, self.sequence_name, self.seed
         )
         self.evaluations += 1
+        tracer = current_tracer()
+        tracer.count("dse.surrogate_evaluations")
+        if failed:
+            tracer.count("dse.failed_evaluations")
         return Evaluation(
             configuration=config,
             runtime_s=sim.mean_frame_time_s,

@@ -19,8 +19,6 @@ time and energy.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core.api import SLAMSystem
@@ -31,6 +29,7 @@ from ..core.sensors import SensorSuite
 from ..core.workload import FrameWorkload
 from ..errors import ConfigurationError, DatasetError
 from ..geometry import PinholeCamera, se3
+from ..telemetry import current_tracer, stage
 from . import kernels
 from .integration import integrate
 from .params import KFusionParams, parameter_specs
@@ -144,123 +143,121 @@ class KinectFusion(SLAMSystem):
             )
 
         # 1. Preprocessing -------------------------------------------------
-        t0 = time.perf_counter()
-        workload.add(kernels.acquire(self._input_camera.pixel_count))
-        depth = downsample_depth(frame.depth, params.compute_size_ratio)
-        workload.add(
-            kernels.downsample(self._input_camera.pixel_count, cam.pixel_count)
-        )
-        depth = bilateral_filter(depth)
-        workload.add(kernels.bilateral_filter(cam.pixel_count))
+        with stage(workload, "preprocess", frame=frame.index):
+            workload.add(kernels.acquire(self._input_camera.pixel_count))
+            depth = downsample_depth(frame.depth, params.compute_size_ratio)
+            workload.add(
+                kernels.downsample(self._input_camera.pixel_count,
+                                   cam.pixel_count)
+            )
+            depth = bilateral_filter(depth)
+            workload.add(kernels.bilateral_filter(cam.pixel_count))
 
-        pyramid = build_pyramid(depth, PYRAMID_LEVELS)
-        for level in range(1, len(pyramid)):
-            workload.add(kernels.half_sample(pyramid[level].size))
-        vertices, normals, _cams = vertex_normal_pyramid(pyramid, cam)
-        for level_depth in pyramid:
-            workload.add(kernels.depth_to_vertex(level_depth.size))
-            workload.add(kernels.vertex_to_normal(level_depth.size))
-
-        workload.record_wall_time("preprocess", time.perf_counter() - t0)
+            pyramid = build_pyramid(depth, PYRAMID_LEVELS)
+            for level in range(1, len(pyramid)):
+                workload.add(kernels.half_sample(pyramid[level].size))
+            vertices, normals, _cams = vertex_normal_pyramid(pyramid, cam)
+            for level_depth in pyramid:
+                workload.add(kernels.depth_to_vertex(level_depth.size))
+                workload.add(kernels.vertex_to_normal(level_depth.size))
 
         # 2. Tracking --------------------------------------------------------
-        t0 = time.perf_counter()
-        first_frame = self.frames_processed == 0
-        should_track = (
-            not first_frame
-            and frame.index % params.tracking_rate == 0
-            and self._reference is not None
-        )
-        tracked = first_frame  # frame 0 counts as tracked at the start pose
-        if should_track:
-            iters = params.pyramid_iterations[: len(vertices)]
-            result = track(
-                vertices,
-                normals,
-                self._reference,
-                self._pose,
-                iters,
-                params.icp_threshold,
-                huber_delta=(self.HUBER_DELTA_M
-                             if self._robust_tracking else None),
+        with stage(workload, "track", frame=frame.index):
+            first_frame = self.frames_processed == 0
+            should_track = (
+                not first_frame
+                and frame.index % params.tracking_rate == 0
+                and self._reference is not None
             )
-            for level, used in enumerate(result.iterations_per_level):
-                level_pixels = vertices[level].shape[0] * vertices[level].shape[1]
-                for _ in range(used):
-                    workload.add(kernels.track_iteration(level_pixels))
-                    workload.add(kernels.reduce_iteration(level_pixels))
-                    workload.add(kernels.solve())
-            self._last_track_rmse = result.rmse
-            if result.tracked:
-                self._pose = result.pose
-                tracked = True
-                self._status = TrackingStatus.OK
+            tracked = first_frame  # frame 0 counts as tracked at the start pose
+            if should_track:
+                iters = params.pyramid_iterations[: len(vertices)]
+                result = track(
+                    vertices,
+                    normals,
+                    self._reference,
+                    self._pose,
+                    iters,
+                    params.icp_threshold,
+                    huber_delta=(self.HUBER_DELTA_M
+                                 if self._robust_tracking else None),
+                )
+                for level, used in enumerate(result.iterations_per_level):
+                    level_pixels = (vertices[level].shape[0]
+                                    * vertices[level].shape[1])
+                    for _ in range(used):
+                        workload.add(kernels.track_iteration(level_pixels))
+                        workload.add(kernels.reduce_iteration(level_pixels))
+                        workload.add(kernels.solve())
+                self._last_track_rmse = result.rmse
+                if result.tracked:
+                    self._pose = result.pose
+                    tracked = True
+                    self._status = TrackingStatus.OK
+                else:
+                    self._status = TrackingStatus.LOST
+            elif not first_frame:
+                self._status = TrackingStatus.SKIPPED
             else:
-                self._status = TrackingStatus.LOST
-        elif not first_frame:
-            self._status = TrackingStatus.SKIPPED
-        else:
-            self._status = TrackingStatus.BOOTSTRAP
-
-        workload.record_wall_time("track", time.perf_counter() - t0)
+                self._status = TrackingStatus.BOOTSTRAP
 
         # 3. Integration -----------------------------------------------------
-        t0 = time.perf_counter()
-        should_integrate = (
-            tracked or self.frames_processed < BOOTSTRAP_FRAMES
-        ) and (frame.index % params.integration_rate == 0 or first_frame)
-        if should_integrate:
-            integrate(
+        with stage(workload, "integrate", frame=frame.index):
+            should_integrate = (
+                tracked or self.frames_processed < BOOTSTRAP_FRAMES
+            ) and (frame.index % params.integration_rate == 0 or first_frame)
+            if should_integrate:
+                integrate(
+                    self.volume,
+                    depth,
+                    cam,
+                    self._pose,
+                    params.mu_distance,
+                )
+                workload.add(kernels.integrate(params.volume_resolution))
+
+        # 4. Raycast the next reference ---------------------------------------
+        with stage(workload, "raycast", frame=frame.index):
+            ref_vertices_cam, ref_normals_cam = raycast(
                 self.volume,
-                depth,
                 cam,
                 self._pose,
                 params.mu_distance,
             )
-            workload.add(kernels.integrate(params.volume_resolution))
-
-        workload.record_wall_time("integrate", time.perf_counter() - t0)
-
-        # 4. Raycast the next reference ---------------------------------------
-        t0 = time.perf_counter()
-        ref_vertices_cam, ref_normals_cam = raycast(
-            self.volume,
-            cam,
-            self._pose,
-            params.mu_distance,
-        )
-        workload.add(
-            kernels.raycast(
-                cam.pixel_count,
-                params.volume_size,
-                params.mu_distance,
-                params.voxel_size,
+            workload.add(
+                kernels.raycast(
+                    cam.pixel_count,
+                    params.volume_size,
+                    params.mu_distance,
+                    params.voxel_size,
+                )
             )
-        )
-        # Store the prediction in the volume frame for projective association.
-        h, w = cam.shape
-        flat_v = ref_vertices_cam.reshape(-1, 3)
-        flat_n = ref_normals_cam.reshape(-1, 3)
-        valid = np.any(flat_n != 0.0, axis=-1)
-        v_vol = np.zeros_like(flat_v)
-        n_vol = np.zeros_like(flat_n)
-        v_vol[valid] = se3.transform_points(self._pose, flat_v[valid])
-        n_vol[valid] = flat_n[valid] @ self._pose[:3, :3].T
-        self._reference = ReferenceModel(
-            vertices=v_vol.reshape(h, w, 3),
-            normals=n_vol.reshape(h, w, 3),
-            camera=cam,
-            pose_volume_from_camera=self._pose.copy(),
-        )
-
-        workload.record_wall_time("raycast", time.perf_counter() - t0)
+            # Store the prediction in the volume frame for projective
+            # association.
+            h, w = cam.shape
+            flat_v = ref_vertices_cam.reshape(-1, 3)
+            flat_n = ref_normals_cam.reshape(-1, 3)
+            valid = np.any(flat_n != 0.0, axis=-1)
+            v_vol = np.zeros_like(flat_v)
+            n_vol = np.zeros_like(flat_n)
+            v_vol[valid] = se3.transform_points(self._pose, flat_v[valid])
+            n_vol[valid] = flat_n[valid] @ self._pose[:3, :3].T
+            self._reference = ReferenceModel(
+                vertices=v_vol.reshape(h, w, 3),
+                normals=n_vol.reshape(h, w, 3),
+                camera=cam,
+                pose_volume_from_camera=self._pose.copy(),
+            )
 
         # 5. Optional GUI render ----------------------------------------------
         if self._publish_render:
-            self._last_render = render_volume(
-                self.volume, cam, self._pose, params.mu_distance
-            )
-            workload.add(kernels.render(cam.pixel_count))
+            # Tracer-only span: the render is not one of the four canonical
+            # wall-time stages the simulator-side analyses consume.
+            with current_tracer().span("render", frame=frame.index):
+                self._last_render = render_volume(
+                    self.volume, cam, self._pose, params.mu_distance
+                )
+                workload.add(kernels.render(cam.pixel_count))
 
         return self._status
 

@@ -220,8 +220,16 @@ class PerformanceSimulator:
     # -- whole sequence -------------------------------------------------------
     def simulate(self, workloads: "list[FrameWorkload]") -> SimulationResult:
         """Simulate a sequence of per-frame workloads."""
+        from ..telemetry import current_tracer
+
         if not workloads:
             raise SimulationError("no workloads to simulate")
+        with current_tracer().span("simulate", device=self.device.name,
+                                   backend=self.backend.name,
+                                   frames=len(workloads)):
+            return self._simulate(workloads)
+
+    def _simulate(self, workloads: "list[FrameWorkload]") -> SimulationResult:
         power = PowerTrace()
         timings = []
         for wl in workloads:

@@ -1,0 +1,72 @@
+"""Per-kernel tracing and run telemetry (the SLAMBench metrics API).
+
+The measurement substrate for every performance claim in this repo:
+nested spans with monotonic timestamps (:class:`Tracer`,
+:func:`use_tracer`), per-kernel p50/p95/max aggregation
+(:mod:`~repro.telemetry.aggregate`), JSONL / Chrome ``trace_event`` /
+CSV exporters (:mod:`~repro.telemetry.exporters`), and a provenance
+:class:`RunManifest` attached to every traced run.
+
+Instrumented code emits into the *current* tracer::
+
+    from repro import telemetry
+
+    tracer = telemetry.Tracer()
+    with telemetry.use_tracer(tracer):
+        result = run_benchmark(system, sequence)
+    telemetry.export(tracer, "out.json")          # chrome://tracing
+    print(telemetry.summarize_trace_file("out.json"))
+
+The default current tracer is :data:`DISABLED`, so un-traced runs pay
+(almost) nothing.
+"""
+
+from .aggregate import (
+    SpanStats,
+    aggregate_spans,
+    aggregate_tracer,
+    load_spans,
+    summarize_trace_file,
+    summary_rows,
+)
+from .exporters import (
+    chrome_trace_events,
+    export,
+    write_chrome_trace,
+    write_csv_summary,
+    write_jsonl,
+)
+from .manifest import RunManifest, git_revision, platform_fingerprint
+from .tracer import (
+    DISABLED,
+    SpanEvent,
+    TelemetryError,
+    Tracer,
+    current_tracer,
+    stage,
+    use_tracer,
+)
+
+__all__ = [
+    "DISABLED",
+    "RunManifest",
+    "SpanEvent",
+    "SpanStats",
+    "TelemetryError",
+    "Tracer",
+    "aggregate_spans",
+    "aggregate_tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "export",
+    "git_revision",
+    "load_spans",
+    "platform_fingerprint",
+    "stage",
+    "summarize_trace_file",
+    "summary_rows",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_csv_summary",
+    "write_jsonl",
+]

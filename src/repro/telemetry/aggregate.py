@@ -1,0 +1,158 @@
+"""Statistical aggregation of span streams.
+
+Turns the flat event list a :class:`~repro.telemetry.tracer.Tracer`
+collects into the per-kernel summary SLAMBench prints at the end of a
+run: count, total, mean, p50, p95 and max per span name.  The same
+aggregation runs over live tracers and over trace files read back from
+disk (both the JSONL and Chrome ``trace_event`` formats the exporters
+write), which is what ``repro-benchmark trace summarize`` does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .tracer import SpanEvent, TelemetryError, Tracer
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate timing statistics for one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+    def as_row(self) -> dict:
+        """Flat dict for tables/CSV, times in milliseconds."""
+        return {
+            "span": self.name,
+            "count": self.count,
+            "total_ms": self.total_s * 1e3,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.p50_s * 1e3,
+            "p95_ms": self.p95_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+        }
+
+
+def aggregate_spans(
+    spans: Iterable[SpanEvent],
+) -> dict[str, SpanStats]:
+    """Group spans by name and compute count/total/mean/p50/p95/max."""
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(span.duration_s)
+    out: dict[str, SpanStats] = {}
+    for name, values in durations.items():
+        arr = np.asarray(values, dtype=float)
+        out[name] = SpanStats(
+            name=name,
+            count=int(arr.size),
+            total_s=float(arr.sum()),
+            mean_s=float(arr.mean()),
+            p50_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            max_s=float(arr.max()),
+        )
+    return out
+
+
+def aggregate_tracer(tracer: Tracer) -> dict[str, SpanStats]:
+    """Aggregate a live tracer's spans."""
+    return aggregate_spans(tracer.spans)
+
+
+def summary_rows(stats: Mapping[str, SpanStats]) -> list[dict]:
+    """Stats as table rows, longest total time first."""
+    ordered = sorted(stats.values(), key=lambda s: -s.total_s)
+    return [s.as_row() for s in ordered]
+
+
+# -- reading traces back ----------------------------------------------------
+def _spans_from_chrome(payload: dict | list) -> list[SpanEvent]:
+    events = payload["traceEvents"] if isinstance(payload, dict) else payload
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue  # counter samples, metadata...
+        spans.append(
+            SpanEvent(
+                name=str(ev.get("name", "?")),
+                start_ns=int(ev.get("ts", 0) * 1e3),
+                duration_ns=int(ev.get("dur", 0) * 1e3),
+                thread_id=int(ev.get("tid", 0)),
+                attrs=dict(ev.get("args", {})),
+            )
+        )
+    return spans
+
+
+def _spans_from_jsonl(lines: Sequence[str]) -> list[SpanEvent]:
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") != "span":
+            continue
+        spans.append(
+            SpanEvent(
+                name=str(record["name"]),
+                start_ns=int(record["start_ns"]),
+                duration_ns=int(record["duration_ns"]),
+                depth=int(record.get("depth", 0)),
+                parent=record.get("parent"),
+                thread_id=int(record.get("thread_id", 0)),
+                attrs=dict(record.get("attrs", {})),
+            )
+        )
+    return spans
+
+
+def load_spans(path: str) -> list[SpanEvent]:
+    """Read spans back from a trace file written by the exporters.
+
+    Accepts both formats and sniffs which one it is: a Chrome
+    ``trace_event`` JSON document (object with ``traceEvents`` or a bare
+    event array) or a JSONL event log (one object per line).
+    """
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read trace file {path!r}: {exc}")
+    stripped = text.lstrip()
+    if not stripped:
+        raise TelemetryError(f"trace file {path!r} is empty")
+    try:
+        if stripped.startswith("{") or stripped.startswith("["):
+            payload = json.loads(text)
+            # A JSONL file whose first record is an object also parses as
+            # JSON when it has one line; only treat documents that look
+            # like Chrome traces as such.
+            if isinstance(payload, list) or "traceEvents" in payload:
+                return _spans_from_chrome(payload)
+    except json.JSONDecodeError:
+        pass  # multi-line JSONL: fall through to per-line parsing
+    try:
+        return _spans_from_jsonl(text.splitlines())
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise TelemetryError(f"cannot parse trace file {path!r}: {exc}")
+
+
+def summarize_trace_file(path: str) -> list[dict]:
+    """Per-span-name summary rows for a trace file (either format)."""
+    spans = load_spans(path)
+    if not spans:
+        raise TelemetryError(f"trace file {path!r} contains no spans")
+    return summary_rows(aggregate_spans(spans))

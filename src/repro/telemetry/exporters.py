@@ -1,0 +1,128 @@
+"""Trace exporters: JSONL, Chrome ``trace_event``, CSV summary.
+
+Three sinks for one tracer, mirroring how SLAMBench emits both
+machine-readable logs and human-readable tables:
+
+* :func:`write_jsonl` — the lossless event log: one JSON object per
+  line (manifest, spans, counters, gauges).  Greppable, streamable,
+  and the round-trip source for :func:`repro.telemetry.load_spans`.
+* :func:`write_chrome_trace` — a ``chrome://tracing`` / Perfetto
+  compatible JSON document of complete (``"ph": "X"``) events, with
+  counters as ``"C"`` samples and the run manifest in ``metadata``.
+* :func:`write_csv_summary` — the flat per-kernel p50/p95/max table
+  for spreadsheets and plotting scripts.
+
+:func:`export` picks by file extension (``.jsonl``, ``.csv``, else
+Chrome JSON) — the rule the CLI's ``--trace PATH`` flag documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .aggregate import aggregate_tracer, summary_rows
+from .tracer import TelemetryError, Tracer
+
+
+def _manifest_dict(tracer: Tracer) -> dict | None:
+    if tracer.manifest is None:
+        return None
+    return tracer.manifest.as_dict()
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    """Write the full event log, one JSON object per line."""
+    with open(path, "w") as f:
+        manifest = _manifest_dict(tracer)
+        if manifest is not None:
+            f.write(json.dumps({"type": "manifest", **manifest},
+                               default=str) + "\n")
+        for span in tracer.spans:
+            f.write(json.dumps({
+                "type": "span",
+                "name": span.name,
+                "start_ns": span.start_ns,
+                "duration_ns": span.duration_ns,
+                "depth": span.depth,
+                "parent": span.parent,
+                "thread_id": span.thread_id,
+                "attrs": span.attrs,
+            }, default=str) + "\n")
+        for name, value in sorted(tracer.counters.items()):
+            f.write(json.dumps({"type": "counter", "name": name,
+                                "value": value}) + "\n")
+        for name, value in sorted(tracer.gauges.items()):
+            f.write(json.dumps({"type": "gauge", "name": name,
+                                "value": value}) + "\n")
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Tracer spans/counters as Chrome ``trace_event`` records."""
+    events: list[dict] = []
+    for span in tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.parent or "run",
+            "ph": "X",
+            "ts": span.start_ns / 1e3,   # microseconds
+            "dur": span.duration_ns / 1e3,
+            "pid": 0,
+            "tid": span.thread_id,
+            "args": span.attrs,
+        })
+    # Counters as a single sample at the end of the timeline, so the
+    # totals show up in the trace viewer's counter track.
+    if tracer.counters:
+        last_ts = max((s.start_ns + s.duration_ns for s in tracer.spans),
+                      default=0) / 1e3
+        for name, value in sorted(tracer.counters.items()):
+            events.append({
+                "name": name, "ph": "C", "ts": last_ts,
+                "pid": 0, "args": {"value": value},
+            })
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write a ``chrome://tracing``-loadable JSON document."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    manifest = _manifest_dict(tracer)
+    if manifest is not None:
+        doc["metadata"] = manifest
+    with open(path, "w") as f:
+        json.dump(doc, f, default=str)
+
+
+def write_csv_summary(tracer: Tracer, path: str) -> None:
+    """Write the per-span p50/p95/max aggregation as CSV."""
+    # Imported lazily: repro.core.harness imports repro.telemetry, so a
+    # top-level import here would make the packages mutually recursive.
+    from ..core.report import write_csv
+
+    rows = summary_rows(aggregate_tracer(tracer))
+    if not rows:
+        raise TelemetryError("tracer holds no spans to summarize")
+    write_csv(rows, path)
+
+
+def export(tracer: Tracer, path: str) -> str:
+    """Write ``tracer`` to ``path`` in the format its extension implies.
+
+    ``.jsonl`` → event log, ``.csv`` → summary table, anything else →
+    Chrome ``trace_event`` JSON.  Returns the format name written.
+    """
+    lowered = path.lower()
+    try:
+        if lowered.endswith(".jsonl"):
+            write_jsonl(tracer, path)
+            return "jsonl"
+        if lowered.endswith(".csv"):
+            write_csv_summary(tracer, path)
+            return "csv"
+        write_chrome_trace(tracer, path)
+        return "chrome"
+    except OSError as exc:
+        raise TelemetryError(f"cannot write trace file {path!r}: {exc}")

@@ -1,0 +1,95 @@
+"""Run manifests: the provenance record attached to every benchmark.
+
+SLAMBench writes the exact binary/dataset/parameter combination into its
+logs so a number can always be traced back to the run that produced it.
+:class:`RunManifest` is our version: algorithm, dataset, configuration,
+seed, git revision and platform fingerprint, captured once per run and
+attached to the :class:`~repro.core.harness.BenchmarkResult` and to any
+exported trace file's metadata.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import platform as _platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@functools.lru_cache(maxsize=1)
+def git_revision() -> str:
+    """The repository's HEAD SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def _platform_fingerprint_cached() -> tuple:
+    import numpy
+
+    return (
+        ("python", _platform.python_version()),
+        ("implementation", _platform.python_implementation()),
+        ("system", _platform.system()),
+        ("machine", _platform.machine()),
+        ("numpy", numpy.__version__),
+    )
+
+
+def platform_fingerprint() -> dict:
+    """Interpreter/OS/numpy identification for the manifest."""
+    return dict(_platform_fingerprint_cached())
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to reproduce (or audit) one benchmark run."""
+
+    algorithm: str
+    dataset: str
+    configuration: dict = field(default_factory=dict)
+    seed: int | None = None
+    git_sha: str = "unknown"
+    platform: dict = field(default_factory=dict)
+    created_unix: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        algorithm: str,
+        dataset: str,
+        configuration: dict | None = None,
+        seed: int | None = None,
+        **extra,
+    ) -> "RunManifest":
+        """Build a manifest for the current process/checkout."""
+        return cls(
+            algorithm=algorithm,
+            dataset=dataset,
+            configuration=dict(configuration or {}),
+            seed=seed,
+            git_sha=git_revision(),
+            platform=platform_fingerprint(),
+            created_unix=time.time(),
+            extra=dict(extra),
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, default=str)

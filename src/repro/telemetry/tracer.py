@@ -1,0 +1,269 @@
+"""The tracer: nested spans, counters, gauges.
+
+SLAMBench's defining feature is *per-frame, per-kernel* measurement
+(Nardi et al., ICRA 2015); SLAMBench2 turns that into a metrics API any
+integrated algorithm reports through (Bodin et al., 2018).  This module
+is our equivalent instrumentation substrate:
+
+* :class:`Tracer` collects timestamped :class:`SpanEvent` records from
+  ``with tracer.span("track", frame=i):`` blocks.  Spans nest — each
+  event carries its depth and its parent's name — and timestamps come
+  from the monotonic ``time.perf_counter_ns`` clock, so traces are
+  immune to wall-clock steps.
+* Counters (monotonic) and gauges (last-value) cover non-timing
+  telemetry, e.g. how many DSE evaluations ran or the current iteration.
+* A process-wide *current tracer* (a :mod:`contextvars` variable, so it
+  is both thread- and generator-safe) lets deeply nested code — the
+  KinectFusion pipeline, the platform simulator, the HyperMapper loop —
+  emit spans without threading a tracer argument through every call.
+  The default is :data:`DISABLED`, whose span path does no bookkeeping,
+  keeping un-traced runs at effectively zero overhead.
+
+Export helpers live in :mod:`repro.telemetry.exporters`; statistical
+aggregation (p50/p95/max per span name) in
+:mod:`repro.telemetry.aggregate`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+class TelemetryError(ReproError):
+    """Invalid telemetry usage (bad span nesting, unwritable export...)."""
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span.
+
+    Attributes:
+        name: span identifier, dot-scoped by convention
+            (``"frame"``, ``"track"``, ``"dse.evaluate"``).
+        start_ns: monotonic start timestamp (``time.perf_counter_ns``).
+        duration_ns: elapsed monotonic nanoseconds.
+        depth: nesting depth at emission (0 = top level).
+        parent: name of the enclosing span, or ``None``.
+        thread_id: ``threading.get_ident()`` of the emitting thread.
+        attrs: user attributes (frame index, configuration hash, ...).
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int = 0
+    parent: str | None = None
+    thread_id: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns * 1e-9
+
+
+class _Span:
+    """Context manager recording one span into a tracer.
+
+    Kept deliberately small: two monotonic clock reads bracket the body,
+    everything else happens at exit.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "_start_ns", "duration_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start_ns = 0
+        self.duration_s = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.name)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_ns = time.perf_counter_ns()
+        self.duration_s = (end_ns - self._start_ns) * 1e-9
+        if exc_type is not None:
+            self.attrs = {**self.attrs, "error": exc_type.__name__}
+        self._tracer._pop(self.name, self._start_ns,
+                          end_ns - self._start_ns, self.attrs)
+
+
+class _NullSpan:
+    """Shared no-op span returned by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, counters and gauges for one run.
+
+    Thread-safe: spans may be emitted concurrently from worker threads
+    (each thread keeps its own nesting stack; the event list and counter
+    maps are guarded by a lock).
+
+    Args:
+        enabled: when ``False`` every instrumentation call is a no-op —
+            ``span()`` returns a shared null context manager and
+            ``count``/``gauge`` return immediately.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[SpanEvent] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.manifest = None  # RunManifest | None, attached by the harness
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- span machinery -----------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._stacks, "names", None)
+        if stack is None:
+            stack = self._stacks.names = []
+        return stack
+
+    def _push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _pop(self, name: str, start_ns: int, duration_ns: int,
+             attrs: dict) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] != name:
+            raise TelemetryError(
+                f"span {name!r} closed out of order (stack: {stack})"
+            )
+        stack.pop()
+        event = SpanEvent(
+            name=name,
+            start_ns=start_ns,
+            duration_ns=duration_ns,
+            depth=len(stack),
+            parent=stack[-1] if stack else None,
+            thread_id=threading.get_ident(),
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(event)
+
+    def span(self, name: str, **attrs):
+        """Open a timed span: ``with tracer.span("track", frame=3): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    # -- counters / gauges --------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonic counter."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-value gauge."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def spans_named(self, name: str) -> list[SpanEvent]:
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.gauges.clear()
+
+
+#: Process-default tracer: permanently disabled, shared by all un-traced
+#: runs.  ``enabled`` is never flipped on this instance.
+DISABLED = Tracer(enabled=False)
+
+_current: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "repro_telemetry_tracer", default=DISABLED
+)
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumented code should emit into right now."""
+    return _current.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the current tracer for the ``with`` body."""
+    token = _current.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current.reset(token)
+
+
+class stage:
+    """Time a pipeline stage once, feeding both telemetry sinks.
+
+    The KinectFusion pipeline must keep populating
+    ``FrameWorkload.wall_times_s`` (the simulator-side record consumed by
+    existing analyses) *and* emit a tracer span.  This context manager
+    takes a single pair of clock readings and routes the duration to
+    both, replacing the hand-rolled ``t0 = time.perf_counter()`` blocks::
+
+        with stage(workload, "track", frame=frame.index):
+            ...  # kernel calls
+
+    When no tracer is installed the cost is the same two clock reads the
+    old code paid, plus one dict update.
+    """
+
+    __slots__ = ("_workload", "name", "attrs", "_start_ns")
+
+    def __init__(self, workload, name: str, **attrs):
+        self._workload = workload
+        self.name = name
+        self.attrs = attrs
+        self._start_ns = 0
+
+    def __enter__(self) -> "stage":
+        tracer = _current.get()
+        if tracer.enabled:
+            tracer._push(self.name)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_ns = time.perf_counter_ns()
+        duration_ns = end_ns - self._start_ns
+        self._workload.record_wall_time(self.name, duration_ns * 1e-9)
+        tracer = _current.get()
+        if tracer.enabled:
+            attrs = self.attrs
+            if exc_type is not None:
+                attrs = {**attrs, "error": exc_type.__name__}
+            tracer._pop(self.name, self._start_ns, duration_ns, attrs)

@@ -106,3 +106,78 @@ class TestCommands:
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
         assert "opencl" in out and "cuda" in out
+
+
+class TestTraceCommands:
+    def _run_traced(self, capsys, trace_path):
+        code = main([
+            "run", "--dataset", "lr_kt0", "--algorithm", "kfusion",
+            "--frames", "4", "--width", "32", "--height", "24",
+            "--set", "volume_resolution=48", "--set", "volume_size=5.0",
+            "--trace", trace_path,
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        return trace_path
+
+    def test_run_trace_chrome(self, capsys, tmp_path):
+        import json
+
+        path = self._run_traced(capsys, str(tmp_path / "out.json"))
+        with open(path) as f:
+            doc = json.load(f)  # must be valid chrome trace JSON
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        for stage_name in ("preprocess", "track", "integrate", "raycast"):
+            assert names.count(stage_name) == 4  # one per frame
+        assert doc["metadata"]["algorithm"] == "kfusion"
+
+    def test_run_trace_jsonl_and_summarize(self, capsys, tmp_path):
+        path = self._run_traced(capsys, str(tmp_path / "out.jsonl"))
+        assert main(["trace", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        for col in ("p50_ms", "p95_ms", "max_ms"):
+            assert col in out
+        for stage_name in ("preprocess", "track", "integrate", "raycast"):
+            assert stage_name in out
+
+    def test_summarize_chrome_trace(self, capsys, tmp_path):
+        path = self._run_traced(capsys, str(tmp_path / "out.json"))
+        assert main(["trace", "summarize", path]) == 0
+        assert "frame" in capsys.readouterr().out
+
+    def test_summarize_bad_file_reports_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("definitely not json")
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_missing_file_reports_error(self, capsys, tmp_path):
+        assert main(["trace", "summarize",
+                     str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_to_missing_dir_reports_error(self, capsys, tmp_path):
+        code = main([
+            "run", "--dataset", "lr_kt0", "--frames", "3",
+            "--width", "32", "--height", "24",
+            "--set", "volume_resolution=48", "--set", "volume_size=5.0",
+            "--trace", str(tmp_path / "no_such_dir" / "out.json"),
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        # The benchmark itself still completed and reported.
+        assert "kfusion on lr_kt0" in captured.out
+
+    def test_dse_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "dse.jsonl")
+        code = main(["dse", "--samples", "30", "--iterations", "2",
+                     "--trace", path])
+        assert code == 0
+        from repro.telemetry import load_spans
+
+        spans = load_spans(path)
+        names = {s.name for s in spans}
+        assert "dse.iteration" in names
+        assert "dse.fit_models" in names

@@ -1,0 +1,160 @@
+"""Schema tests for BenchmarkResult logs and the harness telemetry hooks.
+
+Pins the column set and value types of ``frame_log_rows()`` /
+``summary()``, the CSV write/read round trip, and the harness-side
+instrumentation added with ``repro.telemetry`` — so refactors of the
+result plumbing can't silently change the artefacts downstream plotting
+and DSE code consume.
+"""
+
+import csv
+import math
+
+import pytest
+
+from repro.core import run_benchmark, run_frame_stream
+from repro.errors import DatasetError
+from repro.kfusion import KinectFusion
+from repro.telemetry import Tracer
+
+FRAME_LOG_COLUMNS = [
+    "frame", "timestamp_s", "status", "wall_time_s", "sim_time_s",
+    "x", "y", "z", "valid_depth", "kernel_gflops",
+]
+
+CONFIG = {"volume_resolution": 64, "volume_size": 5.0,
+          "integration_rate": 1}
+
+
+@pytest.fixture(scope="module")
+def result(tiny_sequence):
+    return run_benchmark(KinectFusion(), tiny_sequence,
+                         configuration=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def simulated_result(tiny_sequence, odroid):
+    return run_benchmark(KinectFusion(), tiny_sequence,
+                         configuration=CONFIG, device=odroid)
+
+
+class TestFrameLogSchema:
+    def test_columns_and_order(self, result):
+        rows = result.frame_log_rows()
+        assert len(rows) == 8
+        for row in rows:
+            assert list(row.keys()) == FRAME_LOG_COLUMNS
+
+    def test_value_types_without_simulation(self, result):
+        for row in result.frame_log_rows():
+            assert isinstance(row["frame"], int)
+            assert isinstance(row["status"], str)
+            assert row["sim_time_s"] is None  # no device: missing, not ""
+            for key in ("timestamp_s", "wall_time_s", "x", "y", "z",
+                        "valid_depth", "kernel_gflops"):
+                assert isinstance(float(row[key]), float)
+
+    def test_sim_time_is_float_with_simulation(self, simulated_result):
+        for row in simulated_result.frame_log_rows():
+            assert isinstance(row["sim_time_s"], float)
+            assert row["sim_time_s"] > 0
+
+    def test_csv_round_trip_without_simulation(self, result, tmp_path):
+        path = str(tmp_path / "frames.csv")
+        result.save_frame_log(path)
+        with open(path) as f:
+            reader = csv.DictReader(f)
+            assert reader.fieldnames == FRAME_LOG_COLUMNS
+            rows = list(reader)
+        assert len(rows) == 8
+        for i, row in enumerate(rows):
+            assert int(row["frame"]) == i
+            assert row["sim_time_s"] == ""  # empty cell, never "None"
+            float(row["wall_time_s"])
+            float(row["kernel_gflops"])
+
+    def test_csv_round_trip_with_simulation(self, simulated_result,
+                                            tmp_path):
+        path = str(tmp_path / "frames.csv")
+        simulated_result.save_frame_log(path)
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        originals = simulated_result.frame_log_rows()
+        for row, orig in zip(rows, originals):
+            value = float(row["sim_time_s"])
+            assert not math.isnan(value)
+            assert value == pytest.approx(orig["sim_time_s"])
+
+
+class TestSummarySchema:
+    BASE_KEYS = {"algorithm", "sequence", "frames", "tracked_fraction"}
+    ACCURACY_KEYS = {"ate_max_m", "ate_mean_m", "ate_rmse_m",
+                     "rpe_trans_rmse_m", "rpe_rot_rmse_rad",
+                     "drift_percent"}
+    SIM_KEYS = {"sim_fps", "sim_frame_time_s", "sim_power_w",
+                "sim_streaming_power_w", "sim_energy_per_frame_j"}
+
+    def test_keys_without_simulation(self, result):
+        assert set(result.summary()) == self.BASE_KEYS | self.ACCURACY_KEYS
+
+    def test_keys_with_simulation(self, simulated_result):
+        assert set(simulated_result.summary()) == (
+            self.BASE_KEYS | self.ACCURACY_KEYS | self.SIM_KEYS
+        )
+
+    def test_values_are_scalars(self, simulated_result):
+        summary = simulated_result.summary()
+        for key in self.ACCURACY_KEYS | self.SIM_KEYS | {"tracked_fraction"}:
+            assert isinstance(float(summary[key]), float), key
+
+
+class TestHarnessTelemetry:
+    def test_manifest_attached(self, result, tiny_sequence):
+        m = result.manifest
+        assert m is not None
+        assert m.algorithm == "kfusion"
+        assert m.dataset == tiny_sequence.name
+        assert m.seed == 0  # conftest builds the sequence with seed=0
+        assert m.configuration["volume_resolution"] == 64
+        assert m.extra["frames"] == len(tiny_sequence)
+
+    def test_traced_run_has_stage_spans_per_frame(self, tiny_sequence):
+        tracer = Tracer()
+        run_benchmark(KinectFusion(), tiny_sequence, configuration=CONFIG,
+                      evaluate_accuracy=False, tracer=tracer)
+        n = len(tiny_sequence)
+        assert len(tracer.spans_named("frame")) == n
+        for name in ("preprocess", "track", "integrate", "raycast"):
+            spans = tracer.spans_named(name)
+            assert len(spans) == n
+            assert all(s.parent == "frame" for s in spans)
+        assert tracer.manifest is not None
+
+    def test_empty_stream_raises_dataset_error(self, tiny_sequence):
+        class Empty:
+            name = "empty"
+            sensors = tiny_sequence.sensors
+
+            def __len__(self):
+                return 0
+
+            def __iter__(self):
+                return iter(())
+
+        stream = run_frame_stream(KinectFusion(), Empty())
+        with pytest.raises(DatasetError):
+            next(stream)
+
+    def test_stream_matches_run_benchmark_error(self, tiny_sequence):
+        class Empty:
+            name = "empty"
+            sensors = tiny_sequence.sensors
+
+            def __len__(self):
+                return 0
+
+            def __iter__(self):
+                return iter(())
+
+        with pytest.raises(DatasetError):
+            run_benchmark(KinectFusion(), Empty())

@@ -1,0 +1,96 @@
+"""Golden-run regression tests for the KinectFusion pipeline.
+
+Runs the full pipeline on a fixed-seed synthetic living-room sequence and
+pins the trajectory accuracy, tracked fraction and per-frame tracking
+statuses against values recorded at the time this test was written.  A
+pipeline refactor that changes numerical behaviour — kernel reordering, a
+different ICP convergence path, altered integration scheduling — shows up
+here instead of slipping through the purely structural tests.
+
+Tolerances (documented, deliberately asymmetric in strictness):
+
+* ATE RMSE / max: ``rel=0.02``.  The pipeline is bit-deterministic on one
+  platform, but summation order may legally change across BLAS builds;
+  2 % is far below any behavioural change (losing a single frame moves
+  ATE by >10x) while absorbing float-reassociation drift.
+* tracked fraction: exact — a run either tracks a frame or it doesn't.
+* status sequence: exact per frame, same reasoning.
+"""
+
+import pytest
+
+from repro.core import run_benchmark
+from repro.datasets import icl_nuim
+from repro.kfusion import KinectFusion
+
+ATE_REL_TOL = 0.02
+
+
+def _run(volume_resolution: int):
+    seq = icl_nuim.load("lr_kt0", n_frames=10, width=80, height=60, seed=0)
+    seq.materialize()
+    return run_benchmark(
+        KinectFusion(),
+        seq,
+        configuration={
+            "volume_resolution": volume_resolution,
+            "volume_size": 5.0,
+            "integration_rate": 1,
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def good_run():
+    """vol=96: the pipeline tracks every frame on this sequence."""
+    return _run(volume_resolution=96)
+
+
+@pytest.fixture(scope="module")
+def degraded_run():
+    """vol=64: too coarse for the first motions — loses two frames."""
+    return _run(volume_resolution=64)
+
+
+class TestGoldenGoodRun:
+    def test_ate_rmse(self, good_run):
+        assert good_run.ate.rmse == pytest.approx(0.003773127746256985,
+                                                  rel=ATE_REL_TOL)
+
+    def test_ate_max(self, good_run):
+        assert good_run.ate.max == pytest.approx(0.005132570072557547,
+                                                 rel=ATE_REL_TOL)
+
+    def test_tracked_fraction(self, good_run):
+        assert good_run.collector.tracked_fraction() == 1.0
+
+    def test_status_sequence(self, good_run):
+        statuses = [r.status.value for r in good_run.collector.records]
+        assert statuses == ["bootstrap"] + ["ok"] * 9
+
+
+class TestGoldenDegradedRun:
+    """Pins the *failure* behaviour too: when and how tracking is lost."""
+
+    def test_ate_rmse(self, degraded_run):
+        assert degraded_run.ate.rmse == pytest.approx(0.06905575267240154,
+                                                      rel=ATE_REL_TOL)
+
+    def test_tracked_fraction(self, degraded_run):
+        assert degraded_run.collector.tracked_fraction() == pytest.approx(0.8)
+
+    def test_status_sequence(self, degraded_run):
+        statuses = [r.status.value for r in degraded_run.collector.records]
+        assert statuses == (["bootstrap", "lost", "lost"] + ["ok"] * 7)
+
+    def test_lost_frames_identified(self, degraded_run):
+        assert degraded_run.collector.lost_frames() == [1, 2]
+
+
+class TestGoldenDeterminism:
+    def test_repeat_run_is_identical(self, good_run):
+        repeat = _run(volume_resolution=96)
+        assert repeat.ate.rmse == good_run.ate.rmse
+        assert [r.status for r in repeat.collector.records] == [
+            r.status for r in good_run.collector.records
+        ]

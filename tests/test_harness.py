@@ -80,7 +80,9 @@ class TestRunBenchmark:
     def test_frame_log_without_simulation(self, tiny_sequence):
         result = run_benchmark(StaticSLAM(), tiny_sequence)
         rows = result.frame_log_rows()
-        assert rows[0]["sim_time_s"] == ""
+        # Missing measurement, not an empty string: keeps the column
+        # numeric-or-None (write_csv renders None as an empty cell).
+        assert rows[0]["sim_time_s"] is None
 
 
 class TestRunFrameStream:

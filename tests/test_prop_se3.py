@@ -73,3 +73,64 @@ def test_interpolation_stays_valid(xi, alpha):
     T = se3.se3_exp(xi)
     Ti = se3.interpolate_pose(np.eye(4), T, alpha)
     assert se3.is_pose(Ti, tol=1e-7)
+
+
+# -- exp/log round trips ----------------------------------------------------
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_so3_log_inverts_exp(w):
+    theta = np.linalg.norm(w)
+    if theta >= np.pi - 1e-3:  # log is multivalued at the cut
+        return
+    assert np.allclose(se3.so3_log(se3.so3_exp(w)), w, atol=1e-7)
+
+
+@given(xi=twist6)
+@settings(max_examples=60, deadline=None)
+def test_se3_log_inverts_exp(xi):
+    if np.linalg.norm(xi[3:]) >= np.pi - 1e-3:
+        return
+    assert np.allclose(se3.se3_log(se3.se3_exp(xi)), xi, atol=1e-6)
+
+
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_so3_exp_log_rotation_round_trip(w):
+    R = se3.so3_exp(w)
+    assert np.allclose(se3.so3_exp(se3.so3_log(R)), R, atol=1e-8)
+
+
+# -- group identities -------------------------------------------------------
+@given(xi=twist6)
+@settings(max_examples=60, deadline=None)
+def test_compose_with_inverse_is_identity(xi):
+    T = se3.se3_exp(xi)
+    assert np.allclose(T @ se3.inverse(T), np.eye(4), atol=1e-9)
+    assert np.allclose(se3.inverse(T) @ T, np.eye(4), atol=1e-9)
+
+
+@given(xi=twist6)
+@settings(max_examples=60, deadline=None)
+def test_inverse_is_involution(xi):
+    T = se3.se3_exp(xi)
+    assert np.allclose(se3.inverse(se3.inverse(T)), T, atol=1e-10)
+
+
+# -- orthonormality under random tangents -----------------------------------
+@given(w=small_vec3)
+@settings(max_examples=60, deadline=None)
+def test_so3_exp_orthonormal_columns(w):
+    R = se3.so3_exp(w)
+    assert np.allclose(R.T @ R, np.eye(3), atol=1e-9)
+    assert np.allclose(R @ R.T, np.eye(3), atol=1e-9)
+    assert np.isclose(np.linalg.det(R), 1.0, atol=1e-9)
+    assert np.allclose(np.linalg.norm(R, axis=0), 1.0, atol=1e-9)
+
+
+@given(xi1=twist6, xi2=twist6)
+@settings(max_examples=60, deadline=None)
+def test_composition_rotation_stays_orthonormal(xi1, xi2):
+    T = se3.se3_exp(xi1) @ se3.se3_exp(xi2)
+    assert se3.is_pose(T, tol=1e-8)
+    R = T[:3, :3]
+    assert np.allclose(R.T @ R, np.eye(3), atol=1e-9)

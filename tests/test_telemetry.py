@@ -1,0 +1,327 @@
+"""Tests for the tracing/metrics subsystem (repro.telemetry)."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.workload import FrameWorkload
+from repro.telemetry import (
+    DISABLED,
+    RunManifest,
+    TelemetryError,
+    Tracer,
+    aggregate_spans,
+    current_tracer,
+    load_spans,
+    stage,
+    summarize_trace_file,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_basic_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", frame=3):
+            time.sleep(0.002)
+        assert len(tracer) == 1
+        ev = tracer.spans[0]
+        assert ev.name == "work"
+        assert ev.attrs == {"frame": 3}
+        assert ev.duration_s >= 0.002
+        assert ev.depth == 0 and ev.parent is None
+
+    def test_nesting_tracks_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].parent == "outer"
+        assert by_name["leaf"].depth == 2
+        assert by_name["leaf"].parent == "inner"
+        # Children complete (and are appended) before their parent.
+        assert [s.name for s in tracer.spans] == ["leaf", "inner", "outer"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.spans[0].attrs["error"] == "ValueError"
+
+    def test_timestamps_are_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.spans_named("a")[0], tracer.spans_named("b")[0]
+        assert b.start_ns >= a.start_ns + a.duration_ns
+
+    def test_thread_safety(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(50):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans_named("outer")) == 200
+        assert len(tracer.spans_named("inner")) == 200
+        # Nesting is tracked per thread, never across threads.
+        assert all(s.parent == "outer"
+                   for s in tracer.spans_named("inner"))
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            pass
+        tracer.count("n")
+        tracer.gauge("g", 1.0)
+        assert len(tracer) == 0
+        assert tracer.counters == {} and tracer.gauges == {}
+
+    def test_default_current_tracer_is_disabled(self):
+        assert current_tracer() is DISABLED
+        assert not DISABLED.enabled
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_disabled_overhead_is_tiny(self):
+        tracer = Tracer(enabled=False)
+        n = 20000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("x"):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 50e-6  # far below any kernel's runtime
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        tracer = Tracer()
+        tracer.count("evals")
+        tracer.count("evals", 2)
+        assert tracer.counters["evals"] == 3
+
+    def test_gauge_keeps_last(self):
+        tracer = Tracer()
+        tracer.gauge("iter", 1)
+        tracer.gauge("iter", 5)
+        assert tracer.gauges["iter"] == 5.0
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.count("c")
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.counters == {}
+
+
+class TestUseTracer:
+    def test_install_and_restore(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("inside"):
+                pass
+        assert current_tracer() is DISABLED
+        assert len(tracer.spans_named("inside")) == 1
+
+    def test_nested_installs(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+
+class TestStageHelper:
+    def test_stage_feeds_workload_and_tracer(self):
+        workload = FrameWorkload(0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with stage(workload, "track", frame=0):
+                time.sleep(0.001)
+        assert workload.wall_times_s["track"] >= 0.001
+        span = tracer.spans_named("track")[0]
+        assert span.duration_s == pytest.approx(
+            workload.wall_times_s["track"], rel=1e-6)
+
+    def test_stage_without_tracer_still_times(self):
+        workload = FrameWorkload(0)
+        with stage(workload, "raycast"):
+            pass
+        assert "raycast" in workload.wall_times_s
+        assert current_tracer() is DISABLED
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(TelemetryError):
+            a.__exit__(None, None, None)
+
+
+class TestAggregation:
+    def _tracer_with(self, durations_ms):
+        tracer = Tracer()
+        for ms in durations_ms:
+            tracer._push("k")
+            tracer._pop("k", 0, int(ms * 1e6), {})
+        return tracer
+
+    def test_percentiles_and_max(self):
+        durations = list(range(1, 101))  # 1..100 ms
+        stats = aggregate_spans(self._tracer_with(durations).spans)["k"]
+        assert stats.count == 100
+        assert stats.max_s == pytest.approx(0.100)
+        assert stats.p50_s == pytest.approx(0.0505, rel=0.02)
+        assert stats.p95_s == pytest.approx(0.095, rel=0.02)
+        assert stats.total_s == pytest.approx(sum(durations) / 1e3)
+        assert stats.mean_s == pytest.approx(np.mean(durations) / 1e3)
+
+    def test_single_span(self):
+        stats = aggregate_spans(self._tracer_with([7.0]).spans)["k"]
+        assert stats.p50_s == stats.p95_s == stats.max_s == pytest.approx(0.007)
+
+    def test_summary_rows_sorted_by_total(self):
+        tracer = Tracer()
+        for name, ms in [("fast", 1), ("slow", 50)]:
+            tracer._push(name)
+            tracer._pop(name, 0, int(ms * 1e6), {})
+        rows = telemetry.summary_rows(telemetry.aggregate_tracer(tracer))
+        assert [r["span"] for r in rows] == ["slow", "fast"]
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.manifest = RunManifest.capture("kfusion", "lr_kt0",
+                                          {"volume_resolution": 64}, seed=7)
+    for frame in range(3):
+        with tracer.span("frame", frame=frame):
+            with tracer.span("track", frame=frame):
+                pass
+    tracer.count("frames", 3)
+    tracer.gauge("last_frame", 2)
+    return tracer
+
+
+class TestExporters:
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        telemetry.write_chrome_trace(_sample_tracer(), path)
+        with open(path) as f:
+            doc = json.load(f)
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 6
+        for ev in complete:
+            assert set(ev) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert ev["dur"] >= 0
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and counters[0]["name"] == "frames"
+        assert doc["metadata"]["seed"] == 7
+        assert doc["metadata"]["algorithm"] == "kfusion"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = _sample_tracer()
+        telemetry.write_jsonl(tracer, path)
+        with open(path) as f:
+            records = [json.loads(line) for line in f]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"manifest", "span", "counter", "gauge"}
+        spans = load_spans(path)
+        assert len(spans) == len(tracer.spans)
+        original = tracer.spans_named("track")[0]
+        loaded = [s for s in spans if s.name == "track"][0]
+        assert loaded.duration_ns == original.duration_ns
+        assert loaded.parent == "frame"
+        assert loaded.attrs == {"frame": 0}
+
+    def test_csv_summary(self, tmp_path):
+        path = str(tmp_path / "summary.csv")
+        telemetry.write_csv_summary(_sample_tracer(), path)
+        with open(path) as f:
+            header = f.readline().strip().split(",")
+            lines = f.read().strip().splitlines()
+        assert header == ["span", "count", "total_ms", "mean_ms",
+                          "p50_ms", "p95_ms", "max_ms"]
+        assert len(lines) == 2  # frame + track
+
+    def test_export_dispatches_on_extension(self, tmp_path):
+        tracer = _sample_tracer()
+        assert telemetry.export(tracer, str(tmp_path / "a.jsonl")) == "jsonl"
+        assert telemetry.export(tracer, str(tmp_path / "a.csv")) == "csv"
+        assert telemetry.export(tracer, str(tmp_path / "a.json")) == "chrome"
+        assert telemetry.export(tracer, str(tmp_path / "a.trace")) == "chrome"
+
+    def test_summarize_trace_file_both_formats(self, tmp_path):
+        tracer = _sample_tracer()
+        chrome, jsonl = str(tmp_path / "t.json"), str(tmp_path / "t.jsonl")
+        telemetry.export(tracer, chrome)
+        telemetry.export(tracer, jsonl)
+        for path in (chrome, jsonl):
+            rows = summarize_trace_file(path)
+            by_span = {r["span"]: r for r in rows}
+            assert by_span["frame"]["count"] == 3
+            assert by_span["track"]["count"] == 3
+            assert set(rows[0]) >= {"p50_ms", "p95_ms", "max_ms"}
+
+    def test_summarize_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not a trace")
+        with pytest.raises(TelemetryError):
+            summarize_trace_file(str(bad))
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(TelemetryError):
+            summarize_trace_file(str(empty))
+
+    def test_missing_file_raises_telemetry_error(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_spans(str(tmp_path / "nope.json"))
+
+    def test_unwritable_path_raises_telemetry_error(self, tmp_path):
+        path = str(tmp_path / "no_such_dir" / "trace.json")
+        with pytest.raises(TelemetryError):
+            telemetry.export(_sample_tracer(), path)
+
+
+class TestManifest:
+    def test_capture_fields(self):
+        m = RunManifest.capture("kfusion", "lr_kt0",
+                                {"volume_resolution": 64}, seed=3,
+                                frames=10)
+        assert m.algorithm == "kfusion" and m.dataset == "lr_kt0"
+        assert m.seed == 3 and m.extra == {"frames": 10}
+        assert m.platform["numpy"]
+        assert len(m.git_sha) in (7, 40) or m.git_sha == "unknown"
+        json.loads(m.to_json())  # serialisable
+
+    def test_as_dict_round_trips_configuration(self):
+        m = RunManifest.capture("a", "b", {"x": 1})
+        assert m.as_dict()["configuration"] == {"x": 1}
