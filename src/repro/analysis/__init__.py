@@ -1,0 +1,78 @@
+"""Repo-specific static analysis and contract checking (``repro lint``).
+
+The paper's invariants — one timing source per kernel, deterministic
+seeded runs, a design space that matches what KinectFusion consumes —
+are machine-enforced here rather than left to reviewer vigilance:
+
+=======  ==============================================================
+RPR001   timing-discipline: no stdlib clock reads outside
+         :mod:`repro.telemetry`
+RPR002   rng-discipline: no ``np.random.seed`` / legacy global draws —
+         inject a seeded ``np.random.Generator``
+RPR003   error-policy: raise the :mod:`repro.errors` hierarchy, and CLI
+         ``main()`` must catch :class:`~repro.errors.ReproError`
+RPR004   config-space consistency: ``kfusion_design_space`` ==
+         ``KFusionParams`` == ``DEFAULTS``, defaults in bounds, every
+         knob consumed
+RPR005   contract-validation: ``@contract`` strings parse, name real
+         parameters, and do not contradict each other
+=======  ==============================================================
+
+Programmatic use::
+
+    from repro.analysis import analyze_paths, run_lint
+
+    findings = analyze_paths(["src/repro"])
+    exit_code = run_lint(["src/repro"], output_format="json")
+
+Importing this package registers all checkers; the per-rule modules are
+:mod:`~repro.analysis.checkers` (RPR001/2/3/5) and
+:mod:`~repro.analysis.consistency` (RPR004).
+"""
+
+from . import checkers as _checkers  # noqa: F401  (registers RPR001/2/3/5)
+from . import consistency as _consistency  # noqa: F401  (registers RPR004)
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .contracts import ArraySpec, ContractError, contract, parse_contract
+from .findings import Finding, Severity
+from .framework import (
+    AnalysisError,
+    Checker,
+    ModuleContext,
+    ProjectChecker,
+    analyze_paths,
+    analyze_source,
+    register_checker,
+    rule_catalogue,
+)
+from .lint import run_lint
+from .reporters import format_json, format_text
+
+__all__ = [
+    "AnalysisError",
+    "ArraySpec",
+    "Checker",
+    "ContractError",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleContext",
+    "ProjectChecker",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "contract",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "parse_contract",
+    "register_checker",
+    "rule_catalogue",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,296 @@
+"""The repo-specific per-file rules.
+
+* **RPR001 timing-discipline** — the telemetry layer (PR 1) is the one
+  timing source for every performance claim; a hand-rolled
+  ``time.perf_counter()`` block produces numbers no trace, manifest, or
+  per-kernel summary ever sees.  Only :mod:`repro.telemetry` may touch
+  the clock.
+* **RPR002 rng-discipline** — the DSE results are only reproducible if
+  every random draw flows from an injected, seeded
+  ``np.random.Generator``.  The legacy global-state API
+  (``np.random.seed`` + module-level draws) silently couples unrelated
+  experiments.
+* **RPR003 error-policy** — the library promises callers they can catch
+  :class:`~repro.errors.ReproError` without swallowing programming
+  errors; raising bare builtins breaks that, and a CLI ``main`` without
+  a ``ReproError`` handler leaks raw tracebacks at users.
+* **RPR005 contract-validation** — ``@contract`` strings are data; a
+  typo in one silently disables the check it declares.  This pass
+  validates their syntax, that declared parameters exist, and that
+  stacked decorators do not contradict each other.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .contracts import ContractError, parse_contract
+from .findings import Finding
+from .framework import Checker, ModuleContext, register_checker
+
+#: Clock calls that bypass the telemetry substrate (RPR001).
+BANNED_CLOCKS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+})
+
+#: Legacy global-state numpy.random members (RPR002).  ``default_rng``,
+#: ``Generator``, ``SeedSequence`` and the bit generators stay legal.
+BANNED_NP_RANDOM = frozenset({
+    "seed", "get_state", "set_state", "RandomState",
+    "rand", "randn", "randint", "random_integers",
+    "random", "random_sample", "ranf", "sample", "bytes",
+    "choice", "shuffle", "permutation",
+    "uniform", "normal", "standard_normal", "lognormal",
+    "beta", "binomial", "exponential", "gamma", "geometric",
+    "laplace", "poisson", "power", "rayleigh", "triangular",
+    "vonmises", "weibull", "zipf", "multivariate_normal",
+})
+
+#: Builtin exceptions the library must not raise on public paths
+#: (RPR003).  ``TypeError``/``AttributeError``/``NotImplementedError``
+#: stay legal: they signal programming errors, which :class:`ReproError`
+#: deliberately does not cover.
+BANNED_RAISES = frozenset({
+    "Exception", "BaseException",
+    "ValueError", "RuntimeError",
+    "KeyError", "IndexError", "LookupError",
+    "OSError", "IOError",
+    "ArithmeticError", "ZeroDivisionError",
+    "StopIteration",
+})
+
+
+def _is_telemetry_module(ctx: ModuleContext) -> bool:
+    return "telemetry" in ctx.path_parts
+
+
+@register_checker
+class TimingDisciplineChecker(Checker):
+    """RPR001: wall-clock reads outside ``repro.telemetry``."""
+
+    rule_id = "RPR001"
+    title = ("timing-discipline: stdlib clock calls outside repro.telemetry "
+             "(use telemetry.stage()/Tracer.span())")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_telemetry_module(ctx):
+            return
+        reported: set[tuple[int, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if isinstance(node, ast.Name) and not isinstance(node.ctx,
+                                                             ast.Load):
+                continue
+            dotted = ctx.resolve(node)
+            if dotted in BANNED_CLOCKS:
+                key = (node.lineno, dotted)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield ctx.finding(
+                    node, self.rule_id,
+                    f"{dotted} bypasses the telemetry clock; time this "
+                    f"block with repro.telemetry.stage() or Tracer.span()",
+                )
+
+
+@register_checker
+class RngDisciplineChecker(Checker):
+    """RPR002: global-state numpy.random usage."""
+
+    rule_id = "RPR002"
+    title = ("rng-discipline: no np.random.seed / legacy module-level "
+             "draws — inject a seeded np.random.Generator")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        reported: set[tuple[int, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = ctx.resolve(node)
+            if dotted is None:
+                continue
+            member = None
+            if dotted.startswith("numpy.random."):
+                member = dotted.split(".", 2)[2]
+            if member is None or "." in member or (
+                    member not in BANNED_NP_RANDOM):
+                continue
+            key = (node.lineno, dotted)
+            if key in reported:
+                continue
+            reported.add(key)
+            hint = ("seed a Generator once at the entry point"
+                    if member in ("seed", "set_state", "get_state")
+                    else "draw from an injected np.random.Generator")
+            yield ctx.finding(
+                node, self.rule_id,
+                f"numpy.random.{member} uses hidden global RNG state, "
+                f"breaking DSE reproducibility; {hint} "
+                f"(np.random.default_rng(seed))",
+            )
+
+
+class _MainTracebackVisitor(ast.NodeVisitor):
+    """Does this ``main`` contain a handler for ``ReproError``?"""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.handles_repro_error = False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        types = []
+        if isinstance(node.type, ast.Tuple):
+            types = node.type.elts
+        elif node.type is not None:
+            types = [node.type]
+        for t in types:
+            dotted = self.ctx.resolve(t) or ""
+            if dotted.split(".")[-1] == "ReproError":
+                self.handles_repro_error = True
+        self.generic_visit(node)
+
+
+@register_checker
+class ErrorPolicyChecker(Checker):
+    """RPR003: bare builtin raises and traceback-leaking CLI mains."""
+
+    rule_id = "RPR003"
+    title = ("error-policy: raise the repro.errors hierarchy, not bare "
+             "builtins; CLI main() must catch ReproError")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        local_classes = {
+            n.name for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node, local_classes)
+        # The traceback rule applies to module-level CLI entry points only.
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "main":
+                yield from self._check_main(ctx, node)
+
+    def _check_raise(self, ctx: ModuleContext, node: ast.Raise,
+                     local_classes: set[str]) -> Iterator[Finding]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if exc is None:  # bare ``raise`` re-raise: always fine
+            return
+        dotted = ctx.resolve(exc)
+        if dotted in BANNED_RAISES and dotted not in local_classes:
+            yield ctx.finding(
+                node, self.rule_id,
+                f"raise {dotted} from library code; raise a "
+                f"repro.errors.ReproError subclass so callers can catch "
+                f"library failures without masking bugs",
+            )
+
+    def _check_main(self, ctx: ModuleContext,
+                    node: ast.FunctionDef) -> Iterator[Finding]:
+        visitor = _MainTracebackVisitor(ctx)
+        visitor.visit(node)
+        if not visitor.handles_repro_error:
+            yield ctx.finding(
+                node, self.rule_id,
+                "CLI entry point main() has no except ReproError handler "
+                "and will leak raw tracebacks at users",
+            )
+
+
+def _contract_decorators(ctx: ModuleContext,
+                         func: ast.FunctionDef) -> list[ast.Call]:
+    calls = []
+    for deco in func.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        dotted = ctx.resolve(deco.func) or ""
+        if dotted.split(".")[-1] == "contract":
+            calls.append(deco)
+    return calls
+
+
+@register_checker
+class ContractSyntaxChecker(Checker):
+    """RPR005: malformed or contradictory ``@contract`` declarations."""
+
+    rule_id = "RPR005"
+    title = ("contract-validation: @contract strings must parse, name real "
+             "parameters, and not contradict each other")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: ModuleContext,
+                        func: ast.FunctionDef) -> Iterator[Finding]:
+        decos = _contract_decorators(ctx, func)
+        if not decos:
+            return
+        args = func.args
+        param_names = {
+            a.arg
+            for a in (args.posonlyargs + args.args + args.kwonlyargs)
+        }
+        if args.vararg:
+            param_names.add(args.vararg.arg)
+        if args.kwarg:
+            param_names.add(args.kwarg.arg)
+        declared: dict[str, str] = {}
+        for deco in decos:
+            if deco.args:
+                yield ctx.finding(
+                    deco, self.rule_id,
+                    f"@contract on {func.name} takes keyword arguments "
+                    f"only (param=\"dims:dtype\")",
+                )
+            for kw in deco.keywords:
+                if kw.arg is None:  # **spread — opaque to static checking
+                    yield ctx.finding(
+                        deco, self.rule_id,
+                        f"@contract on {func.name} uses **kwargs spread; "
+                        f"declare contracts literally so they can be "
+                        f"checked statically",
+                    )
+                    continue
+                if not (isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)):
+                    yield ctx.finding(
+                        kw.value, self.rule_id,
+                        f"@contract on {func.name}: {kw.arg} must be a "
+                        f"string literal contract",
+                    )
+                    continue
+                text = kw.value.value
+                try:
+                    parse_contract(text)
+                except ContractError as exc:
+                    yield ctx.finding(kw.value, self.rule_id,
+                                      f"@contract on {func.name}: {exc}")
+                    continue
+                if kw.arg not in param_names:
+                    yield ctx.finding(
+                        kw.value, self.rule_id,
+                        f"@contract on {func.name}: no parameter "
+                        f"{kw.arg!r} in the function signature",
+                    )
+                prior = declared.get(kw.arg)
+                if prior is not None and prior != text:
+                    yield ctx.finding(
+                        kw.value, self.rule_id,
+                        f"@contract on {func.name}: parameter {kw.arg!r} "
+                        f"declared both {prior!r} and {text!r} "
+                        f"(contradictory contracts)",
+                    )
+                declared[kw.arg] = text

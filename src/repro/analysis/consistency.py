@@ -1,0 +1,319 @@
+"""RPR004: design-space / consumer consistency (the paper's core contract).
+
+The whole performance–accuracy study is only meaningful if the space
+HyperMapper explores (``repro/hypermapper/space.py::kfusion_design_space``,
+built from ``repro/kfusion/params.py::parameter_specs``) is exactly the
+set of parameters KinectFusion consumes (:class:`KFusionParams` /
+``DEFAULTS``), with the same defaults, defaults inside the declared
+bounds, and every parameter actually read somewhere in the pipeline.  A
+spec added without a consumer silently explores a dead knob; a consumer
+field missing from the space silently pins part of the trade-off.
+
+No off-the-shelf linter can state this, so RPR004 does: it is a purely
+static cross-module pass — it extracts the ``DEFAULTS`` dict literal,
+the ``ParameterSpec(...)`` declarations and the ``KFusionParams``
+dataclass fields from the ASTs, resolves ``DEFAULTS["name"]`` subscripts
+to their literal values, collects every ``.name`` attribute read in the
+``kfusion`` package, and cross-checks the lot.  Nothing is imported or
+executed, so the checker works on scratch copies and doctored fixtures
+alike.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .findings import Finding
+from .framework import ModuleContext, ProjectChecker, register_checker
+
+PARAMS_SUFFIX = ("kfusion", "params.py")
+SPACE_SUFFIX = ("hypermapper", "space.py")
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class SpecInfo:
+    """One ``ParameterSpec(...)`` declaration, statically extracted."""
+
+    name: str
+    kind: str | None
+    default: object  # resolved literal, or _MISSING when unresolvable
+    low: object
+    high: object
+    choices: object
+    lineno: int
+
+
+def _ends_with(path_parts: Sequence[str], suffix: Sequence[str]) -> bool:
+    return tuple(path_parts[-len(suffix):]) == tuple(suffix)
+
+
+def _literal(node: ast.AST, defaults: dict) -> object:
+    """Resolve a literal expression, following ``DEFAULTS["x"]`` lookups."""
+    if node is None:
+        return _MISSING
+    if (isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "DEFAULTS"
+            and isinstance(node.slice, ast.Constant)):
+        return defaults.get(node.slice.value, (_MISSING, 0))[0]
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return _MISSING
+
+
+def extract_defaults(tree: ast.Module) -> dict[str, tuple[object, int]]:
+    """``{name: (value, lineno)}`` from the module-level ``DEFAULTS`` dict."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if "DEFAULTS" not in names or not isinstance(node.value, ast.Dict):
+            continue
+        out = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                try:
+                    out[key.value] = (ast.literal_eval(value), key.lineno)
+                except (ValueError, SyntaxError):
+                    out[key.value] = (_MISSING, key.lineno)
+        return out
+    return {}
+
+
+def extract_specs(tree: ast.Module,
+                  defaults: dict[str, tuple[object, int]]) -> list[SpecInfo]:
+    """Every ``ParameterSpec(...)`` call in the module, as :class:`SpecInfo`."""
+    specs = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "ParameterSpec"):
+            continue
+        pos = list(node.args)
+        kw = {k.arg: k.value for k in node.keywords if k.arg}
+        name_node = pos[0] if pos else kw.get("name")
+        if not (isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)):
+            continue
+        kind_node = pos[1] if len(pos) > 1 else kw.get("kind")
+        default_node = pos[2] if len(pos) > 2 else kw.get("default")
+        kind = (kind_node.value
+                if isinstance(kind_node, ast.Constant) else None)
+        specs.append(SpecInfo(
+            name=name_node.value,
+            kind=kind,
+            default=_literal(default_node, defaults),
+            low=_literal(kw.get("low"), defaults),
+            high=_literal(kw.get("high"), defaults),
+            choices=_literal(kw.get("choices"), defaults),
+            lineno=node.lineno,
+        ))
+    return specs
+
+
+def extract_dataclass_fields(
+        tree: ast.Module, class_name: str,
+        defaults: dict[str, tuple[object, int]]) -> dict[str, tuple[object, int]]:
+    """``{field: (default_value, lineno)}`` of an annotated dataclass."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            out = {}
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    out[stmt.target.id] = (
+                        _literal(stmt.value, defaults), stmt.lineno
+                    )
+            return out
+    return {}
+
+
+def collect_attribute_reads(trees: Sequence[ast.Module]) -> set[str]:
+    """Every ``<expr>.name`` attribute read across the given modules."""
+    reads: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx,
+                                                              ast.Load):
+                reads.add(node.attr)
+    return reads
+
+
+def _in_bounds(spec: SpecInfo) -> str | None:
+    """Message when the spec's default violates its own bounds, else None."""
+    if spec.default is _MISSING:
+        return None
+    if spec.kind in ("integer", "real"):
+        if spec.low is _MISSING or spec.high is _MISSING:
+            return None
+        try:
+            in_bounds = spec.low <= spec.default <= spec.high
+        except TypeError:
+            return (f"default {spec.default!r} is not comparable with "
+                    f"bounds [{spec.low!r}, {spec.high!r}]")
+        if not in_bounds:
+            return (f"default {spec.default!r} outside declared bounds "
+                    f"[{spec.low!r}, {spec.high!r}]")
+    elif spec.kind in ("ordinal", "categorical"):
+        if spec.choices is _MISSING or spec.choices is None:
+            return None
+        if spec.default not in tuple(spec.choices):
+            return (f"default {spec.default!r} not among declared choices "
+                    f"{tuple(spec.choices)!r}")
+    return None
+
+
+def compare_space_and_consumer(
+    specs: Sequence[SpecInfo],
+    defaults: dict[str, tuple[object, int]],
+    fields: dict[str, tuple[object, int]],
+    attribute_reads: set[str],
+) -> list[tuple[str, int, str]]:
+    """Cross-check the extracted declarations.
+
+    Returns ``(param_name, lineno, message)`` tuples; pure function so
+    the rule logic is unit-testable on synthetic declarations.
+    """
+    problems: list[tuple[str, int, str]] = []
+    spec_by_name = {s.name: s for s in specs}
+
+    for spec in specs:
+        if spec.name not in fields:
+            problems.append((spec.name, spec.lineno, (
+                f"design-space parameter {spec.name!r} has no KFusionParams "
+                f"field — the explored knob is never consumed"
+            )))
+        if spec.name not in defaults:
+            problems.append((spec.name, spec.lineno, (
+                f"design-space parameter {spec.name!r} missing from "
+                f"DEFAULTS — the reference configuration cannot set it"
+            )))
+        msg = _in_bounds(spec)
+        if msg is not None:
+            problems.append((spec.name, spec.lineno,
+                             f"parameter {spec.name!r}: {msg}"))
+
+    for name, (value, lineno) in defaults.items():
+        if name not in spec_by_name:
+            problems.append((name, lineno, (
+                f"DEFAULTS entry {name!r} is not declared in the design "
+                f"space — the knob exists but is never explorable"
+            )))
+            continue
+        spec = spec_by_name[name]
+        if (spec.default is not _MISSING and value is not _MISSING
+                and spec.default != value):
+            problems.append((name, spec.lineno, (
+                f"parameter {name!r}: design-space default {spec.default!r} "
+                f"!= DEFAULTS value {value!r}"
+            )))
+
+    for name, (value, lineno) in fields.items():
+        if name not in spec_by_name:
+            problems.append((name, lineno, (
+                f"KFusionParams field {name!r} is not declared in the "
+                f"design space — part of the trade-off is pinned"
+            )))
+        elif (value is not _MISSING
+              and spec_by_name[name].default is not _MISSING
+              and value != spec_by_name[name].default):
+            problems.append((name, lineno, (
+                f"KFusionParams field {name!r} default {value!r} != "
+                f"design-space default {spec_by_name[name].default!r}"
+            )))
+
+    for spec in specs:
+        if spec.name in fields and spec.name not in attribute_reads:
+            problems.append((spec.name, spec.lineno, (
+                f"parameter {spec.name!r} is declared and defaulted but "
+                f"never read (no .{spec.name} attribute access in the "
+                f"kfusion package)"
+            )))
+    return problems
+
+
+@register_checker
+class DesignSpaceConsistencyChecker(ProjectChecker):
+    """RPR004 over the real tree: params.py vs space.py vs the pipeline."""
+
+    rule_id = "RPR004"
+    title = ("config-space consistency: kfusion_design_space == KFusionParams "
+             "== DEFAULTS, defaults in bounds, every knob consumed")
+
+    def _params_ctx(self, contexts) -> ModuleContext | None:
+        for ctx in contexts:
+            if _ends_with(ctx.path_parts, PARAMS_SUFFIX):
+                return ctx
+        return None
+
+    def _space_ctx(self, contexts) -> ModuleContext | None:
+        for ctx in contexts:
+            if _ends_with(ctx.path_parts, SPACE_SUFFIX):
+                return ctx
+        return None
+
+    def applies(self, contexts) -> bool:
+        return (self._params_ctx(contexts) is not None
+                and self._space_ctx(contexts) is not None)
+
+    def check_project(self, contexts) -> Iterator[Finding]:
+        params_ctx = self._params_ctx(contexts)
+        space_ctx = self._space_ctx(contexts)
+        assert params_ctx is not None and space_ctx is not None
+
+        defaults = extract_defaults(params_ctx.tree)
+        specs = extract_specs(params_ctx.tree, defaults)
+        fields = extract_dataclass_fields(params_ctx.tree, "KFusionParams",
+                                          defaults)
+        kfusion_trees = [
+            ctx.tree for ctx in contexts if "kfusion" in ctx.path_parts
+        ]
+        reads = collect_attribute_reads(kfusion_trees)
+
+        if not specs or not defaults:
+            yield Finding(
+                path=params_ctx.path, line=1, col=1, rule_id=self.rule_id,
+                message=("could not extract ParameterSpec declarations / "
+                         "DEFAULTS from kfusion/params.py — the RPR004 "
+                         "contract is unverifiable"),
+            )
+            return
+
+        # The space module must actually build from parameter_specs() —
+        # a hand-maintained copy would drift silently.
+        if not self._space_delegates(space_ctx):
+            yield Finding(
+                path=space_ctx.path, line=1, col=1, rule_id=self.rule_id,
+                message=("kfusion_design_space does not build from "
+                         "kfusion.params.parameter_specs(); the explored "
+                         "space can drift from the consumed parameters"),
+            )
+
+        for name, lineno, message in compare_space_and_consumer(
+                specs, defaults, fields, reads):
+            yield Finding(
+                path=params_ctx.path, line=lineno, col=1,
+                rule_id=self.rule_id, message=message,
+            )
+
+    @staticmethod
+    def _space_delegates(space_ctx: ModuleContext) -> bool:
+        for node in ast.walk(space_ctx.tree):
+            if (isinstance(node, ast.FunctionDef)
+                    and node.name == "kfusion_design_space"):
+                for inner in ast.walk(node):
+                    if (isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Name)
+                            and inner.func.id == "parameter_specs"):
+                        return True
+        return False

@@ -1,0 +1,291 @@
+"""The static-analysis framework: checker registry and driver.
+
+Checkers come in two shapes:
+
+* :class:`Checker` — per-file AST passes.  Each gets a
+  :class:`ModuleContext` (parsed tree, source lines, import-alias map)
+  and yields :class:`~repro.analysis.findings.Finding` objects.
+* :class:`ProjectChecker` — cross-module passes that see *all* analyzed
+  files at once (e.g. RPR004's design-space/consumer consistency check).
+
+:func:`analyze_paths` is the driver ``repro lint`` uses: collect the
+``.py`` files under the given paths, parse each once, run every
+registered checker, honour ``# noqa`` / ``# noqa: RPR001`` line
+suppressions, and return the sorted findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ReproError
+from .findings import Finding, Severity
+
+
+class AnalysisError(ReproError):
+    """The analyzer itself was misused (bad path, bad rule selection...)."""
+
+
+#: Rule id reported for files the parser rejects.
+PARSE_RULE = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<rules>[A-Z0-9 ,]+))?", re.IGNORECASE)
+
+
+def _collect_import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    ``import numpy as np``           -> ``{"np": "numpy"}``
+    ``from numpy import random``     -> ``{"random": "numpy.random"}``
+    ``from time import perf_counter``-> ``{"perf_counter": "time.perf_counter"}``
+
+    Relative imports keep their leading dots so checkers can still match
+    suffixes (``from ..errors import ReproError`` -> ``..errors.ReproError``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{module}.{alias.name}" if module else alias.name
+                )
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to a dotted path through the aliases.
+
+    Returns ``None`` for expressions that are not plain attribute chains
+    (calls, subscripts, ...).  An un-imported bare name resolves to
+    itself, which is how builtin exception names are matched.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a per-file checker needs about one module."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            tree=tree,
+            source=source,
+            lines=source.splitlines(),
+            aliases=_collect_import_aliases(tree),
+        )
+
+    @property
+    def path_parts(self) -> tuple[str, ...]:
+        return Path(self.path).parts
+
+    def resolve(self, node: ast.AST) -> str | None:
+        return dotted_name(node, self.aliases)
+
+    def finding(self, node: ast.AST, rule_id: str, message: str,
+                severity: Severity = Severity.ERROR) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+            severity=severity,
+        )
+
+
+class Checker:
+    """Base class for per-file AST checkers."""
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """Base class for cross-module checkers over the whole file set."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def applies(self, contexts: Sequence[ModuleContext]) -> bool:
+        raise NotImplementedError
+
+    def check_project(self, contexts: Sequence[ModuleContext]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_FILE_CHECKERS: dict[str, type[Checker]] = {}
+_PROJECT_CHECKERS: dict[str, type[ProjectChecker]] = {}
+
+
+def register_checker(cls):
+    """Class decorator adding a checker to the registry (keyed by rule id)."""
+    if not cls.rule_id:
+        raise AnalysisError(f"checker {cls.__name__} declares no rule_id")
+    registry = (_PROJECT_CHECKERS if issubclass(cls, ProjectChecker)
+                else _FILE_CHECKERS)
+    if cls.rule_id in registry:
+        raise AnalysisError(f"duplicate checker for rule {cls.rule_id}")
+    registry[cls.rule_id] = cls
+    return cls
+
+
+def rule_catalogue() -> dict[str, str]:
+    """``{rule_id: title}`` for every registered rule, sorted by id."""
+    out = {rid: cls.title for rid, cls in _FILE_CHECKERS.items()}
+    out.update({rid: cls.title for rid, cls in _PROJECT_CHECKERS.items()})
+    return dict(sorted(out.items()))
+
+
+def _selected(select: Iterable[str] | None) -> set[str] | None:
+    if select is None:
+        return None
+    ids = {s.strip().upper() for s in select if s.strip()}
+    if not ids:
+        return None
+    known = set(_FILE_CHECKERS) | set(_PROJECT_CHECKERS) | {PARSE_RULE}
+    unknown = ids - known
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule ids {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return ids
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def _noqa_rules(line: str) -> set[str] | None:
+    """Rules suppressed by a ``# noqa`` comment on ``line``.
+
+    Returns ``None`` when there is no noqa, an empty set for a blanket
+    ``# noqa`` (suppress everything), else the listed rule ids.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if not rules:
+        return set()
+    return {r.strip().upper() for r in rules.replace(",", " ").split()}
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = _noqa_rules(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule_id in rules
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   select: Iterable[str] | None = None) -> list[Finding]:
+    """Run the per-file checkers over one source string (test/tool entry)."""
+    wanted = _selected(select)
+    try:
+        ctx = ModuleContext.parse(source, path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) or 1, rule_id=PARSE_RULE,
+                        message=f"syntax error: {exc.msg}")]
+    findings: list[Finding] = []
+    for rule_id, cls in _FILE_CHECKERS.items():
+        if wanted is not None and rule_id not in wanted:
+            continue
+        findings.extend(cls().check(ctx))
+    findings = [f for f in findings if not _suppressed(f, ctx.lines)]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_paths(paths: Sequence[str | Path],
+                  select: Iterable[str] | None = None) -> list[Finding]:
+    """Analyze every ``.py`` file under ``paths`` with all registered rules."""
+    wanted = _selected(select)
+    findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    lines_by_path: dict[str, list[str]] = {}
+    for file in iter_python_files(paths):
+        path = str(file)
+        try:
+            source = file.read_text()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        try:
+            ctx = ModuleContext.parse(source, path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=path, line=exc.lineno or 1, col=(exc.offset or 0) or 1,
+                rule_id=PARSE_RULE, message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        contexts.append(ctx)
+        lines_by_path[path] = ctx.lines
+
+    for ctx in contexts:
+        for rule_id, cls in _FILE_CHECKERS.items():
+            if wanted is not None and rule_id not in wanted:
+                continue
+            findings.extend(cls().check(ctx))
+
+    for rule_id, cls in _PROJECT_CHECKERS.items():
+        if wanted is not None and rule_id not in wanted:
+            continue
+        checker = cls()
+        if checker.applies(contexts):
+            findings.extend(checker.check_project(contexts))
+
+    findings = [
+        f for f in findings
+        if not _suppressed(f, lines_by_path.get(f.path, []))
+    ]
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,61 @@
+"""The ``repro lint`` entry point (wired into :mod:`repro.cli`).
+
+Runs every registered checker over the given paths, subtracts the
+baseline when one exists, renders the report, and returns the process
+exit code: 0 when no unsuppressed findings remain, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .findings import Finding
+from .framework import analyze_paths
+from .reporters import format_json, format_text
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    output_format: str = "text",
+    select: Sequence[str] | None = None,
+    baseline_path: str = DEFAULT_BASELINE,
+    update_baseline: bool = False,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Lint ``paths`` and report; see module docstring for the contract.
+
+    Args:
+        paths: files/directories to analyze (``repro lint`` defaults to
+            ``src/repro``).
+        output_format: ``"text"`` or ``"json"``.
+        select: restrict to these rule ids (``None`` = all).
+        baseline_path: baseline file; applied only if it exists, so a
+            repo without a baseline just reports everything.
+        update_baseline: snapshot current findings into
+            ``baseline_path`` and exit 0 instead of reporting.
+        echo: sink for the rendered report (tests capture it).
+    """
+    findings: list[Finding] = analyze_paths(paths, select=select)
+
+    if update_baseline:
+        count = write_baseline(findings, baseline_path)
+        echo(f"wrote baseline with {count} finding(s) to {baseline_path}")
+        return 0
+
+    suppressed = 0
+    if baseline_path and Path(baseline_path).is_file():
+        findings, suppressed = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+
+    render = format_json if output_format == "json" else format_text
+    echo(render(findings, suppressed))
+    return 1 if findings else 0

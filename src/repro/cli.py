@@ -8,6 +8,7 @@ Subcommands:
 * ``devices``  — list the mobile device database.
 * ``backends`` — the cross-implementation comparison (E5).
 * ``trace``    — inspect telemetry traces (``trace summarize FILE``).
+* ``lint``     — repo-specific static analysis (``repro.analysis``).
 
 ``run`` and ``dse`` accept ``--trace PATH`` to capture a per-kernel
 telemetry trace of the run: ``.jsonl`` writes the raw event log,
@@ -193,6 +194,21 @@ def _cmd_backends(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import run_lint
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        select=select,
+        baseline_path=args.baseline,
+        update_baseline=args.write_baseline,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     register_defaults()
     parser = argparse.ArgumentParser(
@@ -257,6 +273,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_be = sub.add_parser("backends", help="backend comparison (E5)")
     p_be.set_defaults(func=_cmd_backends)
+
+    p_lint = sub.add_parser(
+        "lint", help="repo-specific static analysis (rules RPR001-RPR005)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyse "
+                             "(default: src/repro)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    p_lint.add_argument("--select", default="",
+                        help="comma-separated rule ids to run "
+                             "(e.g. RPR001,RPR003)")
+    p_lint.add_argument("--baseline", default=".reprolint.json",
+                        help="baseline file of suppressed known findings")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the baseline "
+                             "and exit 0")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

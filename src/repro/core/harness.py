@@ -11,7 +11,6 @@ figures need: per-frame streams (Fig 1), scalar objectives for the DSE
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..datasets.base import Sequence
@@ -20,14 +19,14 @@ from ..errors import ReproError as _ReproError
 from ..metrics.ate import ATEResult, absolute_trajectory_error
 from ..metrics.drift import DriftResult, trajectory_drift
 from ..metrics.rpe import RPEResult, relative_pose_error
+from ..platforms.device import DeviceModel
 from ..platforms.simulator import (
     PerformanceSimulator,
     PlatformConfig,
     SimulationResult,
 )
-from ..platforms.device import DeviceModel
 from ..scene.trajectory import Trajectory
-from ..telemetry import RunManifest, Tracer, current_tracer, use_tracer
+from ..telemetry import RunManifest, Tracer, current_tracer, stage, use_tracer
 from .api import SLAMSystem
 from .metrics import FrameRecord, MetricsCollector
 
@@ -182,17 +181,18 @@ def run_benchmark(
             system.init(sequence.sensors)
         try:
             for frame in sequence:
-                with tracer.span("frame", frame=frame.index):
-                    t0 = time.perf_counter()
+                # One pair of clock reads feeds both the "frame" span and
+                # the FrameRecord wall time (RPR001: telemetry owns the
+                # clock).
+                with stage(None, "frame", frame=frame.index) as timed:
                     system.update_frame(frame.without_ground_truth())
                     status = system.process_once()
                     system.update_outputs()
-                    wall = time.perf_counter() - t0
                 collector.add(
                     FrameRecord(
                         index=frame.index,
                         timestamp=frame.timestamp,
-                        wall_time_s=wall,
+                        wall_time_s=timed.duration_s,
                         status=status,
                         pose=system.outputs.pose(),
                         workload=system.last_workload(),
@@ -258,16 +258,15 @@ def run_frame_stream(
     system.init(sequence.sensors)
     try:
         for frame in sequence:
-            with use_tracer(tracer), tracer.span("frame", frame=frame.index):
-                t0 = time.perf_counter()
+            with use_tracer(tracer), \
+                    stage(None, "frame", frame=frame.index) as timed:
                 system.update_frame(frame.without_ground_truth())
                 status = system.process_once()
                 system.update_outputs()
-                wall = time.perf_counter() - t0
             yield FrameRecord(
                 index=frame.index,
                 timestamp=frame.timestamp,
-                wall_time_s=wall,
+                wall_time_s=timed.duration_s,
                 status=status,
                 pose=system.outputs.pose(),
                 workload=system.last_workload(),

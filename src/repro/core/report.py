@@ -11,6 +11,8 @@ from __future__ import annotations
 import io
 from typing import Iterable, Mapping, Sequence
 
+from ..errors import ReportError
+
 
 def format_table(
     rows: Sequence[Mapping],
@@ -56,7 +58,7 @@ def write_csv(rows: Sequence[Mapping], path: str,
     """
     rows = list(rows)
     if not rows:
-        raise ValueError("no rows to write")
+        raise ReportError("no rows to write")
     if columns is None:
         columns = list(rows[0].keys())
 

@@ -9,6 +9,8 @@ the seed, and frames are memoised so the harness can iterate repeatedly
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.frame import Frame
 from ..core.sensors import DepthSensor, GroundTruthSensor, RGBSensor, SensorSuite
 from ..errors import DatasetError
@@ -18,8 +20,6 @@ from ..scene.noise import KinectNoiseModel
 from ..scene.renderer import RenderSettings, render_depth, render_rgb
 from ..scene.trajectory import Trajectory
 from .base import Sequence
-
-import numpy as np
 
 
 class SyntheticSequence(Sequence):

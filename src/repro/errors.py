@@ -49,3 +49,7 @@ class OptimizationError(ReproError):
 
 class ModelError(ReproError):
     """A machine-learning model was used before fitting or with bad shapes."""
+
+
+class ReportError(ReproError):
+    """A report/export helper was asked to render invalid or empty data."""

@@ -10,19 +10,19 @@ rendered for terminals).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.report import format_table
 from ..datasets import icl_nuim
 from ..geometry import se3
-from ..core.report import format_table
 from ..kfusion.pipeline import KinectFusion
 from ..kfusion.render import ascii_render
 from ..metrics.reconstruction import ReconstructionResult, reconstruction_error
 from ..platforms.odroid import odroid_xu3
 from ..platforms.simulator import PerformanceSimulator, PlatformConfig
+from ..telemetry import stage
 
 
 @dataclass
@@ -81,11 +81,11 @@ def run(
     statuses_ok = 0
     try:
         for frame in sequence:
-            t0 = time.perf_counter()
-            system.update_frame(frame.without_ground_truth())
-            status = system.process_once()
-            system.update_outputs()
-            wall = time.perf_counter() - t0
+            with stage(None, "frame", frame=frame.index) as timed:
+                system.update_frame(frame.without_ground_truth())
+                status = system.process_once()
+                system.update_outputs()
+            wall = timed.duration_s
 
             pose = system.outputs.pose()
             if first_pose is None:

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import os
 import sys
-import time
 
 from ..core.report import format_table, write_csv
+from ..errors import ReproError
 from ..hypermapper import (
     ConstraintSet,
     accuracy_limit,
@@ -31,6 +31,7 @@ from ..hypermapper import (
     format_knowledge,
     save_exploration_csv,
 )
+from ..telemetry import stage
 from . import algorithms, backends, fig1_gui, fig2_dse, fig3_android, headline
 
 #: (quick, full) scale knobs.
@@ -64,83 +65,86 @@ def run_all(out_dir: str, quick: bool = False, seed: int = 1) -> dict:
         written[name] = path
         index_lines.append(f"- {name}")
 
-    t0 = time.time()
+    # One telemetry-clocked span covers the whole regeneration; its
+    # duration lands in INDEX.txt (RPR001: telemetry owns the clock).
+    with stage(None, "experiments.run_all", quick=quick) as timed:
+        # E1 ---------------------------------------------------------------
+        stream = fig1_gui.run(n_frames=_scale("fig1_frames", quick),
+                              width=80, height=60, seed=seed)
+        emit("fig1_gui.txt", stream.table() + "\n" + stream.render_ascii())
 
-    # E1 ---------------------------------------------------------------
-    stream = fig1_gui.run(n_frames=_scale("fig1_frames", quick),
-                          width=80, height=60, seed=seed)
-    emit("fig1_gui.txt", stream.table() + "\n" + stream.render_ascii())
+        # E2 ---------------------------------------------------------------
+        figure2 = fig2_dse.run_surrogate(
+            n_random=_scale("fig2_random", quick),
+            n_initial=_scale("fig2_initial", quick),
+            n_iterations=_scale("fig2_iterations", quick),
+            samples_per_iteration=8,
+            seed=seed,
+        )
+        constraints = ConstraintSet.of(
+            [accuracy_limit(figure2.accuracy_limit_m)]
+        )
+        emit(
+            "fig2_dse.txt",
+            format_table(figure2.summary_rows(), title="Figure 2 summary")
+            + "\n" + exploration_summary(figure2.active_result, constraints),
+        )
+        save_exploration_csv(figure2.active_result,
+                             os.path.join(out_dir, "fig2_dse.csv"))
+        written["fig2_dse.csv"] = os.path.join(out_dir, "fig2_dse.csv")
+        index_lines.append("- fig2_dse.csv")
+        emit("fig2_knowledge.txt", format_knowledge(figure2.knowledge))
 
-    # E2 ---------------------------------------------------------------
-    figure2 = fig2_dse.run_surrogate(
-        n_random=_scale("fig2_random", quick),
-        n_initial=_scale("fig2_initial", quick),
-        n_iterations=_scale("fig2_iterations", quick),
-        samples_per_iteration=8,
-        seed=seed,
-    )
-    constraints = ConstraintSet.of([accuracy_limit(figure2.accuracy_limit_m)])
-    emit(
-        "fig2_dse.txt",
-        format_table(figure2.summary_rows(), title="Figure 2 summary")
-        + "\n" + exploration_summary(figure2.active_result, constraints),
-    )
-    save_exploration_csv(figure2.active_result,
-                         os.path.join(out_dir, "fig2_dse.csv"))
-    written["fig2_dse.csv"] = os.path.join(out_dir, "fig2_dse.csv")
-    index_lines.append("- fig2_dse.csv")
-    emit("fig2_knowledge.txt", format_knowledge(figure2.knowledge))
+        # E4 (before E3, which reuses the tuned configuration) ---------------
+        head = headline.run(seed=seed + 6)
+        emit(
+            "headline.txt",
+            format_table(head.rows(), title="ODROID-XU3 headline")
+            + f"\nvs state of the art: {head.time_improvement_vs_sota:.1f}x "
+            f"time, {head.power_reduction_vs_sota:.1f}x power "
+            f"(paper: 4.8x / 2.8x)\n"
+            f"real-time within 1 W: {head.realtime_within_budget}\n",
+        )
 
-    # E4 (before E3, which reuses the tuned configuration) ---------------
-    head = headline.run(seed=seed + 6)
-    emit(
-        "headline.txt",
-        format_table(head.rows(), title="ODROID-XU3 headline")
-        + f"\nvs state of the art: {head.time_improvement_vs_sota:.1f}x "
-        f"time, {head.power_reduction_vs_sota:.1f}x power "
-        f"(paper: 4.8x / 2.8x)\n"
-        f"real-time within 1 W: {head.realtime_within_budget}\n",
-    )
+        # E3 ---------------------------------------------------------------
+        figure3 = fig3_android.run(head.tuned.configuration,
+                                   n_frames=_scale("fig3_frames", quick),
+                                   seed=seed)
+        emit(
+            "fig3_android.txt",
+            figure3.histogram()
+            + "\n" + format_table(figure3.by_form_factor,
+                                  title="By form factor")
+            + "\n" + format_table(figure3.drivers[:4],
+                                  title="Speed-up drivers"),
+        )
+        write_csv(
+            [
+                {
+                    "device": r.device, "year": r.year,
+                    "default_fps": r.default_fps, "tuned_fps": r.tuned_fps,
+                    "speedup": r.speedup,
+                }
+                for r in figure3.runs
+            ],
+            os.path.join(out_dir, "fig3_android.csv"),
+        )
+        written["fig3_android.csv"] = os.path.join(out_dir, "fig3_android.csv")
+        index_lines.append("- fig3_android.csv")
 
-    # E3 ---------------------------------------------------------------
-    figure3 = fig3_android.run(head.tuned.configuration,
-                               n_frames=_scale("fig3_frames", quick),
-                               seed=seed)
-    emit(
-        "fig3_android.txt",
-        figure3.histogram()
-        + "\n" + format_table(figure3.by_form_factor,
-                              title="By form factor")
-        + "\n" + format_table(figure3.drivers[:4],
-                              title="Speed-up drivers"),
-    )
-    write_csv(
-        [
-            {
-                "device": r.device, "year": r.year,
-                "default_fps": r.default_fps, "tuned_fps": r.tuned_fps,
-                "speedup": r.speedup,
-            }
-            for r in figure3.runs
-        ],
-        os.path.join(out_dir, "fig3_android.csv"),
-    )
-    written["fig3_android.csv"] = os.path.join(out_dir, "fig3_android.csv")
-    index_lines.append("- fig3_android.csv")
-
-    # E5 / E6 -----------------------------------------------------------
-    emit("backends.txt",
-         format_table(backends.run().rows, title="Backends (E5)"))
-    emit(
-        "algorithms.txt",
-        format_table(
-            algorithms.run(n_frames=_scale("algo_frames", quick)).rows,
-            title="Algorithms x datasets (E6)",
-        ),
-    )
+        # E5 / E6 -----------------------------------------------------------
+        emit("backends.txt",
+             format_table(backends.run().rows, title="Backends (E5)"))
+        emit(
+            "algorithms.txt",
+            format_table(
+                algorithms.run(n_frames=_scale("algo_frames", quick)).rows,
+                title="Algorithms x datasets (E6)",
+            ),
+        )
 
     index_lines.append("")
-    index_lines.append(f"total wall time: {time.time() - t0:.0f} s")
+    index_lines.append(f"total wall time: {timed.duration_s:.0f} s")
     emit("INDEX.txt", "\n".join(index_lines))
     return written
 
@@ -150,7 +154,11 @@ def main(argv: list[str] | None = None) -> int:
     quick = "--quick" in args
     args = [a for a in args if a != "--quick"]
     out_dir = args[0] if args else "repro_report"
-    written = run_all(out_dir, quick=quick)
+    try:
+        written = run_all(out_dir, quick=quick)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(f"wrote {len(written)} artefacts to {out_dir}/")
     return 0
 

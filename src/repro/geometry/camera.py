@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..errors import GeometryError
 
 
@@ -124,6 +125,7 @@ class PinholeCamera:
         y = (vv - self.cy) / self.fy
         return np.stack([x, y, np.ones_like(x)], axis=-1)
 
+    @contract(depth="H,W:f64")
     def backproject(self, depth: np.ndarray) -> np.ndarray:
         """Depth map ``(H, W)`` to camera-frame vertex map ``(H, W, 3)``.
 
@@ -140,6 +142,7 @@ class PinholeCamera:
         d = np.where(valid, depth, 0.0)
         return rays * d[..., None]
 
+    @contract(points="...,3:f64")
     def project(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Project camera-frame points ``(..., 3)`` to pixels.
 

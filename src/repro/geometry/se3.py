@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..errors import GeometryError
 
 _EPS = 1e-12
@@ -77,6 +78,7 @@ def translation(T: np.ndarray) -> np.ndarray:
     return np.asarray(T, dtype=float)[:3, 3]
 
 
+@contract(T="4,4:f64")
 def inverse(T: np.ndarray) -> np.ndarray:
     """Invert a rigid transform without a general matrix inverse."""
     T = np.asarray(T, dtype=float)
@@ -88,6 +90,7 @@ def inverse(T: np.ndarray) -> np.ndarray:
     return Ti
 
 
+@contract(T="4,4:f64", points="...,3:f64")
 def transform_points(T: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Apply a rigid transform to an ``(..., 3)`` array of points."""
     T = np.asarray(T, dtype=float)
@@ -95,6 +98,7 @@ def transform_points(T: np.ndarray, points: np.ndarray) -> np.ndarray:
     return points @ T[:3, :3].T + T[:3, 3]
 
 
+@contract(T="4,4:f64", vectors="...,3:f64")
 def rotate_vectors(T: np.ndarray, vectors: np.ndarray) -> np.ndarray:
     """Apply only the rotation of ``T`` to an ``(..., 3)`` array of vectors."""
     T = np.asarray(T, dtype=float)

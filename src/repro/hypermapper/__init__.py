@@ -8,24 +8,31 @@ from .constraints import (
     realtime,
 )
 from .evaluator import Evaluation, Evaluator, MeasuredEvaluator
-from .incremental import (IncrementalResult, incremental_codesign,
-                          split_codesign_space)
-from .local_search import local_refine, neighbours
+from .incremental import (
+    IncrementalResult,
+    incremental_codesign,
+    split_codesign_space,
+)
 from .knowledge import (
     CriterionKnowledge,
     default_criteria,
     extract_knowledge,
     format_knowledge,
 )
+from .local_search import local_refine, neighbours
 from .optimizer import (
     ExplorationResult,
     HyperMapper,
     random_exploration,
 )
 from .pareto import dominated_by, hypervolume_2d, pareto_front, pareto_mask
-from .report import (RepetitionStatistics, exploration_rows,
-                     exploration_summary, repeat_exploration,
-                     save_exploration_csv)
+from .report import (
+    RepetitionStatistics,
+    exploration_rows,
+    exploration_summary,
+    repeat_exploration,
+    save_exploration_csv,
+)
 from .sampling import latin_hypercube_sample, random_sample
 from .space import DesignSpace, codesign_design_space, kfusion_design_space
 from .surrogate import SurrogateEvaluator, surrogate_max_ate

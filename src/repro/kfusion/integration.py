@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..geometry import PinholeCamera, se3
 from .volume import TSDFVolume
 
 MAX_WEIGHT = 100.0
 
 
+@contract(depth="H,W:f64", pose_volume_from_camera="4,4:f64")
 def integrate(
     volume: TSDFVolume,
     depth: np.ndarray,

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..errors import ConfigurationError
 from ..geometry import PinholeCamera, normals_from_vertices
 
 
+@contract(depth="H,W:f64")
 def downsample_depth(depth: np.ndarray, ratio: int) -> np.ndarray:
     """Block-subsample a depth map by the compute-size ratio.
 
@@ -47,6 +49,7 @@ def downsample_depth(depth: np.ndarray, ratio: int) -> np.ndarray:
     return out
 
 
+@contract(depth="H,W:f64")
 def bilateral_filter(
     depth: np.ndarray,
     radius: int = 2,

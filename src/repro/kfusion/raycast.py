@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..geometry import PinholeCamera, se3
 from .volume import TSDFVolume
 
 
+@contract(pose_volume_from_camera="4,4:f64")
 def raycast(
     volume: TSDFVolume,
     camera: PinholeCamera,

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+from ..errors import GeometryError
 from ..geometry import PinholeCamera
 from .raycast import raycast
 from .volume import TSDFVolume
 
 
+@contract(pose_volume_from_camera="4,4:f64")
 def render_volume(
     volume: TSDFVolume,
     camera: PinholeCamera,
@@ -39,7 +42,7 @@ def render_volume(
     light = np.asarray(light_dir, dtype=float)
     norm = np.linalg.norm(light)
     if norm < 1e-12:
-        raise ValueError("light direction must be non-zero")
+        raise GeometryError("light direction must be non-zero")
     light = light / norm
 
     image = np.zeros(flat_n.shape[0])

@@ -1,8 +1,8 @@
 """Accuracy metrics: trajectory error, drift, and map quality."""
 
 from .alignment import align_trajectories, umeyama
-from .drift import DriftResult, trajectory_drift
 from .ate import ATEResult, absolute_trajectory_error
+from .drift import DriftResult, trajectory_drift
 from .reconstruction import ReconstructionResult, reconstruction_error
 from .rpe import RPEResult, relative_pose_error
 from .summary import SeriesSummary, geometric_mean, speedup

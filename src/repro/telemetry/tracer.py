@@ -227,7 +227,7 @@ def use_tracer(tracer: Tracer):
 
 
 class stage:
-    """Time a pipeline stage once, feeding both telemetry sinks.
+    """Time a pipeline stage once, feeding every telemetry sink.
 
     The KinectFusion pipeline must keep populating
     ``FrameWorkload.wall_times_s`` (the simulator-side record consumed by
@@ -238,17 +238,27 @@ class stage:
         with stage(workload, "track", frame=frame.index):
             ...  # kernel calls
 
+    ``workload`` may be ``None`` for callers that only need the span and
+    the measured ``duration_s`` — the harness times whole frames this
+    way, so wall-clock numbers flow through this one clock everywhere
+    (the RPR001 lint rule bans any other clock outside this package)::
+
+        with stage(None, "frame", frame=frame.index) as timed:
+            ...
+        record.wall_time_s = timed.duration_s
+
     When no tracer is installed the cost is the same two clock reads the
     old code paid, plus one dict update.
     """
 
-    __slots__ = ("_workload", "name", "attrs", "_start_ns")
+    __slots__ = ("_workload", "name", "attrs", "_start_ns", "duration_s")
 
     def __init__(self, workload, name: str, **attrs):
         self._workload = workload
         self.name = name
         self.attrs = attrs
         self._start_ns = 0
+        self.duration_s = 0.0
 
     def __enter__(self) -> "stage":
         tracer = _current.get()
@@ -260,7 +270,9 @@ class stage:
     def __exit__(self, exc_type, exc, tb) -> None:
         end_ns = time.perf_counter_ns()
         duration_ns = end_ns - self._start_ns
-        self._workload.record_wall_time(self.name, duration_ns * 1e-9)
+        self.duration_s = duration_ns * 1e-9
+        if self._workload is not None:
+            self._workload.record_wall_time(self.name, self.duration_s)
         tracer = _current.get()
         if tracer.enabled:
             attrs = self.attrs

@@ -1,0 +1,703 @@
+"""Tests for the static-analysis suite (repro lint, rules RPR001-RPR005)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ContractError,
+    Severity,
+    analyze_paths,
+    analyze_source,
+    apply_baseline,
+    contract,
+    load_baseline,
+    parse_contract,
+    rule_catalogue,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.consistency import (
+    SpecInfo,
+    compare_space_and_consumer,
+)
+from repro.analysis.framework import AnalysisError, PARSE_RULE
+from repro.analysis.reporters import format_json, format_text
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def rules_of(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestFramework:
+    def test_rule_catalogue_complete(self):
+        catalogue = rule_catalogue()
+        assert set(catalogue) == {
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+        }
+        assert all(title for title in catalogue.values())
+
+    def test_syntax_error_reported_as_rpr000(self):
+        findings = analyze_source("def broken(:\n", path="bad.py")
+        assert rules_of(findings) == [PARSE_RULE]
+        assert findings[0].path == "bad.py"
+
+    def test_unknown_rule_selection_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_source("x = 1\n", select=["RPR999"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_paths(["no/such/dir"])
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import time\n"
+            "b = time.monotonic()\n"
+            "a = time.perf_counter()\n"
+        )
+        findings = analyze_source(src, select=["RPR001"])
+        assert [f.line for f in findings] == [2, 3]
+
+
+class TestNoqa:
+    def test_rule_specific_noqa_suppresses(self):
+        src = "import time\nt = time.time()  # noqa: RPR001\n"
+        assert analyze_source(src, select=["RPR001"]) == []
+
+    def test_blanket_noqa_suppresses(self):
+        src = "import time\nt = time.time()  # noqa\n"
+        assert analyze_source(src, select=["RPR001"]) == []
+
+    def test_other_rule_noqa_does_not_suppress(self):
+        src = "import time\nt = time.time()  # noqa: RPR002\n"
+        assert rules_of(analyze_source(src, select=["RPR001"])) == ["RPR001"]
+
+
+class TestTimingDiscipline:
+    """RPR001."""
+
+    def test_flags_perf_counter(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        findings = analyze_source(src, path="x.py", select=["RPR001"])
+        assert rules_of(findings) == ["RPR001"]
+        assert findings[0].line == 2
+        assert "telemetry" in findings[0].message
+
+    def test_flags_from_import_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        findings = analyze_source(src, select=["RPR001"])
+        assert rules_of(findings) == ["RPR001"]
+
+    def test_flags_monotonic_and_time(self):
+        src = "import time\na = time.time()\nb = time.monotonic()\n"
+        assert len(analyze_source(src, select=["RPR001"])) == 2
+
+    def test_telemetry_modules_exempt(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        findings = analyze_source(
+            src, path="src/repro/telemetry/tracer.py", select=["RPR001"]
+        )
+        assert findings == []
+
+    def test_unrelated_time_attribute_not_flagged(self):
+        src = "record = get()\nt = record.time\nd = record.time.perf_counter\n"
+        assert analyze_source(src, select=["RPR001"]) == []
+
+    def test_time_sleep_not_flagged(self):
+        src = "import time\ntime.sleep(0.1)\n"
+        assert analyze_source(src, select=["RPR001"]) == []
+
+    def test_seeded_clock_in_harness_copy_located(self, tmp_path):
+        """A sneaked perf_counter in a scratch harness copy is pinpointed."""
+        source = (REPO_SRC / "core" / "harness.py").read_text()
+        patched = source + (
+            "\n\ndef _sneaky_wall_clock():\n"
+            "    import time\n"
+            "    return time.perf_counter()\n"
+        )
+        copy = tmp_path / "harness_copy.py"
+        copy.write_text(patched)
+        expected_line = (
+            patched.splitlines().index("    return time.perf_counter()") + 1
+        )
+        findings = analyze_paths([copy], select=["RPR001"])
+        assert rules_of(findings) == ["RPR001"]
+        assert findings[0].path == str(copy)
+        assert findings[0].line == expected_line
+
+
+class TestRngDiscipline:
+    """RPR002."""
+
+    def test_flags_global_seed(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        findings = analyze_source(src, select=["RPR002"])
+        assert rules_of(findings) == ["RPR002"]
+        assert "Generator" in findings[0].message
+
+    def test_flags_module_level_draws(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.rand(3)\n"
+            "b = np.random.normal(0.0, 1.0)\n"
+            "c = np.random.randint(10)\n"
+        )
+        assert len(analyze_source(src, select=["RPR002"])) == 3
+
+    def test_flags_numpy_random_import(self):
+        src = "from numpy import random\nx = random.uniform(0, 1)\n"
+        findings = analyze_source(src, select=["RPR002"])
+        assert rules_of(findings) == ["RPR002"]
+
+    def test_default_rng_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "g = np.random.Generator(np.random.PCG64(1))\n"
+        )
+        assert analyze_source(src, select=["RPR002"]) == []
+
+    def test_injected_generator_draws_allowed(self):
+        src = "def f(rng):\n    return rng.normal(size=3)\n"
+        assert analyze_source(src, select=["RPR002"]) == []
+
+
+class TestErrorPolicy:
+    """RPR003."""
+
+    def test_flags_bare_builtin_raise(self):
+        src = "def f(x):\n    raise ValueError('bad')\n"
+        findings = analyze_source(src, select=["RPR003"])
+        assert rules_of(findings) == ["RPR003"]
+        assert "ReproError" in findings[0].message
+
+    def test_flags_runtime_error_without_call(self):
+        src = "def f():\n    raise RuntimeError\n"
+        assert rules_of(analyze_source(src, select=["RPR003"])) == ["RPR003"]
+
+    def test_repro_errors_allowed(self):
+        src = (
+            "from repro.errors import ConfigurationError\n"
+            "def f(x):\n"
+            "    raise ConfigurationError('bad')\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+    def test_programming_errors_allowed(self):
+        src = (
+            "def f(x):\n"
+            "    raise TypeError('wrong type')\n"
+            "def g():\n"
+            "    raise NotImplementedError\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+    def test_bare_reraise_allowed(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+    def test_locally_defined_shadow_allowed(self):
+        src = (
+            "class ValueError(Exception):\n"
+            "    pass\n"
+            "def f():\n"
+            "    raise ValueError('local class, not the builtin')\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+    def test_main_without_handler_flagged(self):
+        src = (
+            "def main(argv=None):\n"
+            "    return run(argv)\n"
+        )
+        findings = analyze_source(src, select=["RPR003"])
+        assert rules_of(findings) == ["RPR003"]
+        assert "traceback" in findings[0].message
+
+    def test_main_with_repro_error_handler_clean(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "def main(argv=None):\n"
+            "    try:\n"
+            "        return run(argv)\n"
+            "    except ReproError as exc:\n"
+            "        print(exc)\n"
+            "        return 1\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+    def test_method_named_main_not_flagged(self):
+        src = (
+            "class App:\n"
+            "    def main(self):\n"
+            "        return 0\n"
+        )
+        assert analyze_source(src, select=["RPR003"]) == []
+
+
+def _write_rpr004_project(tmp_path, params_src, space_src, pipeline_src):
+    root = tmp_path / "proj"
+    (root / "kfusion").mkdir(parents=True)
+    (root / "hypermapper").mkdir()
+    (root / "kfusion" / "params.py").write_text(params_src)
+    (root / "hypermapper" / "space.py").write_text(space_src)
+    (root / "kfusion" / "pipeline.py").write_text(pipeline_src)
+    return root
+
+
+CLEAN_PARAMS = '''\
+DEFAULTS = {"alpha": 2, "beta": 0.5}
+
+
+def parameter_specs():
+    return [
+        ParameterSpec("alpha", "integer", DEFAULTS["alpha"], low=1, high=4),
+        ParameterSpec("beta", "real", DEFAULTS["beta"], low=0.0, high=1.0),
+    ]
+
+
+class KFusionParams:
+    alpha: int = 2
+    beta: float = 0.5
+'''
+
+CLEAN_SPACE = '''\
+def kfusion_design_space():
+    return tuple(parameter_specs())
+'''
+
+CLEAN_PIPELINE = '''\
+def run(params):
+    return params.alpha + params.beta
+'''
+
+
+class TestDesignSpaceConsistency:
+    """RPR004 — the cross-module checker and its pure comparison core."""
+
+    def test_clean_fixture_passes(self, tmp_path):
+        root = _write_rpr004_project(
+            tmp_path, CLEAN_PARAMS, CLEAN_SPACE, CLEAN_PIPELINE
+        )
+        assert analyze_paths([root], select=["RPR004"]) == []
+
+    def test_orphan_default_flagged(self, tmp_path):
+        params = CLEAN_PARAMS.replace(
+            '"beta": 0.5}', '"beta": 0.5, "gamma": 3}'
+        )
+        root = _write_rpr004_project(
+            tmp_path, params, CLEAN_SPACE, CLEAN_PIPELINE
+        )
+        findings = analyze_paths([root], select=["RPR004"])
+        assert rules_of(findings) == ["RPR004"]
+        assert "gamma" in findings[0].message
+
+    def test_default_mismatch_flagged(self, tmp_path):
+        params = CLEAN_PARAMS.replace(
+            'ParameterSpec("alpha", "integer", DEFAULTS["alpha"],',
+            'ParameterSpec("alpha", "integer", 3,',
+        )
+        root = _write_rpr004_project(
+            tmp_path, params, CLEAN_SPACE, CLEAN_PIPELINE
+        )
+        findings = analyze_paths([root], select=["RPR004"])
+        assert any("alpha" in f.message and "!=" in f.message
+                   for f in findings)
+
+    def test_unread_knob_flagged(self, tmp_path):
+        pipeline = 'def run(params):\n    return params.alpha\n'
+        root = _write_rpr004_project(
+            tmp_path, CLEAN_PARAMS, CLEAN_SPACE, pipeline
+        )
+        findings = analyze_paths([root], select=["RPR004"])
+        assert any("never read" in f.message and "beta" in f.message
+                   for f in findings)
+
+    def test_hand_maintained_space_flagged(self, tmp_path):
+        space = 'def kfusion_design_space():\n    return ()\n'
+        root = _write_rpr004_project(
+            tmp_path, CLEAN_PARAMS, space, CLEAN_PIPELINE
+        )
+        findings = analyze_paths([root], select=["RPR004"])
+        assert any("parameter_specs" in f.message for f in findings)
+
+    def test_not_applied_without_both_modules(self, tmp_path):
+        root = tmp_path / "proj"
+        (root / "kfusion").mkdir(parents=True)
+        (root / "kfusion" / "params.py").write_text(CLEAN_PARAMS)
+        assert analyze_paths([root], select=["RPR004"]) == []
+
+    def test_compare_flags_out_of_bounds_default(self):
+        spec = SpecInfo(name="alpha", kind="integer", default=9,
+                        low=1, high=4, choices=None, lineno=1)
+        problems = compare_space_and_consumer(
+            [spec], {"alpha": (9, 1)}, {"alpha": (9, 2)}, {"alpha"}
+        )
+        assert any("outside declared bounds" in msg
+                   for _, _, msg in problems)
+
+    def test_compare_flags_missing_consumer_field(self):
+        spec = SpecInfo(name="alpha", kind="integer", default=2,
+                        low=1, high=4, choices=None, lineno=1)
+        problems = compare_space_and_consumer(
+            [spec], {"alpha": (2, 1)}, {}, {"alpha"}
+        )
+        assert any("no KFusionParams field" in msg for _, _, msg in problems)
+
+    def test_compare_flags_field_outside_space(self):
+        problems = compare_space_and_consumer(
+            [], {}, {"alpha": (2, 7)}, {"alpha"}
+        )
+        assert any("not declared in the design space" in msg
+                   for _, _, msg in problems)
+
+    def test_compare_flags_categorical_default_not_in_choices(self):
+        spec = SpecInfo(name="mode", kind="categorical", default="z",
+                        low=None, high=None, choices=("a", "b"), lineno=3)
+        problems = compare_space_and_consumer(
+            [spec], {"mode": ("z", 1)}, {"mode": ("z", 2)}, {"mode"}
+        )
+        assert any("not among declared choices" in msg
+                   for _, _, msg in problems)
+
+    def test_compare_clean_synthetic(self):
+        spec = SpecInfo(name="alpha", kind="integer", default=2,
+                        low=1, high=4, choices=None, lineno=1)
+        assert compare_space_and_consumer(
+            [spec], {"alpha": (2, 1)}, {"alpha": (2, 2)}, {"alpha"}
+        ) == []
+
+    def test_real_tree_consistent(self):
+        findings = analyze_paths([REPO_SRC], select=["RPR004"])
+        assert findings == []
+
+
+class TestContractSyntaxChecker:
+    """RPR005 — the static side of @contract."""
+
+    def test_good_contract_clean(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "@contract(depth='H,W:f64', pose='4,4:f64')\n"
+            "def f(depth, pose):\n"
+            "    return depth\n"
+        )
+        assert analyze_source(src, select=["RPR005"]) == []
+
+    def test_malformed_string_flagged(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "@contract(depth='H,,W:f64')\n"
+            "def f(depth):\n"
+            "    return depth\n"
+        )
+        findings = analyze_source(src, select=["RPR005"])
+        assert rules_of(findings) == ["RPR005"]
+
+    def test_unknown_dtype_flagged(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "@contract(depth='H,W:q7')\n"
+            "def f(depth):\n"
+            "    return depth\n"
+        )
+        assert rules_of(analyze_source(src, select=["RPR005"])) == ["RPR005"]
+
+    def test_unknown_parameter_flagged(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "@contract(nope='4,4:f64')\n"
+            "def f(depth):\n"
+            "    return depth\n"
+        )
+        findings = analyze_source(src, select=["RPR005"])
+        assert "no parameter" in findings[0].message
+
+    def test_contradictory_stacked_decorators_flagged(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "@contract(x='4,4:f64')\n"
+            "@contract(x='3,3:f64')\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        findings = analyze_source(src, select=["RPR005"])
+        assert any("contradictory" in f.message for f in findings)
+
+    def test_non_literal_contract_flagged(self):
+        src = (
+            "from repro.analysis.contracts import contract\n"
+            "SPEC = '4,4:f64'\n"
+            "@contract(x=SPEC)\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        findings = analyze_source(src, select=["RPR005"])
+        assert any("string literal" in f.message for f in findings)
+
+    def test_unrelated_decorator_ignored(self):
+        src = (
+            "def contract_like(**kw):\n"
+            "    return lambda f: f\n"
+            "@other_decorator(x=1)\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        assert analyze_source(src, select=["RPR005"]) == []
+
+
+class TestContractRuntime:
+    """The runtime side of @contract."""
+
+    def test_parse_contract_roundtrip(self):
+        spec = parse_contract("H,W:f64")
+        assert spec.dims == ("H", "W")
+        assert spec.kind == "f"
+        assert not spec.ellipsis_leading
+        spec = parse_contract("...,3:f64")
+        assert spec.ellipsis_leading
+        assert spec.dims == (3,)
+
+    @pytest.mark.parametrize("bad", [
+        "", "H,,W:f64", "4,4:q7", "H,...:f64", "-1,4:f64", "...",
+    ])
+    def test_parse_contract_rejects(self, bad):
+        with pytest.raises(ContractError):
+            parse_contract(bad)
+
+    def test_matching_call_passes(self):
+        @contract(pose="4,4:f64", points="...,3:f64")
+        def f(pose, points):
+            return points.shape
+
+        assert f(np.eye(4), np.zeros((7, 3))) == (7, 3)
+        assert f(np.eye(4), np.zeros((2, 5, 3))) == (2, 5, 3)
+
+    def test_wrong_shape_rejected(self):
+        @contract(pose="4,4:f64")
+        def f(pose):
+            return pose
+
+        with pytest.raises(ContractError):
+            f(np.eye(3))
+
+    def test_wrong_trailing_dim_rejected(self):
+        @contract(points="...,3:f64")
+        def f(points):
+            return points
+
+        with pytest.raises(ContractError):
+            f(np.zeros((5, 2)))
+
+    def test_symbolic_dims_bind_within_call(self):
+        @contract(a="H,W:f64", b="H,W:f64")
+        def f(a, b):
+            return a + b
+
+        f(np.zeros((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ContractError):
+            f(np.zeros((2, 3)), np.ones((3, 2)))
+
+    def test_dtype_kind_enforced_with_widening(self):
+        @contract(x="N:f64")
+        def f(x):
+            return x
+
+        f(np.zeros(3))                  # float: exact
+        f(np.zeros(3, dtype=np.int32))  # int widens to float: fine
+
+        @contract(x="N:i64")
+        def g(x):
+            return x
+
+        with pytest.raises(ContractError):
+            g(np.zeros(3))              # float does not narrow to int
+
+    def test_non_ndarray_arguments_skipped(self):
+        @contract(points="...,3:f64")
+        def f(points):
+            return np.asarray(points)
+
+        assert f([[1.0, 2.0, 3.0]]).shape == (1, 3)
+
+    def test_keyword_call_checked(self):
+        @contract(pose="4,4:f64")
+        def f(a, pose=None):
+            return pose
+
+        with pytest.raises(ContractError):
+            f(1, pose=np.eye(3))
+
+    def test_unknown_parameter_fails_at_decoration(self):
+        with pytest.raises(ContractError):
+            @contract(nope="4,4:f64")
+            def f(pose):
+                return pose
+
+    def test_contradictory_stack_fails_at_decoration(self):
+        with pytest.raises(ContractError):
+            @contract(x="4,4:f64")
+            @contract(x="3,3:f64")
+            def f(x):
+                return x
+
+    def test_contracts_attribute_merged(self):
+        @contract(a="4,4:f64")
+        @contract(b="N:f64")
+        def f(a, b):
+            return a
+
+        assert set(f.__repro_contracts__) == {"a", "b"}
+
+
+class TestBaseline:
+    def _findings(self, tmp_path, n=2):
+        src = "import time\n" + "x = time.time()\n" * n
+        f = tmp_path / "legacy.py"
+        f.write_text(src)
+        return f, analyze_paths([f], select=["RPR001"])
+
+    def test_roundtrip_suppresses_known_findings(self, tmp_path):
+        _, findings = self._findings(tmp_path)
+        path = tmp_path / "baseline.json"
+        assert write_baseline(findings, path) == 2
+        kept, suppressed = apply_baseline(findings, load_baseline(path))
+        assert kept == []
+        assert suppressed == 2
+
+    def test_new_findings_exceed_allowance(self, tmp_path):
+        _, findings = self._findings(tmp_path, n=1)
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        _, grown = self._findings(tmp_path, n=3)
+        kept, suppressed = apply_baseline(grown, load_baseline(path))
+        assert suppressed == 1
+        assert len(kept) == 2
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "fingerprints": {}}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+
+class TestReporters:
+    def _one_finding(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("import time\nt = time.time()\n")
+        return analyze_paths([f], select=["RPR001"])
+
+    def test_text_report(self, tmp_path):
+        findings = self._one_finding(tmp_path)
+        text = format_text(findings, suppressed=1)
+        assert f"{findings[0].path}:2:" in text
+        assert "RPR001" in text
+        assert "1 error(s), 0 warning(s), 1 baseline-suppressed" in text
+
+    def test_text_report_clean(self):
+        assert format_text([]).startswith("clean:")
+
+    def test_json_report_shape(self, tmp_path):
+        findings = self._one_finding(tmp_path)
+        doc = json.loads(format_json(findings))
+        assert doc["summary"]["total"] == 1
+        assert doc["summary"]["by_rule"] == {"RPR001": 1}
+        entry = doc["findings"][0]
+        assert entry["rule"] == "RPR001"
+        assert entry["line"] == 2
+        assert entry["severity"] == str(Severity.ERROR)
+
+
+class TestRunLint:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        out = []
+        assert run_lint([str(f)], echo=out.append) == 0
+        assert out[0].startswith("clean:")
+
+    def test_findings_exit_one(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nt = time.time()\n")
+        out = []
+        assert run_lint([str(f)], echo=out.append) == 1
+        assert "RPR001" in out[0]
+
+    def test_baseline_workflow(self, tmp_path):
+        f = tmp_path / "legacy.py"
+        f.write_text("import time\nt = time.time()\n")
+        baseline = tmp_path / ".reprolint.json"
+        out = []
+        assert run_lint([str(f)], baseline_path=str(baseline),
+                        update_baseline=True, echo=out.append) == 0
+        assert baseline.is_file()
+        # The accepted debt no longer fails the run...
+        assert run_lint([str(f)], baseline_path=str(baseline),
+                        echo=out.append) == 0
+        # ...but a new violation still does.
+        f.write_text("import time\nt = time.time()\nu = time.monotonic()\n")
+        assert run_lint([str(f)], baseline_path=str(baseline),
+                        echo=out.append) == 1
+
+    def test_select_restricts_rules(self, tmp_path):
+        f = tmp_path / "mixed.py"
+        f.write_text(
+            "import time\n"
+            "def f():\n"
+            "    raise ValueError(time.time())\n"
+        )
+        out = []
+        assert run_lint([str(f)], select=["RPR003"], echo=out.append) == 1
+        assert "RPR001" not in out[0] and "RPR003" in out[0]
+
+
+class TestCli:
+    def test_lint_subcommand_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "bad.py"
+        f.write_text("import numpy as np\nnp.random.seed(0)\n")
+        code = main(["lint", str(f), "--format", "json",
+                     "--baseline", str(tmp_path / "none.json")])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["by_rule"] == {"RPR002": 1}
+
+    def test_lint_subcommand_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        assert main(["lint", str(f)]) == 0
+        assert capsys.readouterr().out.startswith("clean:")
+
+    def test_lint_select_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(f), "--select", "RPR002"]) == 0
+        capsys.readouterr()
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        """The tree this suite ships with must satisfy its own linter."""
+        assert analyze_paths([REPO_SRC]) == []

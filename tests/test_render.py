@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import run_benchmark
+from repro.errors import GeometryError
 from repro.geometry import PinholeCamera, se3
 from repro.kfusion import KinectFusion, TSDFVolume
 from repro.kfusion.integration import integrate
@@ -40,7 +41,7 @@ class TestRenderVolume:
 
     def test_zero_light_rejected(self, wall_setup):
         volume, cam, pose = wall_setup
-        with pytest.raises(ValueError):
+        with pytest.raises(GeometryError):
             render_volume(volume, cam, pose, mu=0.15, light_dir=(0, 0, 0))
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import format_histogram, format_table, write_csv
+from repro.errors import ReportError
 
 
 class TestTable:
@@ -44,7 +45,7 @@ class TestCSV:
         assert lines[1] == "1,2.5"
 
     def test_empty_rejected(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReportError):
             write_csv([], str(tmp_path / "x.csv"))
 
 
