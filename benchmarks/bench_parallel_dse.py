@@ -1,0 +1,100 @@
+"""S16 — serial vs parallel wall-clock for a fixed measured-DSE batch.
+
+A 32-configuration random exploration with the measured evaluator (the
+real pipeline at reduced scale) run serially and over the
+``repro.jobs`` worker pool.  Besides the printed table, the numbers are
+written to ``BENCH_parallel_dse.json`` at the repo root so the scaling
+behaviour is tracked in-tree; ``cpu_count`` is recorded because the
+achievable speed-up is bounded by the cores of the machine that ran it
+(a single-core container cannot beat serial, it can only bound the
+pool's overhead).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.core import format_table
+from repro.datasets import icl_nuim
+from repro.hypermapper import MeasuredEvaluator, kfusion_design_space
+from repro.hypermapper.optimizer import random_exploration
+from repro.jobs import JobRunner
+from repro.platforms import PlatformConfig, odroid_xu3
+from repro.telemetry import monotonic_s
+
+N_CONFIGURATIONS = 32
+N_FRAMES = 6
+WIDTH, HEIGHT = 64, 48
+SEED = 0
+WORKER_COUNTS = (2, 4)
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel_dse.json"
+
+
+def _evaluator():
+    sequence = icl_nuim.load("lr_kt0", n_frames=N_FRAMES, width=WIDTH,
+                             height=HEIGHT, seed=SEED)
+    return MeasuredEvaluator(sequence, odroid_xu3(),
+                             PlatformConfig(backend="opencl"), cache=False)
+
+
+def _timed_exploration(workers: int):
+    space = kfusion_design_space()
+    evaluator = _evaluator()
+    start = monotonic_s()
+    if workers == 1:
+        result = random_exploration(space, evaluator, N_CONFIGURATIONS,
+                                    seed=SEED)
+    else:
+        with JobRunner(workers=workers, seed=SEED) as runner:
+            result = random_exploration(space, evaluator, N_CONFIGURATIONS,
+                                        seed=SEED, runner=runner)
+    return monotonic_s() - start, result
+
+
+def test_parallel_dse_scaling(benchmark, show):
+    def run_all():
+        serial_s, reference = _timed_exploration(1)
+        parallel = {}
+        for workers in WORKER_COUNTS:
+            elapsed_s, result = _timed_exploration(workers)
+            # Correctness first: the pool must not change the numbers.
+            assert (result.objective_matrix().tobytes()
+                    == reference.objective_matrix().tobytes())
+            parallel[workers] = elapsed_s
+        return serial_s, parallel
+
+    serial_s, parallel = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [{"workers": 1, "wall_s": serial_s, "speedup": 1.0}]
+    for workers, elapsed_s in parallel.items():
+        rows.append({
+            "workers": workers,
+            "wall_s": elapsed_s,
+            "speedup": serial_s / elapsed_s,
+        })
+    show(format_table(
+        rows,
+        title=(f"parallel DSE: {N_CONFIGURATIONS} measured evaluations "
+               f"({os.cpu_count()} CPUs)"),
+    ))
+
+    payload = {
+        "benchmark": "parallel_dse",
+        "n_configurations": N_CONFIGURATIONS,
+        "evaluator": "measured",
+        "n_frames": N_FRAMES,
+        "width": WIDTH,
+        "height": HEIGHT,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": {
+            str(w): round(s, 3) for w, s in parallel.items()
+        },
+        "speedup": {
+            str(w): round(serial_s / s, 3) for w, s in parallel.items()
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    show(f"wrote {OUT_PATH.name}")

@@ -16,6 +16,9 @@ RPR004   config-space consistency: ``kfusion_design_space`` ==
          knob consumed
 RPR005   contract-validation: ``@contract`` strings parse, name real
          parameters, and do not contradict each other
+RPR006   process-discipline: no ``multiprocessing`` /
+         ``concurrent.futures`` outside :mod:`repro.jobs` — use
+         ``WorkerPool``/``JobRunner``
 =======  ==============================================================
 
 Programmatic use::
@@ -26,11 +29,11 @@ Programmatic use::
     exit_code = run_lint(["src/repro"], output_format="json")
 
 Importing this package registers all checkers; the per-rule modules are
-:mod:`~repro.analysis.checkers` (RPR001/2/3/5) and
+:mod:`~repro.analysis.checkers` (RPR001/2/3/5/6) and
 :mod:`~repro.analysis.consistency` (RPR004).
 """
 
-from . import checkers as _checkers  # noqa: F401  (registers RPR001/2/3/5)
+from . import checkers as _checkers  # noqa: F401 (registers RPR001/2/3/5/6)
 from . import consistency as _consistency  # noqa: F401  (registers RPR004)
 from .baseline import (
     DEFAULT_BASELINE,

@@ -18,6 +18,12 @@
   typo in one silently disables the check it declares.  This pass
   validates their syntax, that declared parameters exist, and that
   stacked decorators do not contradict each other.
+* **RPR006 process-discipline** — :mod:`repro.jobs` (PR 3) is the one
+  process-spawning layer: its pool owns worker seeding, per-job
+  timeouts, crash retries and telemetry merge.  A bare
+  ``multiprocessing.Pool`` (or ``concurrent.futures`` executor)
+  elsewhere gets none of that — unseeded workers, silent hangs, lost
+  traces — so only ``repro.jobs`` may import those modules.
 """
 
 from __future__ import annotations
@@ -206,6 +212,68 @@ class ErrorPolicyChecker(Checker):
                 "CLI entry point main() has no except ReproError handler "
                 "and will leak raw tracebacks at users",
             )
+
+
+#: Process-pool modules only :mod:`repro.jobs` may touch (RPR006).
+BANNED_PROCESS_MODULES = ("multiprocessing", "concurrent.futures")
+
+
+def _is_jobs_module(ctx: ModuleContext) -> bool:
+    return "jobs" in ctx.path_parts
+
+
+def _banned_process_module(module: str) -> str | None:
+    """The banned root of ``module``, or ``None`` if it is allowed."""
+    for banned in BANNED_PROCESS_MODULES:
+        if module == banned or module.startswith(banned + "."):
+            return banned
+    return None
+
+
+@register_checker
+class ProcessDisciplineChecker(Checker):
+    """RPR006: process-pool primitives outside ``repro.jobs``."""
+
+    rule_id = "RPR006"
+    title = ("process-discipline: no multiprocessing/concurrent.futures "
+             "outside repro.jobs (use WorkerPool/JobRunner)")
+
+    _HINT = ("spawn work through repro.jobs (WorkerPool/JobRunner) so it "
+             "gets seeded RNG streams, timeouts, retries and telemetry")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_jobs_module(ctx):
+            return
+        reported: set[int] = set()
+
+        def flag(node: ast.AST, what: str) -> Iterator[Finding]:
+            if node.lineno in reported:
+                return
+            reported.add(node.lineno)
+            yield ctx.finding(node, self.rule_id,
+                              f"{what} outside repro.jobs; {self._HINT}")
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    banned = _banned_process_module(alias.name)
+                    if banned is not None:
+                        yield from flag(node, f"import {alias.name}")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level:  # relative import: stays inside repro
+                    continue
+                banned = _banned_process_module(module)
+                if banned is None and module == "concurrent":
+                    if any(a.name == "futures" for a in node.names):
+                        banned = "concurrent.futures"
+                if banned is not None:
+                    yield from flag(node, f"import from {module or banned}")
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                # import concurrent; concurrent.futures.ProcessPoolExecutor
+                dotted = ctx.resolve(node)
+                if dotted and _banned_process_module(dotted) and "." in dotted:
+                    yield from flag(node, f"use of {dotted}")
 
 
 def _contract_decorators(ctx: ModuleContext,

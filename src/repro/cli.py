@@ -22,7 +22,8 @@ Examples::
     repro-benchmark run --frames 10 --trace out.json
     repro-benchmark trace summarize out.json
     repro-benchmark dse --samples 200 --iterations 10
-    repro-benchmark crowd
+    repro-benchmark dse --workers 4 --store dse_store.jsonl --resume
+    repro-benchmark crowd --workers 4
 """
 
 from __future__ import annotations
@@ -103,6 +104,9 @@ def _cmd_dse(args) -> int:
             n_iterations=args.iterations,
             samples_per_iteration=8,
             seed=args.seed,
+            workers=args.workers,
+            store_path=args.store or None,
+            resume=args.resume,
         )
     print(format_table(figure.summary_rows(),
                        title="Design-space exploration"))
@@ -127,7 +131,7 @@ def _cmd_trace_summarize(args) -> int:
 def _cmd_crowd(args) -> int:
     from .experiments import fig3_android
 
-    figure = fig3_android.run(seed=args.seed)
+    figure = fig3_android.run(seed=args.seed, workers=args.workers)
     print(figure.histogram())
     s = figure.summary
     print(f"median {s.summary.median:.1f}x, geomean {s.geometric_mean:.1f}x")
@@ -244,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write every sample to this CSV file")
     p_dse.add_argument("--trace", metavar="PATH", default="",
                        help="write a telemetry trace of the exploration")
+    p_dse.add_argument("--workers", type=int, default=1,
+                       help="evaluate each batch over N worker processes "
+                            "(results identical at any worker count)")
+    p_dse.add_argument("--store", metavar="PATH", default="",
+                       help="persist every evaluation to this JSONL store "
+                            "(cross-run memoization)")
+    p_dse.add_argument("--resume", action="store_true",
+                       help="reuse an existing --store from a previous "
+                            "(possibly killed) run")
     p_dse.set_defaults(func=_cmd_dse)
 
     p_trace = sub.add_parser("trace", help="inspect telemetry trace files")
@@ -257,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_crowd = sub.add_parser("crowd", help="83-device campaign (Fig 3)")
     p_crowd.add_argument("--seed", type=int, default=0)
+    p_crowd.add_argument("--workers", type=int, default=1,
+                         help="simulate devices over N worker processes")
     p_crowd.set_defaults(func=_cmd_crowd)
 
     p_eval = sub.add_parser(
@@ -275,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_be.set_defaults(func=_cmd_backends)
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RPR001-RPR005)"
+        "lint", help="repo-specific static analysis (rules RPR001-RPR006)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "

@@ -81,18 +81,43 @@ class MatrixResult:
         return format_table(rows, title=f"{metric} per entry x sequence")
 
 
+def _run_matrix_cell(payload):
+    """One (entry, sequence) cell, pool-shippable by name.
+
+    ``shared`` is the batch-constant ``(device, platform_config)`` pair;
+    the entry and sequence travel with the job.
+    """
+    from ..jobs.pool import worker_shared
+
+    entry, sequence = payload
+    device, platform_config = worker_shared()
+    return run_benchmark(
+        entry.factory(),
+        sequence,
+        configuration=dict(entry.configuration),
+        device=device,
+        platform_config=platform_config,
+    )
+
+
 def run_matrix(
     entries: SequenceT[MatrixEntry],
     sequences: SequenceT[Sequence],
     device: DeviceModel | None = None,
     platform_config: PlatformConfig | None = None,
     fail_fast: bool = False,
+    workers: int = 1,
 ) -> MatrixResult:
     """Run every entry over every sequence.
 
     Library errors in one cell are recorded (not raised) unless
     ``fail_fast`` — a comparison suite should report the algorithm that
     crashed on a dataset, not die with it.
+
+    ``workers > 1`` fans the cells (SLAMBench2's algorithm × dataset ×
+    device batch) out over a :class:`repro.jobs.WorkerPool`; entry
+    factories must then be picklable (module-level classes or
+    functions, not lambdas).
     """
     if not entries:
         raise ConfigurationError("no matrix entries")
@@ -102,11 +127,30 @@ def run_matrix(
     if len(set(names)) != len(names):
         raise ConfigurationError("duplicate entry names")
 
+    cells = [(entry, sequence)
+             for entry in entries for sequence in sequences]
+    keys = [(entry.name, sequence.name) for entry, sequence in cells]
+
     results: dict = {}
     errors: dict = {}
-    for entry in entries:
-        for sequence in sequences:
-            key = (entry.name, sequence.name)
+    if workers > 1:
+        from ..jobs import WorkerPool
+
+        with WorkerPool(workers=workers) as pool:
+            outcomes = pool.run(_run_matrix_cell, cells,
+                                shared=(device, platform_config))
+        for key, outcome in zip(keys, outcomes):
+            if outcome.ok:
+                results[key] = outcome.value
+            else:
+                if fail_fast:
+                    raise ReproError(
+                        f"matrix cell {key} failed: {outcome.error}"
+                    )
+                results[key] = None
+                errors[key] = outcome.error
+    else:
+        for (entry, sequence), key in zip(cells, keys):
             try:
                 results[key] = run_benchmark(
                     entry.factory(),

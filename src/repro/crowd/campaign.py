@@ -118,6 +118,47 @@ def algorithmic_only(configuration: Mapping) -> dict:
     return {k: v for k, v in configuration.items() if k not in PLATFORM_KEYS}
 
 
+def simulate_device(device: DeviceModel, default_wl, tuned_wl,
+                    seed: int) -> DeviceRun:
+    """Default + tuned campaign runs of one device.
+
+    Module-level so the worker pool can ship it by name: the crowd
+    fan-out sends ``(default_wl, tuned_wl, seed)`` once per worker and
+    one device per job (see :func:`repro.jobs.tasks.simulate_campaign_device`).
+    """
+    backend = "opencl" if device.supports_backend("opencl") else "openmp"
+    sim = PerformanceSimulator(
+        device,
+        PlatformConfig(
+            backend=backend,
+            kernel_efficiency=_kernel_efficiencies(device, seed),
+        ),
+    )
+    res_default = sim.simulate(default_wl)
+    res_tuned = sim.simulate(tuned_wl)
+    factor = _field_factor(device.name, seed)
+    budget = _sustained_power_budget_w(device, seed)
+    default_power = res_default.streaming_average_power_w()
+    tuned_power = res_tuned.streaming_average_power_w()
+    # Thermal throttling: the heavy default configuration exceeds the
+    # sustained budget on most phones and loses its burst clocks; the
+    # tuned configuration usually stays within it.  This is the main
+    # source of cross-device spread in the crowdsourced speed-ups.
+    default_fps = res_default.fps * factor / _throttle(default_power, budget)
+    tuned_fps = res_tuned.fps * factor / _throttle(tuned_power, budget)
+    return DeviceRun(
+        device=device.name,
+        soc_gpu=device.gpu.name if device.gpu else "none",
+        year=device.year,
+        form_factor=device.form_factor,
+        default_fps=default_fps,
+        tuned_fps=tuned_fps,
+        default_power_w=default_power,
+        tuned_power_w=tuned_power,
+        field_factor=factor,
+    )
+
+
 def run_campaign(
     tuned_configuration: Mapping,
     devices: list[DeviceModel] | None = None,
@@ -125,12 +166,19 @@ def run_campaign(
     height: int = 240,
     n_frames: int = 30,
     seed: int = 0,
+    workers: int = 1,
+    runner=None,
 ) -> list[DeviceRun]:
     """Run default and tuned configurations on every device.
 
     ``tuned_configuration`` is the HyperMapper result from the ODROID; its
     platform knobs are stripped (phones run their own clocks), keeping the
     algorithmic parameters — exactly what the Android app shipped.
+
+    With ``workers > 1`` (or an explicit :class:`repro.jobs.JobRunner`)
+    the devices fan out over a worker pool; every device's numbers are
+    pure functions of ``(device, workloads, seed)``, so the result is
+    identical at any worker count.
     """
     devices = devices if devices is not None else phone_database()
     if not devices:
@@ -148,39 +196,17 @@ def run_campaign(
     default_wl = sequence_workloads(default_params, width, height, n_frames)
     tuned_wl = sequence_workloads(tuned_params, width, height, n_frames)
 
-    runs = []
-    for device in devices:
-        backend = "opencl" if device.supports_backend("opencl") else "openmp"
-        sim = PerformanceSimulator(
-            device,
-            PlatformConfig(
-                backend=backend,
-                kernel_efficiency=_kernel_efficiencies(device, seed),
-            ),
-        )
-        res_default = sim.simulate(default_wl)
-        res_tuned = sim.simulate(tuned_wl)
-        factor = _field_factor(device.name, seed)
-        budget = _sustained_power_budget_w(device, seed)
-        default_power = res_default.streaming_average_power_w()
-        tuned_power = res_tuned.streaming_average_power_w()
-        # Thermal throttling: the heavy default configuration exceeds the
-        # sustained budget on most phones and loses its burst clocks; the
-        # tuned configuration usually stays within it.  This is the main
-        # source of cross-device spread in the crowdsourced speed-ups.
-        default_fps = res_default.fps * factor / _throttle(default_power, budget)
-        tuned_fps = res_tuned.fps * factor / _throttle(tuned_power, budget)
-        runs.append(
-            DeviceRun(
-                device=device.name,
-                soc_gpu=device.gpu.name if device.gpu else "none",
-                year=device.year,
-                form_factor=device.form_factor,
-                default_fps=default_fps,
-                tuned_fps=tuned_fps,
-                default_power_w=default_power,
-                tuned_power_w=tuned_power,
-                field_factor=factor,
-            )
-        )
-    return runs
+    if runner is not None or workers > 1:
+        from ..jobs import JobRunner
+        from ..jobs.tasks import simulate_campaign_device
+
+        shared = (default_wl, tuned_wl, seed)
+        if runner is not None:
+            return runner.map(simulate_campaign_device, devices,
+                              shared=shared)
+        with JobRunner(workers=workers, seed=seed) as owned:
+            return owned.map(simulate_campaign_device, devices,
+                             shared=shared)
+
+    return [simulate_device(device, default_wl, tuned_wl, seed)
+            for device in devices]

@@ -53,3 +53,14 @@ class ModelError(ReproError):
 
 class ReportError(ReproError):
     """A report/export helper was asked to render invalid or empty data."""
+
+
+class JobError(ReproError):
+    """The parallel evaluation engine could not run or persist a job.
+
+    Raised for infrastructure failures — a worker crashing repeatedly, a
+    job exceeding its timeout budget after every retry, an unreadable or
+    mismatched evaluation store.  *Evaluation* failures (a configuration
+    that diverges) are not job errors: they come back as
+    ``Evaluation(failed=True)`` so a search can keep going.
+    """

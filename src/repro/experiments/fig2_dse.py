@@ -72,6 +72,30 @@ class DSEFigure:
         return rows
 
 
+def _make_runner(evaluator, workers: int, store_path: str | None,
+                 resume: bool, seed: int):
+    """A JobRunner when the caller asked for parallelism or persistence."""
+    if workers <= 1 and store_path is None:
+        return None
+    from ..jobs import EvaluationStore, JobRunner
+
+    store = None
+    if store_path is not None:
+        store = EvaluationStore.open(
+            store_path, context=evaluator.fingerprint(), resume=resume
+        )
+    return JobRunner(workers=workers, store=store, seed=seed)
+
+
+def _close_runner(runner) -> None:
+    if runner is None:
+        return
+    store = runner.store
+    runner.close()
+    if store is not None:
+        store.close()
+
+
 def run_surrogate(
     n_random: int = 200,
     n_initial: int = 40,
@@ -80,29 +104,44 @@ def run_surrogate(
     sequence_name: str = "lr_kt0",
     limit_m: float = 0.05,
     seed: int = 0,
+    workers: int = 1,
+    store_path: str | None = None,
+    resume: bool = False,
 ) -> DSEFigure:
-    """Paper-scale Figure 2 with the surrogate evaluator."""
+    """Paper-scale Figure 2 with the surrogate evaluator.
+
+    ``workers > 1`` fans each evaluation batch over a
+    :class:`repro.jobs.JobRunner` pool; ``store_path`` adds the on-disk
+    evaluation store (cross-run memoization), which with ``resume`` lets
+    a killed exploration pick up where it stopped.
+    """
     space = kfusion_design_space()
     constraints = ConstraintSet.of([accuracy_limit(limit_m)])
 
     evaluator = SurrogateEvaluator(sequence_name=sequence_name, seed=seed)
-    active = HyperMapper(
-        space,
-        evaluator,
-        constraint=constraints,
-        n_initial=n_initial,
-        n_iterations=n_iterations,
-        samples_per_iteration=samples_per_iteration,
-        seed=seed,
-        seed_configurations=[space.default_configuration()],
-    ).run()
-    rand = random_exploration(
-        space,
-        SurrogateEvaluator(sequence_name=sequence_name, seed=seed),
-        n_random,
-        seed=seed + 1,
-    )
-    default_eval = evaluator.evaluate(space.default_configuration())
+    runner = _make_runner(evaluator, workers, store_path, resume, seed)
+    try:
+        active = HyperMapper(
+            space,
+            evaluator,
+            constraint=constraints,
+            n_initial=n_initial,
+            n_iterations=n_iterations,
+            samples_per_iteration=samples_per_iteration,
+            seed=seed,
+            seed_configurations=[space.default_configuration()],
+            runner=runner,
+        ).run()
+        rand = random_exploration(
+            space,
+            SurrogateEvaluator(sequence_name=sequence_name, seed=seed),
+            n_random,
+            seed=seed + 1,
+            runner=runner,
+        )
+        default_eval = evaluator.evaluate(space.default_configuration())
+    finally:
+        _close_runner(runner)
 
     def best_or_none(result):
         try:
@@ -130,11 +169,16 @@ def run_measured_demo(
     height: int = 60,
     limit_m: float = 0.08,
     seed: int = 0,
+    workers: int = 1,
+    store_path: str | None = None,
+    resume: bool = False,
 ) -> DSEFigure:
     """Small measured-pipeline exploration (minutes, not hours).
 
     The accuracy limit is looser than the paper's because the demo runs at
     reduced resolution and sequence length, where the ATE floor is higher.
+    The measured pipeline is where ``workers``/``store_path`` actually pay:
+    each evaluation runs the full frame loop.
     """
     sequence = icl_nuim.load(
         "lr_kt0", n_frames=n_frames, width=width, height=height, seed=seed
@@ -144,20 +188,26 @@ def run_measured_demo(
     evaluator = MeasuredEvaluator(
         sequence, odroid_xu3(), PlatformConfig(backend="opencl")
     )
-    active = HyperMapper(
-        space,
-        evaluator,
-        constraint=constraints,
-        n_initial=n_initial,
-        n_iterations=n_iterations,
-        samples_per_iteration=samples_per_iteration,
-        candidate_pool=200,
-        seed=seed,
-    ).run()
-    rand = random_exploration(
-        space, evaluator, len(active.evaluations), seed=seed + 1
-    )
-    default_eval = evaluator.evaluate(space.default_configuration())
+    runner = _make_runner(evaluator, workers, store_path, resume, seed)
+    try:
+        active = HyperMapper(
+            space,
+            evaluator,
+            constraint=constraints,
+            n_initial=n_initial,
+            n_iterations=n_iterations,
+            samples_per_iteration=samples_per_iteration,
+            candidate_pool=200,
+            seed=seed,
+            runner=runner,
+        ).run()
+        rand = random_exploration(
+            space, evaluator, len(active.evaluations), seed=seed + 1,
+            runner=runner,
+        )
+        default_eval = evaluator.evaluate(space.default_configuration())
+    finally:
+        _close_runner(runner)
 
     def best_or_none(result):
         try:

@@ -36,6 +36,7 @@ def run(
     n_frames: int = 30,
     seed: int = 0,
     headline_seed: int = 7,
+    workers: int = 1,
 ) -> AndroidFigure:
     """Regenerate Figure 3.
 
@@ -46,10 +47,13 @@ def run(
         n_frames: frames in the simulated benchmark run per device.
         seed: campaign seed (field factors, portability factors).
         headline_seed: seed for the headline search when it must run.
+        workers: fan the 83 devices out over this many worker processes
+            (results are identical at any worker count).
     """
     if tuned_configuration is None:
         tuned_configuration = headline.run(seed=headline_seed).tuned.configuration
-    runs = run_campaign(tuned_configuration, n_frames=n_frames, seed=seed)
+    runs = run_campaign(tuned_configuration, n_frames=n_frames, seed=seed,
+                        workers=workers)
     return AndroidFigure(
         tuned_configuration=dict(tuned_configuration),
         runs=runs,

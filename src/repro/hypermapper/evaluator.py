@@ -49,6 +49,54 @@ class Evaluation:
         """(runtime, max_ate, power), all minimised."""
         return (self.runtime_s, self.max_ate_m, self.power_w)
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the evaluation store's record format).
+
+        Lossless against :meth:`from_dict`, including non-finite
+        objectives — failed evaluations carry ``inf`` sentinels, which
+        Python's ``json`` round-trips as ``Infinity``.
+        """
+        return {
+            "configuration": dict(self.configuration),
+            "runtime_s": float(self.runtime_s),
+            "max_ate_m": float(self.max_ate_m),
+            "power_w": float(self.power_w),
+            "fps": float(self.fps),
+            "tracked_fraction": float(self.tracked_fraction),
+            "failed": bool(self.failed),
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Evaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output.
+
+        Unknown keys are rejected rather than dropped — a store record
+        that does not round-trip is corrupt, and silently discarding
+        fields would hide it.
+        """
+        fields = dict(data)
+        try:
+            evaluation = cls(
+                configuration=dict(fields.pop("configuration")),
+                runtime_s=float(fields.pop("runtime_s")),
+                max_ate_m=float(fields.pop("max_ate_m")),
+                power_w=float(fields.pop("power_w")),
+                fps=float(fields.pop("fps")),
+                tracked_fraction=float(fields.pop("tracked_fraction")),
+                failed=bool(fields.pop("failed")),
+                extras=dict(fields.pop("extras")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise OptimizationError(
+                f"not a serialized Evaluation: {exc!r}"
+            ) from exc
+        if fields:
+            raise OptimizationError(
+                f"unknown Evaluation fields: {sorted(fields)}"
+            )
+        return evaluation
+
 
 class Evaluator(Protocol):
     """The black box the optimizer queries."""
@@ -94,12 +142,34 @@ class MeasuredEvaluator:
         self._cache: dict | None = {} if cache else None
         self.evaluations = 0
 
+    def fingerprint(self) -> dict:
+        """What this evaluator's numbers depend on besides the config.
+
+        The evaluation store refuses to serve records produced under a
+        different fingerprint — a cached ATE from another sequence or
+        device would silently poison a resumed search.
+        """
+        return {
+            "evaluator": "measured",
+            "sequence": self.sequence.name,
+            "frames": len(self.sequence),
+            "width": self.sequence.sensors.depth.camera.width,
+            "height": self.sequence.sensors.depth.camera.height,
+            "seed": getattr(self.sequence, "seed", None),
+            "device": self.device.name,
+            "backend": self.platform_config.backend,
+        }
+
     def evaluate(self, configuration: Mapping) -> Evaluation:
+        from ..jobs.hashing import config_hash
+
         tracer = current_tracer()
-        key = tuple(sorted(configuration.items())) if self._cache is not None else None
-        if key is not None and key in self._cache:
-            tracer.count("dse.cache_hits")
-            return self._cache[key]
+        key = config_hash(configuration) if self._cache is not None else None
+        if key is not None:
+            if key in self._cache:
+                tracer.count("dse.cache_hits")
+                return self._cache[key]
+            tracer.count("dse.cache_misses")
 
         with tracer.span("dse.evaluate", evaluator="measured",
                          **dict(configuration)):

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import OptimizationError
+from ..jobs.hashing import config_hash
 from ..ml.forest import RandomForestRegressor
 from ..telemetry import current_tracer
 from .constraints import Constraint, ConstraintSet, accuracy_limit
@@ -106,6 +107,12 @@ class HyperMapper:
             random phase (HyperMapper's "inject priors" mechanism — the
             default configuration is an obvious one: it anchors the model
             in the feasible region when the constraint is tight).
+        runner: optional :class:`repro.jobs.JobRunner` — each batch
+            (the initial phase, then every iteration's samples) fans out
+            over its worker pool and memoizes through its store.  The
+            search itself stays sequential (each round's model needs the
+            previous round's results), so results are identical at any
+            worker count for the same seed.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class HyperMapper:
         exploration_kappa: float = 0.7,
         seed: int = 0,
         seed_configurations: Sequence[dict] = (),
+        runner=None,
     ):
         if n_initial < 3:
             raise OptimizationError("need n_initial >= 3 to fit a model")
@@ -143,8 +151,15 @@ class HyperMapper:
         self.seed_configurations = [
             space.validate(c) for c in seed_configurations
         ]
+        self.runner = runner
 
     # -- helpers -----------------------------------------------------------------
+    def _evaluate_batch(self, configurations: list[dict]) -> list[Evaluation]:
+        """One ask/tell batch: through the runner when we have one."""
+        if self.runner is not None:
+            return self.runner.evaluate(self.evaluator, configurations)
+        return [self.evaluator.evaluate(c) for c in configurations]
+
     @staticmethod
     def _target_transform(name: str, values: np.ndarray) -> np.ndarray:
         """Model heavy-tailed objectives in log space."""
@@ -173,8 +188,7 @@ class HyperMapper:
         candidates = []
         while len(candidates) < self.candidate_pool:
             config = self.space.sample(rng)
-            key = tuple(sorted(config.items()))
-            if key not in seen:
+            if config_hash(config) not in seen:
                 candidates.append(config)
         X = self.space.to_feature_matrix(candidates)
 
@@ -232,10 +246,9 @@ class HyperMapper:
             initial += self.space.sample_many(
                 max(self.n_initial - len(initial), 0), rng
             )
-            for config in initial:
-                evaluations.append(self.evaluator.evaluate(config))
-                iteration_of.append(0)
-                seen.add(tuple(sorted(config.items())))
+            evaluations += self._evaluate_batch(initial)
+            iteration_of += [0] * len(initial)
+            seen.update(config_hash(config) for config in initial)
 
         for it in range(1, self.n_iterations + 1):
             with tracer.span("dse.iteration", iteration=it):
@@ -244,10 +257,9 @@ class HyperMapper:
                     models = self._fit_models(evaluations)
                 with tracer.span("dse.acquire"):
                     batch = self._acquire(models, rng, seen)
-                for config in batch:
-                    evaluations.append(self.evaluator.evaluate(config))
-                    iteration_of.append(it)
-                    seen.add(tuple(sorted(config.items())))
+                evaluations += self._evaluate_batch(batch)
+                iteration_of += [it] * len(batch)
+                seen.update(config_hash(config) for config in batch)
             tracer.gauge("dse.last_iteration", it)
 
         return ExplorationResult(
@@ -259,13 +271,23 @@ class HyperMapper:
 
 
 def random_exploration(
-    space: DesignSpace, evaluator: Evaluator, n: int, seed: int = 0
+    space: DesignSpace, evaluator: Evaluator, n: int, seed: int = 0,
+    runner=None,
 ) -> ExplorationResult:
-    """Pure random sampling — Figure 2's baseline strategy."""
+    """Pure random sampling — Figure 2's baseline strategy.
+
+    All ``n`` configurations are drawn up front, so with a
+    :class:`repro.jobs.JobRunner` the whole exploration is one
+    embarrassingly parallel batch.
+    """
     if n < 1:
         raise OptimizationError("need n >= 1")
     rng = np.random.default_rng(seed)
-    evaluations = [evaluator.evaluate(c) for c in space.sample_many(n, rng)]
+    configurations = space.sample_many(n, rng)
+    if runner is not None:
+        evaluations = runner.evaluate(evaluator, configurations)
+    else:
+        evaluations = [evaluator.evaluate(c) for c in configurations]
     return ExplorationResult(
         space=space,
         evaluations=evaluations,

@@ -167,6 +167,19 @@ class SurrogateEvaluator:
         self.seed = seed
         self.evaluations = 0
 
+    def fingerprint(self) -> dict:
+        """Store-context identity (see ``MeasuredEvaluator.fingerprint``)."""
+        return {
+            "evaluator": "surrogate",
+            "sequence": self.sequence_name,
+            "frames": self.n_frames,
+            "width": self.width,
+            "height": self.height,
+            "seed": self.seed,
+            "device": self.device.name,
+            "backend": self.platform_config.backend,
+        }
+
     def evaluate(self, configuration: Mapping) -> Evaluation:
         config = dict(configuration)
         params = KFusionParams(

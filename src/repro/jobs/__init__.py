@@ -1,0 +1,51 @@
+"""Parallel evaluation engine (S16): pool, store, batch runner.
+
+The scale-out layer under the paper's two embarrassingly parallel
+workloads — HyperMapper's thousands of configuration evaluations and
+the 83-device crowd campaign.  Three pieces:
+
+* :mod:`~repro.jobs.pool` — a fault-tolerant ``multiprocessing`` worker
+  pool (per-worker ``SeedSequence`` RNG streams, per-job timeouts,
+  bounded crash retries, serial in-process fallback).  The *only* place
+  in the tree allowed to touch ``multiprocessing`` (lint rule RPR006).
+* :mod:`~repro.jobs.store` — a content-addressed on-disk evaluation
+  store (canonical config hash → JSONL record with provenance header)
+  giving cross-run memoization and ``--resume``.
+* :mod:`~repro.jobs.runner` — the batch submit/gather API the DSE and
+  campaign loops hold: store lookup → pool fan-out → persist → ordered
+  results, with per-worker telemetry merged into the parent tracer.
+
+Quickstart::
+
+    from repro.jobs import EvaluationStore, JobRunner
+
+    store = EvaluationStore.open("dse.jsonl", context=ev.fingerprint())
+    with JobRunner(workers=4, store=store) as runner:
+        result = HyperMapper(space, ev, runner=runner).run()
+"""
+
+from .hashing import canonical_config, config_hash
+from .pool import (
+    JobOutcome,
+    WorkerPool,
+    worker_id,
+    worker_rng,
+    worker_shared,
+)
+from .runner import JobRunner, evaluate_batch
+from .store import STORE_MAGIC, STORE_VERSION, EvaluationStore
+
+__all__ = [
+    "EvaluationStore",
+    "JobOutcome",
+    "JobRunner",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "WorkerPool",
+    "canonical_config",
+    "config_hash",
+    "evaluate_batch",
+    "worker_id",
+    "worker_rng",
+    "worker_shared",
+]

@@ -1,0 +1,66 @@
+"""Canonical configuration hashing — one key function for every cache.
+
+The DSE revisits configurations constantly: the optimizer's ``seen``
+set, the evaluator's in-memory memo, and the on-disk evaluation store
+all need to agree on when two configuration dicts are *the same point*
+of the design space.  Before this module each layer invented its own
+key (``tuple(sorted(items))`` here, ``repr(sorted(...))`` there), which
+breaks silently the moment one layer sees ``numpy.int64(128)`` and
+another plain ``128``.
+
+:func:`canonical_config` normalises a configuration into a plain,
+JSON-stable dict (sorted keys, numpy scalars unwrapped, ints kept
+integral); :func:`config_hash` is its SHA-256.  Both the in-memory and
+on-disk layers key on this hash and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from ..errors import JobError
+
+
+def _canonical_value(name: str, value):
+    """Normalise one parameter value for hashing.
+
+    numpy scalars carry dtype baggage (``np.int64(4) != 4`` under
+    ``repr``); booleans are kept distinct from ints (``True`` is a
+    different design point than ``1`` only if the space says so, but
+    hashing must not conflate them with integer knobs).
+    """
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item"):  # numpy scalar -> python scalar
+        value = value.item()
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        # Integral floats hash like the int the sampler would produce
+        # for the same knob (5.0 vs 5 is a representation accident, not
+        # a different design point).
+        return int(value) if value.is_integer() else value
+    if isinstance(value, str):
+        return value
+    raise JobError(
+        f"configuration value {name}={value!r} "
+        f"({type(value).__name__}) is not hashable as a design point; "
+        f"expected int, float, str or bool"
+    )
+
+
+def canonical_config(configuration: Mapping) -> dict:
+    """The normalised, key-sorted form of a configuration dict."""
+    return {
+        name: _canonical_value(name, configuration[name])
+        for name in sorted(configuration)
+    }
+
+
+def config_hash(configuration: Mapping) -> str:
+    """Content hash of a configuration (hex SHA-256 of canonical JSON)."""
+    payload = json.dumps(canonical_config(configuration), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

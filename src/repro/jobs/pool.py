@@ -1,0 +1,461 @@
+"""The fault-tolerant worker pool under every parallel fan-out.
+
+One process-based pool, one set of failure semantics, used by the DSE
+batch loop and the crowd campaign alike (lint rule RPR006 keeps any
+other ``multiprocessing`` use out of the tree):
+
+* **Processes, not threads** — the evaluation workload is NumPy-heavy
+  Python; only processes scale it.  Workers are long-lived and pull
+  jobs from per-worker queues, so the parent always knows *which*
+  worker owns *which* job — that knowledge is what makes per-job
+  timeouts and crash attribution possible.
+* **Per-worker RNG streams** — worker ``i`` draws from
+  ``np.random.SeedSequence(seed).spawn(...)[i]`` (:func:`worker_rng`),
+  so no two workers share a stream and reruns with the same pool seed
+  reproduce.  Work that must be deterministic *across worker counts*
+  should derive randomness from its payload instead — scheduling
+  decides which worker runs a job.
+* **Bounded retries** — a worker that dies mid-job (crash, OOM kill) or
+  exceeds the per-job timeout is terminated and replaced, and the job
+  is requeued up to ``max_retries`` times.  A job whose function merely
+  *raises* is not retried (the exception is deterministic) — the error
+  comes back in its :class:`JobOutcome`.
+* **Serial fallback** — ``workers=1`` (or a platform with no usable
+  start method) runs jobs in-process with identical semantics minus
+  preemption, so callers never need a second code path.
+* **Telemetry merge** — each job runs under a fresh child tracer;
+  completed spans (stamped with the worker id) and counters ship back
+  with the result and are absorbed into the parent's current tracer.
+
+The pool is generic: ``fn`` must be a module-level (picklable) callable
+taking one payload argument.  Batch-level conveniences (ordering,
+store memoization, progress) live in :mod:`repro.jobs.runner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as _queue
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import JobError
+from ..telemetry import Tracer, current_tracer, monotonic_s, use_tracer
+
+#: Parent poll interval while waiting on worker results (seconds).
+_POLL_S = 0.05
+#: Grace given to a worker to exit after a "stop" message (seconds).
+_JOIN_S = 2.0
+
+# Per-process worker identity, installed by _worker_main (or by the
+# serial fallback in the parent process).
+_WORKER_ID: int | None = None
+_WORKER_RNG: np.random.Generator | None = None
+_WORKER_SHARED = None
+
+
+def worker_id() -> int | None:
+    """This process's worker index, or ``None`` outside a pool job."""
+    return _WORKER_ID
+
+
+def worker_rng() -> np.random.Generator:
+    """The per-worker RNG stream (seeded via ``SeedSequence.spawn``)."""
+    if _WORKER_RNG is None:
+        raise JobError("worker_rng() called outside a WorkerPool job")
+    return _WORKER_RNG
+
+
+def worker_shared():
+    """The shared object broadcast to workers for the current batch.
+
+    Heavy read-only inputs (an evaluator, precomputed workloads) are
+    shipped once per worker instead of once per job; task functions
+    read them back here.
+    """
+    return _WORKER_SHARED
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one submitted job."""
+
+    index: int
+    value: object = None
+    error: str | None = None
+    attempts: int = 1
+    worker: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _ship_telemetry(tracer: Tracer, wid: int):
+    """Serialize a child tracer for the trip through the result queue."""
+    if not tracer.enabled:
+        return None
+    spans = [
+        dataclasses.replace(s, attrs={**s.attrs, "worker": wid})
+        for s in tracer.spans
+    ]
+    return (spans, dict(tracer.counters), dict(tracer.gauges))
+
+
+def _worker_main(wid: int, seed_seq, task_q, result_q,
+                 collect_telemetry: bool) -> None:
+    """Worker process body: pull messages, run jobs, ship results."""
+    global _WORKER_ID, _WORKER_RNG, _WORKER_SHARED
+    _WORKER_ID = wid
+    # The spawned SeedSequence travels whole: its identity lives in the
+    # spawn_key, which a bare .entropy copy would drop (every worker
+    # would then share one stream).
+    _WORKER_RNG = np.random.default_rng(seed_seq)
+    while True:
+        message = task_q.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "shared":
+            _WORKER_SHARED = message[1]
+            continue
+        _, batch, index, fn, payload = message
+        tracer = Tracer(enabled=collect_telemetry)
+        try:
+            with use_tracer(tracer):
+                with tracer.span("jobs.job", job=index):
+                    value = fn(payload)
+            result_q.put(("result", wid, batch, index, value,
+                          _ship_telemetry(tracer, wid)))
+        except Exception as exc:  # shipped to the parent, not raised here
+            try:
+                result_q.put(("error", wid, batch, index,
+                              f"{type(exc).__name__}: {exc}",
+                              _ship_telemetry(tracer, wid)))
+            except Exception:
+                # Even the error wouldn't pickle; send a bare notice so
+                # the parent never hangs waiting on this job.
+                result_q.put(("error", wid, batch, index,
+                              f"{type(exc).__name__} (unpicklable detail)",
+                              None))
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("wid", "process", "task_q", "job", "started_s", "attempts",
+                 "shared_sent")
+
+    def __init__(self, wid: int):
+        self.wid = wid
+        self.process = None
+        self.task_q = None
+        self.job: int | None = None
+        self.started_s = 0.0
+        self.attempts = 0
+        self.shared_sent = False
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerPool:
+    """A restartable pool of worker processes with per-job timeouts.
+
+    Args:
+        workers: process count; ``1`` means in-process serial execution.
+        timeout_s: per-job wall-clock budget (parallel mode only; the
+            serial fallback cannot preempt a running job).
+        max_retries: how many times a job is requeued after its worker
+            crashed or timed out before the job is declared failed.
+        seed: root of the per-worker ``SeedSequence`` tree.
+        start_method: ``"fork"``/``"spawn"``/``"forkserver"``; default
+            picks ``fork`` where available (cheap on Linux), else
+            ``spawn``.  No method available at all → serial fallback.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        seed: int = 0,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise JobError("need workers >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise JobError("timeout_s must be positive")
+        if max_retries < 0:
+            raise JobError("max_retries must be >= 0")
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.seed = seed
+        self._ctx = None
+        self._start_method = start_method
+        if workers > 1:
+            available = multiprocessing.get_all_start_methods()
+            if start_method is None:
+                start_method = "fork" if "fork" in available else (
+                    "spawn" if "spawn" in available else None)
+            elif start_method not in available:
+                raise JobError(
+                    f"start method {start_method!r} unavailable "
+                    f"(have: {available})"
+                )
+            if start_method is not None:
+                self._ctx = multiprocessing.get_context(start_method)
+                self._start_method = start_method
+        self._seed_root = np.random.SeedSequence(seed)
+        self._seeds_spawned = 0
+        self._result_q = None
+        self._pool: list[_Worker] = []
+        self._collect_telemetry = False
+        self._batch = 0
+
+    @property
+    def parallel(self) -> bool:
+        """Whether jobs run in worker processes (vs the serial fallback)."""
+        return self._ctx is not None
+
+    # -- serial fallback ----------------------------------------------------
+    def _run_serial(self, fn, payloads, shared, progress) -> list[JobOutcome]:
+        global _WORKER_ID, _WORKER_RNG, _WORKER_SHARED
+        saved = (_WORKER_ID, _WORKER_RNG, _WORKER_SHARED)
+        _WORKER_ID = 0
+        _WORKER_RNG = np.random.default_rng(self._next_seed())
+        _WORKER_SHARED = shared
+        outcomes = []
+        try:
+            for index, payload in enumerate(payloads):
+                tracer = current_tracer()
+                try:
+                    with tracer.span("jobs.job", job=index, worker=0):
+                        value = fn(payload)
+                    outcomes.append(JobOutcome(index=index, value=value,
+                                               worker=0))
+                except Exception as exc:
+                    outcomes.append(JobOutcome(
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                        worker=0,
+                    ))
+                if progress is not None:
+                    progress(len(outcomes), len(payloads))
+        finally:
+            _WORKER_ID, _WORKER_RNG, _WORKER_SHARED = saved
+        return outcomes
+
+    # -- parallel machinery -------------------------------------------------
+    def _next_seed(self) -> np.random.SeedSequence:
+        # SeedSequence tracks n_children_spawned itself, so successive
+        # calls yield distinct children even across worker restarts.
+        self._seeds_spawned += 1
+        return self._seed_root.spawn(1)[0]
+
+    def _spawn_worker(self, worker: _Worker) -> None:
+        worker.task_q = self._ctx.Queue()
+        worker.process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.wid, self._next_seed(), worker.task_q,
+                  self._result_q, self._collect_telemetry),
+            daemon=True,
+        )
+        worker.shared_sent = False
+        worker.process.start()
+
+    def _ensure_workers(self, needed: int, collect_telemetry: bool) -> None:
+        if self._result_q is None:
+            self._result_q = self._ctx.Queue()
+        if collect_telemetry != self._collect_telemetry and self._pool:
+            # Telemetry flag is baked into worker processes; recycle.
+            self._stop_workers()
+        self._collect_telemetry = collect_telemetry
+        while len(self._pool) < min(self.workers, max(needed, 1)):
+            worker = _Worker(len(self._pool))
+            self._pool.append(worker)
+            self._spawn_worker(worker)
+        for worker in self._pool:
+            if not worker.alive():
+                self._spawn_worker(worker)
+
+    def _replace_worker(self, worker: _Worker) -> None:
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(_JOIN_S)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(_JOIN_S)
+        worker.job = None
+        self._spawn_worker(worker)
+
+    def _stop_workers(self) -> None:
+        for worker in self._pool:
+            if worker.alive():
+                try:
+                    worker.task_q.put(("stop",))
+                except Exception:
+                    pass
+        for worker in self._pool:
+            if worker.process is not None:
+                worker.process.join(_JOIN_S)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(_JOIN_S)
+        self._pool = []
+
+    def _dispatch(self, worker: _Worker, fn, index: int, payload,
+                  shared, attempts: int) -> None:
+        if shared is not None and not worker.shared_sent:
+            worker.task_q.put(("shared", shared))
+            worker.shared_sent = True
+        worker.task_q.put(("job", self._batch, index, fn, payload))
+        worker.job = index
+        worker.started_s = monotonic_s()
+        worker.attempts = attempts
+
+    def _drain_stale(self) -> None:
+        """Discard leftover messages (abandoned retries, prior batches)."""
+        while True:
+            try:
+                self._result_q.get_nowait()
+            except _queue.Empty:
+                return
+
+    def _run_parallel(self, fn, payloads, shared,
+                      progress) -> list[JobOutcome]:
+        n = len(payloads)
+        tracer = current_tracer()
+        self._ensure_workers(n, tracer.enabled)
+        self._batch += 1
+        self._drain_stale()
+        for worker in self._pool:
+            worker.shared_sent = False
+        pending: list[tuple[int, int]] = [(i, 1) for i in
+                                          reversed(range(n))]  # (job, attempt)
+        outcomes: dict[int, JobOutcome] = {}
+
+        def fail(index: int, attempt: int, reason: str,
+                 wid: int | None) -> None:
+            if attempt <= self.max_retries:
+                pending.append((index, attempt + 1))
+            else:
+                outcomes[index] = JobOutcome(index=index, error=reason,
+                                             attempts=attempt, worker=wid)
+                if progress is not None:
+                    progress(len(outcomes), n)
+
+        while len(outcomes) < n:
+            # Feed every idle worker while jobs remain.
+            for worker in self._pool:
+                if pending and worker.idle and worker.alive():
+                    index, attempt = pending.pop()
+                    self._dispatch(worker, fn, index, payloads[index],
+                                   shared, attempt)
+            try:
+                message = self._result_q.get(timeout=_POLL_S)
+            except _queue.Empty:
+                message = None
+            if message is not None:
+                kind, wid, batch, index, detail, telemetry = message
+                if batch != self._batch:
+                    continue  # stale: from a drained worker of a prior batch
+                worker = self._pool[wid]
+                if worker.job == index:
+                    worker.job = None
+                if index in outcomes:
+                    continue  # duplicate from an abandoned retry attempt
+                if telemetry is not None:
+                    tracer.absorb(*telemetry)
+                if kind == "result":
+                    outcomes[index] = JobOutcome(
+                        index=index, value=detail,
+                        attempts=worker.attempts, worker=wid,
+                    )
+                else:
+                    outcomes[index] = JobOutcome(
+                        index=index, error=detail,
+                        attempts=worker.attempts, worker=wid,
+                    )
+                if progress is not None:
+                    progress(len(outcomes), n)
+                continue
+
+            # No result this tick: police deadlines and dead workers.
+            now_s = monotonic_s()
+            for worker in self._pool:
+                if worker.idle:
+                    if not worker.alive() and pending:
+                        self._spawn_worker(worker)
+                    continue
+                index, attempt = worker.job, worker.attempts
+                if not worker.alive():
+                    exit_code = worker.process.exitcode
+                    self._replace_worker(worker)
+                    fail(index, attempt,
+                         f"worker crashed (exit code {exit_code})",
+                         worker.wid)
+                elif (self.timeout_s is not None
+                      and now_s - worker.started_s > self.timeout_s):
+                    self._replace_worker(worker)
+                    fail(index, attempt,
+                         f"job exceeded timeout of {self.timeout_s:g}s",
+                         worker.wid)
+        return [outcomes[i] for i in range(n)]
+
+    # -- public API ---------------------------------------------------------
+    def run(self, fn: Callable, payloads: Sequence, shared=None,
+            progress: Callable[[int, int], None] | None = None,
+            ) -> list[JobOutcome]:
+        """Run ``fn(payload)`` for every payload; outcomes in input order.
+
+        Never raises for job-level failures — inspect
+        :attr:`JobOutcome.error`.  ``shared`` is broadcast once per
+        worker and readable via :func:`worker_shared`.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        tracer = current_tracer()
+        with tracer.span("jobs.batch", n=len(payloads),
+                         workers=self.workers if self.parallel else 1,
+                         parallel=self.parallel):
+            if not self.parallel:
+                return self._run_serial(fn, payloads, shared, progress)
+            return self._run_parallel(fn, payloads, shared, progress)
+
+    def map(self, fn: Callable, payloads: Sequence, shared=None,
+            progress: Callable[[int, int], None] | None = None) -> list:
+        """Like :meth:`run` but returns bare values; raises on failure."""
+        outcomes = self.run(fn, payloads, shared=shared, progress=progress)
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            first = failed[0]
+            raise JobError(
+                f"{len(failed)}/{len(outcomes)} jobs failed; first: "
+                f"job {first.index} after {first.attempts} attempt(s): "
+                f"{first.error}"
+            )
+        return [o.value for o in outcomes]
+
+    def close(self) -> None:
+        """Stop every worker process (idempotent)."""
+        if self._pool:
+            self._stop_workers()
+        if self._result_q is not None:
+            self._result_q.close()
+            self._result_q = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""Batch evaluation on top of the pool + store: the DSE's execution engine.
+
+:class:`JobRunner` is what the exploration loops actually hold: it owns
+a (lazily started, reused across rounds) :class:`~repro.jobs.pool.WorkerPool`,
+consults the optional :class:`~repro.jobs.store.EvaluationStore` before
+spending any compute, persists fresh results as soon as they arrive, and
+degrades *job* failures into failed evaluations so a search survives a
+flaky worker the same way it survives a diverging configuration.
+
+    runner = JobRunner(workers=4, store=store)
+    evaluations = runner.evaluate(evaluator, configurations)
+
+Results are always in input order and independent of worker scheduling,
+which is what makes ``workers=1`` and ``workers=N`` byte-identical for
+the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..errors import JobError
+from ..hypermapper.evaluator import Evaluation, Evaluator
+from ..telemetry import current_tracer
+from .pool import JobOutcome, WorkerPool
+from .store import EvaluationStore
+from .tasks import evaluate_configuration
+
+
+def _failed_evaluation(configuration: Mapping,
+                       outcome: JobOutcome) -> Evaluation:
+    """A job-level failure, reported the way evaluators report divergence."""
+    return Evaluation(
+        configuration=dict(configuration),
+        runtime_s=float("inf"),
+        max_ate_m=float("inf"),
+        power_w=float("inf"),
+        failed=True,
+        extras={"error": outcome.error, "job_attempts": outcome.attempts},
+    )
+
+
+class JobRunner:
+    """Submit/gather batches of evaluations (and generic jobs).
+
+    Args:
+        workers: worker process count (1 = in-process serial).
+        timeout_s: per-job wall-clock budget (see ``WorkerPool``).
+        max_retries: requeues after a crash/timeout before giving up.
+        seed: pool RNG-tree seed.
+        start_method: multiprocessing start method override.
+        store: optional evaluation store consulted before, and updated
+            after, every batch.
+        progress: ``progress(done, total)`` callback per completed job
+            (store hits report immediately).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        seed: int = 0,
+        start_method: str | None = None,
+        store: EvaluationStore | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ):
+        self.pool = WorkerPool(
+            workers=workers,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            seed=seed,
+            start_method=start_method,
+        )
+        self.store = store
+        self.progress = progress
+
+    @property
+    def workers(self) -> int:
+        return self.pool.workers
+
+    def evaluate(self, evaluator: Evaluator,
+                 configurations: Sequence[Mapping]) -> list[Evaluation]:
+        """Evaluate a batch of configurations, memoized through the store.
+
+        Store hits cost nothing and count ``dse.cache_hits`` (the same
+        counter the in-memory evaluator cache uses); misses are fanned
+        out over the pool, persisted on completion, and returned in
+        input order.  Jobs that fail at the infrastructure level after
+        every retry come back as ``Evaluation(failed=True)`` with the
+        error in ``extras`` — they are *not* persisted, so a rerun gets
+        another chance at them.
+        """
+        configurations = [dict(c) for c in configurations]
+        n = len(configurations)
+        if n == 0:
+            return []
+        tracer = current_tracer()
+        results: list[Evaluation | None] = [None] * n
+
+        missing: list[int] = []
+        if self.store is not None:
+            for i, config in enumerate(configurations):
+                hit = self.store.get(config)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    missing.append(i)
+        else:
+            missing = list(range(n))
+
+        done_base = n - len(missing)
+        if self.progress is not None and done_base:
+            self.progress(done_base, n)
+
+        with tracer.span("jobs.evaluate_batch", n=n,
+                         store_hits=done_base, evaluated=len(missing)):
+            if missing:
+                outcomes = self.pool.run(
+                    evaluate_configuration,
+                    [configurations[i] for i in missing],
+                    shared=evaluator,
+                    progress=(
+                        None if self.progress is None
+                        else lambda done, _t: self.progress(done_base + done,
+                                                            n)
+                    ),
+                )
+                for i, outcome in zip(missing, outcomes):
+                    if outcome.ok:
+                        results[i] = outcome.value
+                        if self.store is not None:
+                            self.store.put(outcome.value)
+                    else:
+                        tracer.count("jobs.failed_jobs")
+                        results[i] = _failed_evaluation(configurations[i],
+                                                        outcome)
+        return results  # type: ignore[return-value]
+
+    def map(self, fn: Callable, payloads: Sequence, shared=None) -> list:
+        """Generic ordered fan-out; raises :class:`JobError` on failure."""
+        return self.pool.map(fn, payloads, shared=shared,
+                             progress=self.progress)
+
+    def run(self, fn: Callable, payloads: Sequence,
+            shared=None) -> list[JobOutcome]:
+        """Generic fan-out returning per-job :class:`JobOutcome`\\ s."""
+        return self.pool.run(fn, payloads, shared=shared,
+                             progress=self.progress)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "JobRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def evaluate_batch(
+    evaluator: Evaluator,
+    configurations: Sequence[Mapping],
+    workers: int = 1,
+    timeout_s: float | None = None,
+    store: EvaluationStore | None = None,
+    seed: int = 0,
+) -> list[Evaluation]:
+    """One-shot convenience: pool up, evaluate, pool down."""
+    if workers < 1:
+        raise JobError("need workers >= 1")
+    with JobRunner(workers=workers, timeout_s=timeout_s, store=store,
+                   seed=seed) as runner:
+        return runner.evaluate(evaluator, configurations)

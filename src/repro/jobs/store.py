@@ -1,0 +1,205 @@
+"""The persistent evaluation store: content-addressed, append-only JSONL.
+
+Cross-run memoization and ``--resume`` for the DSE: every completed
+:class:`~repro.hypermapper.evaluator.Evaluation` is appended to a JSONL
+file keyed by the canonical configuration hash
+(:func:`~repro.jobs.hashing.config_hash`).  A killed exploration leaves
+a valid store behind (records are flushed per append; a torn final line
+from a hard kill is detected and ignored), so rerunning the same search
+re-evaluates only the configurations the first run never reached.
+
+File format — line 1 is the header, every other line one record::
+
+    {"store": "repro.jobs/evaluation-store", "version": 1,
+     "context": {...evaluator fingerprint...},
+     "git_sha": "...", "platform": {...}}
+    {"key": "<sha256>", "evaluation": {...Evaluation.to_dict()...}}
+
+The *context* is the evaluator's fingerprint (sequence, device, seed,
+backend...): an evaluation is only reusable under the exact conditions
+that produced it, so :meth:`EvaluationStore.open` refuses a store whose
+context does not match — a cached ATE from a different sequence would
+silently poison a resumed search.
+
+Duplicate keys are legal (last record wins), which makes concurrent
+append-mostly use and crash-rerun overlaps harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..errors import JobError
+from ..hypermapper.evaluator import Evaluation
+from ..telemetry import current_tracer, git_revision, platform_fingerprint
+from .hashing import config_hash
+
+STORE_MAGIC = "repro.jobs/evaluation-store"
+STORE_VERSION = 1
+
+
+class EvaluationStore:
+    """On-disk memo of configuration-hash → evaluation.
+
+    Use :meth:`open` (creates or loads, verifying the context) rather
+    than the constructor.  The store keeps an in-memory index of every
+    record, appends new records immediately (flush + fsync), and counts
+    its traffic both locally (``hits``/``misses`` attributes) and into
+    the current tracer (``dse.cache_hits`` / ``dse.cache_misses`` — the
+    same counters the in-memory evaluator cache uses, so a trace shows
+    the whole memoization picture in one place).
+    """
+
+    def __init__(self, path: str | Path, context: Mapping | None = None):
+        self.path = Path(path)
+        self.context = dict(context) if context is not None else None
+        self._index: dict[str, Evaluation] = {}
+        self._file = None
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path, context: Mapping | None = None,
+             resume: bool = True) -> "EvaluationStore":
+        """Create a new store or load an existing one.
+
+        Args:
+            path: the JSONL file (parent directory must exist).
+            context: evaluator fingerprint the records must match.
+            resume: when ``False``, an existing non-empty store at
+                ``path`` is an error — the caller asked for a fresh run
+                and silently reusing old numbers (or clobbering them)
+                would both be wrong.  Pass ``True`` to load it.
+        """
+        store = cls(path, context)
+        if store.path.exists() and store.path.stat().st_size > 0:
+            if not resume:
+                raise JobError(
+                    f"evaluation store {path} already exists; pass "
+                    f"--resume to reuse it or delete it for a fresh run"
+                )
+            store._load()
+        else:
+            store._create()
+        return store
+
+    def _create(self) -> None:
+        header = {
+            "store": STORE_MAGIC,
+            "version": STORE_VERSION,
+            "context": self.context,
+            "git_sha": git_revision(),
+            "platform": platform_fingerprint(),
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a")
+        except OSError as exc:
+            raise JobError(f"cannot create store {self.path}: {exc}") from exc
+        self._append_line(header)
+
+    def _load(self) -> None:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise JobError(f"cannot read store {self.path}: {exc}") from exc
+        if not lines:
+            raise JobError(f"store {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JobError(
+                f"store {self.path} has an unreadable header: {exc}"
+            ) from exc
+        if header.get("store") != STORE_MAGIC:
+            raise JobError(f"{self.path} is not an evaluation store")
+        if header.get("version") != STORE_VERSION:
+            raise JobError(
+                f"store {self.path} is version {header.get('version')}, "
+                f"this code reads version {STORE_VERSION}"
+            )
+        stored_context = header.get("context")
+        if (self.context is not None and stored_context is not None
+                and stored_context != self.context):
+            raise JobError(
+                f"store {self.path} was built under a different evaluator "
+                f"context:\n  stored: {stored_context}\n  "
+                f"current: {self.context}\nits evaluations are not "
+                f"reusable here; use a different --store path"
+            )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                evaluation = Evaluation.from_dict(record["evaluation"])
+                key = record["key"]
+            except Exception:
+                # A torn final line from a killed run is expected; count
+                # it and move on rather than refusing the whole store.
+                self.corrupt_lines += 1
+                continue
+            self._index[key] = evaluation
+        try:
+            self._file = open(self.path, "a")
+        except OSError as exc:
+            raise JobError(f"cannot append to store {self.path}: {exc}") from exc
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "EvaluationStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- record access ------------------------------------------------------
+    def _append_line(self, payload: dict) -> None:
+        if self._file is None:
+            raise JobError(f"store {self.path} is closed")
+        try:
+            self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise JobError(f"cannot write store {self.path}: {exc}") from exc
+
+    def get(self, configuration: Mapping) -> Evaluation | None:
+        """The stored evaluation of ``configuration``, or ``None``."""
+        evaluation = self._index.get(config_hash(configuration))
+        tracer = current_tracer()
+        if evaluation is not None:
+            self.hits += 1
+            tracer.count("dse.cache_hits")
+        else:
+            self.misses += 1
+            tracer.count("dse.cache_misses")
+        return evaluation
+
+    def put(self, evaluation: Evaluation) -> str:
+        """Persist one evaluation (keyed by its configuration); returns key."""
+        key = config_hash(evaluation.configuration)
+        self._append_line({"key": key, "evaluation": evaluation.to_dict()})
+        self._index[key] = evaluation
+        return key
+
+    def __contains__(self, configuration: Mapping) -> bool:
+        return config_hash(configuration) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def evaluations(self) -> list[Evaluation]:
+        """Every stored evaluation (index order: insertion, last-wins)."""
+        return list(self._index.values())

@@ -1,0 +1,37 @@
+"""Module-level task functions the pool can ship to worker processes.
+
+Worker processes receive jobs by pickle, so every task body must be a
+plain module-level function.  Heavy, batch-constant inputs (the
+evaluator, precomputed workloads) travel once per worker via the pool's
+``shared`` broadcast (:func:`repro.jobs.pool.worker_shared`) rather
+than once per job.
+"""
+
+from __future__ import annotations
+
+from .pool import worker_shared
+
+
+def evaluate_configuration(configuration: dict):
+    """Evaluate one DSE configuration with the batch's shared evaluator.
+
+    ``shared`` is the evaluator object itself.  Evaluation failures
+    (diverged tracking, invalid corners of the space) are already
+    reported as ``Evaluation(failed=True)`` by both evaluators, so an
+    exception here is an infrastructure problem and propagates to the
+    pool's retry/outcome machinery.
+    """
+    evaluator = worker_shared()
+    return evaluator.evaluate(configuration)
+
+
+def simulate_campaign_device(device):
+    """One crowd-campaign device: default + tuned runs on its model.
+
+    ``shared`` is ``(default_workloads, tuned_workloads, seed)`` —
+    identical for every device, computed once in the parent.
+    """
+    from ..crowd.campaign import simulate_device
+
+    default_wl, tuned_wl, seed = worker_shared()
+    return simulate_device(device, default_wl, tuned_wl, seed)

@@ -43,6 +43,7 @@ from .tracer import (
     TelemetryError,
     Tracer,
     current_tracer,
+    monotonic_s,
     stage,
     use_tracer,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "export",
     "git_revision",
     "load_spans",
+    "monotonic_s",
     "platform_fingerprint",
     "stage",
     "summarize_trace_file",

@@ -115,6 +115,18 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def monotonic_s() -> float:
+    """Monotonic seconds from the telemetry clock.
+
+    The one sanctioned way to do *deadline bookkeeping* (job timeouts,
+    poll loops) outside this package: RPR001 bans raw stdlib clock reads
+    everywhere else so that every duration a trace reports flows through
+    a single substrate.  Differences of this value are comparable to
+    :class:`SpanEvent` durations (same ``perf_counter_ns`` clock).
+    """
+    return time.perf_counter_ns() * 1e-9
+
+
 class Tracer:
     """Collects spans, counters and gauges for one run.
 
@@ -187,6 +199,27 @@ class Tracer:
             return
         with self._lock:
             self.gauges[name] = float(value)
+
+    # -- merging ------------------------------------------------------------
+    def absorb(self, spans=(), counters=None, gauges=None) -> None:
+        """Merge telemetry captured by another tracer into this one.
+
+        The merge primitive the parallel evaluation engine
+        (:mod:`repro.jobs`) uses to fold per-worker telemetry back into
+        the parent run's tracer: spans are appended as-is (workers stamp
+        their identity into ``attrs`` before shipping), counters are
+        *added*, gauges overwrite.  Worker span timestamps come from the
+        worker's own monotonic clock — durations and aggregation stay
+        exact; absolute offsets across processes are not comparable.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.spans.extend(spans)
+            for name, value in (counters or {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, value in (gauges or {}).items():
+                self.gauges[name] = float(value)
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:

@@ -1,4 +1,4 @@
-"""Tests for the static-analysis suite (repro lint, rules RPR001-RPR005)."""
+"""Tests for the static-analysis suite (repro lint, rules RPR001-RPR006)."""
 
 import json
 from pathlib import Path
@@ -37,7 +37,7 @@ class TestFramework:
     def test_rule_catalogue_complete(self):
         catalogue = rule_catalogue()
         assert set(catalogue) == {
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
         }
         assert all(title for title in catalogue.values())
 
@@ -455,6 +455,52 @@ class TestContractSyntaxChecker:
             "    return x\n"
         )
         assert analyze_source(src, select=["RPR005"]) == []
+
+
+class TestProcessDisciplineChecker:
+    """RPR006 — multiprocessing/concurrent.futures only inside repro.jobs."""
+
+    def test_import_multiprocessing_flagged(self):
+        findings = analyze_source("import multiprocessing\n",
+                                  path="src/repro/crowd/campaign.py",
+                                  select=["RPR006"])
+        assert rules_of(findings) == ["RPR006"]
+
+    def test_from_import_flagged(self):
+        src = "from multiprocessing import Pool\n"
+        assert rules_of(analyze_source(src, path="src/repro/cli.py",
+                                       select=["RPR006"])) == ["RPR006"]
+
+    def test_concurrent_futures_flagged(self):
+        for src in (
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "from concurrent import futures\n",
+            "import concurrent.futures\n",
+        ):
+            findings = analyze_source(src, path="src/repro/core/harness.py",
+                                      select=["RPR006"])
+            assert rules_of(findings) == ["RPR006"], src
+
+    def test_attribute_use_flagged(self):
+        src = (
+            "import concurrent\n"
+            "def f():\n"
+            "    return concurrent.futures.ThreadPoolExecutor()\n"
+        )
+        findings = analyze_source(src, path="src/repro/core/harness.py",
+                                  select=["RPR006"])
+        assert rules_of(findings) == ["RPR006"]
+        assert findings[0].line == 3
+
+    def test_jobs_modules_exempt(self):
+        src = "import multiprocessing\nfrom concurrent import futures\n"
+        assert analyze_source(src, path="src/repro/jobs/pool.py",
+                              select=["RPR006"]) == []
+
+    def test_unrelated_imports_clean(self):
+        src = "import json\nfrom concurrent_lib import thing\n"
+        assert analyze_source(src, path="src/repro/cli.py",
+                              select=["RPR006"]) == []
 
 
 class TestContractRuntime:

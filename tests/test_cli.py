@@ -107,6 +107,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "opencl" in out and "cuda" in out
 
+    def test_dse_workers_and_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        args = ["dse", "--samples", "20", "--iterations", "1",
+                "--workers", "2", "--store", store]
+        assert main(args) == 0
+        assert "Design-space exploration" in capsys.readouterr().out
+        assert (tmp_path / "store.jsonl").exists()
+        # Same store without --resume: refused, not silently reused.
+        assert main(args) == 1
+        assert "--resume" in capsys.readouterr().err
+        # With --resume: runs entirely from the store.
+        assert main(args + ["--resume"]) == 0
+        assert "Design-space exploration" in capsys.readouterr().out
+
+    def test_crowd_workers(self, capsys):
+        assert main(["crowd", "--workers", "2"]) == 0
+        assert "geomean" in capsys.readouterr().out
+
 
 class TestTraceCommands:
     def _run_traced(self, capsys, trace_path):

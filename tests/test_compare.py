@@ -68,6 +68,30 @@ class TestRunMatrix:
         with pytest.raises(ConfigurationError):
             run_matrix(entries, sequences[:1], fail_fast=True)
 
+    def test_parallel_matches_serial(self, sequences, matrix):
+        entries = [
+            MatrixEntry("kfusion_128", KinectFusion,
+                        {"volume_resolution": 128, "volume_size": 5.0,
+                         "integration_rate": 1}),
+            MatrixEntry("odometry", ICPOdometry, {}),
+            MatrixEntry("static", StaticSLAM, {}),
+        ]
+        parallel = run_matrix(entries, sequences, workers=2)
+        assert not parallel.errors
+        for key, result in matrix.results.items():
+            assert parallel.results[key].summary() == result.summary()
+
+    def test_parallel_errors_recorded(self, sequences):
+        entries = [
+            MatrixEntry("bad_ratio", KinectFusion,
+                        {"compute_size_ratio": 8, "volume_size": 5.0}),
+            MatrixEntry("odometry", ICPOdometry, {}),
+        ]
+        parallel = run_matrix(entries, sequences[:1], workers=2)
+        with pytest.raises(ConfigurationError):
+            parallel.get("bad_ratio", "lr_kt0")
+        assert parallel.get("odometry", "lr_kt0") is not None
+
     def test_validation(self, sequences):
         with pytest.raises(ConfigurationError):
             run_matrix([], sequences)
