@@ -1,0 +1,130 @@
+"""S17 — fast vs reference kernel backend on the frame pipeline.
+
+Runs the full KinectFusion pipeline at the paper's low-power operating
+point (64x48, the resolution the mobile campaign sweeps) under both
+registered kernel backends, with telemetry enabled, and reports
+per-kernel p50/p95 alongside end-to-end wall seconds per frame.  The
+numbers are written to ``BENCH_frame_pipeline.json`` at the repo root so
+the fast path's speed-up is tracked in-tree, and the bench *asserts*
+the fast backend is no slower than the reference — a perf regression
+fails the suite rather than silently shipping.
+
+Correctness is asserted here too (identical status sequences), but the
+authoritative equivalence suite is ``tests/test_perf.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.core import format_table, run_benchmark
+from repro.datasets import icl_nuim
+from repro.kfusion import KinectFusion
+from repro.perf import kernel_backend_names
+from repro.telemetry import Tracer, aggregate_tracer, summary_rows
+
+N_FRAMES = 10
+WIDTH, HEIGHT = 64, 48
+VOLUME_RESOLUTION = 128
+SEED = 0
+
+#: The four wall-time kernel stages the pipeline traces per frame.
+KERNEL_STAGES = ("preprocess", "track", "integrate", "raycast")
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_frame_pipeline.json"
+
+
+def _run_backend(backend: str):
+    sequence = icl_nuim.load("lr_kt0", n_frames=N_FRAMES, width=WIDTH,
+                             height=HEIGHT, seed=SEED)
+    sequence.materialize()
+    tracer = Tracer(enabled=True)
+    result = run_benchmark(
+        KinectFusion(kernel_backend=backend),
+        sequence,
+        configuration={
+            "volume_resolution": VOLUME_RESOLUTION,
+            "volume_size": 5.0,
+            "integration_rate": 1,
+        },
+        tracer=tracer,
+    )
+    stats = aggregate_tracer(tracer)
+    kernels = {
+        name: {
+            "p50_ms": round(stats[name].p50_s * 1e3, 3),
+            "p95_ms": round(stats[name].p95_s * 1e3, 3),
+            "total_s": round(stats[name].total_s, 4),
+        }
+        for name in KERNEL_STAGES if name in stats
+    }
+    wall_s = sum(stats[name].total_s for name in KERNEL_STAGES
+                 if name in stats)
+    statuses = [r.status.value for r in result.collector.records]
+    return {
+        "kernels": kernels,
+        "wall_s_per_frame": round(wall_s / N_FRAMES, 4),
+        "statuses": statuses,
+        "summary": summary_rows(stats),
+    }
+
+
+def test_frame_pipeline_backends(benchmark, show):
+    def run_all():
+        return {name: _run_backend(name) for name in kernel_backend_names()}
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fast, reference = runs["fast"], runs["reference"]
+    # Correctness first: backends must agree on what happened.
+    assert fast["statuses"] == reference["statuses"]
+    # The fast path must earn its default status.
+    assert fast["wall_s_per_frame"] <= reference["wall_s_per_frame"]
+
+    rows = []
+    for stage in KERNEL_STAGES:
+        rows.append({
+            "kernel": stage,
+            "ref_p50_ms": reference["kernels"][stage]["p50_ms"],
+            "ref_p95_ms": reference["kernels"][stage]["p95_ms"],
+            "fast_p50_ms": fast["kernels"][stage]["p50_ms"],
+            "fast_p95_ms": fast["kernels"][stage]["p95_ms"],
+            "speedup_p50": round(
+                reference["kernels"][stage]["p50_ms"]
+                / max(fast["kernels"][stage]["p50_ms"], 1e-9), 2),
+        })
+    rows.append({
+        "kernel": "frame total",
+        "ref_p50_ms": round(reference["wall_s_per_frame"] * 1e3, 1),
+        "ref_p95_ms": "",
+        "fast_p50_ms": round(fast["wall_s_per_frame"] * 1e3, 1),
+        "fast_p95_ms": "",
+        "speedup_p50": round(reference["wall_s_per_frame"]
+                             / fast["wall_s_per_frame"], 2),
+    })
+    show(format_table(
+        rows,
+        title=(f"frame pipeline {WIDTH}x{HEIGHT} vol={VOLUME_RESOLUTION} "
+               f"({os.cpu_count()} CPUs)"),
+    ))
+
+    payload = {
+        "benchmark": "frame_pipeline",
+        "n_frames": N_FRAMES,
+        "width": WIDTH,
+        "height": HEIGHT,
+        "volume_resolution": VOLUME_RESOLUTION,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "backends": {
+            name: {
+                "kernels": run["kernels"],
+                "wall_s_per_frame": run["wall_s_per_frame"],
+            }
+            for name, run in runs.items()
+        },
+        "speedup": round(reference["wall_s_per_frame"]
+                         / fast["wall_s_per_frame"], 3),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    show(f"wrote {OUT_PATH.name}")

@@ -19,6 +19,9 @@ RPR005   contract-validation: ``@contract`` strings parse, name real
 RPR006   process-discipline: no ``multiprocessing`` /
          ``concurrent.futures`` outside :mod:`repro.jobs` — use
          ``WorkerPool``/``JobRunner``
+RPR007   dtype-discipline: no float64 temporaries in the kfusion /
+         :mod:`repro.perf` hot paths — explicit float32, with
+         ``# f64-ok:`` waivers for the deliberate solver float64
 =======  ==============================================================
 
 Programmatic use::
@@ -29,11 +32,11 @@ Programmatic use::
     exit_code = run_lint(["src/repro"], output_format="json")
 
 Importing this package registers all checkers; the per-rule modules are
-:mod:`~repro.analysis.checkers` (RPR001/2/3/5/6) and
+:mod:`~repro.analysis.checkers` (RPR001/2/3/5/6/7) and
 :mod:`~repro.analysis.consistency` (RPR004).
 """
 
-from . import checkers as _checkers  # noqa: F401 (registers RPR001/2/3/5/6)
+from . import checkers as _checkers  # noqa: F401 (registers RPR001/2/3/5/6/7)
 from . import consistency as _consistency  # noqa: F401  (registers RPR004)
 from .baseline import (
     DEFAULT_BASELINE,

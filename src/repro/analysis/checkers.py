@@ -24,6 +24,12 @@
   ``multiprocessing.Pool`` (or ``concurrent.futures`` executor)
   elsewhere gets none of that — unseeded workers, silent hangs, lost
   traces — so only ``repro.jobs`` may import those modules.
+* **RPR007 dtype-discipline** — the fast frame pipeline (``repro.perf``)
+  earns its speedup by keeping every per-pixel/per-voxel array float32;
+  one stray default-dtype allocator or ``.astype(float)`` silently
+  doubles bandwidth and erases it.  Hot-path modules (``repro/perf/*``
+  and the kfusion kernels) must spell dtypes explicitly; deliberate
+  float64 (the ICP solver) carries an inline ``# f64-ok: <reason>``.
 """
 
 from __future__ import annotations
@@ -362,3 +368,103 @@ class ContractSyntaxChecker(Checker):
                         f"(contradictory contracts)",
                     )
                 declared[kw.arg] = text
+
+
+#: Hot-path kfusion modules held to float32 discipline (RPR007), plus
+#: everything under ``repro/perf``.
+HOT_PATH_KFUSION_MODULES = frozenset({
+    "pipeline", "preprocessing", "raycast", "tracking",
+    "integration", "volume", "render",
+})
+
+#: numpy allocators whose *default* dtype is float64.
+DEFAULT_F64_ALLOCATORS = frozenset({
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full",
+})
+
+#: dtype spellings that request float64.
+F64_DTYPE_STRINGS = frozenset({"float64", "f8", "d", "double"})
+F64_DTYPE_NAMES = frozenset({"float", "numpy.float64", "numpy.double"})
+
+#: Inline waiver for a deliberate float64 (e.g. the ICP normal-equation
+#: solver, which is float64 *by design* — see DESIGN.md S17).
+F64_WAIVER = "# f64-ok:"
+
+
+def _is_hot_path_module(ctx: ModuleContext) -> bool:
+    parts = ctx.path_parts
+    if "perf" in parts:
+        return True
+    if "kfusion" in parts:
+        stem = parts[-1].rsplit(".", 1)[0]
+        return stem in HOT_PATH_KFUSION_MODULES
+    return False
+
+
+@register_checker
+class DtypeDisciplineChecker(Checker):
+    """RPR007: float64 temporaries in hot-path per-frame kernels."""
+
+    rule_id = "RPR007"
+    title = ("dtype-discipline: no float64 temporaries in kfusion/perf "
+             "hot paths — allocate float32 (waive deliberate float64 "
+             "with '# f64-ok: <reason>')")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _is_hot_path_module(ctx):
+            return
+        reported: set[tuple[int, int]] = set()
+
+        def waived(node: ast.AST) -> bool:
+            line = ctx.lines[node.lineno - 1] if (
+                0 < node.lineno <= len(ctx.lines)) else ""
+            return F64_WAIVER in line
+
+        def flag(node: ast.AST, message: str) -> Iterator[Finding]:
+            key = (node.lineno, getattr(node, "col_offset", 0))
+            if key in reported or waived(node):
+                return
+            reported.add(key)
+            yield ctx.finding(node, self.rule_id, message)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve(node.func)
+
+            if dotted in DEFAULT_F64_ALLOCATORS:
+                dtype_kw = next((kw for kw in node.keywords
+                                 if kw.arg == "dtype"), None)
+                if dtype_kw is None:
+                    yield from flag(
+                        node,
+                        f"{dotted}() without dtype allocates float64 in a "
+                        f"hot-path kernel; pass dtype=np.float32 (or take "
+                        f"a workspace buffer)",
+                    )
+                    continue
+
+            for kw in node.keywords:
+                if kw.arg == "dtype" and _is_f64_dtype(ctx, kw.value):
+                    yield from flag(
+                        kw.value,
+                        "explicit float64 dtype in a hot-path kernel; use "
+                        "np.float32 (float64 belongs in the solver only)",
+                    )
+
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype" and node.args
+                    and _is_f64_dtype(ctx, node.args[0])):
+                yield from flag(
+                    node,
+                    ".astype(float64) materialises a float64 copy in a "
+                    "hot-path kernel; cast to np.float32",
+                )
+
+
+def _is_f64_dtype(ctx: ModuleContext, node: ast.AST) -> bool:
+    """Does this dtype expression request float64?"""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in F64_DTYPE_STRINGS
+    dotted = ctx.resolve(node)
+    return dotted in F64_DTYPE_NAMES

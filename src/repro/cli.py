@@ -15,10 +15,15 @@ telemetry trace of the run: ``.jsonl`` writes the raw event log,
 ``.csv`` the per-kernel summary, anything else a Chrome
 ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
 
+``run`` also accepts ``--kernel-backend {fast,reference}`` for kfusion:
+the float32 workspace kernels (default) vs the float64 textbook
+kernels (``repro.perf``).
+
 Examples::
 
     repro-benchmark run --dataset lr_kt0 --algorithm kfusion \
         --frames 20 --width 80 --height 60 --set volume_resolution=128
+    repro-benchmark run --frames 10 --kernel-backend reference
     repro-benchmark run --frames 10 --trace out.json
     repro-benchmark trace summarize out.json
     repro-benchmark dse --samples 200 --iterations 10
@@ -41,6 +46,7 @@ from .core.registry import (
     register_defaults,
 )
 from .errors import ReproError
+from .perf import kernel_backend_names
 from .platforms import PlatformConfig, odroid_xu3, phone_database
 from .telemetry import Tracer, export, summarize_trace_file, use_tracer
 
@@ -68,7 +74,10 @@ def _cmd_run(args) -> int:
     sequence = create_dataset(args.dataset, n_frames=args.frames,
                               width=args.width, height=args.height,
                               seed=args.seed)
-    system = create_algorithm(args.algorithm)
+    factory_kwargs = {}
+    if args.kernel_backend is not None:
+        factory_kwargs["kernel_backend"] = args.kernel_backend
+    system = create_algorithm(args.algorithm, **factory_kwargs)
     config = dict(args.set or [])
     tracer = Tracer(enabled=bool(args.trace))
     result = run_benchmark(
@@ -231,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--height", type=int, default=60)
     p_run.add_argument("--backend", default="opencl",
                        choices=("cpp", "openmp", "opencl"))
+    p_run.add_argument("--kernel-backend", dest="kernel_backend",
+                       default=None, choices=kernel_backend_names(),
+                       help="kernel implementation set for kfusion "
+                            "(default: fast; see repro.perf)")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--set", metavar="NAME=VALUE", action="append",
                        type=_parse_override,

@@ -23,14 +23,25 @@ def register_algorithm(name: str, factory: Callable) -> None:
     _ALGORITHMS[name] = factory
 
 
-def create_algorithm(name: str):
-    """Instantiate a registered SLAM system."""
+def create_algorithm(name: str, **kwargs):
+    """Instantiate a registered SLAM system.
+
+    Keyword arguments are forwarded to the factory (e.g.
+    ``create_algorithm("kfusion", kernel_backend="reference")``); a
+    factory that does not accept them raises ``ConfigurationError``.
+    """
     try:
-        return _ALGORITHMS[name]()
+        factory = _ALGORITHMS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown algorithm {name!r}; registered: {sorted(_ALGORITHMS)}"
         ) from None
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"algorithm {name!r} rejected arguments {sorted(kwargs)}: {exc}"
+        ) from exc
 
 
 def algorithm_names() -> list[str]:

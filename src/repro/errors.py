@@ -55,6 +55,16 @@ class ReportError(ReproError):
     """A report/export helper was asked to render invalid or empty data."""
 
 
+class PerfError(ReproError):
+    """The fast-path kernel backend violated one of its invariants.
+
+    Raised when the preallocated :class:`~repro.perf.FrameWorkspace`
+    would exceed the byte budget derived from :mod:`repro.kfusion.memory`,
+    or when an unknown kernel backend is requested.  Never raised on a
+    healthy run — it marks a sizing/registration bug, not bad data.
+    """
+
+
 class JobError(ReproError):
     """The parallel evaluation engine could not run or persist a job.
 

@@ -117,13 +117,23 @@ class PinholeCamera:
 
         Rays are in the camera frame with z=1; multiply by depth to get the
         camera-frame vertex for each pixel.
+
+        The ray grid depends only on the (frozen) intrinsics, so it is
+        computed once per camera instance and cached; the returned array
+        is marked read-only — copy before mutating.
         """
+        cached = self.__dict__.get("_pixel_rays")
+        if cached is not None:
+            return cached
         u = np.arange(self.width, dtype=float)
         v = np.arange(self.height, dtype=float)
         uu, vv = np.meshgrid(u, v)
         x = (uu - self.cx) / self.fx
         y = (vv - self.cy) / self.fy
-        return np.stack([x, y, np.ones_like(x)], axis=-1)
+        rays = np.stack([x, y, np.ones_like(x)], axis=-1)
+        rays.flags.writeable = False
+        object.__setattr__(self, "_pixel_rays", rays)
+        return rays
 
     @contract(depth="H,W:f64")
     def backproject(self, depth: np.ndarray) -> np.ndarray:

@@ -42,3 +42,37 @@ def total_bytes(params: KFusionParams, width: int = 320,
                 height: int = 240) -> int:
     """Whole-pipeline footprint for one configuration."""
     return volume_bytes(params) + frame_buffers_bytes(params, width, height)
+
+
+#: Neighbourhood radius of the bilateral filter (needed to size the
+#: fast path's zero-padded scratch image).
+BILATERAL_RADIUS = 2
+
+
+def workspace_bytes(params: KFusionParams, width: int, height: int,
+                    levels: int = 3) -> int:
+    """Byte budget for the fast path's preallocated float32 arena.
+
+    The :class:`repro.perf.FrameWorkspace` must fit inside this bound —
+    it is the per-frame buffer inventory of :func:`frame_buffers_bytes`
+    plus the scratch the optimized kernels reuse across frames instead of
+    reallocating: the bilateral filter's padded image and accumulators,
+    the raycaster's per-ray state and hit maps, the integrate kernel's
+    per-voxel projection buffers, and the ICP solver's per-level gather
+    and Jacobian buffers.  ``width``/``height`` are the *input* (sensor)
+    resolution, as for :func:`frame_buffers_bytes`.
+    """
+    ratio = params.compute_size_ratio
+    cw, ch = width // ratio, height // ratio
+    compute_px = cw * ch
+    total = frame_buffers_bytes(params, width, height, levels)
+    # bilateral: padded image + accumulator + weight sum + two temporaries
+    padded_px = (cw + 2 * BILATERAL_RADIUS) * (ch + 2 * BILATERAL_RADIUS)
+    total += BYTES_F32 * (padded_px + 4 * compute_px)
+    # raycast: ray directions (3), per-ray march state (~4), hit map (~1.5)
+    total += BYTES_F32 * 9 * compute_px
+    # integrate: per-voxel camera coordinates, pixel indices and masks
+    total += BYTES_F32 * 8 * params.volume_resolution**3
+    # ICP: per-pixel transform/projection scratch at the finest level
+    total += BYTES_F32 * 8 * compute_px
+    return total

@@ -31,17 +31,10 @@ from ..errors import ConfigurationError, DatasetError
 from ..geometry import PinholeCamera, se3
 from ..telemetry import current_tracer, stage
 from . import kernels
-from .integration import integrate
 from .params import KFusionParams, parameter_specs
-from .preprocessing import (
-    bilateral_filter,
-    build_pyramid,
-    downsample_depth,
-    vertex_normal_pyramid,
-)
-from .raycast import raycast
+from .preprocessing import downsample_depth
 from .render import render_volume
-from .tracking import ReferenceModel, track
+from .tracking import ReferenceModel
 from .volume import TSDFVolume
 
 #: SLAMBench's default camera start: centred in x/y, at the volume's front
@@ -66,6 +59,10 @@ class KinectFusion(SLAMSystem):
         robust_tracking: use Huber-weighted (IRLS) ICP instead of the
             reference implementation's plain least squares — an extension
             that defends against depth-edge artefacts and dropout.
+        kernel_backend: which registered kernel implementation set runs
+            the five hot per-frame kernels — ``"fast"`` (float32
+            workspace kernels, the default) or ``"reference"`` (the
+            float64 textbook kernels).  See :mod:`repro.perf`.
     """
 
     name = "kfusion"
@@ -74,10 +71,19 @@ class KinectFusion(SLAMSystem):
     HUBER_DELTA_M = 0.02
 
     def __init__(self, publish_render: bool = False,
-                 robust_tracking: bool = False):
+                 robust_tracking: bool = False,
+                 kernel_backend: str | None = None):
         super().__init__()
+        from ..perf import DEFAULT_KERNEL_BACKEND, get_kernel_backend
+
         self._publish_render = publish_render
         self._robust_tracking = robust_tracking
+        # Resolve eagerly so an unknown name fails at construction.
+        self._backend = get_kernel_backend(
+            kernel_backend if kernel_backend is not None
+            else DEFAULT_KERNEL_BACKEND
+        )
+        self._workspace = None
         self.params: KFusionParams | None = None
         self.volume: TSDFVolume | None = None
         self._camera: PinholeCamera | None = None
@@ -86,6 +92,11 @@ class KinectFusion(SLAMSystem):
         self._reference: ReferenceModel | None = None
         self._status = TrackingStatus.BOOTSTRAP
         self._last_track_rmse = 0.0
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend this system runs."""
+        return self._backend.name
 
     # -- SLAMSystem hooks ---------------------------------------------------
     def parameter_specs(self) -> list[ParameterSpec]:
@@ -115,6 +126,10 @@ class KinectFusion(SLAMSystem):
             resolution=self.params.volume_resolution,
             size=self.params.volume_size,
         )
+        # Per-run float32 buffer arena (None for workspace-less backends).
+        self._workspace = self._backend.make_workspace(
+            self._input_camera, self.params, PYRAMID_LEVELS
+        )
         self._pose = se3.make_pose(
             np.eye(3),
             np.array(INITIAL_POSE_FACTOR) * self.params.volume_size,
@@ -142,27 +157,34 @@ class KinectFusion(SLAMSystem):
                 f"{self._input_camera.shape}"
             )
 
+        backend = self._backend
+        ws = self._workspace
+
         # 1. Preprocessing -------------------------------------------------
-        with stage(workload, "preprocess", frame=frame.index):
+        with stage(workload, "preprocess", frame=frame.index,
+                   backend=backend.name):
             workload.add(kernels.acquire(self._input_camera.pixel_count))
             depth = downsample_depth(frame.depth, params.compute_size_ratio)
             workload.add(
                 kernels.downsample(self._input_camera.pixel_count,
                                    cam.pixel_count)
             )
-            depth = bilateral_filter(depth)
+            depth = backend.bilateral_filter(depth, ws)
             workload.add(kernels.bilateral_filter(cam.pixel_count))
 
-            pyramid = build_pyramid(depth, PYRAMID_LEVELS)
+            pyramid = backend.build_pyramid(depth, PYRAMID_LEVELS, ws)
             for level in range(1, len(pyramid)):
                 workload.add(kernels.half_sample(pyramid[level].size))
-            vertices, normals, _cams = vertex_normal_pyramid(pyramid, cam)
+            vertices, normals, _cams = backend.vertex_normal_pyramid(
+                pyramid, cam, ws
+            )
             for level_depth in pyramid:
                 workload.add(kernels.depth_to_vertex(level_depth.size))
                 workload.add(kernels.vertex_to_normal(level_depth.size))
 
         # 2. Tracking --------------------------------------------------------
-        with stage(workload, "track", frame=frame.index):
+        with stage(workload, "track", frame=frame.index,
+                   backend=backend.name):
             first_frame = self.frames_processed == 0
             should_track = (
                 not first_frame
@@ -172,13 +194,14 @@ class KinectFusion(SLAMSystem):
             tracked = first_frame  # frame 0 counts as tracked at the start pose
             if should_track:
                 iters = params.pyramid_iterations[: len(vertices)]
-                result = track(
+                result = backend.track(
                     vertices,
                     normals,
                     self._reference,
                     self._pose,
                     iters,
                     params.icp_threshold,
+                    ws,
                     huber_delta=(self.HUBER_DELTA_M
                                  if self._robust_tracking else None),
                 )
@@ -202,27 +225,33 @@ class KinectFusion(SLAMSystem):
                 self._status = TrackingStatus.BOOTSTRAP
 
         # 3. Integration -----------------------------------------------------
-        with stage(workload, "integrate", frame=frame.index):
+        with stage(workload, "integrate", frame=frame.index,
+                   backend=backend.name):
             should_integrate = (
                 tracked or self.frames_processed < BOOTSTRAP_FRAMES
             ) and (frame.index % params.integration_rate == 0 or first_frame)
             if should_integrate:
-                integrate(
+                backend.integrate(
                     self.volume,
                     depth,
                     cam,
                     self._pose,
                     params.mu_distance,
+                    ws,
                 )
                 workload.add(kernels.integrate(params.volume_resolution))
 
         # 4. Raycast the next reference ---------------------------------------
-        with stage(workload, "raycast", frame=frame.index):
-            ref_vertices_cam, ref_normals_cam = raycast(
+        with stage(workload, "raycast", frame=frame.index,
+                   backend=backend.name):
+            # The backend raycasts and stores the prediction in the volume
+            # frame for projective association.
+            self._reference = backend.raycast_model(
                 self.volume,
                 cam,
                 self._pose,
                 params.mu_distance,
+                ws,
             )
             workload.add(
                 kernels.raycast(
@@ -232,28 +261,13 @@ class KinectFusion(SLAMSystem):
                     params.voxel_size,
                 )
             )
-            # Store the prediction in the volume frame for projective
-            # association.
-            h, w = cam.shape
-            flat_v = ref_vertices_cam.reshape(-1, 3)
-            flat_n = ref_normals_cam.reshape(-1, 3)
-            valid = np.any(flat_n != 0.0, axis=-1)
-            v_vol = np.zeros_like(flat_v)
-            n_vol = np.zeros_like(flat_n)
-            v_vol[valid] = se3.transform_points(self._pose, flat_v[valid])
-            n_vol[valid] = flat_n[valid] @ self._pose[:3, :3].T
-            self._reference = ReferenceModel(
-                vertices=v_vol.reshape(h, w, 3),
-                normals=n_vol.reshape(h, w, 3),
-                camera=cam,
-                pose_volume_from_camera=self._pose.copy(),
-            )
 
         # 5. Optional GUI render ----------------------------------------------
         if self._publish_render:
             # Tracer-only span: the render is not one of the four canonical
             # wall-time stages the simulator-side analyses consume.
-            with current_tracer().span("render", frame=frame.index):
+            with current_tracer().span("render", frame=frame.index,
+                                       backend=backend.name):
                 self._last_render = render_volume(
                     self.volume, cam, self._pose, params.mu_distance
                 )

@@ -74,7 +74,9 @@ def bilateral_filter(
         for dx in range(-radius, radius + 1):
             w_spatial = np.exp(-(dx * dx + dy * dy) * inv_2ss)
             shifted = _shift2d(depth, dy, dx)
-            shifted_valid = _shift2d(valid.astype(float), dy, dx) > 0.5
+            # Shift the boolean mask directly; zero-padding is False, so
+            # out-of-frame neighbours stay invalid (no float round trip).
+            shifted_valid = _shift2d(valid, dy, dx)
             diff = shifted - depth
             w = w_spatial * np.exp(-(diff * diff) * inv_2sd)
             w = np.where(shifted_valid & valid, w, 0.0)

@@ -1,0 +1,100 @@
+"""Shared float32 helpers for the fast kernels.
+
+Small, allocation-conscious counterparts of the float64 geometry
+routines: rigid transforms that keep float32 operands in float32, a
+projection that mirrors :meth:`PinholeCamera.project`'s validity
+semantics exactly (same epsilons, same bounds), and a per-camera cache
+of normalized float32 ray directions for the raycaster.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..geometry import PinholeCamera
+
+#: Same border tolerance as :meth:`PinholeCamera.project`.
+PROJECT_EDGE_EPS = 1e-6
+#: Same minimum depth as :meth:`PinholeCamera.project`.
+PROJECT_MIN_Z = 1e-9
+
+
+def rotation_f32(pose: np.ndarray) -> np.ndarray:
+    """The 3x3 rotation block of a float64 pose, as float32."""
+    return np.ascontiguousarray(pose[:3, :3], dtype=np.float32)
+
+
+def translation_f32(pose: np.ndarray) -> np.ndarray:
+    """The translation of a float64 pose, as float32."""
+    return np.ascontiguousarray(pose[:3, 3], dtype=np.float32)
+
+
+def transform_points_f32(pose: np.ndarray, points: np.ndarray,
+                         out: np.ndarray | None = None) -> np.ndarray:
+    """Float32 rigid transform of ``(N, 3)`` points.
+
+    ``pose`` is the usual float64 4x4; ``points`` stay float32
+    throughout (the float64 path upcasts, see ``se3.transform_points``).
+    """
+    R = rotation_f32(pose)
+    t = translation_f32(pose)
+    out = np.matmul(points, R.T, out=out)
+    out += t
+    return out
+
+
+def rotate_vectors_f32(pose: np.ndarray, vectors: np.ndarray,
+                       out: np.ndarray | None = None) -> np.ndarray:
+    """Float32 rotation-only transform of ``(N, 3)`` vectors."""
+    return np.matmul(vectors, rotation_f32(pose).T, out=out)
+
+
+def project_f32(
+    camera: PinholeCamera,
+    points: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project float32 camera-frame points ``(N, 3)`` to pixels.
+
+    Returns ``(u, v, valid)`` as separate arrays (no ``(N, 2)`` stack);
+    the validity rule is bit-for-bit the one in
+    :meth:`PinholeCamera.project`.
+    """
+    x, y, z = points[:, 0], points[:, 1], points[:, 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u = camera.fx * x / z + camera.cx
+        v = camera.fy * y / z + camera.cy
+    eps = PROJECT_EDGE_EPS
+    valid = (
+        (z > PROJECT_MIN_Z)
+        & np.isfinite(u)
+        & np.isfinite(v)
+        & (u >= -eps)
+        & (u <= camera.width - 1 + eps)
+        & (v >= -eps)
+        & (v <= camera.height - 1 + eps)
+    )
+    return u, v, valid
+
+
+@functools.lru_cache(maxsize=None)
+def unit_rays_f32(camera: PinholeCamera) -> np.ndarray:
+    """Normalized float32 ray directions, ``(H*W, 3)``, cached per camera.
+
+    The float64 equivalent is recomputed (grid + normalization) on every
+    reference raycast call; cameras are frozen dataclasses, so caching on
+    the instance value is sound.  The array is read-only.
+    """
+    rays = camera.pixel_rays().reshape(-1, 3).astype(np.float32)
+    rays /= np.linalg.norm(rays, axis=-1, keepdims=True)
+    rays.flags.writeable = False
+    return rays
+
+
+@functools.lru_cache(maxsize=None)
+def pixel_rays_f32(camera: PinholeCamera) -> np.ndarray:
+    """Float32 unit-z pixel rays ``(H, W, 3)``, cached per camera (read-only)."""
+    rays = camera.pixel_rays().astype(np.float32)
+    rays.flags.writeable = False
+    return rays

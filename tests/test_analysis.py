@@ -26,7 +26,8 @@ from repro.analysis.consistency import (
 from repro.analysis.framework import AnalysisError, PARSE_RULE
 from repro.analysis.reporters import format_json, format_text
 
-REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPO_SRC = REPO_ROOT / "src" / "repro"
 
 
 def rules_of(findings):
@@ -37,7 +38,8 @@ class TestFramework:
     def test_rule_catalogue_complete(self):
         catalogue = rule_catalogue()
         assert set(catalogue) == {
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         }
         assert all(title for title in catalogue.values())
 
@@ -503,6 +505,59 @@ class TestProcessDisciplineChecker:
                               select=["RPR006"]) == []
 
 
+class TestDtypeDisciplineChecker:
+    """RPR007 — no float64 temporaries in kfusion/perf hot paths."""
+
+    HOT = "src/repro/perf/raycast.py"
+
+    def test_default_allocator_flagged(self):
+        src = "import numpy as np\nbuf = np.zeros((4, 4))\n"
+        findings = analyze_source(src, path=self.HOT, select=["RPR007"])
+        assert rules_of(findings) == ["RPR007"]
+        assert "dtype" in findings[0].message
+
+    def test_explicit_float64_dtype_flagged(self):
+        for dtype in ("np.float64", "float", '"float64"'):
+            src = (f"import numpy as np\n"
+                   f"buf = np.empty(8, dtype={dtype})\n")
+            findings = analyze_source(src, path=self.HOT, select=["RPR007"])
+            assert rules_of(findings) == ["RPR007"], dtype
+
+    def test_astype_float64_flagged(self):
+        src = "def f(x):\n    return x.astype(float)\n"
+        findings = analyze_source(src, path=self.HOT, select=["RPR007"])
+        assert rules_of(findings) == ["RPR007"]
+
+    def test_float32_clean(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.zeros((4, 4), dtype=np.float32)\n"
+            "b = np.full(8, 1.0, dtype=np.float32)\n"
+            "c = a.astype(np.float32)\n"
+            "d = np.rint(b).astype(np.int32)\n"
+        )
+        assert analyze_source(src, path=self.HOT, select=["RPR007"]) == []
+
+    def test_f64_waiver_honoured(self):
+        src = ("import numpy as np\n"
+               "A = x.astype(float)  # f64-ok: solver operates in f64\n")
+        assert analyze_source(src, path=self.HOT, select=["RPR007"]) == []
+
+    def test_kfusion_hot_module_in_scope(self):
+        src = "import numpy as np\nbuf = np.zeros(3)\n"
+        findings = analyze_source(src, path="src/repro/kfusion/tracking.py",
+                                  select=["RPR007"])
+        assert rules_of(findings) == ["RPR007"]
+
+    def test_cold_modules_exempt(self):
+        src = "import numpy as np\nbuf = np.zeros(3, dtype=float)\n"
+        for path in ("src/repro/kfusion/params.py",
+                     "src/repro/core/harness.py",
+                     "src/repro/metrics/ate.py"):
+            assert analyze_source(src, path=path, select=["RPR007"]) == [], \
+                path
+
+
 class TestContractRuntime:
     """The runtime side of @contract."""
 
@@ -744,6 +799,21 @@ class TestCli:
 
 
 class TestRepoIsClean:
-    def test_src_repro_has_no_findings(self):
-        """The tree this suite ships with must satisfy its own linter."""
-        assert analyze_paths([REPO_SRC]) == []
+    def test_src_repro_has_no_new_findings(self, monkeypatch):
+        """The tree must satisfy its own linter, modulo the committed
+        baseline (the reference backend's accepted RPR007 findings).
+        Lints from the repo root so fingerprints match CI's invocation."""
+        monkeypatch.chdir(REPO_ROOT)
+        findings = analyze_paths(["src/repro"])
+        baseline = load_baseline(REPO_ROOT / ".reprolint.json")
+        kept, _suppressed = apply_baseline(findings, baseline)
+        assert kept == []
+
+    def test_baseline_only_covers_reference_kernels(self):
+        """The committed baseline may only waive RPR007 in the reference
+        kfusion kernels — repro.perf must be natively clean."""
+        baseline = load_baseline(REPO_ROOT / ".reprolint.json")
+        for fingerprint in baseline:
+            rule, path, _ = fingerprint.split("::", 2)
+            assert rule == "RPR007", fingerprint
+            assert path.startswith("src/repro/kfusion/"), fingerprint

@@ -7,6 +7,11 @@ pipeline refactor that changes numerical behaviour — kernel reordering, a
 different ICP convergence path, altered integration scheduling — shows up
 here instead of slipping through the purely structural tests.
 
+Both kernel backends are pinned (``reference``, the float64 textbook
+kernels, and ``fast``, the float32 workspace kernels of ``repro.perf``)
+with their *own* recorded ATE values, so a numerical drift in either
+implementation is caught independently.
+
 Tolerances (documented, deliberately asymmetric in strictness):
 
 * ATE RMSE / max: ``rel=0.02``.  The pipeline is bit-deterministic on one
@@ -14,7 +19,9 @@ Tolerances (documented, deliberately asymmetric in strictness):
   2 % is far below any behavioural change (losing a single frame moves
   ATE by >10x) while absorbing float-reassociation drift.
 * tracked fraction: exact — a run either tracks a frame or it doesn't.
-* status sequence: exact per frame, same reasoning.
+* status sequence: exact per frame, same reasoning — and identical
+  *across* backends, which is the fast path's headline equivalence claim
+  (see DESIGN.md S17 and tests/test_perf.py).
 """
 
 import pytest
@@ -25,12 +32,26 @@ from repro.kfusion import KinectFusion
 
 ATE_REL_TOL = 0.02
 
+BACKENDS = ("reference", "fast")
 
-def _run(volume_resolution: int):
+#: Recorded per-backend ATE values (numpy 2.4, this container).
+GOLDEN_ATE = {
+    ("reference", 96): {"rmse": 0.003773127746256985,
+                        "max": 0.005132570072557547},
+    ("fast", 96): {"rmse": 0.0037567860943899475,
+                   "max": 0.0051726755650136225},
+    ("reference", 64): {"rmse": 0.06905575267240154,
+                        "max": 0.18688626834420913},
+    ("fast", 64): {"rmse": 0.0690549280815696,
+                   "max": 0.18688364918560782},
+}
+
+
+def _run(volume_resolution: int, kernel_backend: str = "fast"):
     seq = icl_nuim.load("lr_kt0", n_frames=10, width=80, height=60, seed=0)
     seq.materialize()
     return run_benchmark(
-        KinectFusion(),
+        KinectFusion(kernel_backend=kernel_backend),
         seq,
         configuration={
             "volume_resolution": volume_resolution,
@@ -40,32 +61,38 @@ def _run(volume_resolution: int):
     )
 
 
-@pytest.fixture(scope="module")
-def good_run():
+@pytest.fixture(scope="module", params=BACKENDS)
+def good_run(request):
     """vol=96: the pipeline tracks every frame on this sequence."""
-    return _run(volume_resolution=96)
+    return request.param, _run(volume_resolution=96,
+                               kernel_backend=request.param)
 
 
-@pytest.fixture(scope="module")
-def degraded_run():
+@pytest.fixture(scope="module", params=BACKENDS)
+def degraded_run(request):
     """vol=64: too coarse for the first motions — loses two frames."""
-    return _run(volume_resolution=64)
+    return request.param, _run(volume_resolution=64,
+                               kernel_backend=request.param)
 
 
 class TestGoldenGoodRun:
     def test_ate_rmse(self, good_run):
-        assert good_run.ate.rmse == pytest.approx(0.003773127746256985,
-                                                  rel=ATE_REL_TOL)
+        backend, run = good_run
+        assert run.ate.rmse == pytest.approx(
+            GOLDEN_ATE[(backend, 96)]["rmse"], rel=ATE_REL_TOL)
 
     def test_ate_max(self, good_run):
-        assert good_run.ate.max == pytest.approx(0.005132570072557547,
-                                                 rel=ATE_REL_TOL)
+        backend, run = good_run
+        assert run.ate.max == pytest.approx(
+            GOLDEN_ATE[(backend, 96)]["max"], rel=ATE_REL_TOL)
 
     def test_tracked_fraction(self, good_run):
-        assert good_run.collector.tracked_fraction() == 1.0
+        _, run = good_run
+        assert run.collector.tracked_fraction() == 1.0
 
     def test_status_sequence(self, good_run):
-        statuses = [r.status.value for r in good_run.collector.records]
+        _, run = good_run
+        statuses = [r.status.value for r in run.collector.records]
         assert statuses == ["bootstrap"] + ["ok"] * 9
 
 
@@ -73,24 +100,29 @@ class TestGoldenDegradedRun:
     """Pins the *failure* behaviour too: when and how tracking is lost."""
 
     def test_ate_rmse(self, degraded_run):
-        assert degraded_run.ate.rmse == pytest.approx(0.06905575267240154,
-                                                      rel=ATE_REL_TOL)
+        backend, run = degraded_run
+        assert run.ate.rmse == pytest.approx(
+            GOLDEN_ATE[(backend, 64)]["rmse"], rel=ATE_REL_TOL)
 
     def test_tracked_fraction(self, degraded_run):
-        assert degraded_run.collector.tracked_fraction() == pytest.approx(0.8)
+        _, run = degraded_run
+        assert run.collector.tracked_fraction() == pytest.approx(0.8)
 
     def test_status_sequence(self, degraded_run):
-        statuses = [r.status.value for r in degraded_run.collector.records]
+        _, run = degraded_run
+        statuses = [r.status.value for r in run.collector.records]
         assert statuses == (["bootstrap", "lost", "lost"] + ["ok"] * 7)
 
     def test_lost_frames_identified(self, degraded_run):
-        assert degraded_run.collector.lost_frames() == [1, 2]
+        _, run = degraded_run
+        assert run.collector.lost_frames() == [1, 2]
 
 
 class TestGoldenDeterminism:
     def test_repeat_run_is_identical(self, good_run):
-        repeat = _run(volume_resolution=96)
-        assert repeat.ate.rmse == good_run.ate.rmse
+        backend, run = good_run
+        repeat = _run(volume_resolution=96, kernel_backend=backend)
+        assert repeat.ate.rmse == run.ate.rmse
         assert [r.status for r in repeat.collector.records] == [
-            r.status for r in good_run.collector.records
+            r.status for r in run.collector.records
         ]
