@@ -13,7 +13,8 @@ RPR003   error-policy: raise the :mod:`repro.errors` hierarchy, and CLI
          ``main()`` must catch :class:`~repro.errors.ReproError`
 RPR004   config-space consistency: ``kfusion_design_space`` ==
          ``KFusionParams`` == ``DEFAULTS``, defaults in bounds, every
-         knob consumed
+         knob consumed; fast/reference kernel backends declare
+         matching ``@contract`` shapes (dtype width may differ)
 RPR005   contract-validation: ``@contract`` strings parse, name real
          parameters, and do not contradict each other
 RPR006   process-discipline: no ``multiprocessing`` /
@@ -22,6 +23,15 @@ RPR006   process-discipline: no ``multiprocessing`` /
 RPR007   dtype-discipline: no float64 temporaries in the kfusion /
          :mod:`repro.perf` hot paths — explicit float32, with
          ``# f64-ok:`` waivers for the deliberate solver float64
+RPR008   layer-discipline: imports/calls must point down the
+         ``ARCHITECTURE.toml`` layer DAG, and every module must be
+         covered by a layer
+RPR009   transitive-effect-discipline: whole-program effect inference
+         (call graph + fixpoint) holds each layer to its effect budget;
+         findings carry the full ``via a -> b -> c`` chain
+RPR010   workspace-alloc-discipline: hot :mod:`repro.perf` modules
+         allocate through the workspace arena, with ``# effect-ok:``
+         waivers for variable-length working sets
 =======  ==============================================================
 
 Programmatic use::
@@ -32,19 +42,31 @@ Programmatic use::
     exit_code = run_lint(["src/repro"], output_format="json")
 
 Importing this package registers all checkers; the per-rule modules are
-:mod:`~repro.analysis.checkers` (RPR001/2/3/5/6/7) and
-:mod:`~repro.analysis.consistency` (RPR004).
+:mod:`~repro.analysis.checkers` (RPR001/2/3/5/6/7),
+:mod:`~repro.analysis.consistency` (RPR004) and
+:mod:`~repro.analysis.policy` (RPR008/9/10, backed by
+:mod:`~repro.analysis.callgraph` and :mod:`~repro.analysis.effects`).
 """
 
 from . import checkers as _checkers  # noqa: F401 (registers RPR001/2/3/5/6/7)
 from . import consistency as _consistency  # noqa: F401  (registers RPR004)
+from . import policy as _policy  # noqa: F401  (registers RPR008/9/10)
 from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
     load_baseline,
     write_baseline,
 )
+from .callgraph import CallGraph, build_callgraph, module_name_for
 from .contracts import ArraySpec, ContractError, contract, parse_contract
+from .effects import (
+    DEFAULT_SNAPSHOT,
+    EffectAnalysis,
+    diff_snapshots,
+    load_snapshot,
+    snapshot_payload,
+    write_snapshot,
+)
 from .findings import Finding, Severity
 from .framework import (
     AnalysisError,
@@ -57,28 +79,41 @@ from .framework import (
     rule_catalogue,
 )
 from .lint import run_lint
+from .policy import ArchPolicy, PolicyError, load_policy, project_state
 from .reporters import format_json, format_text
 
 __all__ = [
     "AnalysisError",
+    "ArchPolicy",
     "ArraySpec",
+    "CallGraph",
     "Checker",
     "ContractError",
     "DEFAULT_BASELINE",
+    "DEFAULT_SNAPSHOT",
+    "EffectAnalysis",
     "Finding",
     "ModuleContext",
+    "PolicyError",
     "ProjectChecker",
     "Severity",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",
+    "build_callgraph",
     "contract",
+    "diff_snapshots",
     "format_json",
     "format_text",
     "load_baseline",
+    "load_policy",
+    "load_snapshot",
+    "module_name_for",
     "parse_contract",
+    "project_state",
     "register_checker",
     "rule_catalogue",
     "run_lint",
-    "write_baseline",
+    "snapshot_payload",
+    "write_snapshot",
 ]

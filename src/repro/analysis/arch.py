@@ -1,0 +1,249 @@
+"""The ``repro arch`` subcommand: inspect and enforce the architecture.
+
+Thin, testable functions over :mod:`repro.analysis.policy` /
+:mod:`~repro.analysis.callgraph` / :mod:`~repro.analysis.effects`:
+
+* :func:`arch_show` — the layer diagram (top-down) with effect budgets;
+* :func:`arch_check` — run RPR008/9/10 only, with the lint exit-code
+  contract (0 clean / 1 findings / 2 internal error);
+* :func:`arch_graph` — export the call graph as JSON or Graphviz DOT,
+  at module (default) or function granularity;
+* :func:`arch_effects` — print inferred per-function effect sets;
+* :func:`arch_snapshot` — write the committed ``ARCH_EFFECTS.json``;
+* :func:`arch_diff` — compare current effects against the snapshot;
+  **new** effects fail (exit 1) so they must be reviewed, removals are
+  informational.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+from .callgraph import CallGraph, build_callgraph
+from .effects import (
+    DEFAULT_ABSORB,
+    DEFAULT_SNAPSHOT,
+    EffectAnalysis,
+    diff_snapshots,
+    load_snapshot,
+    snapshot_payload,
+    write_snapshot,
+)
+from .framework import ModuleContext, iter_python_files
+from .lint import (
+    LINT_EXIT_CLEAN,
+    LINT_EXIT_FINDINGS,
+    LINT_EXIT_INTERNAL,
+    run_lint,
+)
+from .policy import DEFAULT_POLICY, ArchPolicy, load_policy
+
+#: Default tree the arch tooling analyzes.
+DEFAULT_PATHS = ("src/repro",)
+
+ARCH_RULES = ("RPR008", "RPR009", "RPR010")
+
+Echo = Callable[[str], None]
+
+
+def _build(paths: Sequence[str],
+           policy: ArchPolicy) -> tuple[CallGraph, EffectAnalysis]:
+    """Parse ``paths`` and run the whole-program analysis."""
+    contexts = []
+    for file in iter_python_files(paths):
+        try:
+            contexts.append(ModuleContext.parse(file.read_text(), str(file)))
+        except SyntaxError as exc:
+            raise ReproError(f"cannot parse {file}: {exc}") from exc
+    graph = build_callgraph(contexts, root_package=policy.root)
+    absorb = dict(DEFAULT_ABSORB)
+    absorb["alloc"] = tuple(policy.arena)
+    return graph, EffectAnalysis(graph, absorb=absorb)
+
+
+def arch_show(policy_path: str = DEFAULT_POLICY,
+              echo: Echo = print) -> int:
+    """Print the layer diagram, top-down, with effect budgets."""
+    try:
+        policy = load_policy(policy_path)
+    except ReproError as exc:
+        echo(f"arch: {exc}")
+        return LINT_EXIT_INTERNAL
+    echo(f"architecture of {policy.root!r} ({policy.path}): "
+         f"{len(policy.layers)} layers, top-down")
+    echo("")
+    width = max(len(layer.name) for layer in policy.layers)
+    for layer in reversed(policy.layers):
+        budget = (f"  [no {', '.join(layer.forbid)}]"
+                  if layer.forbid else "")
+        uses = (f"  (uses: {', '.join(layer.uses)})"
+                if layer.uses is not None else "")
+        echo(f"  L{layer.index:<2} {layer.name:<{width}}  "
+             f"{', '.join(layer.packages)}{budget}{uses}")
+        if layer.index:
+            echo(f"      {'|':>{width + 2}}")
+    if policy.hot:
+        echo("")
+        echo(f"  arena-hot: {', '.join(policy.hot)}")
+        echo(f"  arena:     {', '.join(policy.arena)}")
+    if policy.waivers:
+        echo("")
+        echo(f"  {len(policy.waivers)} reviewed waiver(s):")
+        for w in policy.waivers:
+            echo(f"    {w.rule} {w.source} -> {w.target}: {w.reason}")
+    return LINT_EXIT_CLEAN
+
+
+def arch_check(paths: Sequence[str] = DEFAULT_PATHS,
+               echo: Echo = print) -> int:
+    """Run the architecture rules only; lint exit-code contract."""
+    if not Path(DEFAULT_POLICY).is_file():
+        echo(f"arch: no {DEFAULT_POLICY} in the working directory")
+        return LINT_EXIT_INTERNAL
+    return run_lint(list(paths), select=list(ARCH_RULES), echo=echo)
+
+
+def graph_as_json(graph: CallGraph, granularity: str = "module") -> dict:
+    if granularity == "function":
+        return {
+            "granularity": "function",
+            "functions": {
+                q: {
+                    "module": node.module,
+                    "calls": sorted(node.calls),
+                    "external": sorted({c.target for c in node.external}),
+                    "unresolved": sorted(
+                        {c.target for c in node.unresolved}),
+                }
+                for q, node in sorted(graph.functions.items())
+            },
+        }
+    imports: dict[str, set[str]] = {}
+    for edge in graph.import_edges:
+        target = edge.target
+        while target and target not in graph.modules:
+            target = target.rpartition(".")[0]
+        if target and target != edge.from_module:
+            imports.setdefault(edge.from_module, set()).add(target)
+    for a, b in graph.module_call_edges():
+        imports.setdefault(a, set()).add(b)
+    return {
+        "granularity": "module",
+        "modules": sorted(graph.modules),
+        "edges": [
+            [a, b]
+            for a in sorted(imports) for b in sorted(imports[a])
+        ],
+    }
+
+
+def graph_as_dot(graph: CallGraph, policy: ArchPolicy) -> str:
+    """Module-granularity Graphviz DOT, clustered by layer."""
+    payload = graph_as_json(graph, "module")
+    by_layer: dict[str, list[str]] = {}
+    for module in payload["modules"]:
+        layer = policy.layer_of(module)
+        by_layer.setdefault(layer.name if layer else "?", []).append(module)
+    out = ["digraph repro_arch {", "  rankdir=BT;",
+           '  node [shape=box, fontsize=10];']
+    for layer_name, modules in sorted(by_layer.items()):
+        out.append(f'  subgraph "cluster_{layer_name}" {{')
+        out.append(f'    label="{layer_name}";')
+        for module in modules:
+            out.append(f'    "{module}";')
+        out.append("  }")
+    for a, b in payload["edges"]:
+        out.append(f'  "{a}" -> "{b}";')
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def arch_graph(paths: Sequence[str] = DEFAULT_PATHS,
+               output_format: str = "json",
+               granularity: str = "module",
+               policy_path: str = DEFAULT_POLICY,
+               echo: Echo = print) -> int:
+    try:
+        policy = load_policy(policy_path)
+        graph, _ = _build(paths, policy)
+        if output_format == "dot":
+            echo(graph_as_dot(graph, policy).rstrip("\n"))
+        else:
+            echo(json.dumps(graph_as_json(graph, granularity), indent=2,
+                            sort_keys=True))
+    except ReproError as exc:
+        echo(f"arch: {exc}")
+        return LINT_EXIT_INTERNAL
+    return LINT_EXIT_CLEAN
+
+
+def arch_effects(paths: Sequence[str] = DEFAULT_PATHS,
+                 prefix: str = "",
+                 policy_path: str = DEFAULT_POLICY,
+                 echo: Echo = print) -> int:
+    """Print the inferred effect sets (optionally filtered by prefix)."""
+    try:
+        policy = load_policy(policy_path)
+        _, analysis = _build(paths, policy)
+    except ReproError as exc:
+        echo(f"arch: {exc}")
+        return LINT_EXIT_INTERNAL
+    shown = 0
+    for qname, effects in analysis.effect_sets().items():
+        if prefix and not qname.startswith(prefix):
+            continue
+        echo(f"{qname}: {', '.join(effects)}")
+        shown += 1
+    echo(f"({shown} function(s) with effects)")
+    return LINT_EXIT_CLEAN
+
+
+def arch_snapshot(paths: Sequence[str] = DEFAULT_PATHS,
+                  output: str = DEFAULT_SNAPSHOT,
+                  policy_path: str = DEFAULT_POLICY,
+                  echo: Echo = print) -> int:
+    try:
+        policy = load_policy(policy_path)
+        _, analysis = _build(paths, policy)
+        write_snapshot(analysis, output)
+    except ReproError as exc:
+        echo(f"arch: {exc}")
+        return LINT_EXIT_INTERNAL
+    count = len(snapshot_payload(analysis)["functions"])
+    echo(f"wrote effect snapshot for {count} function(s) to {output}")
+    return LINT_EXIT_CLEAN
+
+
+def arch_diff(paths: Sequence[str] = DEFAULT_PATHS,
+              against: str = DEFAULT_SNAPSHOT,
+              policy_path: str = DEFAULT_POLICY,
+              echo: Echo = print) -> int:
+    """Diff current effects vs the committed snapshot.
+
+    Exit 1 when any function *gained* an effect (review required; rerun
+    ``repro arch snapshot`` after accepting).  Removed effects are
+    reported but do not fail.
+    """
+    try:
+        policy = load_policy(policy_path)
+        _, analysis = _build(paths, policy)
+        old = load_snapshot(against)
+    except ReproError as exc:
+        echo(f"arch: {exc}")
+        return LINT_EXIT_INTERNAL
+    added, removed = diff_snapshots(old, snapshot_payload(analysis))
+    for line in removed:
+        echo(f"note: {line}")
+    for line in added:
+        echo(f"NEW EFFECT: {line}")
+    if added:
+        echo(f"{len(added)} new effect(s) vs {against}; review the "
+             f"chain(s) with `repro arch effects` and refresh the "
+             f"snapshot with `repro arch snapshot` once accepted")
+        return LINT_EXIT_FINDINGS
+    echo(f"effects unchanged vs {against}"
+         + (f" ({len(removed)} removal(s))" if removed else ""))
+    return LINT_EXIT_CLEAN

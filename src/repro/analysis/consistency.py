@@ -17,6 +17,17 @@ to their literal values, collects every ``.name`` attribute read in the
 ``kfusion`` package, and cross-checks the lot.  Nothing is imported or
 executed, so the checker works on scratch copies and doctored fixtures
 alike.
+
+The rule has a second arm for the kernel-backend seam
+(``perf/registry.py``): every slot of each registered
+:class:`~repro.perf.registry.KernelBackend` is resolved through the
+static call graph (trivial ``return f(...)`` adapters are unwrapped to
+the kernel they forward to), and the ``@contract`` declarations of the
+fast and reference kernels for the same slot are compared — shape
+tokens must be identical and the dtype *kind* must match, while the
+f32/f64 width may differ (that width difference IS the backend
+distinction).  A kernel that declares a contract on one side only is
+flagged too: an undeclared twin silently escapes the runtime checks.
 """
 
 from __future__ import annotations
@@ -25,11 +36,21 @@ import ast
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from .callgraph import CallGraph, build_callgraph, module_name_for
+from .contracts import ContractError, parse_contract
 from .findings import Finding
 from .framework import ModuleContext, ProjectChecker, register_checker
 
 PARAMS_SUFFIX = ("kfusion", "params.py")
 SPACE_SUFFIX = ("hypermapper", "space.py")
+REGISTRY_SUFFIX = ("perf", "registry.py")
+
+#: KernelBackend slots whose two implementations must agree.
+BACKEND_SLOTS = (
+    "bilateral_filter", "build_pyramid", "vertex_normal_pyramid",
+    "track", "integrate", "raycast_model",
+)
+REFERENCE_BACKEND_NAME = "reference"
 
 _MISSING = object()
 
@@ -242,13 +263,181 @@ def compare_space_and_consumer(
     return problems
 
 
+# -- backend arm: fast vs reference kernel @contract declarations ----------
+
+def _dotted(node: ast.AST) -> str | None:
+    """Best-effort dotted text of a ``Name``/``Attribute`` chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def extract_contract_decls(func: ast.AST) -> dict[str, str] | None:
+    """``{param: spec}`` from a ``@contract(...)`` decorator, else None."""
+    for dec in getattr(func, "decorator_list", []):
+        if not isinstance(dec, ast.Call):
+            continue
+        name = (dec.func.id if isinstance(dec.func, ast.Name)
+                else dec.func.attr if isinstance(dec.func, ast.Attribute)
+                else None)
+        if name != "contract":
+            continue
+        out = {}
+        for kw in dec.keywords:
+            if (kw.arg and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)):
+                out[kw.arg] = kw.value.value
+        return out
+    return None
+
+
+def extract_kernel_backends(
+        tree: ast.Module) -> dict[str, tuple[int, dict[str, tuple]]]:
+    """``{backend_name: (lineno, {slot: (dotted_target, lineno)})}``.
+
+    Statically reads every ``KernelBackend(name=..., slot=callable, ...)``
+    literal; slot values that are not plain name/attribute references
+    resolve to ``(None, lineno)`` (honest failure, skipped downstream).
+    """
+    out: dict[str, tuple[int, dict[str, tuple]]] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "KernelBackend"):
+            continue
+        name = None
+        slots: dict[str, tuple] = {}
+        for kw in node.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                name = kw.value.value
+            elif kw.arg in BACKEND_SLOTS:
+                slots[kw.arg] = (_dotted(kw.value), kw.value.lineno)
+        if isinstance(name, str):
+            out[name] = (node.lineno, slots)
+    return out
+
+
+def resolve_backend_kernel(graph: CallGraph, qname: str,
+                           _depth: int = 0) -> str:
+    """Follow trivial ``return f(...)`` adapters to the kernel they wrap.
+
+    An adapter that declares its own ``@contract`` — or does anything
+    beyond forwarding a single call — is its own kernel and is compared
+    as-is.
+    """
+    node = graph.functions.get(qname)
+    if node is None or _depth > 4:
+        return qname
+    func = node.ast_node
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return qname
+    if extract_contract_decls(func) is not None:
+        return qname
+    body = [stmt for stmt in func.body
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant))]
+    if (len(body) == 1 and isinstance(body[0], ast.Return)
+            and isinstance(body[0].value, ast.Call)
+            and len(node.calls) == 1 and not node.unresolved):
+        return resolve_backend_kernel(graph, next(iter(node.calls)),
+                                      _depth + 1)
+    return qname
+
+
+def compare_backend_contracts(
+    reference: dict[str, tuple],
+    other: dict[str, tuple],
+    other_name: str,
+) -> list[tuple[int, str]]:
+    """Cross-check two backends' resolved kernel contracts, slot by slot.
+
+    Both maps are ``{slot: (kernel_qname, {param: spec} | None, lineno)}``
+    with ``kernel_qname`` already adapter-unwrapped.  Returns
+    ``(lineno, message)`` problems; pure function so the rule logic is
+    unit-testable on synthetic declarations.  Shape tokens must match
+    exactly and dtype *kinds* must match; the declared float width may
+    differ (f32 vs f64 is the backend distinction RPR004 exists to keep
+    honest, not a drift).
+    """
+    problems: list[tuple[int, str]] = []
+    for slot in BACKEND_SLOTS:
+        ref = reference.get(slot)
+        oth = other.get(slot)
+        if ref is None or oth is None:
+            continue
+        ref_qname, ref_c, _ = ref
+        oth_qname, oth_c, lineno = oth
+        if ref_qname is None or oth_qname is None:
+            continue  # unresolvable slot (dynamic value): nothing to check
+        if ref_c is None and oth_c is None:
+            continue  # symmetric absence: neither side promises anything
+        if ref_c is None or oth_c is None:
+            declared = (REFERENCE_BACKEND_NAME if ref_c is not None
+                        else other_name)
+            bare, bare_qname = (
+                (other_name, oth_qname) if ref_c is not None
+                else (REFERENCE_BACKEND_NAME, ref_qname))
+            problems.append((lineno, (
+                f"backend slot {slot!r}: the {declared!r} kernel declares "
+                f"@contract but the {bare!r} kernel ({bare_qname}) does "
+                f"not — both backends must declare identical shapes"
+            )))
+            continue
+        if set(ref_c) != set(oth_c):
+            only_ref = sorted(set(ref_c) - set(oth_c))
+            only_oth = sorted(set(oth_c) - set(ref_c))
+            detail = "; ".join(
+                f"only {who}: {', '.join(params)}"
+                for who, params in ((REFERENCE_BACKEND_NAME, only_ref),
+                                    (other_name, only_oth))
+                if params
+            )
+            problems.append((lineno, (
+                f"backend slot {slot!r}: @contract covers different "
+                f"parameters on the two backends ({detail})"
+            )))
+            continue
+        for param in sorted(ref_c):
+            try:
+                ref_spec = parse_contract(ref_c[param])
+                oth_spec = parse_contract(oth_c[param])
+            except ContractError as exc:
+                problems.append((lineno, (
+                    f"backend slot {slot!r}, parameter {param!r}: "
+                    f"unparsable contract ({exc})"
+                )))
+                continue
+            if (ref_spec.dims != oth_spec.dims
+                    or ref_spec.ellipsis_leading
+                    != oth_spec.ellipsis_leading):
+                problems.append((lineno, (
+                    f"backend slot {slot!r}, parameter {param!r}: "
+                    f"{other_name} declares shape {oth_c[param]!r} but "
+                    f"reference declares {ref_c[param]!r}"
+                )))
+            elif ref_spec.kind != oth_spec.kind:
+                problems.append((lineno, (
+                    f"backend slot {slot!r}, parameter {param!r}: dtype "
+                    f"kind differs ({other_name} {oth_c[param]!r} vs "
+                    f"reference {ref_c[param]!r}; width may differ, "
+                    f"kind may not)"
+                )))
+    return problems
+
+
 @register_checker
 class DesignSpaceConsistencyChecker(ProjectChecker):
     """RPR004 over the real tree: params.py vs space.py vs the pipeline."""
 
     rule_id = "RPR004"
     title = ("config-space consistency: kfusion_design_space == KFusionParams "
-             "== DEFAULTS, defaults in bounds, every knob consumed")
+             "== DEFAULTS, defaults in bounds, every knob consumed; kernel "
+             "backends declare matching @contract shapes")
 
     def _params_ctx(self, contexts) -> ModuleContext | None:
         for ctx in contexts:
@@ -262,14 +451,26 @@ class DesignSpaceConsistencyChecker(ProjectChecker):
                 return ctx
         return None
 
+    def _registry_ctx(self, contexts) -> ModuleContext | None:
+        for ctx in contexts:
+            if _ends_with(ctx.path_parts, REGISTRY_SUFFIX):
+                return ctx
+        return None
+
     def applies(self, contexts) -> bool:
-        return (self._params_ctx(contexts) is not None
-                and self._space_ctx(contexts) is not None)
+        return ((self._params_ctx(contexts) is not None
+                 and self._space_ctx(contexts) is not None)
+                or self._registry_ctx(contexts) is not None)
 
     def check_project(self, contexts) -> Iterator[Finding]:
+        yield from self._check_design_space(contexts)
+        yield from self._check_backend_contracts(contexts)
+
+    def _check_design_space(self, contexts) -> Iterator[Finding]:
         params_ctx = self._params_ctx(contexts)
         space_ctx = self._space_ctx(contexts)
-        assert params_ctx is not None and space_ctx is not None
+        if params_ctx is None or space_ctx is None:
+            return
 
         defaults = extract_defaults(params_ctx.tree)
         specs = extract_specs(params_ctx.tree, defaults)
@@ -305,6 +506,45 @@ class DesignSpaceConsistencyChecker(ProjectChecker):
                 path=params_ctx.path, line=lineno, col=1,
                 rule_id=self.rule_id, message=message,
             )
+
+    def _check_backend_contracts(self, contexts) -> Iterator[Finding]:
+        registry_ctx = self._registry_ctx(contexts)
+        if registry_ctx is None:
+            return
+        backends = extract_kernel_backends(registry_ctx.tree)
+        reference = backends.pop(REFERENCE_BACKEND_NAME, None)
+        if reference is None or not backends:
+            return  # nothing to cross-check against
+        graph = build_callgraph(contexts)
+        registry_module = module_name_for(registry_ctx.path,
+                                          graph.root_package)
+        if registry_module is None:
+            return
+
+        def resolve_slots(slots: dict[str, tuple]) -> dict[str, tuple]:
+            resolved = {}
+            for slot, (dotted, lineno) in slots.items():
+                qname = decls = None
+                if dotted is not None:
+                    qname = graph.resolve_function(
+                        f"{registry_module}.{dotted}")
+                if qname is not None:
+                    qname = resolve_backend_kernel(graph, qname)
+                    node = graph.functions[qname].ast_node
+                    if node is not None:
+                        decls = extract_contract_decls(node)
+                resolved[slot] = (qname, decls, lineno)
+            return resolved
+
+        reference_resolved = resolve_slots(reference[1])
+        for name in sorted(backends):
+            for lineno, message in compare_backend_contracts(
+                    reference_resolved, resolve_slots(backends[name][1]),
+                    name):
+                yield Finding(
+                    path=registry_ctx.path, line=lineno, col=1,
+                    rule_id=self.rule_id, message=message,
+                )
 
     @staticmethod
     def _space_delegates(space_ctx: ModuleContext) -> bool:

@@ -1,0 +1,431 @@
+"""Whole-program effect inference over the call graph.
+
+Every function in the :class:`~repro.analysis.callgraph.CallGraph` gets
+an **effect set** drawn from a small fixed vocabulary:
+
+``time``
+    reads a wall/process clock (the RPR001 ``BANNED_CLOCKS`` patterns).
+``rng``
+    draws from a global random stream (RPR002 patterns plus the stdlib
+    ``random`` module).
+``io``
+    touches files or streams (``open``/``print``/``input``, numpy and
+    json (de)serialisation, ``os``/``shutil``/``pathlib`` file ops).
+``process``
+    spawns or manages processes (RPR006 modules, ``subprocess``,
+    ``os.system``/``os.fork``/...).
+``global-write``
+    rebinding or mutating module-level state (``global`` declarations,
+    stores into module-level names, mutating calls on them).
+``alloc``
+    fresh-array numpy constructors (``np.zeros``/``empty``/...) — the
+    thing the :mod:`repro.perf` workspace arena exists to hoist out of
+    per-frame hot paths.
+``raises(T)``
+    may raise exception type ``T`` (resolvable ``raise`` statements).
+
+Effects are **seeded** from intrinsic AST patterns (the same pattern
+tables the per-file rules RPR001/2/6 use, so the two views cannot
+drift), then **propagated** caller <- callee to a deterministic
+fixpoint.  Three owner packages *absorb* the effect they exist to
+encapsulate — ``repro.telemetry`` absorbs ``time``, ``repro.jobs``
+absorbs ``process``, the workspace arena absorbs ``alloc`` — so a
+kernel that times itself *through telemetry* is clean while one calling
+``time.time()`` directly is not.
+
+For every propagated effect the engine keeps one ``via`` pointer per
+(function, effect), forming acyclic chains back to a concrete seed
+site; :func:`effect_chain` reconstructs the ``a -> b -> c`` path that
+RPR009/RPR010 findings print.
+
+A seed line may carry ``# effect-ok: <reason>`` to waive the intrinsic
+effect at source with a documented justification (mirroring the
+``# f64-ok:`` convention of RPR007).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError
+from .callgraph import CallGraph, FunctionNode, iter_own_nodes
+from .checkers import BANNED_CLOCKS, BANNED_NP_RANDOM, BANNED_PROCESS_MODULES
+
+#: Inline waiver marker: suppresses the intrinsic seed on its line.
+EFFECT_WAIVER = "# effect-ok:"
+
+#: Effect vocabulary (``raises(T)`` is open-ended over T).
+EFFECTS = ("time", "rng", "io", "process", "global-write", "alloc")
+
+#: numpy constructors that materialise fresh arrays.
+ALLOC_NP_CALLS = frozenset({
+    "zeros", "ones", "empty", "full",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "meshgrid", "tile", "repeat", "concatenate", "stack",
+    "vstack", "hstack", "dstack", "column_stack",
+})
+
+#: stdlib global-stream RNG calls (module ``random``).
+RNG_STDLIB_CALLS = frozenset({
+    "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+    "choice", "choices", "sample", "shuffle", "seed", "betavariate",
+    "expovariate", "triangular",
+})
+
+#: io: exact dotted call targets.
+IO_CALLS = frozenset({
+    "open", "print", "input",
+    "numpy.save", "numpy.savez", "numpy.savez_compressed", "numpy.load",
+    "numpy.savetxt", "numpy.loadtxt", "numpy.fromfile", "numpy.genfromtxt",
+    "json.dump", "json.load",
+    "os.remove", "os.unlink", "os.rename", "os.replace", "os.makedirs",
+    "os.mkdir", "os.rmdir", "os.listdir", "os.scandir", "os.stat",
+    "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+    "shutil.rmtree", "shutil.move",
+    "tempfile.mkdtemp", "tempfile.mkstemp",
+    "sys.stdout.write", "sys.stderr.write",
+})
+
+#: io: method names on arbitrary objects (Path / file-handle heuristic).
+IO_METHOD_NAMES = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "mkdir", "rmdir", "unlink", "touch", "glob", "rglob", "iterdir",
+    "readline", "readlines", "writelines", "flush", "to_csv", "tofile",
+})
+
+#: process: exact dotted call targets outside the RPR006 module ban.
+PROCESS_CALLS = frozenset({
+    "subprocess.run", "subprocess.Popen", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+    "os.system", "os.popen", "os.fork", "os.spawnv", "os.spawnl",
+    "os.execv", "os.execve", "os.kill", "os.waitpid",
+})
+
+#: method names that mutate their receiver in place.
+MUTATING_METHOD_NAMES = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "sort", "popitem", "fill", "sorted",
+})
+
+#: Effect -> packages allowed to *absorb* it (propagation stops there).
+DEFAULT_ABSORB: dict[str, tuple[str, ...]] = {
+    "time": ("repro.telemetry",),
+    "process": ("repro.jobs",),
+    "alloc": ("repro.perf.workspace",),
+}
+
+#: Committed effect-snapshot file (``repro arch snapshot`` / ``diff``).
+DEFAULT_SNAPSHOT = "ARCH_EFFECTS.json"
+SNAPSHOT_VERSION = 1
+
+_RAISES_RE = re.compile(r"^raises\((?P<t>[A-Za-z_][A-Za-z0-9_.]*)\)$")
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One intrinsic effect occurrence: the concrete AST pattern site."""
+
+    effect: str
+    call: str  #: textual pattern that matched (e.g. ``time.perf_counter``)
+    path: str
+    lineno: int
+
+
+@dataclass
+class EffectInfo:
+    """Inferred effects for one function."""
+
+    qname: str
+    effects: set[str] = field(default_factory=set)
+    #: effect -> intrinsic seeds in this very function
+    seeds: dict[str, list[Seed]] = field(default_factory=dict)
+    #: effect -> direct callee the effect arrived through (propagated)
+    via: dict[str, str] = field(default_factory=dict)
+
+
+class EffectAnalysis:
+    """Seeded + propagated effect sets for a whole call graph."""
+
+    def __init__(self, graph: CallGraph,
+                 absorb: dict[str, tuple[str, ...]] | None = None):
+        self.graph = graph
+        self.absorb = dict(DEFAULT_ABSORB if absorb is None else absorb)
+        self.info: dict[str, EffectInfo] = {
+            q: EffectInfo(q) for q in graph.functions
+        }
+        self._seed_all()
+        self._propagate()
+
+    # -- seeding -------------------------------------------------------------
+    def _seed_all(self) -> None:
+        for qname, node in self.graph.functions.items():
+            lines = self.graph.sources.get(node.path, [])
+            self._seed_function(qname, node, lines)
+
+    def _waived(self, lines: list[str], lineno: int) -> bool:
+        """Waived if the seed line (or a comment line right above it)
+        carries ``# effect-ok: <reason>``."""
+        if not 1 <= lineno <= len(lines):
+            return False
+        if EFFECT_WAIVER in lines[lineno - 1]:
+            return True
+        prev = lines[lineno - 2].strip() if lineno >= 2 else ""
+        return prev.startswith("#") and EFFECT_WAIVER in prev
+
+    def _seed_function(self, qname: str, node: FunctionNode,
+                       lines: list[str]) -> None:
+        info = self.info[qname]
+
+        def seed(effect: str, call: str, lineno: int) -> None:
+            if self._waived(lines, lineno):
+                return
+            info.effects.add(effect)
+            info.seeds.setdefault(effect, []).append(
+                Seed(effect, call, node.path, lineno))
+
+        # pattern-matched effects on external (stdlib/third-party) calls
+        for site in node.external:
+            target = site.target
+            head, _, attr = target.rpartition(".")
+            if target in BANNED_CLOCKS:
+                seed("time", target, site.lineno)
+            elif head == "numpy.random" and attr in BANNED_NP_RANDOM:
+                seed("rng", target, site.lineno)
+            elif head == "random" and attr in RNG_STDLIB_CALLS:
+                seed("rng", target, site.lineno)
+            elif target in IO_CALLS:
+                seed("io", target, site.lineno)
+            elif target in PROCESS_CALLS or any(
+                    target == m or target.startswith(m + ".")
+                    for m in BANNED_PROCESS_MODULES):
+                seed("process", target, site.lineno)
+            elif head in ("numpy", "np") and attr in ALLOC_NP_CALLS:
+                seed("alloc", target, site.lineno)
+            elif attr in IO_METHOD_NAMES:
+                seed("io", target, site.lineno)
+
+        # io/mutation heuristics also apply to *unresolved* method calls
+        # (receiver is a parameter or dynamic) — better a coarse seed
+        # than a silent miss.
+        for site in node.unresolved:
+            attr = site.target.rpartition(".")[2]
+            if attr in IO_METHOD_NAMES:
+                seed("io", site.target, site.lineno)
+
+        # syntactic effects need the AST of this function
+        func_ast = node.ast_node
+        if func_ast is None:
+            return
+        module_names = self._module_level_names(node.module)
+        for stmt in iter_own_nodes(func_ast):
+            if isinstance(stmt, ast.Global):
+                seed("global-write", f"global {', '.join(stmt.names)}",
+                     stmt.lineno)
+            elif isinstance(stmt, ast.Raise):
+                t = _raised_type(stmt)
+                if t is not None:
+                    seed(f"raises({t})", t, stmt.lineno)
+            elif isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                for tgt in _store_roots(stmt):
+                    if tgt in module_names:
+                        seed("global-write", tgt, stmt.lineno)
+            elif isinstance(stmt, ast.Call):
+                dotted = _call_text(stmt)
+                if dotted is None:
+                    continue
+                root, _, rest = dotted.partition(".")
+                if (root in module_names and rest
+                        and rest.rpartition(".")[2]
+                        in MUTATING_METHOD_NAMES):
+                    seed("global-write", dotted, stmt.lineno)
+
+    def _module_level_names(self, module: str) -> frozenset[str]:
+        cache = getattr(self, "_modnames_cache", None)
+        if cache is None:
+            cache = self._modnames_cache = {}
+        names = cache.get(module)
+        if names is None:
+            found: set[str] = set()
+            body_node = self.graph.functions.get(f"{module}.<module>")
+            tree = body_node.ast_node if body_node is not None else None
+            if tree is not None:
+                for stmt in getattr(tree, "body", ()):
+                    if isinstance(stmt, (ast.Assign, ast.AugAssign,
+                                         ast.AnnAssign)):
+                        # module-level stores: collect the root names
+                        # (``x = ...`` counts here, unlike in functions)
+                        for tgt in _assign_targets(stmt):
+                            node = tgt
+                            while isinstance(node, (ast.Subscript,
+                                                    ast.Attribute)):
+                                node = node.value
+                            if isinstance(node, ast.Name):
+                                found.add(node.id)
+            names = cache[module] = frozenset(found)
+        return names
+
+    # -- propagation ---------------------------------------------------------
+    def _absorbs(self, module: str, effect: str) -> bool:
+        owners = self.absorb.get(effect, ())
+        return any(module == o or module.startswith(o + ".")
+                   for o in owners)
+
+    def _propagate(self) -> None:
+        callers = self.graph.callers_of()
+        # round-based worklist in deterministic (sorted) order
+        pending = sorted(self.info)
+        while pending:
+            next_set: set[str] = set()
+            for qname in pending:
+                effects = self.info[qname].effects
+                if not effects:
+                    continue
+                module = self.graph.functions[qname].module
+                for caller in sorted(callers.get(qname, ())):
+                    cinfo = self.info[caller]
+                    for effect in sorted(effects):
+                        base = effect.split("(")[0] \
+                            if effect.startswith("raises(") else effect
+                        if base != "raises" and self._absorbs(module, base):
+                            continue  # the owner package keeps its effect
+                        if effect in cinfo.effects:
+                            continue
+                        cinfo.effects.add(effect)
+                        cinfo.via[effect] = qname
+                        next_set.add(caller)
+            pending = sorted(next_set)
+
+    # -- queries -------------------------------------------------------------
+    def effect_chain(self, qname: str, effect: str) -> list[str]:
+        """Call chain ``[qname, ..., seeder]`` for a (propagated) effect."""
+        chain = [qname]
+        seen = {qname}
+        while True:
+            info = self.info.get(chain[-1])
+            if info is None or effect in info.seeds:
+                return chain
+            nxt = info.via.get(effect)
+            if nxt is None or nxt in seen:
+                return chain
+            seen.add(nxt)
+            chain.append(nxt)
+
+    def seed_of(self, qname: str, effect: str) -> Seed | None:
+        """The concrete seed a (propagated) effect traces back to."""
+        tail = self.effect_chain(qname, effect)[-1]
+        seeds = self.info[tail].seeds.get(effect)
+        return seeds[0] if seeds else None
+
+    def effect_sets(self) -> dict[str, list[str]]:
+        """``qname -> sorted effects`` for every function with any."""
+        return {
+            q: sorted(info.effects)
+            for q, info in sorted(self.info.items())
+            if info.effects
+        }
+
+
+def _raised_type(stmt: ast.Raise) -> str | None:
+    exc = stmt.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    parts = []
+    while isinstance(exc, ast.Attribute):
+        parts.append(exc.attr)
+        exc = exc.value
+    if isinstance(exc, ast.Name):
+        parts.append(exc.id)
+        return ".".join(reversed(parts)).rpartition(".")[2]
+    return None
+
+
+def _assign_targets(stmt: ast.AST) -> list[ast.AST]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+def _store_roots(stmt: ast.AST) -> list[str]:
+    """Root names *mutated* by an assignment inside a function body.
+
+    A bare ``x = ...`` in a function is a local rebind, not a module
+    write; only subscript/attribute stores (and augmented assignment)
+    reach through the name to shared state.
+    """
+    roots = []
+    for tgt in _assign_targets(stmt):
+        node = tgt
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            if node is not tgt or isinstance(stmt, ast.AugAssign):
+                roots.append(node.id)
+    return roots
+
+
+def _call_text(call: ast.Call) -> str | None:
+    node = call.func
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# -- snapshot ---------------------------------------------------------------
+def snapshot_payload(analysis: EffectAnalysis) -> dict:
+    """JSON-stable snapshot of every function's effect set."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "root": analysis.graph.root_package,
+        "functions": analysis.effect_sets(),
+    }
+
+
+def write_snapshot(analysis: EffectAnalysis, path: str) -> None:
+    Path(path).write_text(
+        json.dumps(snapshot_payload(analysis), indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")
+
+
+def load_snapshot(path: str) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"cannot read effect snapshot {path}: {exc}") \
+            from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed effect snapshot {path}: {exc}") from exc
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise ReproError(
+            f"effect snapshot {path} has version "
+            f"{payload.get('version')!r}; expected {SNAPSHOT_VERSION}")
+    return payload
+
+
+def diff_snapshots(old: dict, new: dict) -> tuple[list[str], list[str]]:
+    """``(new_effects, removed_effects)`` as human-readable lines.
+
+    *New* effects (a function gained an effect, or a new function has
+    effects) are review-blocking; removals are informational.
+    """
+    old_fns = old.get("functions", {})
+    new_fns = new.get("functions", {})
+    added, removed = [], []
+    for qname in sorted(set(old_fns) | set(new_fns)):
+        before = set(old_fns.get(qname, ()))
+        after = set(new_fns.get(qname, ()))
+        for eff in sorted(after - before):
+            added.append(f"{qname}: +{eff}")
+        for eff in sorted(before - after):
+            removed.append(f"{qname}: -{eff}")
+    return added, removed

@@ -2,14 +2,22 @@
 
 Runs every registered checker over the given paths, subtracts the
 baseline when one exists, renders the report, and returns the process
-exit code: 0 when no unsuppressed findings remain, 1 otherwise.
+exit code.  The contract is explicit so CI can tell findings apart from
+analyzer crashes:
+
+* :data:`LINT_EXIT_CLEAN` (0) — no unsuppressed findings;
+* :data:`LINT_EXIT_FINDINGS` (1) — findings were reported;
+* :data:`LINT_EXIT_INTERNAL` (2) — the analyzer itself failed (bad
+  path, malformed policy/baseline, or an unexpected exception).
 """
 
 from __future__ import annotations
 
+import traceback
 from pathlib import Path
 from typing import Callable, Sequence
 
+from ..errors import ReproError
 from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
@@ -19,6 +27,11 @@ from .baseline import (
 from .findings import Finding
 from .framework import analyze_paths
 from .reporters import format_json, format_text
+
+#: ``repro lint`` exit codes (see module docstring).
+LINT_EXIT_CLEAN = 0
+LINT_EXIT_FINDINGS = 1
+LINT_EXIT_INTERNAL = 2
 
 
 def run_lint(
@@ -43,19 +56,28 @@ def run_lint(
             ``baseline_path`` and exit 0 instead of reporting.
         echo: sink for the rendered report (tests capture it).
     """
-    findings: list[Finding] = analyze_paths(paths, select=select)
+    try:
+        findings: list[Finding] = analyze_paths(paths, select=select)
 
-    if update_baseline:
-        count = write_baseline(findings, baseline_path)
-        echo(f"wrote baseline with {count} finding(s) to {baseline_path}")
-        return 0
+        if update_baseline:
+            count = write_baseline(findings, baseline_path)
+            echo(f"wrote baseline with {count} finding(s) to "
+                 f"{baseline_path}")
+            return LINT_EXIT_CLEAN
 
-    suppressed = 0
-    if baseline_path and Path(baseline_path).is_file():
-        findings, suppressed = apply_baseline(
-            findings, load_baseline(baseline_path)
-        )
+        suppressed = 0
+        if baseline_path and Path(baseline_path).is_file():
+            findings, suppressed = apply_baseline(
+                findings, load_baseline(baseline_path)
+            )
 
-    render = format_json if output_format == "json" else format_text
-    echo(render(findings, suppressed))
-    return 1 if findings else 0
+        render = format_json if output_format == "json" else format_text
+        echo(render(findings, suppressed))
+        return LINT_EXIT_FINDINGS if findings else LINT_EXIT_CLEAN
+    except ReproError as exc:
+        echo(f"lint: internal error: {exc}")
+        return LINT_EXIT_INTERNAL
+    except Exception:
+        # an analyzer bug must never masquerade as a findings exit
+        echo("lint: internal error:\n" + traceback.format_exc())
+        return LINT_EXIT_INTERNAL

@@ -8,7 +8,12 @@ Subcommands:
 * ``devices``  — list the mobile device database.
 * ``backends`` — the cross-implementation comparison (E5).
 * ``trace``    — inspect telemetry traces (``trace summarize FILE``).
-* ``lint``     — repo-specific static analysis (``repro.analysis``).
+* ``lint``     — repo-specific static analysis (``repro.analysis``);
+  exits 0 when clean, 1 on findings, 2 on an internal analyzer error.
+* ``arch``     — architecture policy tooling (``ARCHITECTURE.toml``):
+  ``show`` the layer diagram, ``check`` rules RPR008-010, ``graph``
+  the call graph as JSON/DOT, ``effects``/``snapshot``/``diff`` the
+  whole-program effect inference.
 
 ``run`` and ``dse`` accept ``--trace PATH`` to capture a per-kernel
 telemetry trace of the run: ``.jsonl`` writes the raw event log,
@@ -222,6 +227,31 @@ def _cmd_lint(args) -> int:
     )
 
 
+def _cmd_arch(args) -> int:
+    from .analysis import arch
+
+    paths = args.paths or list(arch.DEFAULT_PATHS)
+    command = args.arch_command or "show"
+    if command == "show":
+        return arch.arch_show(policy_path=args.policy)
+    if command == "check":
+        return arch.arch_check(paths)
+    if command == "graph":
+        return arch.arch_graph(paths, output_format=args.format,
+                               granularity=args.granularity,
+                               policy_path=args.policy)
+    if command == "effects":
+        return arch.arch_effects(paths, prefix=args.prefix,
+                                 policy_path=args.policy)
+    if command == "snapshot":
+        return arch.arch_snapshot(paths, output=args.output,
+                                  policy_path=args.policy)
+    if command == "diff":
+        return arch.arch_diff(paths, against=args.against,
+                              policy_path=args.policy)
+    raise AssertionError(f"unhandled arch command {command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     register_defaults()
     parser = argparse.ArgumentParser(
@@ -302,8 +332,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_be = sub.add_parser("backends", help="backend comparison (E5)")
     p_be.set_defaults(func=_cmd_backends)
 
+    p_arch = sub.add_parser(
+        "arch", help="architecture policy: layers, call graph, effects"
+    )
+    arch_sub = p_arch.add_subparsers(dest="arch_command")
+    arch_common = {"nargs": "*", "default": [],
+                   "help": "files or directories (default: src/repro)"}
+
+    p_arch_show = arch_sub.add_parser(
+        "show", help="print the layer diagram with effect budgets")
+    p_arch_check = arch_sub.add_parser(
+        "check", help="run rules RPR008-010 (exit: 0 clean, 1 findings, "
+                      "2 internal error)")
+    p_arch_check.add_argument("paths", **arch_common)
+    p_arch_graph = arch_sub.add_parser(
+        "graph", help="export the call graph")
+    p_arch_graph.add_argument("paths", **arch_common)
+    p_arch_graph.add_argument("--format", choices=("json", "dot"),
+                              default="json")
+    p_arch_graph.add_argument("--granularity",
+                              choices=("module", "function"),
+                              default="module")
+    p_arch_eff = arch_sub.add_parser(
+        "effects", help="print inferred per-function effect sets")
+    p_arch_eff.add_argument("paths", **arch_common)
+    p_arch_eff.add_argument("--prefix", default="",
+                            help="only functions whose qualified name "
+                                 "starts with this prefix")
+    p_arch_snap = arch_sub.add_parser(
+        "snapshot", help="write the committed effect snapshot")
+    p_arch_snap.add_argument("paths", **arch_common)
+    p_arch_snap.add_argument("--output", default="ARCH_EFFECTS.json")
+    p_arch_diff = arch_sub.add_parser(
+        "diff", help="diff current effects against the snapshot "
+                     "(exit 1 on new effects)")
+    p_arch_diff.add_argument("paths", **arch_common)
+    p_arch_diff.add_argument("--against", default="ARCH_EFFECTS.json")
+    for sp in (p_arch, p_arch_show, p_arch_check, p_arch_graph, p_arch_eff,
+               p_arch_snap, p_arch_diff):
+        sp.add_argument("--policy", default="ARCHITECTURE.toml",
+                        help="architecture policy file")
+        sp.set_defaults(func=_cmd_arch)
+    p_arch.set_defaults(paths=[])
+
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RPR001-RPR006)"
+        "lint", help="repo-specific static analysis (rules RPR001-RPR010)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..geometry import PinholeCamera, se3
 from ..kfusion.integration import MAX_WEIGHT
 from ..kfusion.volume import TSDFVolume
@@ -25,6 +26,7 @@ from .common import PROJECT_EDGE_EPS, PROJECT_MIN_Z
 from .workspace import FrameWorkspace
 
 
+@contract(depth="H,W:f32", pose_volume_from_camera="4,4:f64")
 def integrate(
     volume: TSDFVolume,
     depth: np.ndarray,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..errors import ConfigurationError
 from ..geometry import PinholeCamera
 from ..kfusion.memory import BILATERAL_RADIUS
@@ -43,10 +44,13 @@ def spatial_weight_table(radius: int = BILATERAL_RADIUS,
         sq = d[:, None] ** 2 + d[None, :] ** 2
         table = np.exp(-sq / np.float32(2.0 * sigma_space * sigma_space))
         table.flags.writeable = False
+        # (entries are immutable and identical for equal keys: replay-safe)
+        # effect-ok: bounded memo cache keyed by (radius, sigma)
         _SPATIAL_TABLES[key] = table
     return table
 
 
+@contract(depth="H,W:f64")
 def bilateral_filter(depth: np.ndarray, ws: FrameWorkspace,
                      radius: int = BILATERAL_RADIUS,
                      sigma_space: float = SIGMA_SPACE,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..geometry import PinholeCamera
 from ..kfusion.tracking import ReferenceModel
 from ..kfusion.volume import TSDFVolume
@@ -31,6 +32,7 @@ from .trilinear import gradient_f32, sample_f32
 from .workspace import FrameWorkspace
 
 
+@contract(pose_volume_from_camera="4,4:f64")
 def raycast_model(
     volume: TSDFVolume,
     camera: PinholeCamera,
@@ -57,12 +59,16 @@ def raycast_model(
     hit_t = ws.zeros("rc_hit_t", (n_rays,))
     hit = ws.zeros("rc_hit", (n_rays,), dtype=bool)
 
-    # Compacted working set: these arrays shrink as rays retire.
+    # Compacted working set: full-size initial state lives in the arena
+    # (the budget's "per-ray march state"); compaction then shrinks the
+    # views as rays retire, so later steps cost O(live rays).
     active_idx = np.arange(n_rays, dtype=np.int64)
     dirs = dirs_all
-    t = np.full(n_rays, near, dtype=np.float32)
-    prev_val = np.ones(n_rays, dtype=np.float32)
-    prev_valid = np.zeros(n_rays, dtype=bool)
+    t = ws.buffer("rc_t", (n_rays,))
+    t.fill(near)
+    prev_val = ws.buffer("rc_prev_val", (n_rays,))
+    prev_val.fill(1.0)
+    prev_valid = ws.zeros("rc_prev_valid", (n_rays,), dtype=bool)
 
     max_steps = int(np.ceil((far - near) / step)) + 1
     for _ in range(max_steps):

@@ -30,6 +30,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..errors import PerfError
 from ..geometry import PinholeCamera, se3
 from ..kfusion import preprocessing as _ref_pre
@@ -74,6 +75,7 @@ def register_kernel_backend(backend: KernelBackend) -> None:
     """Add a backend to the registry (unique names enforced)."""
     if backend.name in _BACKENDS:
         raise PerfError(f"kernel backend {backend.name!r} already registered")
+    # effect-ok: import-time write-once registry (duplicates rejected above)
     _BACKENDS[backend.name] = backend
 
 
@@ -115,8 +117,10 @@ def _ref_integrate_fn(volume, depth, camera, pose, mu, ws):
     return _ref_integrate(volume, depth, camera, pose, mu)
 
 
-def _ref_raycast_model(volume, camera, pose, mu, ws):
+@contract(pose_volume_from_camera="4,4:f64")
+def _ref_raycast_model(volume, camera, pose_volume_from_camera, mu, ws):
     """Raycast + camera-to-volume lift, exactly as the pipeline inlined it."""
+    pose = pose_volume_from_camera
     vertices_cam, normals_cam = _ref_raycast(volume, camera, pose, mu)
     h, w = camera.shape
     flat_v = vertices_cam.reshape(-1, 3)

@@ -1,4 +1,4 @@
-"""Tests for the static-analysis suite (repro lint, rules RPR001-RPR006)."""
+"""Tests for the static-analysis suite (repro lint, rules RPR001-RPR007)."""
 
 import json
 from pathlib import Path
@@ -39,7 +39,7 @@ class TestFramework:
         catalogue = rule_catalogue()
         assert set(catalogue) == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007",
+            "RPR007", "RPR008", "RPR009", "RPR010",
         }
         assert all(title for title in catalogue.values())
 
