@@ -6,6 +6,11 @@ against the previous frame's vertex/normal maps (no TSDF, no raycast).
 It is much faster and much less accurate (odometry drift accumulates
 without a global model) — the cross-algorithm experiment shows exactly
 that trade-off.
+
+Like :class:`~repro.kfusion.pipeline.KinectFusion`, the default
+execution path is the compiled stage graph
+(:mod:`repro.baselines.graphdef`); ``pipeline="legacy"`` keeps the
+historic inline call sequence for the differential harness.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from ..core.sensors import SensorSuite
 from ..core.workload import FrameWorkload
 from ..errors import ConfigurationError
 from ..geometry import PinholeCamera, se3
+from ..graph import StageContext, compile_graph
 from ..kfusion import kernels
 from ..kfusion.preprocessing import (
     bilateral_filter,
@@ -27,7 +33,8 @@ from ..kfusion.preprocessing import (
     downsample_depth,
     vertex_normal_pyramid,
 )
-from ..kfusion.tracking import ReferenceModel, track
+from ..kfusion.tracking import ReferenceModel, TrackResult, track
+from .graphdef import odometry_graph
 
 
 class ICPOdometry(SLAMSystem):
@@ -35,13 +42,27 @@ class ICPOdometry(SLAMSystem):
 
     name = "icp_odometry"
 
-    def __init__(self):
+    def __init__(self, pipeline: str = "graph", taps: tuple = ()):
         super().__init__()
+        if pipeline not in ("graph", "legacy"):
+            raise ConfigurationError(
+                f"unknown pipeline {pipeline!r}; choices: ('graph', 'legacy')"
+            )
+        if taps and pipeline != "graph":
+            raise ConfigurationError("stream taps require the graph pipeline")
+        self._pipeline = pipeline
+        self._taps = tuple(taps)
+        self._instance = None
         self._camera: PinholeCamera | None = None
         self._input_camera: PinholeCamera | None = None
         self._pose = np.eye(4)
         self._reference: ReferenceModel | None = None
         self._status = TrackingStatus.BOOTSTRAP
+
+    @property
+    def pipeline(self) -> str:
+        """Execution path: ``"graph"`` or ``"legacy"``."""
+        return self._pipeline
 
     def parameter_specs(self) -> list[ParameterSpec]:
         return [
@@ -82,12 +103,38 @@ class ICPOdometry(SLAMSystem):
             ) from exc
         self._pose = np.eye(4)
         self._reference = None
+        if self._pipeline == "graph":
+            spec = odometry_graph()
+            if self._taps:
+                from ..graph import TapSpec
+
+                spec = spec.with_taps([
+                    tap if isinstance(tap, TapSpec)
+                    else TapSpec(node=tap[0], port=tap[1])
+                    for tap in self._taps
+                ])
+            self._instance = compile_graph(spec)
         self.outputs.declare("pose", OutputKind.POSE)
         self.outputs.declare("tracking_status", OutputKind.TRACKING_STATUS)
 
     def do_process(self, frame: Frame, workload: FrameWorkload) -> TrackingStatus:
         assert self.configuration is not None
         assert self._camera is not None and self._input_camera is not None
+        if self._pipeline == "graph":
+            ctx = StageContext(
+                frame=frame,
+                workload=workload,
+                state=self,
+                params=self.configuration,
+            )
+            self._instance.run_frame(ctx)
+            return self._status
+        return self._process_legacy(frame, workload)
+
+    def _process_legacy(self, frame: Frame,
+                        workload: FrameWorkload) -> TrackingStatus:
+        """The historic inline call sequence, kept verbatim (see
+        ``repro graph diff``)."""
         cam = self._camera
         cfg = self.configuration
 
@@ -152,6 +199,45 @@ class ICPOdometry(SLAMSystem):
         )
         return self._status
 
+    # -- graph-stage state access (repro.baselines.graphdef) ------------------
+    @property
+    def input_camera(self) -> PinholeCamera:
+        """Sensor-resolution intrinsics."""
+        if self._input_camera is None:
+            raise ConfigurationError("odometry not initialised")
+        return self._input_camera
+
+    @property
+    def compute_camera(self) -> PinholeCamera:
+        """Intrinsics at the compute resolution."""
+        if self._camera is None:
+            raise ConfigurationError("odometry not initialised")
+        return self._camera
+
+    @property
+    def pose_estimate(self) -> np.ndarray:
+        """The live world-from-camera pose the stages read and refine."""
+        return self._pose
+
+    @property
+    def reference(self) -> ReferenceModel | None:
+        """Previous frame's maps in the world frame (or None)."""
+        return self._reference
+
+    def record_track(self, result: TrackResult) -> None:
+        """Fold one ICP result into the odometry state (pose + status)."""
+        if result.tracked:
+            self._pose = result.pose
+            self._status = TrackingStatus.OK
+        else:
+            self._status = TrackingStatus.LOST
+
+    def set_status_bootstrap(self) -> None:
+        self._status = TrackingStatus.BOOTSTRAP
+
+    def set_reference(self, reference: ReferenceModel) -> None:
+        self._reference = reference
+
     def do_update_outputs(self) -> None:
         idx = self.frames_processed - 1
         self.outputs.get("pose").set(self._pose.copy(), idx)
@@ -159,3 +245,4 @@ class ICPOdometry(SLAMSystem):
 
     def do_clean(self) -> None:
         self._reference = None
+        self._instance = None

@@ -10,6 +10,10 @@ Subcommands:
 * ``trace``    — inspect telemetry traces (``trace summarize FILE``).
 * ``lint``     — repo-specific static analysis (``repro.analysis``);
   exits 0 when clean, 1 on findings, 2 on an internal analyzer error.
+* ``graph``    — stage-graph tooling (``repro.graph``): ``check``
+  compiles every registered graph definition (same 0/1/2 exit contract
+  as ``lint``), ``show`` prints a graph's schedule and edges, ``diff``
+  runs the legacy-vs-graph differential harness on a dataset.
 * ``arch``     — architecture policy tooling (``ARCHITECTURE.toml``):
   ``show`` the layer diagram, ``check`` rules RPR008-010, ``graph``
   the call graph as JSON/DOT, ``effects``/``snapshot``/``diff`` the
@@ -82,6 +86,8 @@ def _cmd_run(args) -> int:
     factory_kwargs = {}
     if args.kernel_backend is not None:
         factory_kwargs["kernel_backend"] = args.kernel_backend
+    if args.pipeline is not None:
+        factory_kwargs["pipeline"] = args.pipeline
     system = create_algorithm(args.algorithm, **factory_kwargs)
     config = dict(args.set or [])
     tracer = Tracer(enabled=bool(args.trace))
@@ -212,6 +218,76 @@ def _cmd_backends(_args) -> int:
     return 0
 
 
+def _cmd_graph_check(args) -> int:
+    from .analysis.lint import (
+        LINT_EXIT_CLEAN,
+        LINT_EXIT_FINDINGS,
+        LINT_EXIT_INTERNAL,
+    )
+    from .analysis.policy import load_policy
+    from .errors import GraphError, PerfError
+    from .graph import compile_graph, create_graph, graph_names
+
+    register_defaults()
+    names = [args.graph] if args.graph else graph_names()
+    try:
+        policy = load_policy(args.policy)
+    except ReproError as exc:
+        print(f"internal error: {exc}", file=sys.stderr)
+        return LINT_EXIT_INTERNAL
+    findings = 0
+    try:
+        for name in names:
+            try:
+                instance = compile_graph(create_graph(name), policy=policy)
+            except (GraphError, PerfError) as exc:
+                print(f"FAIL {name}: {exc}")
+                findings += 1
+            else:
+                print(f"ok   {name}: {len(instance)} stages, schedule "
+                      f"{' -> '.join(instance.stage_names)}")
+    except ReproError as exc:
+        print(f"internal error: {exc}", file=sys.stderr)
+        return LINT_EXIT_INTERNAL
+    return LINT_EXIT_FINDINGS if findings else LINT_EXIT_CLEAN
+
+
+def _cmd_graph_show(args) -> int:
+    from .graph import compile_graph, create_graph
+
+    register_defaults()
+    instance = compile_graph(create_graph(args.graph))
+    spec = instance.spec
+    print(f"graph {spec.name}: {len(instance)} stages")
+    print(f"  schedule: {' -> '.join(instance.stage_names)}")
+    for node_name, stage_name in spec.nodes:
+        print(f"  node {node_name} [{stage_name}]")
+    for edge in spec.edges:
+        print(f"  edge {edge.label}")
+    for tap in spec.taps:
+        print(f"  tap  {tap.node}.{tap.port} (every {tap.every})")
+    return 0
+
+
+def _cmd_graph_diff(args) -> int:
+    from .graph.diffrun import diff_pipelines, make_diff_system
+
+    register_defaults()
+    sequence = create_dataset(args.dataset, n_frames=args.frames,
+                              width=args.width, height=args.height,
+                              seed=args.seed)
+    backend = args.kernel_backend or "fast"
+    report = diff_pipelines(
+        make_diff_system(args.algorithm, backend=backend),
+        sequence,
+        configuration=dict(args.set or []),
+        algorithm=args.algorithm,
+        backend=backend,
+    )
+    print(report.summary())
+    return 0 if report.equivalent else 1
+
+
 def _cmd_lint(args) -> int:
     from .analysis import run_lint
 
@@ -274,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, choices=kernel_backend_names(),
                        help="kernel implementation set for kfusion "
                             "(default: fast; see repro.perf)")
+    p_run.add_argument("--pipeline", default=None,
+                       choices=("graph", "legacy"),
+                       help="execution path: compiled stage graph "
+                            "(default) or the legacy call sequence")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--set", metavar="NAME=VALUE", action="append",
                        type=_parse_override,
@@ -374,6 +454,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="architecture policy file")
         sp.set_defaults(func=_cmd_arch)
     p_arch.set_defaults(paths=[])
+
+    p_graph = sub.add_parser(
+        "graph", help="stage-graph pipelines: check, show, diff"
+    )
+    graph_sub = p_graph.add_subparsers(dest="graph_command", required=True)
+    p_g_check = graph_sub.add_parser(
+        "check", help="compile every registered graph definition "
+                      "(exit: 0 clean, 1 findings, 2 internal error)")
+    p_g_check.add_argument("--graph", default="",
+                           help="check only this registered graph")
+    p_g_check.add_argument("--policy", default="ARCHITECTURE.toml",
+                           help="architecture policy for effect budgets")
+    p_g_check.set_defaults(func=_cmd_graph_check)
+    p_g_show = graph_sub.add_parser(
+        "show", help="print a graph's schedule, nodes, edges, taps")
+    p_g_show.add_argument("graph", help="registered graph name "
+                                        "(e.g. kfusion)")
+    p_g_show.set_defaults(func=_cmd_graph_show)
+    p_g_diff = graph_sub.add_parser(
+        "diff", help="differential run: legacy vs graph pipeline "
+                     "(exit 1 on divergence)")
+    p_g_diff.add_argument("--algorithm", default="kfusion",
+                          choices=("kfusion", "icp_odometry"))
+    p_g_diff.add_argument("--dataset", default="lr_kt0",
+                          choices=dataset_names())
+    p_g_diff.add_argument("--frames", type=int, default=10)
+    p_g_diff.add_argument("--width", type=int, default=80)
+    p_g_diff.add_argument("--height", type=int, default=60)
+    p_g_diff.add_argument("--seed", type=int, default=0)
+    p_g_diff.add_argument("--kernel-backend", dest="kernel_backend",
+                          default=None, choices=kernel_backend_names(),
+                          help="kernel backend both pipelines run")
+    p_g_diff.add_argument("--set", metavar="NAME=VALUE", action="append",
+                          type=_parse_override,
+                          help="override an algorithm parameter")
+    p_g_diff.set_defaults(func=_cmd_graph_diff)
 
     p_lint = sub.add_parser(
         "lint", help="repo-specific static analysis (rules RPR001-RPR010)"

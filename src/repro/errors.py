@@ -65,6 +65,33 @@ class PerfError(ReproError):
     """
 
 
+class GraphError(ReproError):
+    """A stage-graph definition failed to validate or compile.
+
+    Raised by :mod:`repro.graph` when a pipeline graph names an
+    unregistered stage, wires contract-mismatched ports, leaves an input
+    unfed (or feeds it twice), contains a cycle, or declares an effect
+    budget its layer forbids.  Always raised at *compile* time — a graph
+    that compiled never raises this while running.
+    """
+
+
+class StageExecutionError(GraphError):
+    """A stage raised while a compiled pipeline was running it.
+
+    Carries the failing stage's node name (and the frame index when
+    known) so mid-graph failures are attributable without digging
+    through the traceback; the original exception is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, stage: str,
+                 frame_index: int | None = None):
+        super().__init__(message)
+        self.stage = stage
+        self.frame_index = frame_index
+
+
 class JobError(ReproError):
     """The parallel evaluation engine could not run or persist a job.
 

@@ -1,0 +1,204 @@
+"""Differential harness: legacy call sequence vs compiled stage graph.
+
+The stage-graph refactor's headline deliverable is its *proof*: this
+module runs the same algorithm twice over the same sequence — once with
+``pipeline="legacy"`` (the historic inline call sequence) and once with
+``pipeline="graph"`` (the compiled :class:`~repro.graph.PipelineInstance`)
+— stepping both systems frame-by-frame in lockstep and comparing, per
+frame, the tracking status and the full 4x4 pose estimate.  At the end
+it compares the trajectory's ATE against ground truth.
+
+Both paths call the *same* kernel-backend functions; what the diff
+exercises is everything the graph machinery adds around them —
+scheduling, context passing, edge plumbing, stream taps — and proves it
+non-perturbing.  The pipelines are deterministic, so the expected
+divergence is exactly zero (``atol=0.0`` by default).
+
+Used by ``repro graph diff`` and ``tests/test_graph_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.base import Sequence
+from ..errors import ConfigurationError, DatasetError
+from ..metrics.ate import absolute_trajectory_error
+from ..scene.trajectory import Trajectory
+
+#: Algorithms the CLI harness knows how to build in both pipelines.
+DIFF_ALGORITHMS = ("kfusion", "icp_odometry")
+
+
+@dataclass(frozen=True)
+class FrameDelta:
+    """Per-frame comparison between the legacy and graph pipelines."""
+
+    index: int
+    status_legacy: str
+    status_graph: str
+    pose_abs_diff: float
+
+    def matches(self, atol: float = 0.0) -> bool:
+        return (self.status_legacy == self.status_graph
+                and self.pose_abs_diff <= atol)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one legacy-vs-graph differential run."""
+
+    algorithm: str
+    sequence: str
+    backend: str
+    atol: float
+    frames: list[FrameDelta] = field(default_factory=list)
+    ate_legacy: float | None = None
+    ate_graph: float | None = None
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            bool(self.frames)
+            and all(d.matches(self.atol) for d in self.frames)
+            and (self.ate_legacy is None
+                 or self.ate_legacy == self.ate_graph)
+        )
+
+    @property
+    def first_divergence(self) -> int | None:
+        """Index of the first diverging frame, or None when equivalent."""
+        for delta in self.frames:
+            if not delta.matches(self.atol):
+                return delta.index
+        return None
+
+    @property
+    def max_pose_diff(self) -> float:
+        return max((d.pose_abs_diff for d in self.frames), default=0.0)
+
+    def summary(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "DIVERGED"
+        lines = [
+            f"{verdict}: {self.algorithm} on {self.sequence} "
+            f"[backend={self.backend}] over {len(self.frames)} frames",
+            f"  max |pose_legacy - pose_graph| = {self.max_pose_diff:.3e}"
+            f" (atol={self.atol:.1e})",
+        ]
+        if self.ate_legacy is not None:
+            lines.append(
+                f"  ATE rmse: legacy={self.ate_legacy:.6f} "
+                f"graph={self.ate_graph:.6f}"
+            )
+        if not self.equivalent:
+            idx = self.first_divergence
+            if idx is not None:
+                delta = next(d for d in self.frames if d.index == idx)
+                lines.append(
+                    f"  first divergence at frame {idx}: "
+                    f"status {delta.status_legacy} vs {delta.status_graph}, "
+                    f"pose diff {delta.pose_abs_diff:.3e}"
+                )
+            else:
+                lines.append("  trajectories match per-frame but ATE differs")
+        return "\n".join(lines)
+
+
+def diff_pipelines(
+    make_system,
+    sequence: Sequence,
+    configuration: dict | None = None,
+    atol: float = 0.0,
+    evaluate_ate: bool = True,
+    algorithm: str = "",
+    backend: str = "",
+) -> DiffReport:
+    """Run legacy and graph pipelines in lockstep and compare.
+
+    Args:
+        make_system: callable ``(pipeline: str) -> SLAMSystem`` returning
+            a fresh system configured for the named execution path.
+        sequence: the dataset sequence both systems process.
+        configuration: parameter overrides applied to both systems.
+        atol: per-element absolute pose tolerance.  The pipelines are
+            deterministic, so the default demands bit-identity.
+        evaluate_ate: also compare end-to-end ATE (requires ground truth).
+        algorithm/backend: labels for the report.
+    """
+    if len(sequence) == 0:
+        raise DatasetError(f"sequence {sequence.name} is empty")
+
+    systems = {}
+    for pipeline in ("legacy", "graph"):
+        system = make_system(pipeline)
+        config = system.new_configuration()
+        if configuration:
+            config.update(configuration)
+        system.init(sequence.sensors)
+        systems[pipeline] = system
+
+    report = DiffReport(
+        algorithm=algorithm or systems["legacy"].name,
+        sequence=sequence.name,
+        backend=backend,
+        atol=atol,
+    )
+    poses = {"legacy": [], "graph": []}
+    stamps = []
+    try:
+        for frame in sequence:
+            stamps.append(frame.timestamp)
+            statuses = {}
+            for pipeline, system in systems.items():
+                system.update_frame(frame)
+                statuses[pipeline] = system.process_once()
+                poses[pipeline].append(np.array(system.pose_estimate))
+            diff = float(
+                np.abs(poses["legacy"][-1] - poses["graph"][-1]).max()
+            )
+            report.frames.append(FrameDelta(
+                index=frame.index,
+                status_legacy=statuses["legacy"].name,
+                status_graph=statuses["graph"].name,
+                pose_abs_diff=diff,
+            ))
+    finally:
+        for system in systems.values():
+            system.clean()
+
+    if evaluate_ate:
+        reference = sequence.ground_truth()
+        for pipeline in ("legacy", "graph"):
+            estimated = Trajectory(
+                poses=np.stack(poses[pipeline]),
+                timestamps=np.asarray(stamps),
+            )
+            ate = absolute_trajectory_error(estimated, reference)
+            if pipeline == "legacy":
+                report.ate_legacy = ate.rmse
+            else:
+                report.ate_graph = ate.rmse
+    return report
+
+
+def make_diff_system(algorithm: str, backend: str = "fast",
+                     **kwargs):
+    """System factory for :data:`DIFF_ALGORITHMS` by name."""
+    if algorithm == "kfusion":
+        from ..kfusion import KinectFusion
+
+        def make(pipeline):
+            return KinectFusion(kernel_backend=backend, pipeline=pipeline,
+                                **kwargs)
+        return make
+    if algorithm == "icp_odometry":
+        from ..baselines import ICPOdometry
+
+        def make(pipeline):
+            return ICPOdometry(pipeline=pipeline, **kwargs)
+        return make
+    raise ConfigurationError(
+        f"unknown diff algorithm {algorithm!r}; choices: {DIFF_ALGORITHMS}"
+    )

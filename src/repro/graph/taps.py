@@ -1,0 +1,67 @@
+"""Stream-tap samplers: intermediate frames -> telemetry span attributes.
+
+A tap fires after its node runs: the compiled pipeline hands the live
+edge value to the tap's sampler and emits the returned dict as
+attributes on a ``tap.<node>.<port>`` telemetry span (stamped with the
+frame index and kernel backend).  Sampling is observation only — the
+default sampler reads, never writes, and the golden suite pins that a
+tapped run's trajectory is identical to an untapped one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _summarize_array(arr: np.ndarray) -> dict:
+    out = {
+        "kind": "ndarray",
+        "shape": "x".join(str(s) for s in arr.shape),
+        "dtype": str(arr.dtype),
+    }
+    if arr.size and np.issubdtype(arr.dtype, np.floating):
+        finite = np.isfinite(arr)
+        n_finite = int(np.count_nonzero(finite))
+        out["finite_fraction"] = n_finite / arr.size
+        if n_finite:
+            sample = arr[finite]
+            out["min"] = float(sample.min())
+            out["max"] = float(sample.max())
+            out["mean"] = float(sample.mean())
+    return out
+
+
+def default_sampler(value) -> dict:
+    """JSON-safe summary of one edge value.
+
+    Understands the shapes that flow through the shipped graphs — numpy
+    arrays, pyramids (sequences of arrays), reference models (anything
+    with ``vertices``/``normals`` arrays), TSDF volumes (anything with a
+    ``resolution``) — and degrades to the type name for the rest.
+    """
+    if isinstance(value, np.ndarray):
+        return _summarize_array(value)
+    if isinstance(value, (list, tuple)) and value \
+            and all(isinstance(v, np.ndarray) for v in value):
+        out = _summarize_array(value[0])
+        out["kind"] = "pyramid"
+        out["levels"] = len(value)
+        return out
+    if isinstance(value, (bool, int, float)):
+        return {"kind": type(value).__name__, "value": float(value)}
+    vertices = getattr(value, "vertices", None)
+    if isinstance(vertices, np.ndarray):
+        out = _summarize_array(vertices)
+        out["kind"] = type(value).__name__
+        normals = getattr(value, "normals", None)
+        if isinstance(normals, np.ndarray):
+            flat = normals.reshape(-1, normals.shape[-1])
+            out["valid_fraction"] = float(
+                np.count_nonzero(np.any(flat != 0.0, axis=-1)) / len(flat)
+            )
+        return out
+    resolution = getattr(value, "resolution", None)
+    if resolution is not None:
+        return {"kind": type(value).__name__,
+                "resolution": int(resolution)}
+    return {"kind": type(value).__name__}

@@ -49,6 +49,49 @@ def total_bytes(params: KFusionParams, width: int = 320,
 BILATERAL_RADIUS = 2
 
 
+def stage_workspace_bytes(params: KFusionParams, width: int, height: int,
+                          levels: int = 3) -> dict:
+    """Per-stage split of the fast path's arena budget.
+
+    The stage-graph compiler (:mod:`repro.graph.compiler`) plans the
+    whole pipeline's arena footprint at compile time from the needs each
+    stage declares; those needs are *this* split, so stage declarations
+    and the run's budget (:func:`workspace_bytes`) are terms of one
+    formula and the plan can never silently exceed the budget.  Keys are
+    the canonical stage names; values sum exactly to
+    :func:`workspace_bytes` (pinned by a unit test).
+    """
+    ratio = params.compute_size_ratio
+    input_px = width * height
+    # Two compute-pixel conventions coexist, faithfully to the historic
+    # budget: the frame-buffer inventory divides the input pixel count
+    # (``input_px // ratio**2``), the kernel scratch terms multiply the
+    # floored per-axis sizes (``(w//r) * (h//r)``).
+    fb_px = input_px // ratio**2
+    cw, ch = width // ratio, height // ratio
+    scratch_px = cw * ch
+    px = fb_px
+    pyramid_px = 0
+    for _ in range(levels):
+        pyramid_px += px
+        px //= 4
+    padded_px = (cw + 2 * BILATERAL_RADIUS) * (ch + 2 * BILATERAL_RADIUS)
+    return {
+        # raw depth + depth pyramid + vertex/normal pyramids + the
+        # bilateral filter's padded image, accumulator, weight sum and
+        # two temporaries
+        "preprocess": BYTES_F32 * (input_px + 7 * pyramid_px
+                                   + padded_px + 4 * scratch_px),
+        # ICP per-pixel transform/projection scratch at the finest level
+        "track": BYTES_F32 * 8 * scratch_px,
+        # per-voxel camera coordinates, pixel indices and masks
+        "integrate": BYTES_F32 * 8 * params.volume_resolution**3,
+        # raycast output vertex/normal maps + ray directions (3),
+        # per-ray march state (~4), hit map (~1.5)
+        "raycast": BYTES_F32 * (2 * 3 * fb_px + 9 * scratch_px),
+    }
+
+
 def workspace_bytes(params: KFusionParams, width: int, height: int,
                     levels: int = 3) -> int:
     """Byte budget for the fast path's preallocated float32 arena.
@@ -60,19 +103,8 @@ def workspace_bytes(params: KFusionParams, width: int, height: int,
     the raycaster's per-ray state and hit maps, the integrate kernel's
     per-voxel projection buffers, and the ICP solver's per-level gather
     and Jacobian buffers.  ``width``/``height`` are the *input* (sensor)
-    resolution, as for :func:`frame_buffers_bytes`.
+    resolution, as for :func:`frame_buffers_bytes`.  The per-stage split
+    of the same budget is :func:`stage_workspace_bytes`.
     """
-    ratio = params.compute_size_ratio
-    cw, ch = width // ratio, height // ratio
-    compute_px = cw * ch
-    total = frame_buffers_bytes(params, width, height, levels)
-    # bilateral: padded image + accumulator + weight sum + two temporaries
-    padded_px = (cw + 2 * BILATERAL_RADIUS) * (ch + 2 * BILATERAL_RADIUS)
-    total += BYTES_F32 * (padded_px + 4 * compute_px)
-    # raycast: ray directions (3), per-ray march state (~4), hit map (~1.5)
-    total += BYTES_F32 * 9 * compute_px
-    # integrate: per-voxel camera coordinates, pixel indices and masks
-    total += BYTES_F32 * 8 * params.volume_resolution**3
-    # ICP: per-pixel transform/projection scratch at the finest level
-    total += BYTES_F32 * 8 * compute_px
-    return total
+    return sum(stage_workspace_bytes(params, width, height, levels)
+               .values())

@@ -13,6 +13,13 @@ from dataclasses import dataclass
 from ..core.config import AlgorithmConfiguration, ParameterSpec
 from ..errors import ConfigurationError
 
+#: Depth-pyramid levels the pipeline builds (SLAMBench's fixed 3).
+PYRAMID_LEVELS = 3
+
+#: The reference implementation integrates unconditionally for the first
+#: frames to bootstrap the model even if tracking is shaky.
+BOOTSTRAP_FRAMES = 4
+
 #: SLAMBench's default configuration (the paper's "default" reference
 #: point: 256^3 volume, full-resolution compute, standard ICP schedule).
 DEFAULTS = {

@@ -12,6 +12,14 @@ KFusion port does:
    frame while tracking is good, plus the first frames).
 4. *Raycast*: render the surface prediction used by the next track step.
 
+Since the stage-graph refactor the phases are *registered stages*
+(:mod:`repro.kfusion.graphdef`) and the default execution path is a
+compiled :class:`~repro.graph.PipelineInstance` — the declarative graph
+the runtime compiler validated and arena-planned at init.  The historic
+inline call sequence is kept verbatim as ``pipeline="legacy"``; the
+differential harness (:mod:`repro.graph.diffrun`) proves both paths
+bit-for-bit equivalent on every stream, for both kernel backends.
+
 Every kernel launch is recorded in the frame's workload with its analytic
 cost (``repro.kfusion.kernels``), which the platform simulator converts to
 time and energy.
@@ -29,23 +37,28 @@ from ..core.sensors import SensorSuite
 from ..core.workload import FrameWorkload
 from ..errors import ConfigurationError, DatasetError
 from ..geometry import PinholeCamera, se3
+from ..graph import StageContext, WorkspaceRequest, compile_graph
 from ..telemetry import current_tracer, stage
 from . import kernels
-from .params import KFusionParams, parameter_specs
+from .graphdef import kfusion_graph
+from .params import (
+    BOOTSTRAP_FRAMES,
+    PYRAMID_LEVELS,
+    KFusionParams,
+    parameter_specs,
+)
 from .preprocessing import downsample_depth
 from .render import render_volume
-from .tracking import ReferenceModel
+from .tracking import ReferenceModel, TrackResult
 from .volume import TSDFVolume
 
 #: SLAMBench's default camera start: centred in x/y, at the volume's front
 #: face, looking along +z into the volume.
 INITIAL_POSE_FACTOR = (0.5, 0.5, 0.0)
 
-#: The reference implementation integrates unconditionally for the first
-#: frames to bootstrap the model even if tracking is shaky.
-BOOTSTRAP_FRAMES = 4
-
-PYRAMID_LEVELS = 3
+#: Execution paths: the compiled stage graph (default) vs the historic
+#: inline call sequence the differential harness compares against.
+PIPELINES = ("graph", "legacy")
 
 
 class KinectFusion(SLAMSystem):
@@ -63,6 +76,14 @@ class KinectFusion(SLAMSystem):
             the five hot per-frame kernels — ``"fast"`` (float32
             workspace kernels, the default) or ``"reference"`` (the
             float64 textbook kernels).  See :mod:`repro.perf`.
+        pipeline: execution path — ``"graph"`` (the compiled stage
+            graph, default) or ``"legacy"`` (the historic inline call
+            sequence).  Proven equivalent by ``repro graph diff`` and
+            ``tests/test_graph_equivalence.py``.
+        taps: :class:`~repro.graph.TapSpec` stream taps (or
+            ``(node, port)`` tuples) attached to the compiled graph —
+            sampled intermediate frames become telemetry spans.  Graph
+            pipeline only.
     """
 
     name = "kfusion"
@@ -72,18 +93,31 @@ class KinectFusion(SLAMSystem):
 
     def __init__(self, publish_render: bool = False,
                  robust_tracking: bool = False,
-                 kernel_backend: str | None = None):
+                 kernel_backend: str | None = None,
+                 pipeline: str = "graph",
+                 taps: tuple = ()):
         super().__init__()
         from ..perf import DEFAULT_KERNEL_BACKEND, get_kernel_backend
 
+        if pipeline not in PIPELINES:
+            raise ConfigurationError(
+                f"unknown pipeline {pipeline!r}; choices: {PIPELINES}"
+            )
+        if taps and pipeline != "graph":
+            raise ConfigurationError(
+                "stream taps require the graph pipeline"
+            )
         self._publish_render = publish_render
         self._robust_tracking = robust_tracking
+        self._pipeline = pipeline
+        self._taps = tuple(taps)
         # Resolve eagerly so an unknown name fails at construction.
         self._backend = get_kernel_backend(
             kernel_backend if kernel_backend is not None
             else DEFAULT_KERNEL_BACKEND
         )
         self._workspace = None
+        self._instance = None
         self.params: KFusionParams | None = None
         self.volume: TSDFVolume | None = None
         self._camera: PinholeCamera | None = None
@@ -97,6 +131,16 @@ class KinectFusion(SLAMSystem):
     def kernel_backend(self) -> str:
         """Name of the kernel backend this system runs."""
         return self._backend.name
+
+    @property
+    def pipeline(self) -> str:
+        """Execution path: ``"graph"`` or ``"legacy"``."""
+        return self._pipeline
+
+    @property
+    def instance(self):
+        """The compiled :class:`~repro.graph.PipelineInstance` (or None)."""
+        return self._instance
 
     # -- SLAMSystem hooks ---------------------------------------------------
     def parameter_specs(self) -> list[ParameterSpec]:
@@ -130,6 +174,24 @@ class KinectFusion(SLAMSystem):
         self._workspace = self._backend.make_workspace(
             self._input_camera, self.params, PYRAMID_LEVELS
         )
+        if self._pipeline == "graph":
+            spec = kfusion_graph(publish_render=self._publish_render)
+            if self._taps:
+                spec = spec.with_taps(self._coerce_taps())
+            # Compile-time arena plan: the graph's summed stage needs
+            # must fit the workspace budget before the first frame runs.
+            request = budget = None
+            if self._workspace is not None:
+                request = WorkspaceRequest(
+                    params=self.params,
+                    camera=self._input_camera,
+                    levels=PYRAMID_LEVELS,
+                    backend=self._backend.name,
+                )
+                budget = self._workspace.budget_bytes
+            self._instance = compile_graph(
+                spec, workspace_request=request, arena_budget=budget
+            )
         self._pose = se3.make_pose(
             np.eye(3),
             np.array(INITIAL_POSE_FACTOR) * self.params.volume_size,
@@ -145,17 +207,51 @@ class KinectFusion(SLAMSystem):
             self.outputs.declare("model_render", OutputKind.FRAME)
         self._last_render = None
 
+    def _coerce_taps(self):
+        from ..graph import TapSpec
+
+        taps = []
+        for tap in self._taps:
+            if isinstance(tap, TapSpec):
+                taps.append(tap)
+            else:
+                node, port = tap
+                taps.append(TapSpec(node=node, port=port))
+        return taps
+
     def do_process(self, frame: Frame, workload: FrameWorkload) -> TrackingStatus:
         assert self.params is not None and self.volume is not None
         assert self._camera is not None and self._input_camera is not None
-        params = self.params
-        cam = self._camera
 
         if frame.depth.shape != self._input_camera.shape:
             raise DatasetError(
                 f"frame shape {frame.depth.shape} != sensor "
                 f"{self._input_camera.shape}"
             )
+        if self._pipeline == "graph":
+            ctx = StageContext(
+                frame=frame,
+                workload=workload,
+                state=self,
+                backend=self._backend,
+                workspace=self._workspace,
+                params=self.params,
+            )
+            self._instance.run_frame(ctx)
+            return self._status
+        return self._process_legacy(frame, workload)
+
+    def _process_legacy(self, frame: Frame,
+                        workload: FrameWorkload) -> TrackingStatus:
+        """The historic inline call sequence, kept verbatim.
+
+        The differential harness (``repro graph diff``) runs this path
+        against the compiled graph frame-by-frame; it must stay the
+        independent reference implementation, so changes here or in
+        :mod:`repro.kfusion.graphdef` must land in both.
+        """
+        params = self.params
+        cam = self._camera
 
         backend = self._backend
         ws = self._workspace
@@ -290,6 +386,45 @@ class KinectFusion(SLAMSystem):
     def do_clean(self) -> None:
         self.volume = None
         self._reference = None
+        self._instance = None
+
+    # -- graph-stage state access (repro.kfusion.graphdef) --------------------
+    @property
+    def input_camera(self) -> PinholeCamera:
+        """Sensor-resolution intrinsics."""
+        if self._input_camera is None:
+            raise ConfigurationError("kfusion not initialised")
+        return self._input_camera
+
+    @property
+    def pose_estimate(self) -> np.ndarray:
+        """The live camera-to-volume pose the stages read and refine."""
+        return self._pose
+
+    @property
+    def reference(self) -> ReferenceModel | None:
+        """Last raycast surface prediction (track's alignment target)."""
+        return self._reference
+
+    @property
+    def huber_delta(self) -> float | None:
+        """Huber band for robust tracking (None = plain least squares)."""
+        return self.HUBER_DELTA_M if self._robust_tracking else None
+
+    def record_track(self, result: TrackResult) -> None:
+        """Fold one ICP result into the pipeline state (pose + rmse)."""
+        self._last_track_rmse = result.rmse
+        if result.tracked:
+            self._pose = result.pose
+
+    def set_status(self, status: TrackingStatus) -> None:
+        self._status = status
+
+    def set_reference(self, reference: ReferenceModel) -> None:
+        self._reference = reference
+
+    def set_render(self, render) -> None:
+        self._last_render = render
 
     # -- extras used by metrics/tests -----------------------------------------
     @property

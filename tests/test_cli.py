@@ -199,3 +199,88 @@ class TestTraceCommands:
         names = {s.name for s in spans}
         assert "dse.iteration" in names
         assert "dse.fit_models" in names
+
+
+class TestGraphCommands:
+    """``repro graph`` subcommands and the ``run --pipeline`` flag.
+
+    ``graph check`` follows the lint exit-code contract: 0 clean, 1 on
+    findings (a graph that fails to compile), 2 on an internal error
+    (e.g. an unreadable policy file).
+    """
+
+    def test_graph_check_clean(self, capsys):
+        assert main(["graph", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   kfusion" in out
+        assert "ok   icp_odometry" in out
+
+    def test_graph_check_single_graph(self, capsys):
+        assert main(["graph", "check", "--graph", "kfusion"]) == 0
+        out = capsys.readouterr().out
+        assert "preprocess -> track -> integrate -> raycast" in out
+
+    def test_graph_check_broken_graph_exits_1(self, capsys, monkeypatch):
+        from repro.graph import Edge, GraphSpec
+        from repro.graph.spec import _GRAPHS
+
+        def broken():
+            # Two kfusion stages wired into a loop: compile must fail.
+            return GraphSpec(
+                name="broken",
+                nodes=(("track", "kfusion.track"),
+                       ("integrate", "kfusion.integrate")),
+                edges=(Edge("track", "tracked", "integrate", "tracked"),),
+            )
+
+        monkeypatch.setitem(_GRAPHS, "zz-broken", broken)
+        assert main(["graph", "check", "--graph", "zz-broken"]) == 1
+        assert "FAIL zz-broken" in capsys.readouterr().out
+
+    def test_graph_check_unknown_graph_exits_1(self, capsys):
+        assert main(["graph", "check", "--graph", "teapot"]) == 1
+        assert "FAIL teapot" in capsys.readouterr().out
+
+    def test_graph_check_bad_policy_exits_2(self, capsys, tmp_path):
+        assert main(["graph", "check",
+                     "--policy", str(tmp_path / "nope.toml")]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_graph_show(self, capsys):
+        assert main(["graph", "show", "kfusion"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule: preprocess -> track -> integrate -> raycast" in out
+        assert "edge track.tracked -> integrate.tracked" in out
+
+    def test_graph_show_unknown_reports_error(self, capsys):
+        assert main(["graph", "show", "teapot"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_graph_diff_equivalent(self, capsys):
+        code = main([
+            "graph", "diff", "--frames", "4", "--width", "32",
+            "--height", "24", "--set", "volume_resolution=48",
+            "--set", "volume_size=5.0",
+        ])
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_graph_diff_odometry(self, capsys):
+        code = main([
+            "graph", "diff", "--algorithm", "icp_odometry",
+            "--frames", "4", "--width", "32", "--height", "24",
+        ])
+        assert code == 0
+        assert "icp_odometry" in capsys.readouterr().out
+
+    def test_run_pipeline_flag(self, capsys):
+        for pipeline in ("graph", "legacy"):
+            code = main([
+                "run", "--dataset", "lr_kt0", "--frames", "3",
+                "--width", "32", "--height", "24",
+                "--pipeline", pipeline,
+                "--set", "volume_resolution=48",
+                "--set", "volume_size=5.0",
+            ])
+            assert code == 0
+            assert "kfusion on lr_kt0" in capsys.readouterr().out

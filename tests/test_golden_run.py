@@ -28,7 +28,9 @@ import pytest
 
 from repro.core import run_benchmark
 from repro.datasets import icl_nuim
+from repro.graph import TapSpec
 from repro.kfusion import KinectFusion
+from repro.telemetry import Tracer, use_tracer
 
 ATE_REL_TOL = 0.02
 
@@ -47,11 +49,13 @@ GOLDEN_ATE = {
 }
 
 
-def _run(volume_resolution: int, kernel_backend: str = "fast"):
+def _run(volume_resolution: int, kernel_backend: str = "fast",
+         pipeline: str = "graph", taps: tuple = ()):
     seq = icl_nuim.load("lr_kt0", n_frames=10, width=80, height=60, seed=0)
     seq.materialize()
     return run_benchmark(
-        KinectFusion(kernel_backend=kernel_backend),
+        KinectFusion(kernel_backend=kernel_backend, pipeline=pipeline,
+                     taps=taps),
         seq,
         configuration={
             "volume_resolution": volume_resolution,
@@ -126,3 +130,86 @@ class TestGoldenDeterminism:
         assert [r.status for r in repeat.collector.records] == [
             r.status for r in run.collector.records
         ]
+
+
+class TestGoldenPipelinePaths:
+    """The default runs above exercise the compiled stage graph; this
+    class pins the *legacy* call sequence to the same golden values, so
+    both execution paths stay anchored to the recorded behaviour (the
+    frame-by-frame proof lives in tests/test_graph_equivalence.py)."""
+
+    @pytest.fixture(scope="class", params=BACKENDS)
+    def legacy_run(self, request):
+        return request.param, _run(volume_resolution=96,
+                                   kernel_backend=request.param,
+                                   pipeline="legacy")
+
+    def test_default_pipeline_is_graph(self):
+        assert KinectFusion().pipeline == "graph"
+
+    def test_legacy_ate_pinned(self, legacy_run):
+        backend, run = legacy_run
+        assert run.ate.rmse == pytest.approx(
+            GOLDEN_ATE[(backend, 96)]["rmse"], rel=ATE_REL_TOL)
+        assert run.ate.max == pytest.approx(
+            GOLDEN_ATE[(backend, 96)]["max"], rel=ATE_REL_TOL)
+
+    def test_legacy_status_sequence_pinned(self, legacy_run):
+        _, run = legacy_run
+        statuses = [r.status.value for r in run.collector.records]
+        assert statuses == ["bootstrap"] + ["ok"] * 9
+
+    def test_graph_equals_legacy_bitwise(self, good_run, legacy_run):
+        backend_g, graph = good_run
+        backend_l, legacy = legacy_run
+        if backend_g != backend_l:
+            pytest.skip("cross-backend pairing")
+        assert graph.ate.rmse == legacy.ate.rmse
+        assert graph.ate.max == legacy.ate.max
+
+
+class TestGoldenStreamTaps:
+    """Stream taps observe intermediate frames without perturbing them:
+    a tapped run must reproduce the untapped golden values bit-for-bit,
+    and its telemetry must carry backend-stamped tap spans."""
+
+    TAPS = (
+        TapSpec(node="preprocess", port="depth"),
+        TapSpec(node="raycast", port="model", every=2),
+    )
+
+    @pytest.fixture(scope="class", params=BACKENDS)
+    def tapped_run(self, request):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            run = _run(volume_resolution=96, kernel_backend=request.param,
+                       taps=self.TAPS)
+        return request.param, run, tracer
+
+    def test_tapped_ate_identical_to_golden(self, tapped_run, good_run):
+        backend_t, tapped, _ = tapped_run
+        backend_g, golden = good_run
+        if backend_t != backend_g:
+            pytest.skip("cross-backend pairing")
+        assert tapped.ate.rmse == golden.ate.rmse
+        assert tapped.ate.max == golden.ate.max
+        assert [r.status for r in tapped.collector.records] == [
+            r.status for r in golden.collector.records
+        ]
+
+    def test_tap_spans_backend_named(self, tapped_run):
+        backend, _, tracer = tapped_run
+        depth_taps = [s for s in tracer.spans
+                      if s.name == "tap.preprocess.depth"]
+        assert len(depth_taps) == 10  # every frame
+        for span in depth_taps:
+            assert span.attrs["backend"] == backend
+            assert span.attrs["kind"] == "ndarray"
+
+    def test_tap_sampling_rate_respected(self, tapped_run):
+        _, _, tracer = tapped_run
+        model_taps = [s for s in tracer.spans
+                      if s.name == "tap.raycast.model"]
+        assert [s.attrs["frame"] for s in model_taps] == [0, 2, 4, 6, 8]
+        for span in model_taps:
+            assert 0.0 <= span.attrs["valid_fraction"] <= 1.0
