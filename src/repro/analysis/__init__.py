@@ -32,7 +32,21 @@ RPR009   transitive-effect-discipline: whole-program effect inference
 RPR010   workspace-alloc-discipline: hot :mod:`repro.perf` modules
          allocate through the workspace arena, with ``# effect-ok:``
          waivers for variable-length working sets
+RPR011   shape-dtype-unification: every stage-graph port contract
+         parses, and symbolic dims unify along edges across the whole
+         graph — conflicts report the full edge chain that forces them
+RPR012   kernel-contract-consistency: graph port contracts agree with
+         the ``@contract`` declarations of the kernels each stage body
+         calls (all registered backends, dtype *kind* compared)
+RPR013   arena-liveness: declared arena regions are consistent with the
+         schedule and the buffer names reachable kernels touch — no
+         use-after-release, overlapping-lifetime writes, or dead budget
 =======  ==============================================================
+
+RPR011-013 run against the *registered graph definitions* rather than
+per-file, so they live in ``repro dataflow check`` (same exit-code
+contract, same noqa/baseline machinery) instead of ``repro lint``; see
+:mod:`repro.analysis.dataflow`.
 
 Programmatic use::
 
@@ -55,10 +69,27 @@ from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
     load_baseline,
+    migrate_baseline,
     write_baseline,
 )
 from .callgraph import CallGraph, build_callgraph, module_name_for
-from .contracts import ArraySpec, ContractError, contract, parse_contract
+from .contracts import (
+    ArraySpec,
+    ContractError,
+    contract,
+    contracts_equal,
+    format_contract,
+    parse_contract,
+)
+from .dataflow import (
+    GraphUnderCheck,
+    PortContract,
+    check_graphs,
+    format_port_contract,
+    parse_port_contract,
+    port_contract_mismatch,
+    run_dataflow,
+)
 from .effects import (
     DEFAULT_SNAPSHOT,
     EffectAnalysis,
@@ -93,24 +124,34 @@ __all__ = [
     "DEFAULT_SNAPSHOT",
     "EffectAnalysis",
     "Finding",
+    "GraphUnderCheck",
     "ModuleContext",
     "PolicyError",
+    "PortContract",
     "ProjectChecker",
     "Severity",
     "analyze_paths",
     "analyze_source",
     "apply_baseline",
     "build_callgraph",
+    "check_graphs",
     "contract",
+    "contracts_equal",
     "diff_snapshots",
+    "format_contract",
     "format_json",
+    "format_port_contract",
     "format_text",
     "load_baseline",
     "load_policy",
     "load_snapshot",
+    "migrate_baseline",
     "module_name_for",
     "parse_contract",
+    "parse_port_contract",
+    "port_contract_mismatch",
     "project_state",
+    "run_dataflow",
     "register_checker",
     "rule_catalogue",
     "run_lint",

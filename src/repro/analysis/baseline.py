@@ -4,8 +4,18 @@ A baseline file records the fingerprints of currently-accepted findings
 (with a count per fingerprint, since the same violation can occur more
 than once in a file).  ``repro lint --write-baseline`` snapshots the
 current findings; later runs subtract the baseline and fail only on
-*new* findings.  Fingerprints omit line numbers, so edits elsewhere in a
-file do not invalidate the suppression.
+*new* findings.
+
+Fingerprint formats:
+
+* **version 2** (current) — ``rule::path::symbol::sha1(content)[:12]``;
+  anchored on the enclosing symbol and the flagged line's text, so
+  unrelated edits — including ones that renumber every line — do not
+  churn the committed file.
+* **version 1** (legacy) — ``rule::path::message``.  Still loads and
+  applies (via :attr:`~repro.analysis.findings.Finding.fingerprint_v1`)
+  so old baselines keep working; ``repro lint --migrate-baseline``
+  rewrites one in place to version 2.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from typing import Sequence
 from .findings import Finding
 from .framework import AnalysisError
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 #: Default baseline location, relative to the working directory.
 DEFAULT_BASELINE = ".reprolint.json"
@@ -36,7 +46,13 @@ def write_baseline(findings: Sequence[Finding], path: str | Path) -> int:
 
 
 def load_baseline(path: str | Path) -> Counter:
-    """Load a baseline file into a fingerprint -> allowance counter."""
+    """Load a baseline file into a fingerprint -> allowance counter.
+
+    Accepts both fingerprint versions; the returned counter carries the
+    file's version as a ``.version`` attribute so
+    :func:`apply_baseline` knows which :class:`Finding` fingerprint to
+    match against.
+    """
     try:
         doc = json.loads(Path(path).read_text())
     except OSError as exc:
@@ -45,15 +61,24 @@ def load_baseline(path: str | Path) -> Counter:
         raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
     if not isinstance(doc, dict) or "fingerprints" not in doc:
         raise AnalysisError(f"baseline {path} has no 'fingerprints' map")
-    if doc.get("version") != BASELINE_VERSION:
+    version = doc.get("version")
+    if version not in (1, BASELINE_VERSION):
         raise AnalysisError(
-            f"baseline {path} has version {doc.get('version')!r}, "
-            f"expected {BASELINE_VERSION}"
+            f"baseline {path} has version {version!r}, "
+            f"expected 1 or {BASELINE_VERSION}"
         )
     fingerprints = doc["fingerprints"]
     if not isinstance(fingerprints, dict):
         raise AnalysisError(f"baseline {path}: 'fingerprints' must be a map")
-    return Counter({str(k): int(v) for k, v in fingerprints.items()})
+    counter = Counter({str(k): int(v) for k, v in fingerprints.items()})
+    counter.version = version
+    return counter
+
+
+def _key_fn(baseline: Counter):
+    if getattr(baseline, "version", BASELINE_VERSION) == 1:
+        return lambda f: f.fingerprint_v1
+    return lambda f: f.fingerprint
 
 
 def apply_baseline(findings: Sequence[Finding],
@@ -61,15 +86,39 @@ def apply_baseline(findings: Sequence[Finding],
     """Split findings into (new, n_suppressed) against a baseline.
 
     Each fingerprint suppresses up to its recorded count of occurrences;
-    findings beyond the allowance are treated as new.
+    findings beyond the allowance are treated as new.  The fingerprint
+    format follows the baseline's recorded version (``.version`` from
+    :func:`load_baseline`; plain counters are treated as current).
     """
+    key = _key_fn(baseline)
     allowance = Counter(baseline)
     kept: list[Finding] = []
     suppressed = 0
     for finding in findings:
-        if allowance[finding.fingerprint] > 0:
-            allowance[finding.fingerprint] -= 1
+        if allowance[key(finding)] > 0:
+            allowance[key(finding)] -= 1
             suppressed += 1
         else:
             kept.append(finding)
     return kept, suppressed
+
+
+def migrate_baseline(findings: Sequence[Finding],
+                     path: str | Path) -> tuple[int, int]:
+    """Rewrite a baseline at ``path`` to the current fingerprint version.
+
+    Current ``findings`` that the old baseline suppresses are re-recorded
+    under their version-2 fingerprints; stale allowances (nothing matches
+    them any more) are dropped.  Returns ``(migrated, dropped)`` counts.
+    """
+    old = load_baseline(path)
+    key = _key_fn(old)
+    allowance = Counter(old)
+    matched: list[Finding] = []
+    for finding in findings:
+        if allowance[key(finding)] > 0:
+            allowance[key(finding)] -= 1
+            matched.append(finding)
+    write_baseline(matched, path)
+    dropped = sum(v for v in allowance.values() if v > 0)
+    return len(matched), dropped

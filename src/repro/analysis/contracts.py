@@ -67,6 +67,9 @@ _COMPATIBLE = {
 
 _IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
+#: alias dtype token -> the canonical token :func:`format_contract` emits.
+_CANONICAL_DTYPE = {"b": "bool"}
+
 
 @dataclass(frozen=True)
 class ArraySpec:
@@ -78,12 +81,17 @@ class ArraySpec:
         text: the original contract string (for messages and RPR005).
         ellipsis_leading: the contract began with ``...`` — ``dims``
             constrain only the trailing dimensions.
+        dtype: the canonical declared dtype token (``"f32"``, ``"bool"``,
+            ...), or ``None`` when the contract declares no dtype.  Two
+            alias spellings of the same token (``b``/``bool``) share one
+            canonical form.
     """
 
     dims: tuple
     kind: str | None
     text: str
     ellipsis_leading: bool = False
+    dtype: str | None = None
 
 
 def parse_contract(text: str) -> ArraySpec:
@@ -91,7 +99,7 @@ def parse_contract(text: str) -> ArraySpec:
     if not isinstance(text, str) or not text.strip():
         raise ContractError(f"contract must be a non-empty string, got {text!r}")
     dims_part, sep, dtype_part = text.partition(":")
-    kind = None
+    kind = dtype = None
     if sep:
         dtype_part = dtype_part.strip()
         if dtype_part not in DTYPE_KINDS:
@@ -100,6 +108,7 @@ def parse_contract(text: str) -> ArraySpec:
                 f"(expected one of {sorted(DTYPE_KINDS)})"
             )
         kind = DTYPE_KINDS[dtype_part]
+        dtype = _CANONICAL_DTYPE.get(dtype_part, dtype_part)
     tokens = [t.strip() for t in dims_part.split(",")]
     if any(not t for t in tokens):
         raise ContractError(f"contract {text!r}: empty dimension token")
@@ -130,7 +139,36 @@ def parse_contract(text: str) -> ArraySpec:
     if ellipsis_leading and not dims:
         raise ContractError(f"contract {text!r}: '...' alone is not a shape")
     return ArraySpec(dims=tuple(dims), kind=kind, text=text,
-                     ellipsis_leading=ellipsis_leading)
+                     ellipsis_leading=ellipsis_leading, dtype=dtype)
+
+
+def format_contract(spec: ArraySpec) -> str:
+    """The canonical spelling of a parsed contract.
+
+    ``parse_contract(format_contract(s))`` is semantically equal to ``s``
+    (:func:`contracts_equal`), and formatting is idempotent — whitespace
+    and dtype-alias variants collapse onto one spelling, which is what
+    the graph compiler compares.
+    """
+    tokens = (["..."] if spec.ellipsis_leading else []) + [
+        str(d) for d in spec.dims
+    ]
+    out = ",".join(tokens)
+    if spec.dtype is not None:
+        out += f":{spec.dtype}"
+    return out
+
+
+def contracts_equal(a: ArraySpec, b: ArraySpec) -> bool:
+    """Semantic equality: same dims, same ellipsis, same canonical dtype.
+
+    Spelling differences (whitespace, ``b`` vs ``bool``) do not count;
+    declared width does (``f32`` != ``f64`` — two ends of one wire must
+    agree on what the array *is*).
+    """
+    return (a.dims == b.dims
+            and a.ellipsis_leading == b.ellipsis_leading
+            and a.dtype == b.dtype)
 
 
 def _check_array(func_name: str, arg_name: str, spec: ArraySpec,

@@ -4,12 +4,16 @@ A :class:`Finding` pins a rule violation to a ``path:line:col`` location
 with a rule id (``RPR001``...), a severity, and a human message.  The
 *fingerprint* deliberately omits the line number so that committed
 baselines (:mod:`repro.analysis.baseline`) survive unrelated edits above
-a suppressed finding.
+a suppressed finding.  Version-2 fingerprints go further and anchor on
+the enclosing symbol plus a hash of the flagged source line — messages
+that merely *mention* a line number (or any other location detail) no
+longer churn the committed baseline when code moves.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -36,6 +40,13 @@ class Finding:
         rule_id: ``"RPR001"``..., or ``"RPR000"`` for unparseable files.
         message: human-readable description of the violation.
         severity: :class:`Severity`; errors make ``repro lint`` exit 1.
+        symbol: qualified name of the enclosing function/class at the
+            finding's line (``"KinectFusion.process"``), or ``""`` at
+            module level.  Filled in by
+            :meth:`~repro.analysis.framework.ModuleContext.finding`.
+        content: the flagged source line, stripped; ``""`` when the
+            producer has no source at hand (the fingerprint then falls
+            back to hashing the message).
     """
 
     path: str
@@ -44,10 +55,27 @@ class Finding:
     rule_id: str
     message: str
     severity: Severity = field(default=Severity.ERROR)
+    symbol: str = ""
+    content: str = ""
 
     @property
     def fingerprint(self) -> str:
-        """Line-independent identity used by baseline suppression."""
+        """Line-independent identity used by baseline suppression (v2).
+
+        ``rule::path::symbol::sha1(content or message)[:12]`` — anchored
+        on *what* is flagged (rule, file, enclosing symbol, the line's
+        text), never on *where* in the file it sits, so edits elsewhere
+        — even ones that renumber every line — do not churn a committed
+        baseline.
+        """
+        anchor = self.content or self.message
+        digest = hashlib.sha1(anchor.encode()).hexdigest()[:12]
+        return f"{self.rule_id}::{self.path}::{self.symbol}::{digest}"
+
+    @property
+    def fingerprint_v1(self) -> str:
+        """The legacy (version-1 baseline) fingerprint, kept so old
+        baselines still apply and ``--migrate-baseline`` can match."""
         return f"{self.rule_id}::{self.path}::{self.message}"
 
     def sort_key(self) -> tuple:

@@ -22,6 +22,7 @@ from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
     load_baseline,
+    migrate_baseline as _migrate_baseline,
     write_baseline,
 )
 from .findings import Finding
@@ -41,6 +42,7 @@ def run_lint(
     select: Sequence[str] | None = None,
     baseline_path: str = DEFAULT_BASELINE,
     update_baseline: bool = False,
+    migrate_baseline: bool = False,
     echo: Callable[[str], None] = print,
 ) -> int:
     """Lint ``paths`` and report; see module docstring for the contract.
@@ -54,6 +56,9 @@ def run_lint(
             repo without a baseline just reports everything.
         update_baseline: snapshot current findings into
             ``baseline_path`` and exit 0 instead of reporting.
+        migrate_baseline: rewrite an existing (possibly version-1)
+            baseline to the current fingerprint format, keeping only
+            allowances that still match a finding, and exit 0.
         echo: sink for the rendered report (tests capture it).
     """
     try:
@@ -63,6 +68,13 @@ def run_lint(
             count = write_baseline(findings, baseline_path)
             echo(f"wrote baseline with {count} finding(s) to "
                  f"{baseline_path}")
+            return LINT_EXIT_CLEAN
+
+        if migrate_baseline:
+            migrated, dropped = _migrate_baseline(findings, baseline_path)
+            echo(f"migrated baseline {baseline_path}: {migrated} "
+                 f"finding(s) re-fingerprinted, {dropped} stale "
+                 f"allowance(s) dropped")
             return LINT_EXIT_CLEAN
 
         suppressed = 0

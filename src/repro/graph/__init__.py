@@ -27,10 +27,12 @@ from ..errors import GraphError, StageExecutionError
 from .compiler import CompiledNode, WorkspacePlan, compile_graph
 from .instance import PipelineInstance
 from .spec import (
+    ArenaRegion,
     Edge,
     GraphSpec,
     TapSpec,
     create_graph,
+    graph_factory,
     graph_names,
     register_graph,
 )
@@ -46,6 +48,7 @@ from .stage import (
 from .taps import default_sampler
 
 __all__ = [
+    "ArenaRegion",
     "CompiledNode",
     "Edge",
     "GraphError",
@@ -62,6 +65,7 @@ __all__ = [
     "create_graph",
     "default_sampler",
     "get_stage",
+    "graph_factory",
     "graph_names",
     "register_graph",
     "register_stage",

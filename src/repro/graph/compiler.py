@@ -5,7 +5,11 @@ so running a compiled graph can never fail for a *wiring* reason:
 
 1. every node references a registered stage;
 2. every edge joins an existing output port to an existing input port
-   with **equal contracts**;
+   with **semantically equal contracts** (parsed under the
+   :mod:`repro.analysis.dataflow` port grammar — spelling variants of
+   one contract are equal, concrete declarations must agree; symbolic
+   dims are unified across the whole graph by ``repro dataflow
+   check``, RPR011);
 3. every input port is fed by exactly one edge (no dangling or
    double-fed inputs);
 4. the graph is acyclic — cycles are reported with the named edges that
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analysis.dataflow import parse_port_contract, port_contract_mismatch
 from ..errors import GraphError, PerfError
 from .instance import PipelineInstance
 from .spec import Edge, GraphSpec, TapSpec
@@ -94,12 +99,22 @@ def _check_edges(spec: GraphSpec, stages: dict[str, StageSpec]) -> None:
                 f"{edge.dst!r} (stage {stages[edge.dst].name!r}) has no "
                 f"input port {edge.dst_port!r}"
             )
-        if src_port.contract != dst_port.contract:
+        # Semantic comparison (parsed contracts), not raw strings:
+        # whitespace/dtype-alias spellings of one contract are equal,
+        # while anything declared concretely — tag, rank, dtype, int
+        # dims — must agree.  Symbolic dims are edge-compatible with
+        # anything; RPR011 (repro dataflow check) unifies them across
+        # the whole graph, which a single edge cannot.
+        mismatch = port_contract_mismatch(
+            parse_port_contract(src_port.contract),
+            parse_port_contract(dst_port.contract),
+        )
+        if mismatch is not None:
             raise GraphError(
                 f"graph {spec.name!r}: edge {edge.label}: contract "
                 f"mismatch — {edge.src}.{edge.src_port} produces "
                 f"{src_port.contract!r} but {edge.dst}.{edge.dst_port} "
-                f"expects {dst_port.contract!r}"
+                f"expects {dst_port.contract!r} ({mismatch})"
             )
         key = (edge.dst, edge.dst_port)
         if key in fed:
@@ -200,6 +215,22 @@ def _check_taps(spec: GraphSpec, stages: dict[str, StageSpec]) -> None:
             )
 
 
+def _check_regions(spec: GraphSpec, stages: dict[str, StageSpec]) -> None:
+    for region in spec.regions:
+        for role, node in (("writer", region.writer),
+                           *(("reader", r) for r in region.readers)):
+            if node not in stages:
+                raise GraphError(
+                    f"graph {spec.name!r}: arena region {region.prefix!r} "
+                    f"names unknown {role} node {node!r}"
+                )
+        if not region.prefix:
+            raise GraphError(
+                f"graph {spec.name!r}: arena region with empty prefix "
+                f"(writer {region.writer!r})"
+            )
+
+
 def _plan_workspace(spec: GraphSpec, stages: dict[str, StageSpec],
                     order: list[str], request: WorkspaceRequest,
                     budget_bytes: int) -> WorkspacePlan:
@@ -266,6 +297,7 @@ def compile_graph(
     _check_edges(spec, stages)
     order = _schedule(spec, stages)
     _check_taps(spec, stages)
+    _check_regions(spec, stages)
     if policy is not None:
         _check_effects(spec, stages, policy)
     plan = None

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..analysis.contracts import ContractError
+from ..analysis.dataflow import parse_port_contract
 from ..analysis.effects import EFFECTS
 from ..errors import GraphError
 
@@ -38,8 +40,12 @@ class Port:
     Attributes:
         name: port identifier, unique within the stage's direction
             (``"depth"``, ``"vertices"``).
-        contract: dotted contract tag; an edge is only valid between
-            ports whose contract strings are equal.
+        contract: port contract under the
+            :mod:`repro.analysis.dataflow` grammar — a dotted tag,
+            optionally carrying an array spec: ``"track.converged"``,
+            ``"depth.map(H,W:f32)"``, ``"pyramid.vertices([H,W,3:f32])"``.
+            An edge is only valid between ports whose contracts are
+            semantically equal.
     """
 
     name: str
@@ -51,6 +57,10 @@ class Port:
                 f"port needs a name and a contract, got "
                 f"({self.name!r}, {self.contract!r})"
             )
+        try:
+            parse_port_contract(self.contract)
+        except ContractError as exc:
+            raise GraphError(f"port {self.name!r}: {exc}") from None
 
 
 @dataclass

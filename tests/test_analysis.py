@@ -14,6 +14,7 @@ from repro.analysis import (
     apply_baseline,
     contract,
     load_baseline,
+    migrate_baseline,
     parse_contract,
     rule_catalogue,
     run_lint,
@@ -697,6 +698,65 @@ class TestBaseline:
         path.write_text(json.dumps({"version": 99, "fingerprints": {}}))
         with pytest.raises(AnalysisError):
             load_baseline(path)
+
+
+class TestFingerprintV2:
+    """Stable fingerprints: content + rule + symbol, no line numbers."""
+
+    def _analyze(self, tmp_path, src, name="mod.py"):
+        f = tmp_path / name
+        f.write_text(src)
+        return analyze_paths([f], select=["RPR001"])
+
+    def test_fingerprint_survives_line_insertion(self, tmp_path):
+        before = self._analyze(tmp_path, "import time\nx = time.time()\n")
+        after = self._analyze(
+            tmp_path,
+            "import time\n\n\n# a new comment block\n\nx = time.time()\n",
+        )
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+        # the legacy v1 key was line-free too but message-anchored
+        assert before[0].fingerprint_v1 == after[0].fingerprint_v1
+
+    def test_symbol_disambiguates_identical_content(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            "import time\n"
+            "def f():\n"
+            "    return time.time()\n"
+            "def g():\n"
+            "    return time.time()\n",
+        )
+        assert len(findings) == 2
+        assert findings[0].content == findings[1].content
+        assert {f.symbol for f in findings} == {"f", "g"}
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_v1_baseline_still_applies(self, tmp_path):
+        findings = self._analyze(tmp_path, "import time\nx = time.time()\n")
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "fingerprints": {f.fingerprint_v1: 1 for f in findings},
+        }))
+        kept, suppressed = apply_baseline(findings, load_baseline(path))
+        assert kept == [] and suppressed == 1
+
+    def test_migration_rewrites_to_v2_and_drops_stale(self, tmp_path):
+        findings = self._analyze(tmp_path, "import time\nx = time.time()\n")
+        path = tmp_path / "baseline.json"
+        fingerprints = {f.fingerprint_v1: 1 for f in findings}
+        fingerprints["RPR001::gone.py::some deleted finding"] = 3
+        path.write_text(json.dumps({"version": 1,
+                                    "fingerprints": fingerprints}))
+        migrated, dropped = migrate_baseline(findings, path)
+        assert migrated == 1
+        assert dropped == 3  # stale *allowances*, not distinct keys
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 2
+        kept, suppressed = apply_baseline(findings, load_baseline(path))
+        assert kept == [] and suppressed == 1
 
 
 class TestReporters:
