@@ -2,12 +2,17 @@
 
 A 32-configuration random exploration with the measured evaluator (the
 real pipeline at reduced scale) run serially and over the
-``repro.jobs`` worker pool.  Besides the printed table, the numbers are
-written to ``BENCH_parallel_dse.json`` at the repo root so the scaling
-behaviour is tracked in-tree; ``cpu_count`` is recorded because the
-achievable speed-up is bounded by the cores of the machine that ran it
-(a single-core container cannot beat serial, it can only bound the
-pool's overhead).
+``repro.jobs`` worker pool.  Each worker count is measured twice: with
+configuration chunking disabled (``batch_size=1``, one dispatch per
+configuration — the pre-fix behaviour) and with the runner's default
+auto-chunking, so the dispatch-overhead amortisation is tracked as its
+own ratio (``batching_gain``) independent of how many cores the runner
+machine can actually scale onto.  Besides the printed table, the
+numbers are written to ``BENCH_parallel_dse.json`` at the repo root so
+the scaling behaviour is tracked in-tree; ``cpu_count`` is recorded
+because the achievable serial-relative speed-up is bounded by the cores
+of the machine that ran it (a single-core container cannot beat serial,
+it can only bound the pool's overhead).
 """
 
 import json
@@ -38,7 +43,18 @@ def _evaluator():
                              PlatformConfig(backend="opencl"), cache=False)
 
 
-def _timed_exploration(workers: int):
+class _UnbatchedRunner:
+    """Adapter pinning ``batch_size=1``: the pre-chunking dispatch path."""
+
+    def __init__(self, runner):
+        self._runner = runner
+
+    def evaluate(self, evaluator, configurations):
+        return self._runner.evaluate(evaluator, configurations,
+                                     batch_size=1)
+
+
+def _timed_exploration(workers: int, batched: bool = True):
     space = kfusion_design_space()
     evaluator = _evaluator()
     start = monotonic_s()
@@ -47,31 +63,37 @@ def _timed_exploration(workers: int):
                                     seed=SEED)
     else:
         with JobRunner(workers=workers, seed=SEED) as runner:
+            shim = runner if batched else _UnbatchedRunner(runner)
             result = random_exploration(space, evaluator, N_CONFIGURATIONS,
-                                        seed=SEED, runner=runner)
+                                        seed=SEED, runner=shim)
     return monotonic_s() - start, result
 
 
 def test_parallel_dse_scaling(benchmark, show):
     def run_all():
         serial_s, reference = _timed_exploration(1)
-        parallel = {}
+        unbatched, batched = {}, {}
         for workers in WORKER_COUNTS:
-            elapsed_s, result = _timed_exploration(workers)
-            # Correctness first: the pool must not change the numbers.
-            assert (result.objective_matrix().tobytes()
-                    == reference.objective_matrix().tobytes())
-            parallel[workers] = elapsed_s
-        return serial_s, parallel
+            for timings, is_batched in ((unbatched, False), (batched, True)):
+                elapsed_s, result = _timed_exploration(workers,
+                                                       batched=is_batched)
+                # Correctness first: the pool must not change the numbers.
+                assert (result.objective_matrix().tobytes()
+                        == reference.objective_matrix().tobytes())
+                timings[workers] = elapsed_s
+        return serial_s, unbatched, batched
 
-    serial_s, parallel = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    serial_s, unbatched, batched = benchmark.pedantic(run_all, rounds=1,
+                                                      iterations=1)
 
-    rows = [{"workers": 1, "wall_s": serial_s, "speedup": 1.0}]
-    for workers, elapsed_s in parallel.items():
+    rows = [{"workers": 1, "wall_s": serial_s, "speedup": 1.0,
+             "batching_gain": 1.0}]
+    for workers in WORKER_COUNTS:
         rows.append({
             "workers": workers,
-            "wall_s": elapsed_s,
-            "speedup": serial_s / elapsed_s,
+            "wall_s": batched[workers],
+            "speedup": serial_s / batched[workers],
+            "batching_gain": unbatched[workers] / batched[workers],
         })
     show(format_table(
         rows,
@@ -90,10 +112,17 @@ def test_parallel_dse_scaling(benchmark, show):
         "cpu_count": os.cpu_count(),
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": {
-            str(w): round(s, 3) for w, s in parallel.items()
+            str(w): round(s, 3) for w, s in batched.items()
+        },
+        "unbatched_wall_s": {
+            str(w): round(s, 3) for w, s in unbatched.items()
         },
         "speedup": {
-            str(w): round(serial_s / s, 3) for w, s in parallel.items()
+            str(w): round(serial_s / s, 3) for w, s in batched.items()
+        },
+        "batching_gain": {
+            str(w): round(unbatched[w] / batched[w], 3)
+            for w in WORKER_COUNTS
         },
     }
     OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

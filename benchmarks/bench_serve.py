@@ -1,0 +1,121 @@
+"""S21 — serving throughput/latency/drop behaviour across load levels.
+
+One fixed heavy-tailed client population (8 clients, 18 frames each,
+log-normal frame rates, Pareto arrival clumps) replayed against the
+serve engine at three timeline speeds: **light** (offered aggregate rate
+well under single-core service capacity), **busy** (offered above
+capacity — backpressure starts engaging) and **overload** (whole client
+timelines land at once — the bounded ingress queues and latest-wins drop
+policy carry the load).  The schedule is identical at every level; only
+the virtual→wall mapping changes, so the levels are directly
+comparable.
+
+Per level the committed ``BENCH_serve.json`` records sessions/sec, p50
+and p95 frame latency, processed/dropped counts and the drop rate.  The
+structural assertions are the serving layer's contract, not a perf
+number: every session closes (nothing crashes, nothing deadlocks), every
+offered frame is accounted processed-or-dropped, and at overload the
+drop counter — never a silent stall — absorbs the excess.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import format_table
+from repro.datasets import icl_nuim
+from repro.serve import (
+    InProcessTransport,
+    LoadSpec,
+    ServeEngine,
+    ServePolicy,
+    run_load,
+)
+
+CLIENTS = 8
+FRAMES_PER_CLIENT = 18
+WIDTH, HEIGHT = 32, 24
+SEED = 0
+CONFIGURATION = {"volume_resolution": 32, "volume_size": 4.8}
+POLICY = dict(queue_capacity=6, frames_per_round=4, drop_policy="oldest")
+
+#: Timeline speed per load level: virtual seconds offered per wall
+#: second.  At fps_median=2 the population offers ~16 fps aggregate at
+#: speed 1 — far under one core's ~90 fps service capacity at this
+#: frame/volume size — and ~2000 fps equivalent at speed 128.
+LEVELS = {"light": 1.0, "busy": 16.0, "overload": 128.0}
+
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+
+def _sequence():
+    seq = icl_nuim.load("lr_kt0", n_frames=6, width=WIDTH, height=HEIGHT,
+                        seed=SEED)
+    seq.materialize()
+    return seq
+
+
+def _run_level(sequence, speed: float) -> dict:
+    engine = ServeEngine(InProcessTransport(), policy=ServePolicy(**POLICY))
+    spec = LoadSpec(clients=CLIENTS, frames_per_client=FRAMES_PER_CLIENT,
+                    mean_interarrival_s=0.05, fps_median=2.0, speed=speed,
+                    seed=SEED)
+    report = run_load(engine, sequence, spec, algorithm="kfusion",
+                      configuration=dict(CONFIGURATION))
+    stats = report.engine_stats
+    sessions, frames = stats["sessions"], stats["frames"]
+
+    # The serving contract, independent of machine speed.
+    assert sessions["crashed"] == 0
+    assert sessions["by_state"] == {"closed": CLIENTS}
+    assert frames["processed"] + frames["dropped"] == report.offered_frames
+
+    return {
+        "speed": speed,
+        "wall_s": round(report.wall_s, 3),
+        "offered_frames": report.offered_frames,
+        "offered_fps": round(report.offered_fps, 2),
+        "sessions_per_s": round(CLIENTS / report.wall_s, 2),
+        "processed": frames["processed"],
+        "dropped": frames["dropped"],
+        "drop_rate": round(frames["drop_rate"], 4),
+        "latency_p50_s": round(stats["latency"]["p50_s"], 4),
+        "latency_p95_s": round(stats["latency"]["p95_s"], 4),
+    }
+
+
+def test_serve_load_levels(benchmark, show):
+    sequence = _sequence()
+
+    def run_all():
+        return {name: _run_level(sequence, speed)
+                for name, speed in LEVELS.items()}
+
+    levels = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Overload must engage backpressure: counted drops, not a stall.
+    assert levels["overload"]["dropped"] > 0
+    # Bounded queues bound latency: even at overload no frame waited
+    # longer than a full queue of service times times the session count.
+    assert levels["overload"]["latency_p95_s"] < 60.0
+
+    rows = [{"level": name, **row} for name, row in levels.items()]
+    show(format_table(
+        rows,
+        title=(f"serve: {CLIENTS} clients x {FRAMES_PER_CLIENT} frames, "
+               f"{WIDTH}x{HEIGHT}, queue={POLICY['queue_capacity']}, "
+               f"budget={POLICY['frames_per_round']}/round"),
+    ))
+
+    payload = {
+        "benchmark": "serve",
+        "clients": CLIENTS,
+        "frames_per_client": FRAMES_PER_CLIENT,
+        "width": WIDTH,
+        "height": HEIGHT,
+        "seed": SEED,
+        "configuration": CONFIGURATION,
+        "policy": POLICY,
+        "levels": levels,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    show(f"wrote {OUT_PATH.name}")

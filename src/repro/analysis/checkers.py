@@ -223,9 +223,25 @@ class ErrorPolicyChecker(Checker):
 #: Process-pool modules only :mod:`repro.jobs` may touch (RPR006).
 BANNED_PROCESS_MODULES = ("multiprocessing", "concurrent.futures")
 
+#: Thread/session lifecycle primitives (RPR006 serve-discipline arm):
+#: spawning threads outside the two layers that own concurrent
+#: lifecycles — :mod:`repro.jobs` (worker pool) and :mod:`repro.serve`
+#: (the scheduler thread) — hides unsupervised concurrency from both.
+#: Synchronisation primitives (``Lock``/``Condition``/``Event``/
+#: ``local``) stay legal everywhere: guarding state is fine, *owning a
+#: lifecycle* is the restricted act.
+BANNED_THREAD_LIFECYCLE = frozenset({
+    "threading.Thread", "threading.Timer",
+    "_thread.start_new_thread",
+})
+
 
 def _is_jobs_module(ctx: ModuleContext) -> bool:
     return "jobs" in ctx.path_parts
+
+
+def _is_lifecycle_module(ctx: ModuleContext) -> bool:
+    return "jobs" in ctx.path_parts or "serve" in ctx.path_parts
 
 
 def _banned_process_module(module: str) -> str | None:
@@ -242,12 +258,22 @@ class ProcessDisciplineChecker(Checker):
 
     rule_id = "RPR006"
     title = ("process-discipline: no multiprocessing/concurrent.futures "
-             "outside repro.jobs (use WorkerPool/JobRunner)")
+             "outside repro.jobs, no thread lifecycles outside "
+             "repro.jobs/repro.serve")
 
     _HINT = ("spawn work through repro.jobs (WorkerPool/JobRunner) so it "
              "gets seeded RNG streams, timeouts, retries and telemetry")
 
+    _THREAD_HINT = ("session/thread lifecycles belong to repro.serve "
+                    "(ServeEngine scheduler) or repro.jobs; elsewhere a "
+                    "spawned thread escapes every budget, drop policy and "
+                    "stats report")
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_process(ctx)
+        yield from self._check_thread_lifecycle(ctx)
+
+    def _check_process(self, ctx: ModuleContext) -> Iterator[Finding]:
         if _is_jobs_module(ctx):
             return
         reported: set[int] = set()
@@ -280,6 +306,26 @@ class ProcessDisciplineChecker(Checker):
                 dotted = ctx.resolve(node)
                 if dotted and _banned_process_module(dotted) and "." in dotted:
                     yield from flag(node, f"use of {dotted}")
+
+    def _check_thread_lifecycle(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_lifecycle_module(ctx):
+            return
+        reported: set[tuple[int, str]] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = ctx.resolve(node)
+            if dotted not in BANNED_THREAD_LIFECYCLE:
+                continue
+            key = (node.lineno, dotted)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield ctx.finding(
+                node, self.rule_id,
+                f"{dotted} outside repro.jobs/repro.serve; "
+                f"{self._THREAD_HINT}",
+            )
 
 
 def _contract_decorators(ctx: ModuleContext,

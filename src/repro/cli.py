@@ -106,6 +106,80 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .serve import (
+        InProcessTransport,
+        LoadSpec,
+        ServeEngine,
+        ServePolicy,
+        run_load,
+    )
+
+    register_defaults()
+    sequence = create_dataset(args.dataset, n_frames=args.stream_frames,
+                              width=args.width, height=args.height,
+                              seed=args.seed)
+    policy = ServePolicy(
+        queue_capacity=args.queue_capacity,
+        frames_per_round=args.frames_per_round,
+        drop_policy=args.drop_policy,
+    )
+    spec = LoadSpec(
+        clients=args.clients,
+        frames_per_client=args.frames,
+        mean_interarrival_s=args.mean_interarrival,
+        arrival_shape=args.arrival_shape,
+        fps_median=args.fps,
+        fps_sigma=args.fps_sigma,
+        speed=args.speed,
+        seed=args.seed,
+    )
+    tracer = Tracer(enabled=bool(args.trace))
+    with use_tracer(tracer):
+        engine = ServeEngine(InProcessTransport(), policy, tracer=tracer)
+        if args.threaded:
+            engine.start()
+        report = run_load(
+            engine, sequence, spec,
+            algorithm=args.algorithm,
+            configuration=dict(args.set or []),
+            threaded=args.threaded,
+        )
+        engine.close()
+
+    doc = report.as_dict()
+    stats = doc["engine"]
+    print(format_table(
+        [{
+            "sessions": stats["sessions"]["opened"],
+            "closed": stats["sessions"]["closed"],
+            "crashed": stats["sessions"]["crashed"],
+            "frames": stats["frames"]["received"],
+            "processed": stats["frames"]["processed"],
+            "dropped": stats["frames"]["dropped"],
+            "drop_rate": round(stats["frames"]["drop_rate"], 4),
+            "p50_ms": round(stats["latency"]["p50_s"] * 1e3, 2),
+            "p95_ms": round(stats["latency"]["p95_s"] * 1e3, 2),
+            "wall_s": round(doc["wall_s"], 3),
+        }],
+        title=(f"repro serve: {args.clients} clients x {args.frames} "
+               f"frames (speed {args.speed}x, "
+               f"{'threaded' if args.threaded else 'sync'})"),
+    ))
+    if args.stats_out:
+        with open(args.stats_out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote stats report to {args.stats_out}")
+    if args.trace:
+        _write_trace(tracer, args.trace)
+    # Crashed sessions mean the serving fleet lost work: nonzero exit so
+    # smoke jobs fail loudly even though the engine itself survived.
+    return 1 if stats["sessions"]["crashed"] else 0
+
+
 def _cmd_dse(args) -> int:
     from .experiments import fig2_dse
     from .hypermapper import (
@@ -450,6 +524,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a telemetry trace (.jsonl event log, "
                             ".csv summary, else Chrome trace_event JSON)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="concurrent SLAM session engine under generated load "
+                      "(repro.serve)")
+    p_serve.add_argument("--dataset", default="lr_kt0",
+                         choices=dataset_names())
+    p_serve.add_argument("--algorithm", default="kfusion",
+                         choices=algorithm_names())
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="simulated client count")
+    p_serve.add_argument("--frames", type=int, default=20,
+                         help="frames each client streams")
+    p_serve.add_argument("--stream-frames", dest="stream_frames", type=int,
+                         default=6,
+                         help="distinct frames in the shared procedural "
+                              "stream (cycled per client)")
+    p_serve.add_argument("--width", type=int, default=48)
+    p_serve.add_argument("--height", type=int, default=36)
+    p_serve.add_argument("--fps", type=float, default=10.0,
+                         help="median client frame rate (virtual fps)")
+    p_serve.add_argument("--fps-sigma", dest="fps_sigma", type=float,
+                         default=0.75,
+                         help="log-normal dispersion of client frame rates")
+    p_serve.add_argument("--mean-interarrival", dest="mean_interarrival",
+                         type=float, default=0.05,
+                         help="mean virtual gap between client arrivals (s)")
+    p_serve.add_argument("--arrival-shape", dest="arrival_shape", type=float,
+                         default=1.5,
+                         help="Pareto tail index of client arrivals (>1)")
+    p_serve.add_argument("--speed", type=float, default=1.0,
+                         help="virtual seconds offered per wall second "
+                              "(>1 = overload knob)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--queue-capacity", dest="queue_capacity", type=int,
+                         default=8,
+                         help="bounded per-session ingress queue length")
+    p_serve.add_argument("--frames-per-round", dest="frames_per_round",
+                         type=int, default=4,
+                         help="per-session frame budget per scheduling round")
+    p_serve.add_argument("--drop-policy", dest="drop_policy",
+                         choices=("oldest", "newest"), default="oldest",
+                         help="which frame dies when an ingress queue is "
+                              "full")
+    p_serve.add_argument("--threaded", action="store_true",
+                         help="run the scheduler on its own thread "
+                              "(default: synchronous stepping)")
+    p_serve.add_argument("--set", metavar="NAME=VALUE", action="append",
+                         type=_parse_override,
+                         help="override an algorithm parameter")
+    p_serve.add_argument("--stats-out", dest="stats_out", metavar="PATH",
+                         default="",
+                         help="write the JSON stats report here")
+    p_serve.add_argument("--trace", metavar="PATH", default="",
+                         help="write a telemetry trace of the serving run")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_dse = sub.add_parser("dse", help="design-space exploration (Fig 2)")
     p_dse.add_argument("--samples", type=int, default=150)

@@ -101,3 +101,17 @@ class JobError(ReproError):
     that diverges) are not job errors: they come back as
     ``Evaluation(failed=True)`` so a search can keep going.
     """
+
+
+class ServeError(ReproError):
+    """The serving layer was misused or a session protocol was violated.
+
+    Raised by :mod:`repro.serve` for engine-level faults — invalid
+    budgets or drop policies, stepping a stopped engine, an adapter
+    violating the transport port contract.  Client *protocol* mistakes
+    (opening a session id twice, streaming to an unknown session) are
+    counted as protocol errors rather than raised, and a SLAM
+    *algorithm* failure inside a session is not a serve error either:
+    the engine quarantines it (the session is marked crashed, its error
+    recorded in the stats report) and keeps serving every other client.
+    """

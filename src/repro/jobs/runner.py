@@ -24,7 +24,29 @@ from ..hypermapper.evaluator import Evaluation, Evaluator
 from ..telemetry import current_tracer
 from .pool import JobOutcome, WorkerPool
 from .store import EvaluationStore
-from .tasks import evaluate_configuration
+from .tasks import evaluate_configuration_batch
+
+#: Target jobs per worker when auto-chunking a batch: enough slack for
+#: load-balance across uneven evaluation times, few enough jobs that
+#: dispatch overhead stays amortised.
+_AUTO_JOBS_PER_WORKER = 4
+
+
+def _chunk_indices(indices: Sequence[int], batch_size: int) -> list[list[int]]:
+    """Split ``indices`` into near-equal chunks of at most ``batch_size``.
+
+    Even sizes (differing by at most one) rather than a full tail
+    chunk + remainder, so no worker draws a systematically short job.
+    """
+    n = len(indices)
+    n_chunks = -(-n // batch_size)  # ceil
+    base, extra = divmod(n, n_chunks)
+    chunks, at = [], 0
+    for c in range(n_chunks):
+        size = base + (1 if c < extra else 0)
+        chunks.append(list(indices[at:at + size]))
+        at += size
+    return chunks
 
 
 def _failed_evaluation(configuration: Mapping,
@@ -80,7 +102,8 @@ class JobRunner:
         return self.pool.workers
 
     def evaluate(self, evaluator: Evaluator,
-                 configurations: Sequence[Mapping]) -> list[Evaluation]:
+                 configurations: Sequence[Mapping],
+                 batch_size: int | None = None) -> list[Evaluation]:
         """Evaluate a batch of configurations, memoized through the store.
 
         Store hits cost nothing and count ``dse.cache_hits`` (the same
@@ -90,7 +113,19 @@ class JobRunner:
         every retry come back as ``Evaluation(failed=True)`` with the
         error in ``extras`` — they are *not* persisted, so a rerun gets
         another chance at them.
+
+        ``batch_size`` caps how many configurations ride in one
+        submitted job.  The default (``None``) auto-chunks: serial
+        pools evaluate in place (chunking buys nothing), parallel pools
+        aim for ``_AUTO_JOBS_PER_WORKER`` jobs per worker so dispatch
+        overhead (queue round-trips, parent poll latency) is amortised
+        over several evaluations while load-balance survives uneven
+        runtimes.  Retries and the per-job ``timeout_s`` apply to whole
+        chunks: a crashed worker re-runs its chunk, a timeout must
+        cover ``batch_size`` evaluations.
         """
+        if batch_size is not None and batch_size < 1:
+            raise JobError(f"batch_size must be >= 1, got {batch_size}")
         configurations = [dict(c) for c in configurations]
         n = len(configurations)
         if n == 0:
@@ -112,27 +147,42 @@ class JobRunner:
         done_base = n - len(missing)
         if self.progress is not None and done_base:
             self.progress(done_base, n)
+        if not missing:
+            return results  # type: ignore[return-value]
+
+        if batch_size is None:
+            if not self.pool.parallel:
+                batch_size = 1
+            else:
+                per_worker = self.workers * _AUTO_JOBS_PER_WORKER
+                batch_size = max(1, len(missing) // per_worker)
+        chunks = _chunk_indices(missing, batch_size)
+
+        def chunk_progress(done_jobs: int, total_jobs: int) -> None:
+            # Chunk identities are not in the callback, so interpolate:
+            # near-equal chunks make this off by at most one chunk, and
+            # it lands exactly on n when the last job completes.
+            done = done_base + (done_jobs * len(missing)) // total_jobs
+            self.progress(done, n)
 
         with tracer.span("jobs.evaluate_batch", n=n,
-                         store_hits=done_base, evaluated=len(missing)):
-            if missing:
-                outcomes = self.pool.run(
-                    evaluate_configuration,
-                    [configurations[i] for i in missing],
-                    shared=evaluator,
-                    progress=(
-                        None if self.progress is None
-                        else lambda done, _t: self.progress(done_base + done,
-                                                            n)
-                    ),
-                )
-                for i, outcome in zip(missing, outcomes):
-                    if outcome.ok:
-                        results[i] = outcome.value
+                         store_hits=done_base, evaluated=len(missing),
+                         batch_size=batch_size, jobs=len(chunks)):
+            outcomes = self.pool.run(
+                evaluate_configuration_batch,
+                [[configurations[i] for i in chunk] for chunk in chunks],
+                shared=evaluator,
+                progress=None if self.progress is None else chunk_progress,
+            )
+            for chunk, outcome in zip(chunks, outcomes):
+                if outcome.ok:
+                    for i, evaluation in zip(chunk, outcome.value):
+                        results[i] = evaluation
                         if self.store is not None:
-                            self.store.put(outcome.value)
-                    else:
-                        tracer.count("jobs.failed_jobs")
+                            self.store.put(evaluation)
+                else:
+                    tracer.count("jobs.failed_jobs")
+                    for i in chunk:
                         results[i] = _failed_evaluation(configurations[i],
                                                         outcome)
         return results  # type: ignore[return-value]

@@ -1,0 +1,281 @@
+"""Load generator: many synthetic clients with heavy-tailed behaviour.
+
+Real SLAM-as-a-service traffic is not uniform: clients arrive in bursts
+and their frame rates span an order of magnitude (a phone throttling at
+5 fps next to a headset pushing 30).  The generator models both with
+heavy-tailed distributions drawn from one injected, seeded
+``np.random.Generator``:
+
+* **client arrivals** — Pareto inter-arrival times (tail index
+  ``arrival_shape``, normalised so the configured mean holds), so load
+  comes in clumps rather than a metronome;
+* **frame rates** — log-normal per-client fps around ``fps_median``.
+
+From those it builds a deterministic *schedule* — every open, frame and
+close event with its virtual timestamp — and replays it against a
+:class:`~repro.serve.ServeEngine`'s transport.  Replay maps virtual to
+wall time through ``speed``: at ``speed=2`` the whole timeline is
+offered twice as fast, which is how the benchmark pushes one fixed
+workload through light, busy and overloaded regimes without changing
+the schedule itself.
+
+Every client streams frames from one shared, pre-materialised
+:class:`~repro.datasets.base.Sequence` (cycled when the client wants
+more frames than the stream has), re-indexed per session — sessions are
+independent, so sharing the rendered pixels costs nothing and keeps a
+thousand-client run affordable.
+
+Offered-rate accounting uses the same
+:class:`~repro.telemetry.RateWindow` primitive as the engine's stats,
+per the one-implementation rule.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..errors import ServeError
+from ..telemetry import RateWindow, monotonic_s
+from .engine import ServeEngine
+from .transport import SessionClose, SessionFrame, SessionOpen
+
+#: Event kinds, in tie-break order at equal timestamps: a client's open
+#: sorts before its first frame, frames before its close.
+_OPEN, _FRAME, _CLOSE = 0, 1, 2
+
+#: Never-set event whose ``wait`` is the replay loop's portable pacer —
+#: yields the GIL to the scheduler thread without reading any clock.
+_PACER = threading.Event()
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one generated load.
+
+    Attributes:
+        clients: number of simulated clients (sessions).
+        frames_per_client: frames each client streams.
+        mean_interarrival_s: mean virtual gap between client arrivals.
+        arrival_shape: Pareto tail index for inter-arrivals (must be
+            > 1 so the mean exists; smaller = burstier).
+        fps_median: median per-client frame rate (virtual fps).
+        fps_sigma: log-normal dispersion of per-client frame rates.
+        speed: virtual seconds offered per wall second during replay
+            (> 1 compresses the timeline: the overload knob).
+        seed: RNG seed; the schedule is a pure function of the spec.
+    """
+
+    clients: int = 8
+    frames_per_client: int = 20
+    mean_interarrival_s: float = 0.05
+    arrival_shape: float = 1.5
+    fps_median: float = 10.0
+    fps_sigma: float = 0.75
+    speed: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.clients < 1 or self.frames_per_client < 1:
+            raise ServeError(
+                f"need >= 1 clients and frames_per_client, got "
+                f"({self.clients}, {self.frames_per_client})"
+            )
+        if self.arrival_shape <= 1.0:
+            raise ServeError(
+                f"arrival_shape must be > 1 (finite mean), "
+                f"got {self.arrival_shape}"
+            )
+        if self.mean_interarrival_s < 0 or self.fps_median <= 0:
+            raise ServeError("arrival/fps scales must be positive")
+        if self.speed <= 0:
+            raise ServeError(f"speed must be positive, got {self.speed}")
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One simulated client's drawn behaviour."""
+
+    client_id: str
+    arrival_s: float  #: virtual time the client opens its session
+    fps: float        #: the client's drawn frame rate (virtual)
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One scheduled transport message at a virtual timestamp."""
+
+    time_s: float
+    kind: int         #: _OPEN / _FRAME / _CLOSE
+    client: ClientPlan
+    frame_number: int = 0  #: per-session frame index (kind == _FRAME)
+
+
+def build_schedule(spec: LoadSpec) -> tuple[list[ClientPlan],
+                                            list[LoadEvent]]:
+    """Draw the client population and lay out every event in virtual time.
+
+    Deterministic: one ``default_rng(spec.seed)`` drives every draw and
+    events are sorted with a total order (time, client, kind, frame), so
+    the same spec always produces the same message sequence.
+    """
+    rng = np.random.default_rng(spec.seed)
+    # Pareto(a) + 1 has mean a/(a-1); rescale so the configured mean
+    # inter-arrival holds while the tail index controls burstiness.
+    raw_gaps = rng.pareto(spec.arrival_shape, size=spec.clients) + 1.0
+    gaps = raw_gaps * (
+        spec.mean_interarrival_s
+        * (spec.arrival_shape - 1.0) / spec.arrival_shape
+    )
+    arrivals = np.cumsum(gaps) - gaps[0]  # first client arrives at t=0
+    log_fps = rng.normal(np.log(spec.fps_median), spec.fps_sigma,
+                         size=spec.clients)
+    fps = np.exp(log_fps)
+
+    width = max(4, len(str(spec.clients - 1)))
+    plans = [
+        ClientPlan(client_id=f"c{i:0{width}d}",
+                   arrival_s=float(arrivals[i]), fps=float(fps[i]))
+        for i in range(spec.clients)
+    ]
+    events: list[LoadEvent] = []
+    for plan in plans:
+        events.append(LoadEvent(plan.arrival_s, _OPEN, plan))
+        for j in range(spec.frames_per_client):
+            events.append(LoadEvent(plan.arrival_s + j / plan.fps,
+                                    _FRAME, plan, frame_number=j))
+        events.append(LoadEvent(
+            plan.arrival_s + spec.frames_per_client / plan.fps,
+            _CLOSE, plan,
+        ))
+    events.sort(key=lambda e: (e.time_s, e.client.client_id, e.kind,
+                               e.frame_number))
+    return plans, events
+
+
+@dataclass
+class LoadReport:
+    """What the generator offered and what the engine did with it."""
+
+    spec: LoadSpec
+    wall_s: float             #: replay wall-clock duration
+    offered_frames: int
+    offered_fps: float        #: sliding-window offered rate at replay end
+    engine_stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": {
+                "clients": self.spec.clients,
+                "frames_per_client": self.spec.frames_per_client,
+                "mean_interarrival_s": self.spec.mean_interarrival_s,
+                "arrival_shape": self.spec.arrival_shape,
+                "fps_median": self.spec.fps_median,
+                "fps_sigma": self.spec.fps_sigma,
+                "speed": self.spec.speed,
+                "seed": self.spec.seed,
+            },
+            "wall_s": self.wall_s,
+            "offered_frames": self.offered_frames,
+            "offered_fps": self.offered_fps,
+            "engine": self.engine_stats,
+        }
+
+
+def _session_frame(plan: ClientPlan, sequence, number: int) -> SessionFrame:
+    base = sequence.frame(number % len(sequence))
+    frame = replace(base.without_ground_truth(), index=number,
+                    timestamp=number / plan.fps)
+    return SessionFrame(client_id=plan.client_id, frame=frame)
+
+
+def run_load(
+    engine: ServeEngine,
+    sequence,
+    spec: LoadSpec,
+    algorithm: str = "kfusion",
+    configuration: dict | None = None,
+    factory_kwargs: dict | None = None,
+    threaded: bool = False,
+    drain: bool = True,
+    clock: Any = monotonic_s,
+) -> LoadReport:
+    """Replay ``spec`` against ``engine`` over its transport.
+
+    In the default synchronous mode the replay loop interleaves event
+    pushes with ``engine.step()`` calls — one thread, fully
+    deterministic message *order* (latencies still come from the real
+    clock).  With ``threaded=True`` the engine must already be
+    ``start()``\\ ed: the loop only pushes (the producer role), and the
+    scheduler thread consumes concurrently.
+
+    ``drain=True`` runs the engine until every queued frame resolved
+    (processed or dropped) before the report snapshot, so reports from
+    finite loads always account for every offered frame.
+    """
+    if threaded and not engine.running:
+        raise ServeError("threaded replay needs engine.start() first")
+    sequence.materialize()
+    _plans, events = build_schedule(spec)
+    configuration = dict(configuration or {})
+    factory_kwargs = dict(factory_kwargs or {})
+    offered = RateWindow(clock=clock)
+    transport = engine.transport
+
+    n_frames = 0
+    t0 = clock()
+    i = 0
+    while i < len(events):
+        virtual_now = (clock() - t0) * spec.speed
+        due = False
+        while i < len(events) and events[i].time_s <= virtual_now:
+            event = events[i]
+            i += 1
+            due = True
+            if event.kind == _OPEN:
+                transport.send(SessionOpen(
+                    client_id=event.client.client_id,
+                    sensors=sequence.sensors,
+                    algorithm=algorithm,
+                    configuration=configuration,
+                    factory_kwargs=factory_kwargs,
+                ))
+            elif event.kind == _FRAME:
+                transport.send(_session_frame(event.client, sequence,
+                                              event.frame_number))
+                offered.mark()
+                n_frames += 1
+            else:
+                transport.send(SessionClose(event.client.client_id))
+        if not threaded:
+            engine.step()
+        elif not due:
+            # Producer is ahead of the timeline; yield the GIL to the
+            # scheduler thread instead of spinning flat out.
+            _PACER.wait(0.001)
+    if drain:
+        if threaded:
+            engine.stop(drain=True)
+        else:
+            engine.run_until_idle()
+    wall_s = clock() - t0
+    return LoadReport(
+        spec=spec,
+        wall_s=wall_s,
+        offered_frames=n_frames,
+        offered_fps=offered.rate(),
+        engine_stats=engine.stats(),
+    )
+
+
+__all__ = [
+    "ClientPlan",
+    "LoadEvent",
+    "LoadReport",
+    "LoadSpec",
+    "build_schedule",
+    "run_load",
+]

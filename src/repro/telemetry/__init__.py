@@ -37,6 +37,7 @@ from .exporters import (
     write_jsonl,
 )
 from .manifest import RunManifest, git_revision, platform_fingerprint
+from .rate import DEFAULT_WINDOW_S, RateWindow
 from .tracer import (
     DISABLED,
     SpanEvent,
@@ -49,7 +50,9 @@ from .tracer import (
 )
 
 __all__ = [
+    "DEFAULT_WINDOW_S",
     "DISABLED",
+    "RateWindow",
     "RunManifest",
     "SpanEvent",
     "SpanStats",

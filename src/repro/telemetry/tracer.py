@@ -145,6 +145,7 @@ class Tracer:
         self.spans: list[SpanEvent] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.rate_windows: dict = {}  # name -> RateWindow (see mark())
         self.manifest = None  # RunManifest | None, attached by the harness
         self._lock = threading.Lock()
         self._stacks = threading.local()
@@ -200,6 +201,40 @@ class Tracer:
         with self._lock:
             self.gauges[name] = float(value)
 
+    def mark(self, name: str, value: float = 1.0,
+             window_s: float | None = None) -> None:
+        """Count ``value`` events *and* feed the name's sliding rate window.
+
+        One call site produces both views the serving stats need: the
+        cumulative monotonic counter (exported with every trace) and a
+        recent-rate reading via :meth:`rate`.  ``window_s`` only takes
+        effect when the window is first created for ``name``.
+        """
+        if not self.enabled:
+            return
+        from .rate import DEFAULT_WINDOW_S, RateWindow
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            window = self.rate_windows.get(name)
+            if window is None:
+                window = self.rate_windows[name] = RateWindow(
+                    window_s if window_s is not None else DEFAULT_WINDOW_S
+                )
+            window.mark(value)
+
+    def rate(self, name: str) -> float:
+        """Sliding-window rate (events/sec) of :meth:`mark` calls.
+
+        Returns 0.0 for names never marked (or on a disabled tracer) —
+        a stats poll never throws because a quiet session has not
+        emitted yet.
+        """
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            window = self.rate_windows.get(name)
+            return 0.0 if window is None else window.rate()
+
     # -- merging ------------------------------------------------------------
     def absorb(self, spans=(), counters=None, gauges=None) -> None:
         """Merge telemetry captured by another tracer into this one.
@@ -233,6 +268,7 @@ class Tracer:
             self.spans.clear()
             self.counters.clear()
             self.gauges.clear()
+            self.rate_windows.clear()
 
 
 #: Process-default tracer: permanently disabled, shared by all un-traced

@@ -505,6 +505,48 @@ class TestProcessDisciplineChecker:
         assert analyze_source(src, path="src/repro/cli.py",
                               select=["RPR006"]) == []
 
+    # -- thread-lifecycle arm: Thread/Timer only in repro.jobs/repro.serve
+    def test_thread_spawn_flagged_outside_lifecycle_owners(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(target=print)\n"
+        )
+        findings = analyze_source(src, path="src/repro/core/harness.py",
+                                  select=["RPR006"])
+        assert rules_of(findings) == ["RPR006"]
+        assert findings[0].line == 2
+        assert "repro.serve" in findings[0].message
+
+    def test_from_import_thread_flagged(self):
+        src = (
+            "from threading import Thread\n"
+            "worker = Thread(target=print)\n"
+        )
+        findings = analyze_source(src, path="src/repro/telemetry/tracer.py",
+                                  select=["RPR006"])
+        assert rules_of(findings) == ["RPR006"]
+
+    def test_timer_flagged(self):
+        src = "import threading\nthreading.Timer(1.0, print)\n"
+        assert rules_of(analyze_source(src, path="src/repro/cli.py",
+                                       select=["RPR006"])) == ["RPR006"]
+
+    def test_thread_spawn_allowed_in_serve_and_jobs(self):
+        src = "import threading\nt = threading.Thread(target=print)\n"
+        for path in ("src/repro/serve/engine.py", "src/repro/jobs/pool.py"):
+            assert analyze_source(src, path=path, select=["RPR006"]) == []
+
+    def test_sync_primitives_stay_legal_everywhere(self):
+        src = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "cond = threading.Condition(lock)\n"
+            "evt = threading.Event()\n"
+            "tls = threading.local()\n"
+        )
+        assert analyze_source(src, path="src/repro/telemetry/tracer.py",
+                              select=["RPR006"]) == []
+
 
 class TestDtypeDisciplineChecker:
     """RPR007 — no float64 temporaries in kfusion/perf hot paths."""

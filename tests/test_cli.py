@@ -70,6 +70,36 @@ class TestCommands:
         assert main(["devices"]) == 0
         assert "83 devices" in capsys.readouterr().out
 
+    def test_serve_command_sync(self, capsys, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code = main([
+            "serve", "--clients", "3", "--frames", "4",
+            "--stream-frames", "4", "--width", "32", "--height", "24",
+            "--speed", "100", "--set", "volume_resolution=48",
+            "--set", "volume_size=5.0",
+            "--stats-out", str(stats_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        import json
+
+        stats = json.loads(stats_path.read_text())
+        engine = stats["engine"]
+        assert engine["sessions"]["crashed"] == 0
+        assert engine["sessions"]["by_state"] == {"closed": 3}
+        frames = engine["frames"]
+        assert frames["processed"] + frames["dropped"] == 12
+
+    def test_serve_command_threaded(self, capsys, tmp_path):
+        code = main([
+            "serve", "--clients", "2", "--frames", "3",
+            "--stream-frames", "3", "--width", "32", "--height", "24",
+            "--speed", "100", "--threaded", "--algorithm", "icp_odometry",
+            "--stats-out", str(tmp_path / "stats.json"),
+        ])
+        assert code == 0
+
     def test_evaluate_command(self, capsys, tmp_path):
         from repro.datasets import save_tum_trajectory
         from repro.scene import orbit

@@ -436,6 +436,57 @@ class TestJobRunner:
         with pytest.raises(JobError):
             evaluate_batch(SurrogateEvaluator(), [], workers=0)
 
+    # -- configuration chunking (the fan-out overhead fix) ------------------
+    def test_chunk_indices_even_partition(self):
+        from repro.jobs.runner import _chunk_indices
+
+        chunks = _chunk_indices(list(range(10)), 4)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [i for c in chunks for i in c] == list(range(10))
+        assert _chunk_indices([7], 4) == [[7]]
+        assert _chunk_indices(list(range(6)), 1) == [[i] for i in range(6)]
+
+    def test_explicit_batch_size_matches_unbatched(self):
+        ev = SurrogateEvaluator()
+        space = kfusion_design_space()
+        configs = space.sample_many(7, np.random.default_rng(4))
+        direct = [SurrogateEvaluator().evaluate(c) for c in configs]
+        with JobRunner(workers=2) as runner:
+            for batch_size in (1, 3, 100):
+                pooled = runner.evaluate(ev, configs, batch_size=batch_size)
+                assert ([e.to_dict() for e in pooled]
+                        == [e.to_dict() for e in direct]), batch_size
+
+    def test_batch_size_validated(self):
+        with JobRunner(workers=1) as runner:
+            with pytest.raises(JobError):
+                runner.evaluate(SurrogateEvaluator(), [{}], batch_size=0)
+
+    def test_chunked_store_memoization(self, tmp_path):
+        ev = SurrogateEvaluator()
+        space = kfusion_design_space()
+        configs = space.sample_many(6, np.random.default_rng(5))
+        store = EvaluationStore.open(tmp_path / "chunked.jsonl",
+                                     context=ev.fingerprint())
+        with JobRunner(workers=2, store=store) as runner:
+            runner.evaluate(ev, configs, batch_size=3)
+            assert len(store) == 6
+            runner.evaluate(ev, configs, batch_size=3)
+            assert store.hits == 6
+        store.close()
+
+    def test_chunked_progress_reaches_total(self):
+        seen = []
+        ev = SurrogateEvaluator()
+        space = kfusion_design_space()
+        configs = space.sample_many(5, np.random.default_rng(6))
+        with JobRunner(workers=2,
+                       progress=lambda d, t: seen.append((d, t))) as runner:
+            runner.evaluate(ev, configs, batch_size=2)
+        assert seen[-1] == (5, 5)
+        assert all(t == 5 and 0 <= d <= 5 for d, t in seen)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
 
 class TestGoldenDeterminism:
     """Satellite 3: worker count and resume must not change results."""

@@ -134,8 +134,69 @@ class TestCountersAndGauges:
         with tracer.span("a"):
             pass
         tracer.count("c")
+        tracer.mark("m")
         tracer.clear()
         assert len(tracer) == 0 and tracer.counters == {}
+        assert tracer.rate_windows == {}
+
+
+class TestRateWindow:
+    def test_rate_over_full_window(self):
+        clock = _FakeClock()
+        window = telemetry.RateWindow(window_s=10.0, clock=clock)
+        for _ in range(20):
+            window.mark()
+            clock.now_s += 1.0
+        # 10 marks survive inside the trailing 10 s window; the
+        # cumulative total/count never evict.
+        assert window.rate() == pytest.approx(1.0)
+        assert window.count == 20 and window.total == pytest.approx(20.0)
+
+    def test_short_history_uses_effective_window(self):
+        clock = _FakeClock()
+        window = telemetry.RateWindow(window_s=60.0, clock=clock)
+        window.mark()
+        clock.now_s = 2.0
+        window.mark()
+        # Only 2 s of history: rate is 2 events / 2 s, not / 60 s.
+        assert window.rate() == pytest.approx(1.0)
+
+    def test_empty_window_rate_zero(self):
+        window = telemetry.RateWindow(clock=_FakeClock())
+        assert window.rate() == 0.0
+
+    def test_weighted_marks(self):
+        clock = _FakeClock()
+        window = telemetry.RateWindow(window_s=4.0, clock=clock)
+        window.mark(value=3.0)
+        clock.now_s = 2.0
+        assert window.rate() == pytest.approx(1.5)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(TelemetryError):
+            telemetry.RateWindow(window_s=0.0)
+
+    def test_tracer_mark_feeds_counter_and_rate(self):
+        tracer = Tracer()
+        tracer.mark("serve.frames", window_s=5.0)
+        tracer.mark("serve.frames", window_s=5.0)
+        assert tracer.counters["serve.frames"] == 2.0
+        assert tracer.rate("serve.frames") > 0.0
+        assert tracer.rate("never_marked") == 0.0
+
+    def test_disabled_tracer_mark_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.mark("x")
+        assert tracer.rate("x") == 0.0
+        assert tracer.counters == {}
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now_s = 0.0
+
+    def __call__(self) -> float:
+        return self.now_s
 
 
 class TestUseTracer:
