@@ -28,6 +28,12 @@ tokens must be identical and the dtype *kind* must match, while the
 f32/f64 width may differ (that width difference IS the backend
 distinction).  A kernel that declares a contract on one side only is
 flagged too: an undeclared twin silently escapes the runtime checks.
+
+A third arm ties the DSE to the registry: space.py's static
+``KERNEL_BACKEND_CHOICES`` tuple (the ``kernel_backend`` categorical
+dimension) must name exactly the always-registered backends extracted
+from registry.py — a sampled choice the registry cannot construct would
+crash the exploration, and an unexplored backend pins the axis.
 """
 
 from __future__ import annotations
@@ -322,6 +328,30 @@ def extract_kernel_backends(
     return out
 
 
+def extract_kernel_backend_choices(
+        tree: ast.Module) -> tuple[tuple, int] | None:
+    """``(choices, lineno)`` from space.py's ``KERNEL_BACKEND_CHOICES``.
+
+    The design-space dimension is a static tuple literal precisely so
+    this cross-check needs no imports; an unreadable declaration returns
+    ``None`` and the caller reports the contract unverifiable.
+    """
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name)
+                        and t.id == "KERNEL_BACKEND_CHOICES"
+                        for t in node.targets)):
+            continue
+        try:
+            value = ast.literal_eval(node.value)
+        except (ValueError, SyntaxError):
+            return None
+        if isinstance(value, tuple):
+            return value, node.lineno
+        return None
+    return None
+
+
 def resolve_backend_kernel(graph: CallGraph, qname: str,
                            _depth: int = 0) -> str:
     """Follow trivial ``return f(...)`` adapters to the kernel they wrap.
@@ -465,6 +495,7 @@ class DesignSpaceConsistencyChecker(ProjectChecker):
     def check_project(self, contexts) -> Iterator[Finding]:
         yield from self._check_design_space(contexts)
         yield from self._check_backend_contracts(contexts)
+        yield from self._check_backend_choices(contexts)
 
     def _check_design_space(self, contexts) -> Iterator[Finding]:
         params_ctx = self._params_ctx(contexts)
@@ -545,6 +576,47 @@ class DesignSpaceConsistencyChecker(ProjectChecker):
                     path=registry_ctx.path, line=lineno, col=1,
                     rule_id=self.rule_id, message=message,
                 )
+
+    def _check_backend_choices(self, contexts) -> Iterator[Finding]:
+        """The kernel_backend dimension must name exactly the registered
+        always-on backends — a choice the registry does not construct
+        would crash every exploration that samples it, and a backend
+        missing from the choices silently pins the sparsity axis."""
+        space_ctx = self._space_ctx(contexts)
+        registry_ctx = self._registry_ctx(contexts)
+        if space_ctx is None or registry_ctx is None:
+            return
+        extracted = extract_kernel_backend_choices(space_ctx.tree)
+        registered = set(extract_kernel_backends(registry_ctx.tree))
+        if not registered:
+            return  # backend arm already reports an empty registry
+        if extracted is None:
+            yield Finding(
+                path=space_ctx.path, line=1, col=1, rule_id=self.rule_id,
+                message=("KERNEL_BACKEND_CHOICES is missing or not a "
+                         "static tuple literal — the kernel_backend "
+                         "design-space dimension is unverifiable against "
+                         "the registry"),
+            )
+            return
+        choices, lineno = extracted
+        if set(choices) != registered:
+            only_space = sorted(set(choices) - registered)
+            only_registry = sorted(registered - set(choices))
+            detail = "; ".join(
+                f"only in {where}: {', '.join(names)}"
+                for where, names in (("space", only_space),
+                                     ("registry", only_registry))
+                if names
+            )
+            yield Finding(
+                path=space_ctx.path, line=lineno, col=1,
+                rule_id=self.rule_id,
+                message=(f"KERNEL_BACKEND_CHOICES disagrees with the "
+                         f"KernelBackend declarations in perf/registry.py "
+                         f"({detail}) — the explored backend dimension "
+                         f"must match the registered backends"),
+            )
 
     @staticmethod
     def _space_delegates(space_ctx: ModuleContext) -> bool:

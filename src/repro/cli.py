@@ -24,9 +24,10 @@ telemetry trace of the run: ``.jsonl`` writes the raw event log,
 ``.csv`` the per-kernel summary, anything else a Chrome
 ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
 
-``run`` also accepts ``--kernel-backend {fast,reference}`` for kfusion:
-the float32 workspace kernels (default) vs the float64 textbook
-kernels (``repro.perf``).
+``run`` also accepts ``--kernel-backend`` for kfusion: the float32
+workspace kernels (``fast``, default), the float64 textbook kernels
+(``reference``), the voxel-block TSDF (``sparse``), and — when numba
+is installed — the compiled ``jit`` backend (``repro.perf``).
 
 Examples::
 
@@ -201,6 +202,7 @@ def _cmd_dse(args) -> int:
             workers=args.workers,
             store_path=args.store or None,
             resume=args.resume,
+            backend_dimension=not args.no_backend_dimension,
         )
     print(format_table(figure.summary_rows(),
                        title="Design-space exploration"))
@@ -597,6 +599,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--resume", action="store_true",
                        help="reuse an existing --store from a previous "
                             "(possibly killed) run")
+    p_dse.add_argument("--no-backend-dimension", action="store_true",
+                       help="explore only the algorithmic knobs, without "
+                            "kernel_backend as a categorical dimension")
     p_dse.set_defaults(func=_cmd_dse)
 
     p_trace = sub.add_parser("trace", help="inspect telemetry trace files")

@@ -107,6 +107,7 @@ def run_surrogate(
     workers: int = 1,
     store_path: str | None = None,
     resume: bool = False,
+    backend_dimension: bool = False,
 ) -> DSEFigure:
     """Paper-scale Figure 2 with the surrogate evaluator.
 
@@ -114,8 +115,11 @@ def run_surrogate(
     :class:`repro.jobs.JobRunner` pool; ``store_path`` adds the on-disk
     evaluation store (cross-run memoization), which with ``resume`` lets
     a killed exploration pick up where it stopped.
+    ``backend_dimension`` adds ``kernel_backend`` to the explored space
+    (``repro dse`` passes it; the committed golden DSE outputs were
+    produced without it).
     """
-    space = kfusion_design_space()
+    space = kfusion_design_space(kernel_backend=backend_dimension)
     constraints = ConstraintSet.of([accuracy_limit(limit_m)])
 
     evaluator = SurrogateEvaluator(sequence_name=sequence_name, seed=seed)

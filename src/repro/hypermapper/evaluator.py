@@ -185,11 +185,16 @@ class MeasuredEvaluator:
 
     def _evaluate_uncached(self, configuration: Mapping) -> Evaluation:
         failed = False
+        # kernel_backend is a system-construction knob, not a
+        # KFusionParams field: strip it from the algorithmic
+        # configuration and select the backend on the pipeline itself.
+        algo_config = dict(configuration)
+        kernel_backend = algo_config.pop("kernel_backend", None)
         try:
             result = run_benchmark(
-                KinectFusion(),
+                KinectFusion(kernel_backend=kernel_backend),
                 self.sequence,
-                configuration=dict(configuration),
+                configuration=algo_config,
                 device=self.device,
                 platform_config=self.platform_config,
             )

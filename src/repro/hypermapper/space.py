@@ -134,11 +134,35 @@ class DesignSpace:
         return configs
 
 
-def kfusion_design_space() -> DesignSpace:
-    """The paper's algorithmic design space (KinectFusion parameters)."""
+#: Always-registered kernel backends exposed as a design-space dimension.
+#: Static literal so RPR004 can cross-check it against the registry's
+#: ``KernelBackend`` declarations without importing anything; the
+#: optional "jit" backend is exploration-eligible only where numba is
+#: installed, so it is deliberately not part of the static space.
+KERNEL_BACKEND_CHOICES = ("fast", "reference", "sparse")
+
+
+def kfusion_design_space(kernel_backend: bool = False) -> DesignSpace:
+    """The paper's algorithmic design space (KinectFusion parameters).
+
+    With ``kernel_backend=True`` the registry's always-available kernel
+    implementations join the space as a categorical dimension, so the
+    sparsity/precision axis is explored alongside the algorithmic knobs
+    (``repro dse`` opts in; golden DSE fixtures keep the smaller space).
+    """
     from ..kfusion.params import parameter_specs
 
-    return DesignSpace(parameter_specs())
+    specs = list(parameter_specs())
+    if kernel_backend:
+        specs.append(
+            ParameterSpec(
+                "kernel_backend", "categorical", "fast",
+                choices=KERNEL_BACKEND_CHOICES,
+                description="kernel implementation family "
+                            "(repro.perf registry)",
+            )
+        )
+    return DesignSpace(specs)
 
 
 def codesign_design_space(device=None) -> DesignSpace:

@@ -59,6 +59,7 @@ def _stage_need(stage: str):
         return stage_workspace_bytes(
             request.params, request.camera.width, request.camera.height,
             request.levels,
+            backend=request.backend or "fast",
         ).get(stage, 0)
     return need
 

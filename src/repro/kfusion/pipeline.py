@@ -74,8 +74,11 @@ class KinectFusion(SLAMSystem):
             that defends against depth-edge artefacts and dropout.
         kernel_backend: which registered kernel implementation set runs
             the five hot per-frame kernels — ``"fast"`` (float32
-            workspace kernels, the default) or ``"reference"`` (the
-            float64 textbook kernels).  See :mod:`repro.perf`.
+            workspace kernels, the default), ``"reference"`` (the
+            float64 textbook kernels), ``"sparse"`` (voxel-block volume
+            with band-restricted integrate and space-skipping raycast)
+            or ``"jit"`` (numba-compiled inner loops, registered only
+            when numba is installed).  See :mod:`repro.perf`.
         pipeline: execution path — ``"graph"`` (the compiled stage
             graph, default) or ``"legacy"`` (the historic inline call
             sequence).  Proven equivalent by ``repro graph diff`` and
@@ -166,7 +169,9 @@ class KinectFusion(SLAMSystem):
                 f"compute resolution {self._camera.shape} too small"
             )
 
-        self.volume = TSDFVolume(
+        # The backend picks the map representation: dense grid for
+        # reference/fast/jit, lazily allocated voxel blocks for sparse.
+        self.volume = self._backend.make_volume(
             resolution=self.params.volume_resolution,
             size=self.params.volume_size,
         )
@@ -380,6 +385,11 @@ class KinectFusion(SLAMSystem):
         self.outputs.get("pointcloud").set(
             self.volume.extract_surface_points(), idx
         )
+        tracer = current_tracer()
+        tracer.gauge("kfusion.volume.allocated_blocks",
+                     self.volume.allocated_blocks)
+        tracer.gauge("kfusion.volume.allocated_bytes",
+                     self.volume.allocated_bytes)
         if self._publish_render and self._last_render is not None:
             self.outputs.get("model_render").set(self._last_render, idx)
 

@@ -117,16 +117,49 @@ class TSDFVolume:
             g[:, axis] = (hi - lo) / (2.0 * eps)
         return g
 
-    def occupied_fraction(self) -> float:
-        """Fraction of voxels that have been observed at least once."""
-        return float(np.count_nonzero(self.weight > 0.0)) / self.weight.size
+    def occupancy_mask(self) -> np.ndarray:
+        """Boolean observed-voxel mask, ``(r, r, r)`` (one weight scan).
 
-    def extract_surface_points(self, threshold: float = 0.25) -> np.ndarray:
+        The single occupancy pass :meth:`occupied_fraction` and
+        :meth:`extract_surface_points` both build on; callers running
+        several occupancy-derived queries per frame can compute it once
+        and pass it down.
+        """
+        return self.weight > 0.0
+
+    def occupied_fraction(self, occupancy: np.ndarray | None = None) -> float:
+        """Fraction of voxels that have been observed at least once."""
+        mask = occupancy if occupancy is not None else self.occupancy_mask()
+        return float(np.count_nonzero(mask)) / self.weight.size
+
+    def extract_surface_points(self, threshold: float = 0.25,
+                               occupancy: np.ndarray | None = None
+                               ) -> np.ndarray:
         """Volume-frame points near the zero crossing, ``(N, 3)``.
 
         A cheap surface extraction (voxels with small |tsdf| and non-zero
         weight) used by the point-cloud output and reconstruction metric.
+        Shares :meth:`occupancy_mask`'s weight pass; the threshold test
+        narrows that mask in place on a private copy.
         """
-        mask = (np.abs(self.tsdf) < threshold) & (self.weight > 0.0)
+        mask = (occupancy.copy() if occupancy is not None
+                else self.occupancy_mask())
+        mask &= np.abs(self.tsdf) < threshold
         idx = np.argwhere(mask)
         return (idx.astype(float) + 0.5) * self.voxel_size
+
+    @property
+    def allocated_blocks(self) -> int:
+        """8³-block count backing the grid (dense: the whole grid).
+
+        The sparse volume reports only the blocks it lazily allocated;
+        the dense grid is fully materialised at construction, so the
+        telemetry gauge reads the full block grid here.
+        """
+        per_side = -(-self.resolution // 8)
+        return per_side**3
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Actual bytes held by the voxel fields."""
+        return self.tsdf.nbytes + self.weight.nbytes

@@ -19,6 +19,7 @@ from .registry import (
     FAST_BACKEND,
     KernelBackend,
     REFERENCE_BACKEND,
+    SPARSE_BACKEND,
     get_kernel_backend,
     kernel_backend_names,
     register_kernel_backend,
@@ -31,6 +32,7 @@ __all__ = [
     "FrameWorkspace",
     "KernelBackend",
     "REFERENCE_BACKEND",
+    "SPARSE_BACKEND",
     "get_kernel_backend",
     "kernel_backend_names",
     "register_kernel_backend",

@@ -1,0 +1,394 @@
+"""Optional numba-jitted kernel backend.
+
+The ``"jit"`` backend is the fast pipeline with its two scalar-heavy
+inner loops compiled by numba: the trilinear TSDF sample/gradient the
+raycaster calls every march step, and ICP's per-pixel projective
+association (transform, project, gather, gate).  Everything around
+those loops — the march itself, the Gauss-Newton solver, preprocess,
+integrate — is shared with the fast backend, so the jit backend's
+equivalence argument reduces to the inner loops recomputing the same
+quantities scalar-wise that the fast kernels compute vectorised.
+
+numba is an *optional* dependency: when it is absent this module still
+imports cleanly, :data:`HAVE_NUMBA` is False, and
+:func:`register_jit_backend` is a no-op — the registry then holds
+exactly the reference/fast/sparse trio.  CI runs one job with numba
+installed (golden-equivalence subset on "jit") and one without (clean
+skip), so both halves of the gate stay proven.
+
+The jitted ICP front end allocates its per-level scratch per call
+rather than through the arena: this module only runs where numba is
+installed, and keeping it outside the arena's budget formula means the
+memory model (``kfusion.memory``) stays a function of the always-on
+backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PerfError, TrackingError
+from ..geometry import se3
+from ..kfusion.tracking import (
+    MAX_RMSE,
+    MIN_INLIER_FRACTION,
+    ReferenceModel,
+    TrackResult,
+    _huber_weights,
+)
+from ..kfusion.volume import TSDFVolume
+from . import raycast as _fast_raycast
+from .common import PROJECT_EDGE_EPS, PROJECT_MIN_Z
+from .tracking import (
+    _COS_NORMAL_THRESHOLD,
+    _DIST_SQ_THRESHOLD,
+    _PreparedReference,
+)
+from .workspace import FrameWorkspace
+
+try:
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised by the no-numba CI job
+    njit = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)
+    def _sample_kernel(tsdf, weight, r, inv_voxel, points, values, valid):
+        """Scalar trilinear sampling, reference invalid-to-1.0 semantics."""
+        one = np.float32(1.0)
+        half = np.float32(0.5)
+        for i in range(points.shape[0]):
+            px = points[i, 0] * inv_voxel - half
+            py = points[i, 1] * inv_voxel - half
+            pz = points[i, 2] * inv_voxel - half
+            bx = int(np.floor(px))
+            by = int(np.floor(py))
+            bz = int(np.floor(pz))
+            inside = (bx >= 0 and bx <= r - 2 and by >= 0 and by <= r - 2
+                      and bz >= 0 and bz <= r - 2)
+            fx = px - np.float32(bx)
+            fy = py - np.float32(by)
+            fz = pz - np.float32(bz)
+            cbx = min(max(bx, 0), r - 2)
+            cby = min(max(by, 0), r - 2)
+            cbz = min(max(bz, 0), r - 2)
+
+            value = np.float32(0.0)
+            observed = True
+            for c in range(8):
+                ox = c & 1
+                oy = (c >> 1) & 1
+                oz = (c >> 2) & 1
+                idx = ((cbx + ox) * r + (cby + oy)) * r + (cbz + oz)
+                w = (fx if ox == 1 else one - fx)
+                w = w * (fy if oy == 1 else one - fy)
+                w = w * (fz if oz == 1 else one - fz)
+                value += w * tsdf[idx]
+                observed = observed and weight[idx] > np.float32(0.0)
+
+            if inside and observed:
+                values[i] = value
+                valid[i] = True
+            else:
+                values[i] = one
+                valid[i] = False
+
+    @njit(cache=True)
+    def _associate_kernel(cur_v, cur_n, valid_cur, Rp, tp, Rc, tc,
+                          fx, fy, cx, cy, width, height,
+                          ref_v, ref_n, has_ref, dist_sq_thr, cos_thr,
+                          min_z, eps, p_vol, r_n, diff, matched):
+        """Per-pixel ICP association: transform, project, gather, gate.
+
+        Same gates as the fast front end (``perf.tracking._solve_level``):
+        projective validity, reference presence, squared-distance and
+        normal-angle thresholds.  Writes the volume-frame point, matched
+        reference normal and vertex difference for the f64 solver.
+        """
+        n = cur_v.shape[0]
+        for i in range(n):
+            x = cur_v[i, 0]
+            y = cur_v[i, 1]
+            z = cur_v[i, 2]
+            px = Rp[0, 0] * x + Rp[0, 1] * y + Rp[0, 2] * z + tp[0]
+            py = Rp[1, 0] * x + Rp[1, 1] * y + Rp[1, 2] * z + tp[1]
+            pz = Rp[2, 0] * x + Rp[2, 1] * y + Rp[2, 2] * z + tp[2]
+            p_vol[i, 0] = px
+            p_vol[i, 1] = py
+            p_vol[i, 2] = pz
+            matched[i] = False
+            if not valid_cur[i]:
+                continue
+
+            qx = Rc[0, 0] * px + Rc[0, 1] * py + Rc[0, 2] * pz + tc[0]
+            qy = Rc[1, 0] * px + Rc[1, 1] * py + Rc[1, 2] * pz + tc[1]
+            qz = Rc[2, 0] * px + Rc[2, 1] * py + Rc[2, 2] * pz + tc[2]
+            if qz <= min_z:
+                continue
+            u = fx * qx / qz + cx
+            v = fy * qy / qz + cy
+            if not (np.isfinite(u) and np.isfinite(v)):
+                continue
+            if u < -eps or u > width - 1 + eps:
+                continue
+            if v < -eps or v > height - 1 + eps:
+                continue
+            ui = int(np.rint(u))
+            vi = int(np.rint(v))
+            ui = min(max(ui, 0), width - 1)
+            vi = min(max(vi, 0), height - 1)
+            flat = vi * width + ui
+            if not has_ref[flat]:
+                continue
+
+            dx = ref_v[flat, 0] - px
+            dy = ref_v[flat, 1] - py
+            dz = ref_v[flat, 2] - pz
+            if dx * dx + dy * dy + dz * dz >= dist_sq_thr:
+                continue
+            a = cur_n[i, 0]
+            b = cur_n[i, 1]
+            c = cur_n[i, 2]
+            nx = Rp[0, 0] * a + Rp[0, 1] * b + Rp[0, 2] * c
+            ny = Rp[1, 0] * a + Rp[1, 1] * b + Rp[1, 2] * c
+            nz = Rp[2, 0] * a + Rp[2, 1] * b + Rp[2, 2] * c
+            cos_angle = (nx * ref_n[flat, 0] + ny * ref_n[flat, 1]
+                         + nz * ref_n[flat, 2])
+            if cos_angle <= cos_thr:
+                continue
+
+            matched[i] = True
+            r_n[i, 0] = ref_n[flat, 0]
+            r_n[i, 1] = ref_n[flat, 1]
+            r_n[i, 2] = ref_n[flat, 2]
+            diff[i, 0] = dx
+            diff[i, 1] = dy
+            diff[i, 2] = dz
+
+
+def _require_numba() -> None:
+    if not HAVE_NUMBA:
+        raise PerfError(
+            "the 'jit' kernel backend requires numba, which is not "
+            "installed; use the 'fast' or 'sparse' backend instead"
+        )
+
+
+def sample_f32_jit(volume: TSDFVolume,
+                   points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Jitted counterpart of :func:`repro.perf.trilinear.sample_f32`."""
+    _require_numba()
+    pts = np.ascontiguousarray(points, dtype=np.float32)
+    n = pts.shape[0]
+    values = np.empty(n, dtype=np.float32)
+    valid = np.empty(n, dtype=np.bool_)
+    _sample_kernel(
+        volume.tsdf.reshape(-1), volume.weight.reshape(-1),
+        volume.resolution, np.float32(1.0 / volume.voxel_size),
+        pts, values, valid,
+    )
+    return values, valid
+
+
+def gradient_f32_jit(volume: TSDFVolume, points: np.ndarray) -> np.ndarray:
+    """Jitted counterpart of :func:`repro.perf.trilinear.gradient_f32`."""
+    eps = np.float32(volume.voxel_size)
+    n = len(points)
+    queries = np.empty((6, n, 3), dtype=np.float32)
+    for axis in range(3):
+        queries[2 * axis] = points
+        queries[2 * axis][:, axis] += eps
+        queries[2 * axis + 1] = points
+        queries[2 * axis + 1][:, axis] -= eps
+    vals, _ = sample_f32_jit(volume, queries.reshape(-1, 3))
+    vals = vals.reshape(6, n)
+    g = np.empty((n, 3), dtype=np.float32)
+    inv = np.float32(1.0) / (np.float32(2.0) * eps)
+    for axis in range(3):
+        np.subtract(vals[2 * axis], vals[2 * axis + 1], out=g[:, axis])
+        g[:, axis] *= inv
+    return g
+
+
+def raycast_model(volume, camera, pose_volume_from_camera, mu, ws,
+                  near=0.1, far=None):
+    """The fast march with jitted trilinear sample/gradient."""
+    _require_numba()
+    return _fast_raycast.raycast_model(
+        volume, camera, pose_volume_from_camera, mu, ws,
+        near=near, far=far,
+        sample_fn=sample_f32_jit, gradient_fn=gradient_f32_jit,
+    )
+
+
+def _solve_level_jit(cur_vertices, cur_normals,
+                     prepared: _PreparedReference, pose, iterations,
+                     icp_threshold, huber_delta=None):
+    """Gauss-Newton at one level: jitted association, reference solver.
+
+    The f64 solver body below is ``perf.tracking._solve_level``'s
+    verbatim; only the per-pixel front end differs.
+    """
+    n_px = cur_vertices.shape[0] * cur_vertices.shape[1]
+    cur_v = np.ascontiguousarray(cur_vertices.reshape(-1, 3),
+                                 dtype=np.float32)
+    cur_n = np.ascontiguousarray(cur_normals.reshape(-1, 3),
+                                 dtype=np.float32)
+    valid_cur = np.any(cur_n != 0.0, axis=-1)
+    n_valid = max(int(valid_cur.sum()), 1)
+
+    ref_cam = prepared.camera
+    Rc = np.ascontiguousarray(prepared.cam_from_vol[:3, :3],
+                              dtype=np.float32)
+    tc = np.ascontiguousarray(prepared.cam_from_vol[:3, 3],
+                              dtype=np.float32)
+
+    p_vol = np.empty((n_px, 3), dtype=np.float32)
+    r_n = np.empty((n_px, 3), dtype=np.float32)
+    diff = np.empty((n_px, 3), dtype=np.float32)
+    matched = np.empty(n_px, dtype=np.bool_)
+
+    rmse = float("inf")
+    inlier_fraction = 0.0
+    used = 0
+
+    for _ in range(iterations):
+        Rp = np.ascontiguousarray(pose[:3, :3], dtype=np.float32)
+        tp = np.ascontiguousarray(pose[:3, 3], dtype=np.float32)
+        _associate_kernel(
+            cur_v, cur_n, valid_cur, Rp, tp, Rc, tc,
+            np.float32(ref_cam.fx), np.float32(ref_cam.fy),
+            np.float32(ref_cam.cx), np.float32(ref_cam.cy),
+            ref_cam.width, ref_cam.height,
+            prepared.vertices, prepared.normals, prepared.has_ref,
+            np.float32(_DIST_SQ_THRESHOLD),
+            np.float32(_COS_NORMAL_THRESHOLD),
+            np.float32(PROJECT_MIN_Z), np.float32(PROJECT_EDGE_EPS),
+            p_vol, r_n, diff, matched,
+        )
+        n_matched = int(matched.sum())
+        inlier_fraction = n_matched / n_valid
+        if n_matched < 6:
+            break
+
+        n_m = r_n[matched].astype(float)  # f64-ok: solver operates in f64
+        p_m = p_vol[matched].astype(float)  # f64-ok: solver operates in f64
+        d_m = diff[matched].astype(float)  # f64-ok: solver operates in f64
+        e = np.einsum("ij,ij->i", n_m, d_m)
+        rmse = float(np.sqrt(np.mean(e * e)))
+
+        J = np.concatenate([n_m, np.cross(p_m, n_m)], axis=1)
+        if huber_delta is not None:
+            w = _huber_weights(e, huber_delta)
+            A = (J * w[:, None]).T @ J
+            b = (J * w[:, None]).T @ e
+        else:
+            A = J.T @ J
+            b = J.T @ e
+        lam = 1e-4 * np.trace(A) / 6.0 + 1e-12
+        try:
+            xi = np.linalg.solve(A + lam * np.eye(6), b)
+        except np.linalg.LinAlgError:
+            break
+        norm = float(np.linalg.norm(xi))
+        if norm > 0.1:
+            xi = xi * (0.1 / norm)
+        used += 1
+
+        pose = se3.se3_exp(xi) @ pose
+        pose[:3, :3] = se3.orthonormalize(pose[:3, :3])
+
+        if float(np.linalg.norm(xi)) < icp_threshold:
+            break
+
+    return pose, rmse, inlier_fraction, used
+
+
+def track(
+    vertex_pyramid: list[np.ndarray],
+    normal_pyramid: list[np.ndarray],
+    reference: ReferenceModel,
+    initial_pose: np.ndarray,
+    pyramid_iterations: tuple[int, ...],
+    icp_threshold: float,
+    ws: FrameWorkspace,
+    huber_delta: float | None = None,
+) -> TrackResult:
+    """Track one frame (same contract as ``perf.tracking.track``)."""
+    _require_numba()
+    if len(vertex_pyramid) != len(pyramid_iterations):
+        raise TrackingError(
+            f"{len(vertex_pyramid)} pyramid levels but "
+            f"{len(pyramid_iterations)} iteration counts"
+        )
+    prepared = _PreparedReference(reference)
+    pose = np.asarray(initial_pose, dtype=float).copy()  # f64-ok: pose
+    rmse = float("inf")
+    inlier_fraction = 0.0
+    per_level = [0] * len(vertex_pyramid)
+
+    for level in reversed(range(len(vertex_pyramid))):
+        iters = pyramid_iterations[level]
+        if iters <= 0:
+            continue
+        pose, rmse, inlier_fraction, used = _solve_level_jit(
+            vertex_pyramid[level],
+            normal_pyramid[level],
+            prepared,
+            pose,
+            iters,
+            icp_threshold,
+            huber_delta=huber_delta,
+        )
+        per_level[level] = used
+
+    tracked = (
+        np.isfinite(rmse)
+        and rmse < MAX_RMSE
+        and inlier_fraction > MIN_INLIER_FRACTION
+    )
+    return TrackResult(
+        pose=pose,
+        tracked=bool(tracked),
+        rmse=float(rmse),
+        inlier_fraction=float(inlier_fraction),
+        iterations=int(sum(per_level)),
+        iterations_per_level=tuple(per_level),
+    )
+
+
+def register_jit_backend() -> None:
+    """Register ``"jit"`` when numba is importable; silent no-op otherwise.
+
+    Called by :mod:`repro.perf.registry` at the end of its own module
+    body (the lazy import below is the other half of that handshake —
+    importing the registry at this module's top level would be
+    circular).  Idempotent so repeated registry imports cannot trip the
+    duplicate-name guard.
+    """
+    if not HAVE_NUMBA:
+        return
+    from .registry import (
+        FAST_BACKEND,
+        KernelBackend,
+        kernel_backend_names,
+        register_kernel_backend,
+    )
+
+    if "jit" in kernel_backend_names():
+        return
+    register_kernel_backend(KernelBackend(
+        name="jit",
+        bilateral_filter=FAST_BACKEND.bilateral_filter,
+        build_pyramid=FAST_BACKEND.build_pyramid,
+        vertex_normal_pyramid=FAST_BACKEND.vertex_normal_pyramid,
+        track=track,
+        integrate=FAST_BACKEND.integrate,
+        raycast_model=raycast_model,
+        make_workspace=FAST_BACKEND.make_workspace,
+    ))

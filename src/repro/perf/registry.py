@@ -7,7 +7,7 @@ hot per-frame kernels behind a uniform call seam, and the pipeline picks
 one by name at init time (``KinectFusion(kernel_backend=...)``,
 ``repro-benchmark run --kernel-backend ...``).
 
-Two backends ship:
+Three backends always ship:
 
 * ``"reference"`` — the float64 textbook kernels of ``repro.kfusion``,
   bit-identical to what the pipeline ran before this registry existed
@@ -15,12 +15,22 @@ Two backends ship:
 * ``"fast"`` (the default) — the float32 workspace kernels of
   ``repro.perf``, proven equivalent by the golden equivalence suite
   (identical tracked/status sequences, ATE within the documented
-  float32 tolerance; see DESIGN.md S17).
+  float32 tolerance; see DESIGN.md S17);
+* ``"sparse"`` — the fast preprocess/track kernels over a lazily
+  allocated voxel-block volume (:mod:`repro.kfusion.sparse`), with
+  band-restricted integration and space-skipping raycast
+  (:mod:`repro.perf.sparse_integrate` / ``sparse_raycast``; DESIGN.md
+  S22).
+
+A fourth, ``"jit"``, registers only when numba is importable
+(:mod:`repro.perf.jit`): the fast pipeline with numba-compiled
+trilinear and ICP-association inner loops.
 
 Every backend function takes the run's
 :class:`~repro.perf.workspace.FrameWorkspace` as its last positional
 argument; the reference adapters ignore it (``make_workspace`` returns
 ``None`` for the reference backend, so no arena is ever allocated).
+Backends that need a non-dense map also override ``make_volume``.
 """
 
 from __future__ import annotations
@@ -38,11 +48,14 @@ from ..kfusion import tracking as _ref_track
 from ..kfusion.integration import integrate as _ref_integrate
 from ..kfusion.params import KFusionParams
 from ..kfusion.raycast import raycast as _ref_raycast
+from ..kfusion.sparse import SparseTSDFVolume
 from ..kfusion.tracking import ReferenceModel, TrackResult
 from ..kfusion.volume import TSDFVolume
 from . import integrate as _fast_integrate
 from . import preprocess as _fast_pre
 from . import raycast as _fast_raycast
+from . import sparse_integrate as _sparse_integrate
+from . import sparse_raycast as _sparse_raycast
 from . import tracking as _fast_track
 from .workspace import FrameWorkspace
 
@@ -66,6 +79,8 @@ class KernelBackend:
     integrate: Callable[..., int]
     raycast_model: Callable[..., ReferenceModel]
     make_workspace: Callable[..., Any] = field(default=lambda *a: None)
+    #: ``(resolution, size) -> volume``; dense grid unless overridden.
+    make_volume: Callable[..., Any] = field(default=TSDFVolume)
 
 
 _BACKENDS: dict[str, KernelBackend] = {}
@@ -173,5 +188,37 @@ FAST_BACKEND = KernelBackend(
     make_workspace=_fast_make_workspace,
 )
 
+
+# -- sparse adapters --------------------------------------------------------
+def _sparse_make_workspace(input_camera: PinholeCamera,
+                           params: KFusionParams,
+                           levels: int) -> FrameWorkspace:
+    return FrameWorkspace(input_camera, params, levels, backend="sparse")
+
+
+def _sparse_make_volume(resolution: int, size: float) -> SparseTSDFVolume:
+    return SparseTSDFVolume(resolution, size)
+
+
+SPARSE_BACKEND = KernelBackend(
+    name="sparse",
+    bilateral_filter=_fast_pre.bilateral_filter,
+    build_pyramid=_fast_pre.build_pyramid,
+    vertex_normal_pyramid=_fast_pre.vertex_normal_pyramid,
+    track=_fast_track_fn,
+    integrate=_sparse_integrate.integrate,
+    raycast_model=_sparse_raycast.raycast_model,
+    make_workspace=_sparse_make_workspace,
+    make_volume=_sparse_make_volume,
+)
+
 register_kernel_backend(REFERENCE_BACKEND)
 register_kernel_backend(FAST_BACKEND)
+register_kernel_backend(SPARSE_BACKEND)
+
+# The numba-jitted backend is optional: repro.perf.jit registers it here
+# only when numba imports cleanly, so environments without numba see
+# exactly the three backends above.
+from . import jit as _jit  # noqa: E402  (needs the registry above)
+
+_jit.register_jit_backend()

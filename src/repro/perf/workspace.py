@@ -39,14 +39,18 @@ class FrameWorkspace:
             does).
         params: the run's KinectFusion configuration.
         levels: pyramid depth (the pipeline's ``PYRAMID_LEVELS``).
+        backend: kernel backend the arena serves — selects the matching
+            budget family in :func:`repro.kfusion.memory.workspace_bytes`.
     """
 
     def __init__(self, input_camera: PinholeCamera, params: KFusionParams,
-                 levels: int = 3):
+                 levels: int = 3, backend: str = "fast"):
         self.params = params
         self.levels = levels
+        self.backend = backend
         self.budget_bytes = workspace_bytes(
-            params, input_camera.width, input_camera.height, levels
+            params, input_camera.width, input_camera.height, levels,
+            backend
         )
         self._buffers: dict[str, np.ndarray] = {}
         self._nbytes = 0

@@ -7,8 +7,8 @@ once through the compiled graph (``pipeline="graph"``) — in frame-by-
 frame lockstep, and asserts identical tracking-status sequences,
 bit-identical pose trajectories (``atol=0.0``: both paths call the same
 kernel functions in the same order, so the graph machinery must be
-exactly non-perturbing), and equal ATE.  Both kernel backends are
-covered for KinectFusion.
+exactly non-perturbing), and equal ATE.  Every always-on kernel
+backend is covered for KinectFusion.
 
 A sensitivity check perturbs one stage by a microscopic pose offset and
 asserts the harness *detects* it — a differential harness that cannot
@@ -24,7 +24,7 @@ from repro.graph import TapSpec
 from repro.graph.diffrun import diff_pipelines, make_diff_system
 from repro.kfusion import KinectFusion
 
-BACKENDS = ("fast", "reference")
+BACKENDS = ("fast", "reference", "sparse")
 
 KFUSION_CONFIG = {
     "volume_resolution": 64,

@@ -43,6 +43,7 @@ from repro.perf import integrate as fast_integrate_mod
 from repro.perf import preprocess as fast_pre
 from repro.perf import raycast as fast_raycast_mod
 from repro.perf import tracking as fast_track
+from repro.perf.jit import HAVE_NUMBA
 from repro.telemetry import Tracer
 
 #: Documented fast-vs-reference ATE tolerance (relative); see DESIGN.md
@@ -129,8 +130,11 @@ class TestFrameWorkspace:
 # Registry
 # ---------------------------------------------------------------------------
 class TestKernelBackendRegistry:
-    def test_both_backends_registered(self):
-        assert kernel_backend_names() == ["fast", "reference"]
+    def test_all_backends_registered(self):
+        expected = ["fast", "reference", "sparse"]
+        if HAVE_NUMBA:
+            expected.insert(1, "jit")
+        assert kernel_backend_names() == expected
 
     def test_default_is_fast(self):
         assert DEFAULT_KERNEL_BACKEND == "fast"
@@ -367,9 +371,15 @@ def _golden_run(backend_name, volume_resolution=96):
     return result, tracer
 
 
+#: Every optimized backend is held to the same golden bar against the
+#: reference: identical status sequences, ATE within FAST_ATE_REL_TOL.
+GOLDEN_BACKENDS = ("fast", "sparse") + (("jit",) if HAVE_NUMBA else ())
+
+
 @pytest.fixture(scope="module")
 def golden_pair():
-    return {name: _golden_run(name) for name in ("reference", "fast")}
+    return {name: _golden_run(name)
+            for name in ("reference",) + GOLDEN_BACKENDS}
 
 
 class TestGoldenEquivalence:
@@ -378,20 +388,25 @@ class TestGoldenEquivalence:
             name: [r.status.value for r in res.collector.records]
             for name, (res, _) in golden_pair.items()
         }
-        assert status["fast"] == status["reference"]
+        for name in GOLDEN_BACKENDS:
+            assert status[name] == status["reference"], name
 
     def test_tracked_fraction_identical(self, golden_pair):
         fractions = {
             name: res.collector.tracked_fraction()
             for name, (res, _) in golden_pair.items()
         }
-        assert fractions["fast"] == fractions["reference"]
+        for name in GOLDEN_BACKENDS:
+            assert fractions[name] == fractions["reference"], name
 
     def test_ate_within_documented_tolerance(self, golden_pair):
         ref = golden_pair["reference"][0].ate
-        fast = golden_pair["fast"][0].ate
-        assert fast.rmse == pytest.approx(ref.rmse, rel=FAST_ATE_REL_TOL)
-        assert fast.max == pytest.approx(ref.max, rel=FAST_ATE_REL_TOL)
+        for name in GOLDEN_BACKENDS:
+            ate = golden_pair[name][0].ate
+            assert ate.rmse == pytest.approx(ref.rmse,
+                                             rel=FAST_ATE_REL_TOL), name
+            assert ate.max == pytest.approx(ref.max,
+                                            rel=FAST_ATE_REL_TOL), name
 
     def test_spans_name_their_backend(self, golden_pair):
         for name, (_, tracer) in golden_pair.items():
