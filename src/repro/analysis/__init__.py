@@ -41,12 +41,23 @@ RPR012   kernel-contract-consistency: graph port contracts agree with
 RPR013   arena-liveness: declared arena regions are consistent with the
          schedule and the buffer names reachable kernels touch — no
          use-after-release, overlapping-lifetime writes, or dead budget
+RPR014   lockset-discipline: state written in multi-thread-reachable
+         code needs a non-empty common lockset, a verified ``[[lock]]``
+         guards declaration, or ``# guarded-by: <target> -- <reason>``
+RPR015   lock-order-discipline: nested lock acquisitions must form a
+         DAG — ordering cycles are potential deadlocks
+RPR016   wait-discipline: untimed ``Condition.wait`` sits in a
+         predicate loop; no blocking or forbidden-effect calls while
+         holding a lock (composes with the RPR009 effect fixpoint)
 =======  ==============================================================
 
 RPR011-013 run against the *registered graph definitions* rather than
 per-file, so they live in ``repro dataflow check`` (same exit-code
 contract, same noqa/baseline machinery) instead of ``repro lint``; see
-:mod:`repro.analysis.dataflow`.
+:mod:`repro.analysis.dataflow`.  RPR014-016 (the lockset concurrency
+verifier over the thread/process layers) also run standalone under
+``repro races check`` with a committed ``CONCURRENCY.json`` snapshot;
+see :mod:`~repro.analysis.concurrency` and :mod:`~repro.analysis.races`.
 
 Programmatic use::
 
@@ -57,12 +68,14 @@ Programmatic use::
 
 Importing this package registers all checkers; the per-rule modules are
 :mod:`~repro.analysis.checkers` (RPR001/2/3/5/6/7),
-:mod:`~repro.analysis.consistency` (RPR004) and
+:mod:`~repro.analysis.consistency` (RPR004),
 :mod:`~repro.analysis.policy` (RPR008/9/10, backed by
-:mod:`~repro.analysis.callgraph` and :mod:`~repro.analysis.effects`).
+:mod:`~repro.analysis.callgraph` and :mod:`~repro.analysis.effects`) and
+:mod:`~repro.analysis.concurrency` (RPR014/15/16).
 """
 
 from . import checkers as _checkers  # noqa: F401 (registers RPR001/2/3/5/6/7)
+from . import concurrency as _concurrency  # noqa: F401 (RPR014/15/16)
 from . import consistency as _consistency  # noqa: F401  (registers RPR004)
 from . import policy as _policy  # noqa: F401  (registers RPR008/9/10)
 from .baseline import (

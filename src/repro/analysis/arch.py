@@ -32,7 +32,7 @@ from .effects import (
     snapshot_payload,
     write_snapshot,
 )
-from .framework import ModuleContext, iter_python_files
+from .framework import iter_python_files, parse_cached
 from .lint import (
     LINT_EXIT_CLEAN,
     LINT_EXIT_FINDINGS,
@@ -55,7 +55,7 @@ def _build(paths: Sequence[str],
     contexts = []
     for file in iter_python_files(paths):
         try:
-            contexts.append(ModuleContext.parse(file.read_text(), str(file)))
+            contexts.append(parse_cached(file.read_text(), str(file)))
         except SyntaxError as exc:
             raise ReproError(f"cannot parse {file}: {exc}") from exc
     graph = build_callgraph(contexts, root_package=policy.root)

@@ -94,6 +94,9 @@ class FunctionNode:
     lineno: int
     #: resolved first-party callees (qnames into :attr:`CallGraph.functions`)
     calls: set[str] = field(default_factory=set)
+    #: resolved callees with their call sites (concurrency analysis needs
+    #: per-site lock contexts; ``calls`` is the deduplicated view)
+    resolved_sites: list[CallSite] = field(default_factory=list)
     #: dotted stdlib/third-party calls, with sites (effect-seed matching)
     external: list[CallSite] = field(default_factory=list)
     #: calls we could not attribute — recorded, never dropped
@@ -110,6 +113,12 @@ class ClassNode:
     module: str
     bases: list[str] = field(default_factory=list)
     methods: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> class qname inferred from ``self._x = Cls(...)``
+    #: assignments in method bodies ("" marks conflicting assignments)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> element class qname from container annotations
+    #: (``self._xs: dict[str, Cls] = {}`` / ``list[Cls]``)
+    attr_elem_types: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -134,6 +143,8 @@ class CallGraph:
         self.classes: dict[str, ClassNode] = {}
         self.import_edges: list[ImportEdge] = []
         self._symbols: dict[str, dict[str, str]] = {}
+        #: module-level ``x: ContextVar[Cls]``-style element annotations
+        self.module_elem_types: dict[str, dict[str, str]] = {}
 
     # -- symbol resolution --------------------------------------------------
     def resolve_function(self, dotted: str) -> str | None:
@@ -200,6 +211,36 @@ class CallGraph:
             if kind == "module":
                 return self._resolve(f"{qname}.{'.'.join(tail)}", _seen)
             return None
+        return None
+
+    def attr_type(self, class_qname: str, attr: str,
+                  _depth: int = 0) -> str | None:
+        """Class qname of ``self.<attr>`` from constructor assignments."""
+        return self._attr_lookup(class_qname, attr, "attr_types", _depth)
+
+    def attr_elem_type(self, class_qname: str, attr: str,
+                       _depth: int = 0) -> str | None:
+        """Element class of a container attribute (``dict[str, Cls]``)."""
+        return self._attr_lookup(class_qname, attr, "attr_elem_types", _depth)
+
+    def _attr_lookup(self, class_qname: str, attr: str, table: str,
+                     _depth: int = 0) -> str | None:
+        if _depth > 16:
+            return None
+        node = self.classes.get(class_qname)
+        if node is None:
+            return None
+        typed = getattr(node, table).get(attr)
+        if typed:
+            return typed
+        if typed == "":
+            return None  # conflicting assignments: honest failure
+        for base in node.bases:
+            base_cls = self.resolve_class(base)
+            if base_cls is not None:
+                found = self._attr_lookup(base_cls, attr, table, _depth + 1)
+                if found is not None:
+                    return found
         return None
 
     def _class_method(self, class_qname: str, attr: str,
@@ -364,6 +405,55 @@ def _expand_alias(symbols: dict[str, str], dotted: str) -> str:
     return f"{head}.{rest}" if rest else head
 
 
+def _annotation_class(graph: CallGraph, symbols: dict[str, str],
+                      node: ast.AST | None) -> str | None:
+    """Resolve a simple annotation expression to a first-party class.
+
+    Handles ``Cls``, ``pkg.Cls``, ``Cls | None`` unions, and quoted
+    forward references; anything fancier resolves to ``None``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_annotation_class(graph, symbols, node.left)
+                or _annotation_class(graph, symbols, node.right))
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _annotation_class(graph, symbols, node)
+    dotted = _dotted_text(node)
+    if dotted is None:
+        return None
+    return graph.resolve_class(_expand_alias(symbols, dotted))
+
+
+def _container_elem_annotation(graph: CallGraph, symbols: dict[str, str],
+                               node: ast.AST | None) -> str | None:
+    """Element class of a ``dict[K, V]`` / ``list[V]``-style annotation.
+
+    For mappings the *value* type is the element (``.values()`` /
+    subscript reads are what the resolver types through it).
+    """
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = _dotted_text(node.value)
+    if base is None:
+        return None
+    base = base.rpartition(".")[2].lower()
+    sl = node.slice
+    if base == "dict":
+        if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+            return _annotation_class(graph, symbols, sl.elts[1])
+        return None
+    if base in ("list", "set", "frozenset", "deque", "sequence",
+                "iterable", "tuple", "contextvar"):
+        elt = (sl.elts[0] if isinstance(sl, ast.Tuple) and sl.elts else sl)
+        return _annotation_class(graph, symbols, elt)
+    return None
+
+
 def _own_statements(root: ast.AST) -> Iterable[ast.AST]:
     """Walk ``root``'s body without descending into nested def/class.
 
@@ -383,6 +473,71 @@ def _own_statements(root: ast.AST) -> Iterable[ast.AST]:
 def iter_own_nodes(func: ast.AST) -> Iterable[ast.AST]:
     """Public alias of the own-body walk (used by the effect seeder)."""
     return _own_statements(func)
+
+
+def _harvest_attr_types(graph: CallGraph, harvest: _ModuleHarvest) -> None:
+    """Record ``self._x = Cls(...)`` attribute types on the class node.
+
+    Runs after every module's symbol table exists (cross-module
+    constructors resolve) but before call resolution, so ``self._x.m()``
+    attributes to ``Cls.m`` regardless of method definition order.
+    Conflicting assignments of the same attribute to different classes
+    poison the entry ("" -> honest resolution failure).
+    """
+    symbols = harvest.symbols
+    # Module-level ``x: ContextVar[Cls] = ...`` element annotations let
+    # ``x.get()`` results type as Cls in every function of the module.
+    for stmt in harvest.ctx.tree.body:
+        if not (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            continue
+        elem = _container_elem_annotation(graph, symbols, stmt.annotation)
+        if elem is not None:
+            table = graph.module_elem_types.setdefault(harvest.module, {})
+            table[stmt.target.id] = elem
+    for func, class_qname, _qname in list(harvest.function_bodies):
+        if class_qname is None:
+            continue
+        cls_node = graph.classes.get(class_qname)
+        if cls_node is None:
+            continue
+        def note(table: dict[str, str], attr: str, attr_cls: str) -> None:
+            prev = table.get(attr)
+            if prev is None:
+                table[attr] = attr_cls
+            elif prev != attr_cls:
+                table[attr] = ""
+
+        for stmt in _own_statements(func):
+            if isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                elem = _container_elem_annotation(
+                    graph, symbols, stmt.annotation)
+                if elem is not None:
+                    note(cls_node.attr_elem_types, target.attr, elem)
+                    continue
+                direct = _annotation_class(graph, symbols, stmt.annotation)
+                if direct is not None:
+                    note(cls_node.attr_types, target.attr, direct)
+                continue
+            if not (isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            ctor = _dotted_text(stmt.value.func)
+            if ctor is None:
+                continue
+            attr_cls = graph.resolve_class(_expand_alias(symbols, ctor))
+            if attr_cls is None:
+                continue
+            for target in stmt.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    note(cls_node.attr_types, target.attr, attr_cls)
 
 
 def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
@@ -433,16 +588,84 @@ def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
         elif isinstance(stmt, ast.Name) and isinstance(
                 stmt.ctx, (ast.Store, ast.Del)):
             local_names.add(stmt.id)
-        elif (isinstance(stmt, ast.Assign)
-              and len(stmt.targets) == 1
-              and isinstance(stmt.targets[0], ast.Name)
-              and isinstance(stmt.value, ast.Call)):
-            ctor = _dotted_text(stmt.value.func)
-            if ctor is not None:
-                cls = graph.resolve_class(
-                    _expand_alias(symbols, ctor))
-                if cls is not None:
-                    local_types[stmt.targets[0].id] = cls
+
+    # Pass 2 — local types, with names and local imports fully known:
+    # parameter annotations, constructor assignments, and element reads
+    # out of container-annotated attributes.
+    def expand(dotted: str) -> str:
+        if dotted.partition(".")[0] in local_imports:
+            return _expand_alias(local_imports, dotted)
+        return _expand_alias(symbols, dotted)
+
+    scope = dict(symbols)
+    scope.update(local_imports)
+
+    def value_type(value: ast.AST) -> str | None:
+        if isinstance(value, ast.Call):
+            dotted = _dotted_text(value.func)
+            if dotted is None:
+                return None
+            parts = dotted.split(".")
+            # self._xs.get(k) / self._xs.pop(k) on an annotated container
+            if (class_qname is not None and parts[0] == "self"
+                    and len(parts) == 3 and parts[2] in ("get", "pop")):
+                return graph.attr_elem_type(class_qname, parts[1])
+            # _current.get() on a module-level annotated ContextVar
+            if (len(parts) == 2 and parts[1] == "get"
+                    and parts[0] not in local_names):
+                elem = graph.module_elem_types.get(module, {}).get(parts[0])
+                if elem is not None:
+                    return elem
+            return graph.resolve_class(expand(dotted))
+        if isinstance(value, ast.Subscript):
+            v = value.value
+            if (class_qname is not None and isinstance(v, ast.Attribute)
+                    and isinstance(v.value, ast.Name)
+                    and v.value.id == "self"):
+                return graph.attr_elem_type(class_qname, v.attr)
+        return None
+
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            cls = _annotation_class(graph, scope, a.annotation)
+            if cls is not None:
+                local_types[a.arg] = cls
+    for stmt in _own_statements(func):
+        if (isinstance(stmt, ast.Assign)
+                and any(isinstance(t, ast.Name) for t in stmt.targets)):
+            cls = value_type(stmt.value)
+            if cls is not None:
+                # every Name target shares the value type
+                # (``window = self.rate_windows[name] = RateWindow(...)``)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        local_types[target.id] = cls
+        elif isinstance(stmt, ast.For):
+            iter_expr = stmt.iter
+            if (isinstance(iter_expr, ast.Call)
+                    and isinstance(iter_expr.func, ast.Name)
+                    and iter_expr.func.id in ("list", "sorted", "tuple")
+                    and iter_expr.args):
+                iter_expr = iter_expr.args[0]
+            if not isinstance(iter_expr, ast.Call):
+                continue
+            dotted = _dotted_text(iter_expr.func)
+            parts = dotted.split(".") if dotted else []
+            if not (class_qname is not None and len(parts) == 3
+                    and parts[0] == "self"
+                    and parts[2] in ("values", "items")):
+                continue
+            elem = graph.attr_elem_type(class_qname, parts[1])
+            if elem is None:
+                continue
+            target = stmt.target
+            if parts[2] == "values" and isinstance(target, ast.Name):
+                local_types[target.id] = elem
+            elif (parts[2] == "items" and isinstance(target, ast.Tuple)
+                  and len(target.elts) == 2
+                  and isinstance(target.elts[1], ast.Name)):
+                local_types[target.elts[1].id] = elem
 
     def record(call: ast.Call) -> None:
         dotted = _dotted_text(call.func)
@@ -451,11 +674,22 @@ def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
             return
         head, _, rest = dotted.partition(".")
 
+        def resolved(target_qname: str) -> None:
+            node_out.calls.add(target_qname)
+            node_out.resolved_sites.append(
+                CallSite(target_qname, call.lineno))
+
         # self.m() / cls.m() -> enclosing class attribution
         if head in ("self", "cls") and class_qname is not None and rest:
             method = graph._class_method(class_qname, rest)
+            if method is None and "." in rest:
+                # self._x.m() through a constructor-typed attribute
+                attr, _, chain = rest.partition(".")
+                attr_cls = graph.attr_type(class_qname, attr)
+                if attr_cls is not None:
+                    method = graph._class_method(attr_cls, chain)
             if method is not None:
-                node_out.calls.add(method)
+                resolved(method)
             else:
                 node_out.unresolved.append(CallSite(dotted, call.lineno))
             return
@@ -463,13 +697,13 @@ def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
         if head in local_types and rest:
             method = graph._class_method(local_types[head], rest)
             if method is not None:
-                node_out.calls.add(method)
+                resolved(method)
             else:
                 node_out.unresolved.append(CallSite(dotted, call.lineno))
             return
         # bare name bound to a nested def
         if not rest and head in nested_funcs:
-            node_out.calls.add(nested_funcs[head])
+            resolved(nested_funcs[head])
             return
         # function-local imports take priority over module symbols
         if head in local_imports:
@@ -482,7 +716,7 @@ def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
             expanded = _expand_alias(symbols, dotted)
         target = graph.resolve_function(expanded)
         if target is not None:
-            node_out.calls.add(target)
+            resolved(target)
             return
         if (expanded == graph.root_package
                 or expanded.startswith(root_prefix)):
@@ -496,6 +730,25 @@ def _resolve_function_calls(graph: CallGraph, harvest: _ModuleHarvest,
     for stmt in _own_statements(func):
         if isinstance(stmt, ast.Call):
             record(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # ``with Cls(...):`` runs Cls.__enter__/__exit__ — edges the
+            # bare Call walk cannot see (the protocol calls are implicit).
+            for item in stmt.items:
+                ce = item.context_expr
+                if not isinstance(ce, ast.Call):
+                    continue
+                dotted = _dotted_text(ce.func)
+                if dotted is None:
+                    continue
+                cls = graph.resolve_class(expand(dotted))
+                if cls is None:
+                    continue
+                for proto in ("__enter__", "__exit__"):
+                    method = graph._class_method(cls, proto)
+                    if method is not None:
+                        node_out.calls.add(method)
+                        node_out.resolved_sites.append(
+                            CallSite(method, ce.lineno))
 
 
 def build_callgraph(contexts: Sequence[ModuleContext],
@@ -514,6 +767,8 @@ def build_callgraph(contexts: Sequence[ModuleContext],
     for harvest in harvests:
         _harvest_module(graph, harvest)
         graph._symbols[harvest.module] = harvest.symbols
+    for harvest in harvests:
+        _harvest_attr_types(graph, harvest)
     for harvest in harvests:
         # function_bodies grows as nested defs are discovered: index loop.
         i = 0

@@ -235,6 +235,18 @@ BANNED_THREAD_LIFECYCLE = frozenset({
     "_thread.start_new_thread",
 })
 
+#: Sync-primitive constructors the module-scope arm of RPR006 flags
+#: outside :mod:`repro.jobs` / :mod:`repro.serve`: a module-level lock
+#: is process-wide mutable state — it outlives every engine/pool
+#: instance, aliases unrelated callers into one contention domain, and
+#: is exactly what made ``loadgen._PACER`` shared across runs.  Inside
+#: a class (or a function) the same constructors stay legal anywhere.
+MODULE_SCOPE_SYNC = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore",
+    "threading.BoundedSemaphore", "threading.Barrier",
+})
+
 
 def _is_jobs_module(ctx: ModuleContext) -> bool:
     return "jobs" in ctx.path_parts
@@ -258,8 +270,8 @@ class ProcessDisciplineChecker(Checker):
 
     rule_id = "RPR006"
     title = ("process-discipline: no multiprocessing/concurrent.futures "
-             "outside repro.jobs, no thread lifecycles outside "
-             "repro.jobs/repro.serve")
+             "outside repro.jobs, no thread lifecycles or module-scope "
+             "locks outside repro.jobs/repro.serve")
 
     _HINT = ("spawn work through repro.jobs (WorkerPool/JobRunner) so it "
              "gets seeded RNG streams, timeouts, retries and telemetry")
@@ -269,9 +281,15 @@ class ProcessDisciplineChecker(Checker):
                     "spawned thread escapes every budget, drop policy and "
                     "stats report")
 
+    _MODULE_LOCK_HINT = ("a module-level sync primitive is process-wide "
+                         "shared state aliasing every caller into one "
+                         "contention domain; make it an instance attribute "
+                         "or a local of the function that needs it")
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         yield from self._check_process(ctx)
         yield from self._check_thread_lifecycle(ctx)
+        yield from self._check_module_locks(ctx)
 
     def _check_process(self, ctx: ModuleContext) -> Iterator[Finding]:
         if _is_jobs_module(ctx):
@@ -325,6 +343,27 @@ class ProcessDisciplineChecker(Checker):
                 node, self.rule_id,
                 f"{dotted} outside repro.jobs/repro.serve; "
                 f"{self._THREAD_HINT}",
+            )
+
+    def _check_module_locks(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """lock-at-module-scope arm: flag module-level sync primitives."""
+        if _is_lifecycle_module(ctx):
+            return
+        for stmt in ctx.tree.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = ctx.resolve(value.func)
+            if dotted not in MODULE_SCOPE_SYNC:
+                continue
+            yield ctx.finding(
+                stmt, self.rule_id,
+                f"module-scope {dotted}() outside repro.jobs/repro.serve; "
+                f"{self._MODULE_LOCK_HINT}",
             )
 
 

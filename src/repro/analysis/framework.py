@@ -17,6 +17,7 @@ suppressions, and return the sorted findings.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,6 +29,32 @@ from .findings import Finding, Severity
 
 class AnalysisError(ReproError):
     """The analyzer itself was misused (bad path, bad rule selection...)."""
+
+
+#: Content-addressed :class:`ModuleContext` memo: parsing is the
+#: dominant fixed cost of every analysis entry point, and one tool run
+#: routinely wants the same tree several times (``repro races check``
+#: builds the concurrency state, then ``run_lint`` re-walks the same
+#: files; test suites drive ``analyze_paths`` repeatedly).  Keyed by
+#: path + source hash, so an edited file can never serve a stale tree.
+_AST_CACHE: dict[str, "ModuleContext"] = {}
+
+def parse_cached(source: str, path: str) -> "ModuleContext":
+    """Parse via the content-addressed memo (see :data:`_AST_CACHE`).
+
+    Reused contexts keep whatever whole-program state (arch project
+    state, concurrency analysis) an earlier run attached; those caches
+    key themselves on the exact context set (and policy) they were
+    built from, so a run over a different file set recomputes rather
+    than trusting a stale attachment.
+    """
+    key = hashlib.sha1(
+        path.encode() + b"\0" + source.encode()).hexdigest()
+    ctx = _AST_CACHE.get(key)
+    if ctx is None:
+        ctx = ModuleContext.parse(source, path)
+        _AST_CACHE[key] = ctx
+    return ctx
 
 
 #: Rule id reported for files the parser rejects.
@@ -302,7 +329,7 @@ def analyze_paths(paths: Sequence[str | Path],
         except OSError as exc:
             raise AnalysisError(f"cannot read {path}: {exc}") from exc
         try:
-            ctx = ModuleContext.parse(source, path)
+            ctx = parse_cached(source, path)
         except SyntaxError as exc:
             findings.append(Finding(
                 path=path, line=exc.lineno or 1, col=(exc.offset or 0) or 1,

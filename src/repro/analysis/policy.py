@@ -173,6 +173,22 @@ class Waiver:
     target: str = ""  #: module/package prefix the edge lands in (RPR008)
 
 
+@dataclass(frozen=True)
+class LockPolicy:
+    """One ``[[lock]]`` table: what a lock guards and what it forbids.
+
+    ``guards`` entries are *assertions* the concurrency verifier checks
+    (every listed field must really have this lock in its common
+    lockset); ``forbid`` lists extra effects (beyond the always-banned
+    ``io``/``process``) no call may carry while the lock is held.
+    """
+
+    name: str  #: lock qname, e.g. ``repro.serve.engine.ServeEngine._lock``
+    guards: tuple[str, ...] = ()
+    forbid: tuple[str, ...] = ()
+    reason: str = ""
+
+
 @dataclass
 class ArchPolicy:
     """The parsed, validated architecture policy."""
@@ -183,6 +199,15 @@ class ArchPolicy:
     arena: tuple[str, ...] = ()
     waivers: list[Waiver] = field(default_factory=list)
     path: str = DEFAULT_POLICY
+    #: extra any-thread entry points for the concurrency verifier
+    #: (class qnames -> their public methods, or function qnames)
+    conc_entries: tuple[str, ...] = ()
+    #: public methods documented as externally serialized (scheduler
+    #: thread / sync mode only): qname -> reason; excluded from the
+    #: any-thread entry set
+    conc_serialized: dict[str, str] = field(default_factory=dict)
+    #: per-lock policies declared in ``[[lock]]`` tables
+    lock_policies: tuple[LockPolicy, ...] = ()
 
     def __post_init__(self) -> None:
         self._by_name = {layer.name: layer for layer in self.layers}
@@ -228,6 +253,20 @@ class ArchPolicy:
                         f"{self.path}: layer {layer.name!r} may only use "
                         f"lower layers, not {used!r} (the layer order plus "
                         f"uses-edges must form a DAG)")
+        for lp in self.lock_policies:
+            if not lp.name or not lp.reason:
+                raise PolicyError(
+                    f"{self.path}: every [[lock]] needs a name and a reason")
+            for eff in lp.forbid:
+                if eff not in EFFECTS:
+                    raise PolicyError(
+                        f"{self.path}: lock {lp.name!r} forbids unknown "
+                        f"effect {eff!r} (known: {', '.join(EFFECTS)})")
+        for name, reason in self.conc_serialized.items():
+            if not name or not reason:
+                raise PolicyError(
+                    f"{self.path}: every [[serialized]] needs a name and "
+                    f"a reason")
 
     def layer_of(self, module: str) -> Layer | None:
         """Longest-prefix layer for a dotted module (or symbol) name.
@@ -306,6 +345,18 @@ def load_policy(path: str | Path = DEFAULT_POLICY) -> ArchPolicy:
             source=str(entry.get("from", "")),
             target=str(entry.get("to", "")),
         ))
+    conc_tbl = data.get("concurrency", {})
+    serialized: dict[str, str] = {}
+    for entry in data.get("serialized", []):
+        serialized[str(entry.get("name", ""))] = str(entry.get("reason", ""))
+    lock_policies = []
+    for entry in data.get("lock", []):
+        lock_policies.append(LockPolicy(
+            name=str(entry.get("name", "")),
+            guards=tuple(entry.get("guards", [])),
+            forbid=tuple(entry.get("forbid", [])),
+            reason=str(entry.get("reason", "")),
+        ))
     return ArchPolicy(
         root=root,
         layers=layers,
@@ -314,6 +365,9 @@ def load_policy(path: str | Path = DEFAULT_POLICY) -> ArchPolicy:
                                   DEFAULT_ABSORB.get("alloc", ()))),
         waivers=waivers,
         path=str(p),
+        conc_entries=tuple(conc_tbl.get("entries", [])),
+        conc_serialized=serialized,
+        lock_policies=tuple(lock_policies),
     )
 
 
@@ -330,20 +384,43 @@ class ProjectState:
 _STATE_ATTR = "_repro_arch_state"
 
 
+def _policy_file_key():
+    """Freshness token for the on-disk policy (edits invalidate caches)."""
+    try:
+        return Path(DEFAULT_POLICY).stat().st_mtime_ns
+    except OSError:
+        return None
+
+
+def run_state_key(contexts: Sequence[ModuleContext],
+                  policy: ArchPolicy | None = None) -> tuple:
+    """Identity of one analysis run: the exact context objects (AST
+    reuse via ``parse_cached`` hands back identical objects for
+    identical sources) plus the governing policy.  Whole-program state
+    cached on ``contexts[0]`` is only trusted when this key matches —
+    a context reused in a different file set recomputes instead.
+    """
+    pol = id(policy) if policy is not None else _policy_file_key()
+    return (tuple(id(c) for c in contexts), pol)
+
+
 def project_state(contexts: Sequence[ModuleContext],
                   policy: ArchPolicy | None = None) -> ProjectState | None:
     """The shared analysis state for this checker run (``None`` without
     a policy file).
 
-    The state is cached on the first context object, so RPR008/9/10 all
-    reuse one call graph and one effect fixpoint per ``analyze_paths``
-    invocation.
+    The state is cached on the first context object keyed by
+    :func:`run_state_key`, so RPR008/9/10 all reuse one call graph and
+    one effect fixpoint per ``analyze_paths`` invocation — and repeat
+    runs over the unchanged tree (memoized ASTs) skip the fixpoints
+    entirely.
     """
     if not contexts:
         return None
+    key = run_state_key(contexts, policy)
     cached = getattr(contexts[0], _STATE_ATTR, None)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] == key:
+        return cached[1]
     if policy is None:
         policy_file = Path(DEFAULT_POLICY)
         if not policy_file.is_file():
@@ -360,7 +437,7 @@ def project_state(contexts: Sequence[ModuleContext],
     absorb["alloc"] = tuple(policy.arena)
     analysis = EffectAnalysis(graph, absorb=absorb)
     state = ProjectState(policy=policy, graph=graph, analysis=analysis)
-    setattr(contexts[0], _STATE_ATTR, state)
+    setattr(contexts[0], _STATE_ATTR, (key, state))
     return state
 
 

@@ -1,0 +1,194 @@
+"""The ``repro races`` subcommand: drive the concurrency verifier.
+
+Thin, testable functions over :mod:`repro.analysis.concurrency` with the
+lint exit-code contract (0 clean / 1 findings / 2 internal error):
+
+* :func:`races_check` — run RPR014/15/16 only, plus validation that
+  every ``[concurrency]`` policy name resolves in the analyzed tree;
+* :func:`races_show` — print the discovered thread contexts, locks,
+  per-field lockset verdicts and the lock-order graph;
+* :func:`races_snapshot` — write the committed ``CONCURRENCY.json``;
+* :func:`races_diff` — compare current state against the snapshot;
+  **new** lines fail (exit 1) so concurrency-surface growth must be
+  reviewed, removals are informational (mirrors ``repro arch diff``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+from .concurrency import (
+    DEFAULT_SNAPSHOT,
+    RACE_RULES,
+    ConcurrencyAnalysis,
+    conc_state,
+    diff_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
+from .framework import iter_python_files, parse_cached
+from .lint import (
+    LINT_EXIT_CLEAN,
+    LINT_EXIT_FINDINGS,
+    LINT_EXIT_INTERNAL,
+    run_lint,
+)
+from .policy import DEFAULT_POLICY
+
+#: Default tree the races tooling analyzes.
+DEFAULT_PATHS = ("src/repro",)
+
+Echo = Callable[[str], None]
+
+
+def _build(paths: Sequence[str]) -> ConcurrencyAnalysis:
+    contexts = []
+    for file in iter_python_files(paths):
+        try:
+            contexts.append(parse_cached(file.read_text(), str(file)))
+        except SyntaxError as exc:
+            raise ReproError(f"cannot parse {file}: {exc}") from exc
+    analysis = conc_state(contexts)
+    if analysis is None:
+        raise ReproError(f"no python files under {', '.join(paths)}")
+    return analysis
+
+
+def _policy_issues(analysis: ConcurrencyAnalysis) -> list[str]:
+    """Policy names that do not resolve against the analyzed tree.
+
+    The checkers silently ignore these (fixture trees legitimately lack
+    the repo's entries); the CLI is where the real tree is analyzed, so
+    here they are errors — a stale name means a rename silently shrank
+    the verified surface.
+    """
+    issues = list(analysis.entry_issues)
+    if analysis.policy is None:
+        return issues
+    lock_keys = {k for k in analysis.sync_kinds if analysis._is_lock(k)}
+    for name in analysis.policy.conc_serialized:
+        if name not in analysis.graph.functions:
+            issues.append(name)
+    for lp in analysis.policy.lock_policies:
+        if lp.name not in lock_keys:
+            issues.append(lp.name)
+    return issues
+
+
+def races_check(paths: Sequence[str] = DEFAULT_PATHS,
+                echo: Echo = print) -> int:
+    """Run the concurrency rules only; lint exit-code contract."""
+    if not Path(DEFAULT_POLICY).is_file():
+        echo(f"races: no {DEFAULT_POLICY} in the working directory")
+        return LINT_EXIT_INTERNAL
+    try:
+        issues = _policy_issues(_build(paths))
+    except ReproError as exc:
+        echo(f"races: {exc}")
+        return LINT_EXIT_INTERNAL
+    if issues:
+        for name in issues:
+            echo(f"races: [concurrency] policy name {name!r} does not "
+                 f"resolve in the analyzed tree (renamed or removed?)")
+        return LINT_EXIT_FINDINGS
+    return run_lint(list(paths), select=list(RACE_RULES), echo=echo)
+
+
+def races_show(paths: Sequence[str] = DEFAULT_PATHS,
+               echo: Echo = print) -> int:
+    """Print thread contexts, locks, field verdicts and lock order."""
+    try:
+        analysis = _build(paths)
+    except ReproError as exc:
+        echo(f"races: {exc}")
+        return LINT_EXIT_INTERNAL
+    echo(f"thread contexts ({len(analysis.contexts)}):")
+    for name in sorted(analysis.contexts):
+        ctx = analysis.contexts[name]
+        tags = []
+        if ctx.multi:
+            tags.append("multi")
+        if ctx.isolated:
+            tags.append("isolated")
+        tag = f" [{', '.join(tags)}]" if tags else ""
+        echo(f"  {name}{tag}: {len(ctx.roots)} root(s), "
+             f"{len(ctx.reach)} reachable function(s)")
+    locks = sorted(k for k in analysis.sync_kinds if analysis._is_lock(k))
+    echo(f"locks ({len(locks)}):")
+    for lock in locks:
+        echo(f"  {lock} ({analysis.sync_kinds[lock]})")
+    echo(f"shared-field verdicts ({len(analysis.verdicts)}):")
+    for key in sorted(analysis.verdicts):
+        v = analysis.verdicts[key]
+        detail = ""
+        if v.get("locks"):
+            detail = " by " + ", ".join(v["locks"])
+        elif v.get("guard"):
+            detail = f" (guarded-by: {v['guard']} -- {v.get('reason', '')})"
+        echo(f"  {key}: {v['verdict']}{detail}")
+    echo(f"lock-order edges ({len(analysis.order_edges)}):")
+    for (a, b), site in sorted(analysis.order_edges.items()):
+        echo(f"  {a} -> {b}  ({site.path}:{site.lineno})")
+    if analysis.order_cycles:
+        for scc in analysis.order_cycles:
+            echo(f"  CYCLE: {' <-> '.join(scc)}")
+    return LINT_EXIT_CLEAN
+
+
+def races_report(paths: Sequence[str] = DEFAULT_PATHS,
+                 echo: Echo = print) -> int:
+    """Emit the full machine-readable state as JSON (for CI artifacts)."""
+    try:
+        analysis = _build(paths)
+    except ReproError as exc:
+        echo(json.dumps({"error": str(exc)}))
+        return LINT_EXIT_INTERNAL
+    echo(json.dumps(analysis.snapshot_payload(), indent=2, sort_keys=True))
+    return LINT_EXIT_CLEAN
+
+
+def races_snapshot(paths: Sequence[str] = DEFAULT_PATHS,
+                   output: str = DEFAULT_SNAPSHOT,
+                   echo: Echo = print) -> int:
+    try:
+        analysis = _build(paths)
+        payload = write_snapshot(analysis, output)
+    except ReproError as exc:
+        echo(f"races: {exc}")
+        return LINT_EXIT_INTERNAL
+    echo(f"wrote concurrency snapshot ({len(payload['fields'])} field(s), "
+         f"{len(payload['contexts'])} context(s)) to {output}")
+    return LINT_EXIT_CLEAN
+
+
+def races_diff(paths: Sequence[str] = DEFAULT_PATHS,
+               against: str = DEFAULT_SNAPSHOT,
+               echo: Echo = print) -> int:
+    """Diff current concurrency state vs the committed snapshot.
+
+    Exit 1 when any field/edge/context line is *new* (review required;
+    rerun ``repro races snapshot`` after accepting).  Removed lines are
+    reported but do not fail.
+    """
+    try:
+        analysis = _build(paths)
+        old = load_snapshot(against)
+    except (ReproError, OSError, ValueError) as exc:
+        echo(f"races: {exc}")
+        return LINT_EXIT_INTERNAL
+    added, removed = diff_snapshots(old, analysis.snapshot_payload())
+    for line in removed:
+        echo(f"note: {line}")
+    for line in added:
+        echo(f"NEW: {line}")
+    if added:
+        echo(f"{len(added)} new concurrency fact(s) vs {against}; review "
+             f"with `repro races show` and refresh the snapshot with "
+             f"`repro races snapshot` once accepted")
+        return LINT_EXIT_FINDINGS
+    echo(f"concurrency state unchanged vs {against}"
+         + (f" ({len(removed)} removal(s))" if removed else ""))
+    return LINT_EXIT_CLEAN

@@ -18,6 +18,10 @@ Subcommands:
   ``show`` the layer diagram, ``check`` rules RPR008-010, ``graph``
   the call graph as JSON/DOT, ``effects``/``snapshot``/``diff`` the
   whole-program effect inference.
+* ``races``    — static concurrency verification (rules RPR014-016):
+  ``check`` lockset races / lock order / wait discipline, ``show`` the
+  thread contexts and per-field verdicts, ``report`` JSON for CI,
+  ``snapshot``/``diff`` the committed ``CONCURRENCY.json``.
 
 ``run`` and ``dse`` accept ``--trace PATH`` to capture a per-kernel
 telemetry trace of the run: ``.jsonl`` writes the raw event log,
@@ -492,6 +496,24 @@ def _cmd_arch(args) -> int:
     raise AssertionError(f"unhandled arch command {command!r}")
 
 
+def _cmd_races(args) -> int:
+    from .analysis import races
+
+    paths = args.paths or list(races.DEFAULT_PATHS)
+    command = args.races_command or "check"
+    if command == "check":
+        return races.races_check(paths)
+    if command == "show":
+        return races.races_show(paths)
+    if command == "report":
+        return races.races_report(paths)
+    if command == "snapshot":
+        return races.races_snapshot(paths, output=args.output)
+    if command == "diff":
+        return races.races_diff(paths, against=args.against)
+    raise AssertionError(f"unhandled races command {command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     register_defaults()
     parser = argparse.ArgumentParser(
@@ -677,6 +699,38 @@ def build_parser() -> argparse.ArgumentParser:
         sp.set_defaults(func=_cmd_arch)
     p_arch.set_defaults(paths=[])
 
+    p_races = sub.add_parser(
+        "races", help="static concurrency verification (rules RPR014-016): "
+                      "lockset races, lock order, wait discipline"
+    )
+    races_sub = p_races.add_subparsers(dest="races_command")
+    races_common = {"nargs": "*", "default": [],
+                    "help": "files or directories (default: src/repro)"}
+    p_races_check = races_sub.add_parser(
+        "check", help="run RPR014/15/16 and validate the [concurrency] "
+                      "policy names (exit: 0 clean, 1 findings, 2 error)")
+    p_races_check.add_argument("paths", **races_common)
+    p_races_show = races_sub.add_parser(
+        "show", help="print thread contexts, locks, field verdicts and "
+                     "the lock-order graph")
+    p_races_show.add_argument("paths", **races_common)
+    p_races_report = races_sub.add_parser(
+        "report", help="emit the full concurrency state as JSON")
+    p_races_report.add_argument("paths", **races_common)
+    p_races_snap = races_sub.add_parser(
+        "snapshot", help="write the committed concurrency snapshot")
+    p_races_snap.add_argument("paths", **races_common)
+    p_races_snap.add_argument("--output", default="CONCURRENCY.json")
+    p_races_diff = races_sub.add_parser(
+        "diff", help="compare current concurrency state against the "
+                     "snapshot (exit 1 on new facts)")
+    p_races_diff.add_argument("paths", **races_common)
+    p_races_diff.add_argument("--against", default="CONCURRENCY.json")
+    for sp in (p_races, p_races_check, p_races_show, p_races_report,
+               p_races_snap, p_races_diff):
+        sp.set_defaults(func=_cmd_races)
+    p_races.set_defaults(paths=[])
+
     p_graph = sub.add_parser(
         "graph", help="stage-graph pipelines: check, show, diff"
     )
@@ -714,7 +768,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_g_diff.set_defaults(func=_cmd_graph_diff)
 
     p_lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (rules RPR001-RPR010)"
+        "lint", help="repo-specific static analysis (rules RPR001-RPR010 "
+                     "and RPR014-016)"
     )
     p_lint.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "

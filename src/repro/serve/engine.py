@@ -95,19 +95,27 @@ class ServeEngine:
     # -- session table -------------------------------------------------------
     @property
     def sessions(self) -> dict[str, Session]:
-        """Live session table (read-only by convention)."""
-        return self._sessions
+        """Snapshot of the live session table."""
+        with self._lock:
+            return dict(self._sessions)
 
     def session(self, client_id: str) -> Session:
-        try:
-            return self._sessions[client_id]
-        except KeyError:
-            raise ServeError(
-                f"unknown session {client_id!r}; "
-                f"known: {sorted(self._sessions)}"
-            ) from None
+        with self._lock:
+            try:
+                return self._sessions[client_id]
+            except KeyError:
+                raise ServeError(
+                    f"unknown session {client_id!r}; "
+                    f"known: {sorted(self._sessions)}"
+                ) from None
+
+    def pending_frames(self) -> int:
+        """Frames queued across runnable sessions (thread-safe)."""
+        with self._lock:
+            return self._pending_frames()
 
     def _pending_frames(self) -> int:
+        # callers hold self._lock (non-reentrant: do not re-take it here)
         return sum(s.queue_depth for s in self._sessions.values()
                    if s.state in (SessionState.ACTIVE, SessionState.DRAINING))
 
@@ -250,58 +258,65 @@ class ServeEngine:
             processed = self.step()
             total += processed
             if (processed == 0 and self.transport.pending == 0
-                    and self._pending_frames() == 0):
+                    and self.pending_frames() == 0):
                 return total
         raise ServeError(
             f"run_until_idle did not converge in {max_rounds} rounds "
             f"({self.transport.pending} messages, "
-            f"{self._pending_frames()} frames pending)"
+            f"{self.pending_frames()} frames pending)"
         )
 
     # -- threaded mode -------------------------------------------------------
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> None:
         """Spawn the scheduler thread (idempotent start is an error)."""
-        if self.running:
-            raise ServeError("engine already running")
-        self._stop.clear()
-        self._thread = threading.Thread(target=self._serve_loop,
-                                        name="repro-serve", daemon=True)
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                raise ServeError("engine already running")
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._serve_loop,
+                                            name="repro-serve", daemon=True)
+            self._thread.start()
 
     def _serve_loop(self) -> None:
         while not self._stop.is_set():
             processed = self.step()
             if (processed == 0 and self.transport.pending == 0
-                    and self._pending_frames() == 0):
+                    and self.pending_frames() == 0):
                 self.transport.wait(IDLE_WAIT_S)
 
     def stop(self, drain: bool = True) -> None:
         """Stop the scheduler thread; optionally finish queued work first."""
-        if self._thread is None:
+        with self._lock:
+            thread = self._thread
+        if thread is None:
             return
         if drain:
             # Let the loop keep running until everything pending is done,
             # then flag it down; new sends may still race in and are
             # simply served next start (or left pollable).
-            while (self.transport.pending or self._pending_frames()):
-                if not self._thread.is_alive():
+            while (self.transport.pending or self.pending_frames()):
+                if not thread.is_alive():
                     break
                 self.transport.wait(IDLE_WAIT_S)
         self._stop.set()
-        self._thread.join()
-        self._thread = None
+        thread.join()  # outside the lock: the loop needs it to finish
+        with self._lock:
+            self._thread = None
 
     def close(self) -> None:
         """Stop (without draining), close the transport, release sessions."""
         self.stop(drain=False)
         self.transport.close()
-        for session in self._sessions.values():
-            if session.state in (SessionState.ACTIVE, SessionState.DRAINING):
-                self._finish_drained(session)
+        with self._lock:
+            for session in self._sessions.values():
+                if session.state in (SessionState.ACTIVE,
+                                     SessionState.DRAINING):
+                    self._finish_drained(session)
 
     def __enter__(self) -> "ServeEngine":
         return self

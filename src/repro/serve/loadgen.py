@@ -47,10 +47,6 @@ from .transport import SessionClose, SessionFrame, SessionOpen
 #: sorts before its first frame, frames before its close.
 _OPEN, _FRAME, _CLOSE = 0, 1, 2
 
-#: Never-set event whose ``wait`` is the replay loop's portable pacer —
-#: yields the GIL to the scheduler thread without reading any clock.
-_PACER = threading.Event()
-
 
 @dataclass(frozen=True)
 class LoadSpec:
@@ -224,6 +220,11 @@ def run_load(
     factory_kwargs = dict(factory_kwargs or {})
     offered = RateWindow(clock=clock)
     transport = engine.transport
+    # Never-set event whose ``wait`` is the replay loop's portable pacer —
+    # yields the GIL to the scheduler thread without reading any clock.
+    # Local on purpose: a module-level Event would be state shared across
+    # concurrent run_load calls (and trips the RPR006 module-lock arm).
+    pacer = threading.Event()
 
     n_frames = 0
     t0 = clock()
@@ -255,7 +256,7 @@ def run_load(
         elif not due:
             # Producer is ahead of the timeline; yield the GIL to the
             # scheduler thread instead of spinning flat out.
-            _PACER.wait(0.001)
+            pacer.wait(0.001)
     if drain:
         if threaded:
             engine.stop(drain=True)

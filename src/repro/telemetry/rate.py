@@ -54,9 +54,17 @@ class RateWindow:
             )
         self.window_s = float(window_s)
         self._clock = clock
+        # Owner-serialised state: Tracer.mark/rate hold Tracer._lock
+        # around every call, the serve engine's private windows are only
+        # touched by step()/stats() under ServeEngine._lock, and loadgen
+        # windows never leave the generating thread.
+        # guarded-by: owner -- every creator serialises access (see above)
         self._marks: deque[tuple[float, float]] = deque()
+        # guarded-by: owner -- every creator serialises access (see _marks)
         self._total = 0.0
+        # guarded-by: owner -- every creator serialises access (see _marks)
         self._count = 0
+        # guarded-by: owner -- every creator serialises access (see _marks)
         self._first_t: float | None = None
 
     @property

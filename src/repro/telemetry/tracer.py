@@ -258,10 +258,12 @@ class Tracer:
 
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.spans)
+        with self._lock:
+            return len(self.spans)
 
     def spans_named(self, name: str) -> list[SpanEvent]:
-        return [s for s in self.spans if s.name == name]
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
 
     def clear(self) -> None:
         with self._lock:

@@ -41,6 +41,7 @@ class TestFramework:
         assert set(catalogue) == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
             "RPR007", "RPR008", "RPR009", "RPR010",
+            "RPR014", "RPR015", "RPR016",
         }
         assert all(title for title in catalogue.values())
 
@@ -536,13 +537,19 @@ class TestProcessDisciplineChecker:
         for path in ("src/repro/serve/engine.py", "src/repro/jobs/pool.py"):
             assert analyze_source(src, path=path, select=["RPR006"]) == []
 
-    def test_sync_primitives_stay_legal_everywhere(self):
+    def test_sync_primitives_stay_legal_below_module_scope(self):
+        # class/function-scoped primitives are fine anywhere; only the
+        # module-scope-lock arm (TestModuleScopeLocks in
+        # test_concurrency.py) restricts where process-wide ones live
         src = (
             "import threading\n"
-            "lock = threading.Lock()\n"
-            "cond = threading.Condition(lock)\n"
-            "evt = threading.Event()\n"
             "tls = threading.local()\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition(self._lock)\n"
+            "def f():\n"
+            "    return threading.Event()\n"
         )
         assert analyze_source(src, path="src/repro/telemetry/tracer.py",
                               select=["RPR006"]) == []

@@ -412,6 +412,69 @@ class TestThreadedEngine:
         assert stats["frames"]["processed"] + stats["frames"]["dropped"] == 5
         assert stats["sessions"]["by_state"] == {"closed": 1}
 
+    def test_threaded_stress_producers_and_stats_poller(self, tiny_sequence):
+        """N producer threads race the scheduler while a poller hammers
+        stats(): no exceptions, every offered frame accounted, and the
+        frame counters never move backwards between polls (each stats()
+        snapshot is taken under the scheduling lock, so a torn round
+        would show up as non-monotone counters)."""
+        import threading  # noqa: RPR006 — exercising the engine's own locking
+
+        engine = ServeEngine(InProcessTransport(),
+                             policy=ServePolicy(queue_capacity=256))
+        n_clients, n_frames = 4, 8
+        errors: list[BaseException] = []
+        polls: list[tuple[int, int]] = []
+        stop = threading.Event()
+
+        def produce(cid: str) -> None:
+            try:
+                engine.transport.send(_open(tiny_sequence, cid))
+                for i in range(n_frames):
+                    engine.transport.send(
+                        SessionFrame(cid, _frame(tiny_sequence, i)))
+                engine.transport.send(SessionClose(cid))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def poll() -> None:
+            try:
+                while not stop.is_set():
+                    frames = engine.stats()["frames"]
+                    polls.append((frames["received"],
+                                  frames["processed"] + frames["dropped"]))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        poller = threading.Thread(target=poll)
+        producers = [threading.Thread(target=produce, args=(f"c{i}",))
+                     for i in range(n_clients)]
+        engine.start()
+        try:
+            poller.start()
+            for t in producers:
+                t.start()
+            for t in producers:
+                t.join()
+            engine.stop(drain=True)
+        finally:
+            stop.set()
+            poller.join()
+            engine.close()
+
+        assert errors == []
+        stats = engine.stats()
+        offered = n_clients * n_frames
+        assert stats["frames"]["received"] == offered
+        assert (stats["frames"]["processed"]
+                + stats["frames"]["dropped"]) == offered
+        assert stats["sessions"]["by_state"] == {"closed": n_clients}
+        assert polls, "poller must have observed the engine at least once"
+        received = [r for r, _ in polls]
+        settled = [s for _, s in polls]
+        assert received == sorted(received)
+        assert settled == sorted(settled)
+
 
 # -- load generator ----------------------------------------------------------
 
